@@ -1,0 +1,25 @@
+//! # noelle-analysis
+//!
+//! The low-level code analyses that power NOELLE-rs abstractions:
+//!
+//! - [`dfe`] — the paper's *data-flow engine* (DFE): an optimized bit-vector
+//!   solver with basic-block granularity, a work-list algorithm, and
+//!   RPO/loop-based priority;
+//! - [`analyses`] — canned data-flow analyses built on the DFE (liveness,
+//!   reaching definitions), used by ENV, the scheduler, and custom tools;
+//! - [`alias`] — two alias-analysis stacks: a *basic* LLVM-like stack and a
+//!   *state-of-the-art* stack adding Andersen-style inclusion-based points-to
+//!   analysis (standing in for the external SCAF and SVF analyses the paper
+//!   integrates);
+//! - [`modref`] — mod/ref summaries for call instructions;
+//! - [`scev`] — scalar-evolution-lite: affine recurrence recognition and
+//!   constant trip counts, powering the IV abstraction.
+
+pub mod alias;
+pub mod analyses;
+pub mod dfe;
+pub mod modref;
+pub mod scev;
+
+pub use alias::{AliasAnalysis, AliasResult, AndersenAlias, BasicAlias, MemoryObject};
+pub use dfe::{BitSet, DataFlowEngine, DataFlowProblem, Direction, Meet};

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the infrastructure costs: how long each NOELLE
+//! abstraction takes to compute over representative workloads. These are the
+//! compile-time costs the demand-driven design avoids paying eagerly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noelle_analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
+use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_ir::cfg::Cfg;
+use noelle_ir::dom::{DomTree, PostDomTree};
+use noelle_ir::loops::LoopForest;
+use noelle_pdg::pdg::PdgBuilder;
+use noelle_pdg::sccdag::SccDag;
+
+fn representative() -> Vec<noelle_workloads::Workload> {
+    ["blackscholes", "crc32", "ferret"]
+        .iter()
+        .map(|n| noelle_workloads::by_name(n).expect("exists"))
+        .collect()
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alias");
+    for w in representative() {
+        let m = w.build();
+        g.bench_with_input(BenchmarkId::new("andersen", w.name), &m, |b, m| {
+            b.iter(|| AndersenAlias::new(m))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pdg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdg");
+    for w in representative() {
+        let m = w.build();
+        g.bench_with_input(BenchmarkId::new("program_pdg_basic", w.name), &m, |b, m| {
+            let basic = BasicAlias::new(m);
+            let builder = PdgBuilder::new(m, &basic);
+            b.iter(|| builder.program_pdg())
+        });
+        g.bench_with_input(BenchmarkId::new("program_pdg_full", w.name), &m, |b, m| {
+            let basic = BasicAlias::new(m);
+            let andersen = AndersenAlias::new(m);
+            let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+            let builder = PdgBuilder::new(m, &stack);
+            b.iter(|| builder.program_pdg())
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_views(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loop_views");
+    let w = noelle_workloads::by_name("blackscholes").expect("exists");
+    let m = w.build();
+    let fid = m.func_id_by_name("kernel0").expect("kernel exists");
+    let f = m.func(fid);
+    g.bench_function("cfg+domtrees", |b| {
+        b.iter(|| {
+            let cfg = Cfg::new(f);
+            let dt = DomTree::new(f, &cfg);
+            let pdt = PostDomTree::new(f, &cfg);
+            (dt, pdt)
+        })
+    });
+    g.bench_function("loop_forest", |b| {
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        b.iter(|| LoopForest::new(f, &cfg, &dt))
+    });
+    g.bench_function("sccdag", |b| {
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        let pdg = builder.loop_pdg(fid, &l);
+        b.iter(|| SccDag::new(f, &l, &pdg))
+    });
+    g.finish();
+}
+
+fn bench_demand_driven(c: &mut Criterion) {
+    // The paper's design claim: loading the layer is free; abstractions cost
+    // only when requested.
+    let mut g = c.benchmark_group("demand_driven");
+    let w = noelle_workloads::by_name("blackscholes").expect("exists");
+    g.bench_function("noelle_load_only", |b| {
+        b.iter(|| Noelle::new(w.build(), AliasTier::Full))
+    });
+    g.bench_function("noelle_one_loop_abstraction", |b| {
+        b.iter(|| {
+            let mut n = Noelle::new(w.build(), AliasTier::Full);
+            let fid = n.module().func_id_by_name("kernel0").expect("exists");
+            let l = n.loops_of(fid)[0].clone();
+            n.loop_abstraction(fid, l)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alias, bench_pdg, bench_loop_views, bench_demand_driven
+);
+criterion_main!(benches);

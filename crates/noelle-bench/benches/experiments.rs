@@ -1,0 +1,102 @@
+//! Criterion benchmarks over the experiment regeneration paths: one bench
+//! per table/figure family, each exercising the same code the `src/bin`
+//! printers run (on reduced inputs so `cargo bench` stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noelle_analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
+use noelle_analysis::modref::ModRefSummaries;
+use noelle_core::invariants::{invariants_llvm, invariants_noelle};
+use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_ir::cfg::Cfg;
+use noelle_ir::dom::DomTree;
+use noelle_ir::loops::LoopForest;
+use noelle_pdg::pdg::{memory_dependence_stats, PdgBuilder};
+use noelle_runtime::{run_module, RunConfig};
+
+fn sample() -> noelle_ir::Module {
+    noelle_workloads::by_name("streamcluster").expect("exists").build()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let m = sample();
+    c.bench_function("fig3_dependence_stats", |b| {
+        b.iter(|| {
+            let basic = BasicAlias::new(&m);
+            let andersen = AndersenAlias::new(&m);
+            let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+            (
+                memory_dependence_stats(&m, &basic),
+                memory_dependence_stats(&m, &stack),
+            )
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let m = sample();
+    c.bench_function("fig4_invariants_both_algorithms", |b| {
+        b.iter(|| {
+            let modref = ModRefSummaries::compute(&m);
+            let basic = BasicAlias::new(&m);
+            let builder = PdgBuilder::new(&m, &basic);
+            let mut total = 0usize;
+            for fid in m.func_ids() {
+                let f = m.func(fid);
+                if f.is_declaration() {
+                    continue;
+                }
+                let cfg = Cfg::new(f);
+                let dt = DomTree::new(f, &cfg);
+                for l in LoopForest::new(f, &cfg, &dt).loops() {
+                    total += invariants_llvm(&m, fid, l, &dt, &basic, &modref).len();
+                    let g = builder.loop_pdg(fid, l);
+                    total += invariants_noelle(f, l, &g).len();
+                }
+            }
+            total
+        })
+    });
+}
+
+fn bench_fig5_one_benchmark(c: &mut Criterion) {
+    // One full Figure 5 cell: profile, parallelize with DOALL, re-run.
+    c.bench_function("fig5_doall_blackscholes", |b| {
+        b.iter(|| {
+            let w = noelle_workloads::by_name("blackscholes").expect("exists");
+            let mut m = w.build();
+            let cfg = RunConfig {
+                collect_profiles: true,
+                ..RunConfig::default()
+            };
+            let seq = run_module(&m, "main", &[], &cfg).expect("runs");
+            seq.profiles.embed(&mut m);
+            let mut noelle = Noelle::new(m, AliasTier::Full);
+            noelle_transforms::doall::run(
+                &mut noelle,
+                &noelle_transforms::doall::DoallOptions {
+                    n_tasks: 4,
+                    min_hotness: 0.02,
+                    only: None,
+                },
+            );
+            let m2 = noelle.into_module();
+            run_module(&m2, "main", &[], &RunConfig::default())
+                .expect("parallel runs")
+                .cycles
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let m = sample();
+    c.bench_function("simulator_sequential_run", |b| {
+        b.iter(|| run_module(&m, "main", &[], &RunConfig::default()).expect("runs").cycles)
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4, bench_fig5_one_benchmark, bench_simulator
+);
+criterion_main!(benches);

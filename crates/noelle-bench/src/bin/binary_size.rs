@@ -1,0 +1,24 @@
+//! Regenerate §4.5: binary-size reduction from dead-function elimination
+//! (paper: 6.3% average across the 41 benchmarks).
+
+fn main() {
+    let data = noelle_bench::binary_size();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.clone(),
+                r.before.to_string(),
+                r.after.to_string(),
+                format!("{:.1}%", 100.0 * r.reduction()),
+            ]
+        })
+        .collect();
+    println!("§4.5 — DEAD: instruction-count reduction (binary-size proxy)\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Benchmark", "Before", "After", "Reduction"], &rows)
+    );
+    let avg = data.iter().map(|r| r.reduction()).sum::<f64>() / data.len() as f64;
+    println!("\nAverage reduction: {:.1}% (paper: 6.3%)", 100.0 * avg);
+}

@@ -1,0 +1,32 @@
+//! Regenerate Figure 3: fraction of potential memory dependences disproved
+//! by the LLVM-like tier vs the full NOELLE alias stack.
+
+fn main() {
+    let rows_data = noelle_bench::fig3_dependences();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.clone(),
+                r.suite.to_string(),
+                r.total.to_string(),
+                format!("{:.1}%", 100.0 * r.llvm_disproved as f64 / r.total.max(1) as f64),
+                format!("{:.1}%", 100.0 * r.noelle_disproved as f64 / r.total.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!("Figure 3 — memory dependences disproved (LLVM tier vs NOELLE stack)\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Benchmark", "Suite", "Pairs", "LLVM", "NOELLE"], &rows)
+    );
+    let (t, l, n) = rows_data.iter().fold((0, 0, 0), |(t, l, n), r| {
+        (t + r.total, l + r.llvm_disproved, n + r.noelle_disproved)
+    });
+    println!(
+        "\nAggregate: LLVM tier disproves {:.1}%, NOELLE stack {:.1}% of {} pairs",
+        100.0 * l as f64 / t as f64,
+        100.0 * n as f64 / t as f64,
+        t
+    );
+}

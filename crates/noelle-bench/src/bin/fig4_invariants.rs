@@ -1,0 +1,17 @@
+//! Regenerate Figure 4: loop invariants found by Algorithm 1 (LLVM) vs
+//! Algorithm 2 (NOELLE).
+
+fn main() {
+    let data = noelle_bench::fig4_invariants();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| vec![r.bench.clone(), r.llvm.to_string(), r.noelle.to_string()])
+        .collect();
+    println!("Figure 4 — loop invariants detected (Algorithm 1 vs Algorithm 2)\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Benchmark", "LLVM (Alg. 1)", "NOELLE (Alg. 2)"], &rows)
+    );
+    let (l, n) = data.iter().fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
+    println!("\nTotals: LLVM {l}, NOELLE {n} — NOELLE detects {:.1}x more", n as f64 / l.max(1) as f64);
+}

@@ -1,0 +1,50 @@
+//! Regenerate Figure 5: speedups of the NOELLE parallelizers vs the
+//! gcc/icc-like conservative baseline, on the PARSEC- and MiBench-like
+//! suites.
+
+use noelle_workloads::Suite;
+
+fn main() {
+    let cores = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let data = noelle_bench::speedups(&[Suite::Parsec, Suite::MiBench], cores);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            let s = |k: &str| format!("{:.2}x", r.speedups.get(k).copied().unwrap_or(1.0));
+            vec![
+                r.bench.clone(),
+                r.suite.to_string(),
+                s("doall"),
+                s("helix"),
+                s("dswp"),
+                s("perspective"),
+                s("autopar"),
+            ]
+        })
+        .collect();
+    println!("Figure 5 — speedups on {cores} simulated cores (1.00x = no benefit)\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(
+            &["Benchmark", "Suite", "DOALL", "HELIX", "DSWP", "PERS", "gcc/icc-like"],
+            &rows
+        )
+    );
+    let best_noelle = |r: &noelle_bench::Fig5Row| {
+        ["doall", "helix", "dswp", "perspective"]
+            .iter()
+            .map(|k| r.speedups.get(*k).copied().unwrap_or(1.0))
+            .fold(1.0f64, f64::max)
+    };
+    let wins = data
+        .iter()
+        .filter(|r| best_noelle(r) > r.speedups.get("autopar").copied().unwrap_or(1.0) + 0.05)
+        .count();
+    println!(
+        "\nNOELLE-based tools beat the conservative baseline on {wins}/{} benchmarks",
+        data.len()
+    );
+}

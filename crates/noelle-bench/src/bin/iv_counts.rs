@@ -1,0 +1,17 @@
+//! Regenerate the §4.3 governing-induction-variable comparison
+//! (paper: LLVM 11 vs NOELLE 385 across 41 benchmarks).
+
+fn main() {
+    let data = noelle_bench::iv_counts();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| vec![r.bench.clone(), r.llvm.to_string(), r.noelle.to_string()])
+        .collect();
+    println!("§4.3 — governing induction variables detected\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Benchmark", "LLVM", "NOELLE"], &rows)
+    );
+    let (l, n) = data.iter().fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
+    println!("\nTotals: LLVM {l}, NOELLE {n} (paper: 11 vs 385 — while-shaped loops defeat LLVM's analysis)");
+}

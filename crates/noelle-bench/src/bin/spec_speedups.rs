@@ -1,0 +1,35 @@
+//! Regenerate §4.4's SPEC observation: only the NOELLE-based tools obtain
+//! speedups, and they are small (1–5%) because those programs are dominated
+//! by sequential chains.
+
+use noelle_workloads::Suite;
+
+fn main() {
+    let cores = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let data = noelle_bench::speedups(&[Suite::Spec], cores);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            let best = ["doall", "helix", "dswp", "perspective"]
+                .iter()
+                .map(|k| r.speedups.get(*k).copied().unwrap_or(1.0))
+                .fold(1.0f64, f64::max);
+            vec![
+                r.bench.clone(),
+                format!("{:.1}%", 100.0 * (best - 1.0)),
+                format!(
+                    "{:.1}%",
+                    100.0 * (r.speedups.get("autopar").copied().unwrap_or(1.0) - 1.0)
+                ),
+            ]
+        })
+        .collect();
+    println!("§4.4 — SPEC-like suite: best NOELLE speedup vs conservative baseline\n");
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Benchmark", "NOELLE best", "gcc/icc-like"], &rows)
+    );
+}

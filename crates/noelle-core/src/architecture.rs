@@ -1,0 +1,168 @@
+//! The Architecture (AR) abstraction.
+//!
+//! "Description of the underlying architecture in terms of logical/physical
+//! cores, NUMA nodes. It also provides the measured latencies and bandwidths
+//! between pairs of cores." The paper's `noelle-arch` tool fills this by
+//! measuring the machine (via hwloc + micro-benchmarks); here the
+//! description is synthesized deterministically — the substitution DESIGN.md
+//! documents — and consumed identically by HELIX's helper-thread placement
+//! and by the simulated runtime's communication costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata key under which the architecture description is embedded.
+pub const ARCH_KEY: &str = "noelle.arch";
+
+/// A machine description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of logical cores.
+    pub num_cores: usize,
+    /// SMT ways per physical core.
+    pub smt: usize,
+    /// Number of NUMA nodes.
+    pub numa_nodes: usize,
+    /// NUMA node of each logical core.
+    pub core_to_numa: Vec<usize>,
+    /// Core-to-core latency in cycles (`latency[a][b]`).
+    pub latency: Vec<Vec<u64>>,
+    /// Core-to-core bandwidth in bytes/cycle.
+    pub bandwidth: Vec<Vec<u64>>,
+    /// Cost in cycles of dispatching one task to a core.
+    pub dispatch_overhead: u64,
+    /// Cost in cycles of one inter-core queue push/pop pair.
+    pub queue_op_cost: u64,
+}
+
+impl Architecture {
+    /// A deterministic synthetic machine: `num_cores` logical cores spread
+    /// evenly over `numa_nodes` nodes. Latencies follow the usual hierarchy:
+    /// same core 0, same NUMA node 60 cycles, cross-node 140 cycles.
+    pub fn synthetic(num_cores: usize, numa_nodes: usize) -> Architecture {
+        assert!(num_cores > 0 && numa_nodes > 0);
+        let per_node = num_cores.div_ceil(numa_nodes);
+        let core_to_numa: Vec<usize> = (0..num_cores).map(|c| c / per_node).collect();
+        let latency: Vec<Vec<u64>> = (0..num_cores)
+            .map(|a| {
+                (0..num_cores)
+                    .map(|b| {
+                        if a == b {
+                            0
+                        } else if core_to_numa[a] == core_to_numa[b] {
+                            60
+                        } else {
+                            140
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let bandwidth: Vec<Vec<u64>> = (0..num_cores)
+            .map(|a| {
+                (0..num_cores)
+                    .map(|b| {
+                        if a == b {
+                            64
+                        } else if core_to_numa[a] == core_to_numa[b] {
+                            32
+                        } else {
+                            16
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Architecture {
+            name: format!("synthetic-{num_cores}c-{numa_nodes}n"),
+            num_cores,
+            smt: 2,
+            numa_nodes,
+            core_to_numa,
+            latency,
+            bandwidth,
+            dispatch_overhead: 400,
+            queue_op_cost: 30,
+        }
+    }
+
+    /// The default evaluation machine: 12 cores on 1 NUMA node, mirroring
+    /// the paper's Xeon E5-2695 v3 platform shape.
+    pub fn default_machine() -> Architecture {
+        Architecture::synthetic(12, 1)
+    }
+
+    /// Latency between two cores in cycles.
+    pub fn core_latency(&self, a: usize, b: usize) -> u64 {
+        self.latency[a.min(self.num_cores - 1)][b.min(self.num_cores - 1)]
+    }
+
+    /// Worst-case latency from any core to any other.
+    pub fn max_latency(&self) -> u64 {
+        self.latency
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Embed this description into module metadata (what `noelle-arch`
+    /// writes).
+    pub fn embed(&self, m: &mut noelle_ir::Module) {
+        m.metadata.insert(
+            ARCH_KEY.to_string(),
+            serde_json::to_string(self).expect("architecture serializes"),
+        );
+    }
+
+    /// Read a description embedded by [`Architecture::embed`].
+    pub fn from_module(m: &noelle_ir::Module) -> Option<Architecture> {
+        m.metadata
+            .get(ARCH_KEY)
+            .and_then(|s| serde_json::from_str(s).ok())
+    }
+}
+
+impl Default for Architecture {
+    fn default() -> Architecture {
+        Architecture::default_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_shape() {
+        let a = Architecture::synthetic(8, 2);
+        assert_eq!(a.num_cores, 8);
+        assert_eq!(a.core_to_numa, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(a.core_latency(0, 0), 0);
+        assert_eq!(a.core_latency(0, 1), 60);
+        assert_eq!(a.core_latency(0, 7), 140);
+        assert_eq!(a.max_latency(), 140);
+    }
+
+    #[test]
+    fn embed_round_trips() {
+        let mut m = noelle_ir::Module::new("t");
+        let a = Architecture::synthetic(4, 1);
+        a.embed(&mut m);
+        assert_eq!(Architecture::from_module(&m), Some(a));
+        assert_eq!(Architecture::from_module(&noelle_ir::Module::new("x")), None);
+    }
+
+    #[test]
+    fn survives_ir_round_trip() {
+        let mut m = noelle_ir::Module::new("t");
+        Architecture::default_machine().embed(&mut m);
+        let text = noelle_ir::printer::print_module(&m);
+        let m2 = noelle_ir::parser::parse_module(&text).unwrap();
+        assert_eq!(
+            Architecture::from_module(&m2),
+            Some(Architecture::default_machine())
+        );
+    }
+}

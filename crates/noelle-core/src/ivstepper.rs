@@ -1,0 +1,261 @@
+//! The Induction Variable Stepper (IVS) abstraction.
+//!
+//! "A common operation for modern and emerging code transformations is to
+//! modify the step of induction variables. [...] users only need to specify
+//! the new step values, and the abstraction modifies the loop accordingly."
+//! DOALL uses this for chunking/cyclic distribution of iterations; loop
+//! rotation uses it to revert step directions.
+
+use crate::loop_builder::{ensure_preheader, LoopBuilderError};
+use noelle_analysis::scev::AddRec;
+use noelle_ir::inst::{BinOp, Inst};
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::Function;
+use noelle_ir::value::Value;
+
+/// Errors raised by the stepper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IvsError {
+    /// The loop has no pre-header and one could not be created.
+    NoPreheader,
+    /// The update instruction no longer matches the recurrence shape.
+    MalformedUpdate,
+}
+
+impl std::fmt::Display for IvsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvsError::NoPreheader => write!(f, "loop has no pre-header"),
+            IvsError::MalformedUpdate => write!(f, "induction update has unexpected shape"),
+        }
+    }
+}
+
+impl std::error::Error for IvsError {}
+
+impl From<LoopBuilderError> for IvsError {
+    fn from(_: LoopBuilderError) -> IvsError {
+        IvsError::NoPreheader
+    }
+}
+
+/// Replace the step of `rec` with `new_step` (a value available in the
+/// pre-header).
+///
+/// # Errors
+/// Fails if the update instruction is not the expected `add`/`sub`.
+pub fn set_step(f: &mut Function, rec: &AddRec, new_step: Value) -> Result<(), IvsError> {
+    let phi = Value::Inst(rec.phi);
+    match f.inst_mut(rec.update) {
+        Inst::Bin {
+            op: BinOp::Add | BinOp::Sub,
+            lhs,
+            rhs,
+            ..
+        } => {
+            if *lhs == phi {
+                *rhs = new_step;
+            } else if *rhs == phi {
+                *lhs = new_step;
+            } else {
+                return Err(IvsError::MalformedUpdate);
+            }
+            Ok(())
+        }
+        _ => Err(IvsError::MalformedUpdate),
+    }
+}
+
+/// Multiply the step of `rec` by `factor`: the stepper inserts
+/// `new_step = step * factor` in the pre-header and rewires the update.
+/// Returns the inserted multiply's value.
+///
+/// # Errors
+/// Fails if the loop has no pre-header and one cannot be created, or if the
+/// update shape is unexpected.
+pub fn scale_step(
+    f: &mut Function,
+    l: &LoopInfo,
+    rec: &AddRec,
+    factor: Value,
+) -> Result<Value, IvsError> {
+    let pre = ensure_preheader(f, l)?;
+    let ty = f.inst(rec.update).result_type();
+    let pos = f.block(pre).insts.len().saturating_sub(1); // before terminator
+    let mul = f.insert_inst(
+        pre,
+        pos,
+        Inst::Bin {
+            op: BinOp::Mul,
+            ty,
+            lhs: rec.step,
+            rhs: factor,
+        },
+    );
+    set_step(f, rec, Value::Inst(mul))?;
+    Ok(Value::Inst(mul))
+}
+
+/// Offset the starting value of `rec` by `delta * step`: inserts
+/// `new_start = start + delta * step` in the pre-header and rewires the
+/// phi's out-of-loop incoming values. Used for cyclic iteration distribution
+/// (task `t` of `n` starts at `start + t*step` and steps by `n*step`).
+///
+/// # Errors
+/// Fails if the loop has no pre-header and one cannot be created.
+pub fn offset_start(
+    f: &mut Function,
+    l: &LoopInfo,
+    rec: &AddRec,
+    delta: Value,
+) -> Result<(), IvsError> {
+    let pre = ensure_preheader(f, l)?;
+    let ty = f.inst(rec.update).result_type();
+    let pos = f.block(pre).insts.len().saturating_sub(1);
+    let scaled = f.insert_inst(
+        pre,
+        pos,
+        Inst::Bin {
+            op: BinOp::Mul,
+            ty: ty.clone(),
+            lhs: rec.step,
+            rhs: delta,
+        },
+    );
+    let op = if rec.negated { BinOp::Sub } else { BinOp::Add };
+    let new_start = f.insert_inst(
+        pre,
+        pos + 1,
+        Inst::Bin {
+            op,
+            ty,
+            lhs: rec.start,
+            rhs: Value::Inst(scaled),
+        },
+    );
+    // Rewire every out-of-loop incoming of the phi.
+    let blocks: Vec<_> = match f.inst(rec.phi) {
+        Inst::Phi { incomings, .. } => incomings.clone(),
+        _ => return Err(IvsError::MalformedUpdate),
+    };
+    if let Inst::Phi { incomings, .. } = f.inst_mut(rec.phi) {
+        *incomings = blocks
+            .into_iter()
+            .map(|(b, v)| {
+                if l.contains(b) {
+                    (b, v)
+                } else {
+                    (b, Value::Inst(new_start))
+                }
+            })
+            .collect();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_analysis::scev::affine_recurrences;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::cfg::Cfg;
+    use noelle_ir::dom::DomTree;
+    use noelle_ir::inst::IcmpPred;
+    use noelle_ir::loops::LoopForest;
+    use noelle_ir::module::Module;
+    use noelle_ir::types::Type;
+
+    fn counted_loop() -> (Module, noelle_ir::module::FuncId) {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("n", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let fid = m.add_function(b.finish());
+        (m, fid)
+    }
+
+    fn loop_of(f: &Function) -> LoopInfo {
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        LoopForest::new(f, &cfg, &dt).loops()[0].clone()
+    }
+
+    #[test]
+    fn set_step_rewrites_update() {
+        let (mut m, fid) = counted_loop();
+        let l = loop_of(m.func(fid));
+        let rec = affine_recurrences(m.func(fid), &l)[0].clone();
+        set_step(m.func_mut(fid), &rec, Value::const_i64(4)).unwrap();
+        let f = m.func(fid);
+        assert!(matches!(
+            f.inst(rec.update),
+            Inst::Bin { rhs, .. } if *rhs == Value::const_i64(4)
+        ));
+        noelle_ir::verifier::verify_module(&m).expect("still verifies");
+    }
+
+    #[test]
+    fn scale_step_inserts_preheader_multiply() {
+        let (mut m, fid) = counted_loop();
+        let l = loop_of(m.func(fid));
+        let rec = affine_recurrences(m.func(fid), &l)[0].clone();
+        let before = m.func(fid).num_insts();
+        scale_step(m.func_mut(fid), &l, &rec, Value::const_i64(8)).unwrap();
+        let f = m.func(fid);
+        assert_eq!(f.num_insts(), before + 1);
+        noelle_ir::verifier::verify_module(&m).expect("still verifies");
+        // The recurrence now steps by 1*8.
+        let l2 = loop_of(m.func(fid));
+        let recs = affine_recurrences(m.func(fid), &l2);
+        assert_eq!(recs.len(), 1);
+        // Step is the inserted multiply (an instruction, not a constant).
+        assert!(recs[0].const_step().is_none());
+    }
+
+    #[test]
+    fn offset_start_rewires_phi() {
+        let (mut m, fid) = counted_loop();
+        let l = loop_of(m.func(fid));
+        let rec = affine_recurrences(m.func(fid), &l)[0].clone();
+        offset_start(m.func_mut(fid), &l, &rec, Value::const_i64(3)).unwrap();
+        noelle_ir::verifier::verify_module(&m).expect("still verifies");
+        let f = m.func(fid);
+        // The phi's entry incoming is now an add instruction.
+        if let Inst::Phi { incomings, .. } = f.inst(rec.phi) {
+            let outside: Vec<_> = incomings
+                .iter()
+                .filter(|(b, _)| !l.contains(*b))
+                .collect();
+            assert_eq!(outside.len(), 1);
+            assert!(matches!(outside[0].1, Value::Inst(_)));
+        } else {
+            panic!("not a phi");
+        }
+    }
+
+    #[test]
+    fn set_step_rejects_non_affine_update() {
+        let (mut m, fid) = counted_loop();
+        let l = loop_of(m.func(fid));
+        let mut rec = affine_recurrences(m.func(fid), &l)[0].clone();
+        rec.update = rec.phi; // sabotage: a phi is not an add/sub
+        assert_eq!(
+            set_step(m.func_mut(fid), &rec, Value::const_i64(1)),
+            Err(IvsError::MalformedUpdate)
+        );
+    }
+}

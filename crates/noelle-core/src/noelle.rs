@@ -1,0 +1,343 @@
+//! The demand-driven `Noelle` manager.
+//!
+//! "NOELLE's abstractions are demand-driven to preserve compilation time and
+//! memory. Hence, users only pay for the abstractions they need. In other
+//! words, if a user does not need the program dependence graph (PDG), then
+//! it will not pay the cost of analyzing the program to compute its
+//! dependences."
+//!
+//! [`Noelle`] owns the module being compiled, computes abstractions on first
+//! request, caches what is reusable, and records which abstractions each
+//! custom tool requested — the record behind Table 4 of the paper.
+
+use crate::architecture::Architecture;
+use crate::forest::ProgramLoopForest;
+use crate::loop_abs::LoopAbstraction;
+use crate::profiler::Profiles;
+use noelle_analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
+use noelle_ir::cfg::Cfg;
+use noelle_ir::dom::DomTree;
+use noelle_ir::loops::{LoopForest, LoopInfo};
+use noelle_ir::module::{FuncId, Module};
+use noelle_pdg::callgraph::CallGraph;
+use noelle_pdg::pdg::PdgBuilder;
+use std::collections::{BTreeSet, HashMap};
+
+/// Which alias stack powers the PDG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AliasTier {
+    /// LLVM-like basic rules only (the paper's "LLVM" baseline in Fig. 3).
+    Basic,
+    /// Basic rules + Andersen points-to (standing in for SCAF + SVF).
+    Full,
+}
+
+/// The abstractions of Table 1, used for request tracking (Table 4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[allow(missing_docs)]
+pub enum Abstraction {
+    Pdg,
+    ASccDag,
+    Cg,
+    Env,
+    Task,
+    Dfe,
+    Pro,
+    Scd,
+    L,
+    Lb,
+    Iv,
+    Ivs,
+    Inv,
+    Fr,
+    Isl,
+    Rd,
+    Ar,
+    Ls,
+}
+
+impl Abstraction {
+    /// The short name used in the paper's tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Abstraction::Pdg => "PDG",
+            Abstraction::ASccDag => "aSCCDAG",
+            Abstraction::Cg => "CG",
+            Abstraction::Env => "ENV",
+            Abstraction::Task => "T",
+            Abstraction::Dfe => "DFE",
+            Abstraction::Pro => "PRO",
+            Abstraction::Scd => "SCD",
+            Abstraction::L => "L",
+            Abstraction::Lb => "LB",
+            Abstraction::Iv => "IV",
+            Abstraction::Ivs => "IVS",
+            Abstraction::Inv => "INV",
+            Abstraction::Fr => "FR",
+            Abstraction::Isl => "ISL",
+            Abstraction::Rd => "RD",
+            Abstraction::Ar => "AR",
+            Abstraction::Ls => "LS",
+        }
+    }
+}
+
+/// The NOELLE compilation layer over one module.
+pub struct Noelle {
+    module: Module,
+    tier: AliasTier,
+    andersen: Option<AndersenAlias>,
+    call_graph: Option<CallGraph>,
+    forests: HashMap<FuncId, LoopForest>,
+    profiles: Option<Profiles>,
+    requested: BTreeSet<Abstraction>,
+}
+
+impl Noelle {
+    /// Load the layer over `module` (what `noelle-load` does: "load the
+    /// NOELLE abstractions into memory without computing them").
+    pub fn new(module: Module, tier: AliasTier) -> Noelle {
+        Noelle {
+            module,
+            tier,
+            andersen: None,
+            call_graph: None,
+            forests: HashMap::new(),
+            profiles: None,
+            requested: BTreeSet::new(),
+        }
+    }
+
+    /// The module under compilation.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Mutable access to the module. Invalidate caches: any transformation
+    /// may change dependences, loops, and profiles.
+    pub fn module_mut(&mut self) -> &mut Module {
+        self.invalidate();
+        &mut self.module
+    }
+
+    /// Consume the manager, returning the (possibly transformed) module.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Drop every cached abstraction.
+    pub fn invalidate(&mut self) {
+        self.andersen = None;
+        self.call_graph = None;
+        self.forests.clear();
+        self.profiles = None;
+    }
+
+    /// Record that a custom tool used abstraction `a` (tools call this for
+    /// the abstractions they exercise without going through a getter, e.g.
+    /// DFE or the scheduler).
+    pub fn note(&mut self, a: Abstraction) {
+        self.requested.insert(a);
+    }
+
+    /// The abstractions requested so far, in table order.
+    pub fn requested(&self) -> Vec<Abstraction> {
+        self.requested.iter().copied().collect()
+    }
+
+    /// Reset the request record (between tools).
+    pub fn reset_requests(&mut self) {
+        self.requested.clear();
+    }
+
+    fn ensure_andersen(&mut self) {
+        if self.andersen.is_none() {
+            self.andersen = Some(AndersenAlias::new(&self.module));
+        }
+    }
+
+    /// Run `k` with a [`PdgBuilder`] configured for this manager's alias
+    /// tier. The PDG abstraction is recorded as requested.
+    pub fn with_pdg<R>(&mut self, k: impl FnOnce(&Module, &PdgBuilder<'_>) -> R) -> R {
+        self.note(Abstraction::Pdg);
+        if self.tier == AliasTier::Full {
+            self.ensure_andersen();
+        }
+        let basic = BasicAlias::new(&self.module);
+        let mut tiers: Vec<&dyn AliasAnalysis> = vec![&basic];
+        if let (AliasTier::Full, Some(a)) = (self.tier, self.andersen.as_ref()) {
+            tiers.push(a);
+        }
+        let stack = AliasStack::new(tiers);
+        let builder = PdgBuilder::new(&self.module, &stack);
+        k(&self.module, &builder)
+    }
+
+    /// The loop structures (LS) of function `fid`, cached.
+    pub fn loop_forest(&mut self, fid: FuncId) -> &LoopForest {
+        self.note(Abstraction::Ls);
+        self.forests.entry(fid).or_insert_with(|| {
+            let f = self.module.func(fid);
+            let cfg = Cfg::new(f);
+            let dt = DomTree::new(f, &cfg);
+            LoopForest::new(f, &cfg, &dt)
+        })
+    }
+
+    /// All loops of `fid` (cloned structures, safe to hold across other
+    /// manager calls).
+    pub fn loops_of(&mut self, fid: FuncId) -> Vec<LoopInfo> {
+        self.loop_forest(fid).loops().to_vec()
+    }
+
+    /// The program-wide loop forest (FR).
+    pub fn program_loop_forest(&mut self) -> ProgramLoopForest {
+        self.note(Abstraction::Fr);
+        self.note(Abstraction::Ls);
+        ProgramLoopForest::build(&self.module)
+    }
+
+    /// The canonical Loop abstraction (L) for loop `l` of `fid`: structure,
+    /// loop PDG, aSCCDAG, IVs, invariants, reductions, environment.
+    pub fn loop_abstraction(&mut self, fid: FuncId, l: LoopInfo) -> LoopAbstraction {
+        for a in [
+            Abstraction::L,
+            Abstraction::ASccDag,
+            Abstraction::Iv,
+            Abstraction::Inv,
+            Abstraction::Rd,
+            Abstraction::Env,
+        ] {
+            self.note(a);
+        }
+        self.with_pdg(|_, b| LoopAbstraction::build(b, fid, l))
+    }
+
+    /// The complete program call graph (CG), cached. Always uses the
+    /// points-to solution so indirect calls are resolved.
+    pub fn call_graph(&mut self) -> &CallGraph {
+        self.note(Abstraction::Cg);
+        if self.call_graph.is_none() {
+            self.ensure_andersen();
+            let cg = CallGraph::build(&self.module, self.andersen.as_ref().expect("cached"));
+            self.call_graph = Some(cg);
+        }
+        self.call_graph.as_ref().expect("just set")
+    }
+
+    /// Profiles embedded in the module, or empty profiles when absent (PRO).
+    pub fn profiles(&mut self) -> Profiles {
+        self.note(Abstraction::Pro);
+        if self.profiles.is_none() {
+            self.profiles = Some(Profiles::from_module(&self.module).unwrap_or_default());
+        }
+        self.profiles.clone().expect("just set")
+    }
+
+    /// The architecture description embedded in the module, or the default
+    /// machine (AR).
+    pub fn architecture(&mut self) -> Architecture {
+        self.note(Abstraction::Ar);
+        Architecture::from_module(&self.module).unwrap_or_default()
+    }
+
+    /// The alias tier this manager was configured with.
+    pub fn tier(&self) -> AliasTier {
+        self.tier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::inst::{BinOp, IcmpPred};
+    use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
+
+    fn loop_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![("a", Type::I64.ptr_to()), ("n", Type::I64)],
+            Type::I64,
+        );
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let sum = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.index_ptr(Type::I64, b.arg(0), i);
+        let v = b.load(Type::I64, p);
+        let sum2 = b.binop(BinOp::Add, Type::I64, sum, v);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(sum, body, sum2);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn demand_driven_requests_recorded() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        assert!(n.requested().is_empty());
+        let fid = n.module().func_ids().next().unwrap();
+        let loops = n.loops_of(fid);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(n.requested(), vec![Abstraction::Ls]);
+        let la = n.loop_abstraction(fid, loops[0].clone());
+        assert!(la.is_doall());
+        let req = n.requested();
+        assert!(req.contains(&Abstraction::Pdg));
+        assert!(req.contains(&Abstraction::ASccDag));
+        assert!(req.contains(&Abstraction::L));
+        n.reset_requests();
+        assert!(n.requested().is_empty());
+    }
+
+    #[test]
+    fn caches_cleared_on_mutation() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let fid = n.module().func_ids().next().unwrap();
+        let _ = n.loop_forest(fid);
+        let _ = n.call_graph();
+        // Touch the module mutably: caches must reset.
+        n.module_mut().metadata.insert("x".into(), "y".into());
+        assert!(n.forests.is_empty());
+        assert!(n.call_graph.is_none());
+        // Re-requests still work.
+        assert_eq!(n.loops_of(fid).len(), 1);
+    }
+
+    #[test]
+    fn basic_tier_skips_andersen_for_pdg() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Basic);
+        let fid = n.module().func_ids().next().unwrap();
+        n.with_pdg(|_, b| {
+            let _ = b.function_pdg(fid);
+        });
+        assert!(n.andersen.is_none(), "basic tier must not compute points-to");
+        // The call graph still forces points-to (it needs indirect callees).
+        let _ = n.call_graph();
+        assert!(n.andersen.is_some());
+    }
+
+    #[test]
+    fn profiles_and_arch_default_when_missing() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Basic);
+        let p = n.profiles();
+        assert_eq!(p, Profiles::default());
+        let a = n.architecture();
+        assert_eq!(a.num_cores, 12);
+    }
+}

@@ -1,0 +1,331 @@
+//! The Profiler (PRO) abstraction.
+//!
+//! NOELLE "provides several code profilers, the ability to embed their
+//! results into IR files, and abstractions to facilitate high-level queries
+//! on such data": hotness of a code region, loop iteration counts, function
+//! invocation counts. In this reproduction the raw counts are produced by
+//! the IR interpreter in `noelle-runtime` (playing the role of
+//! `noelle-prof-coverage` + training inputs); this module holds the data
+//! model, the queries, and metadata embedding
+//! (`noelle-meta-prof-embed`).
+
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::{BlockId, FuncId, Module};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metadata key under which profiles are embedded.
+pub const PROF_KEY: &str = "noelle.prof";
+
+/// Execution profiles of a module, keyed by function *name* so they survive
+/// serialization and linking.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profiles {
+    /// Execution count of each block, indexed by `BlockId`.
+    pub block_counts: BTreeMap<String, Vec<u64>>,
+    /// Invocation count of each function.
+    pub func_invocations: BTreeMap<String, u64>,
+    /// Taken counts of each conditional branch, indexed by the `BlockId` of
+    /// the branching block: `(times the true edge was taken, executions)` —
+    /// the paper's *branch profiler*.
+    #[serde(default)]
+    pub branch_counts: BTreeMap<String, Vec<(u64, u64)>>,
+}
+
+impl Profiles {
+    /// Record `n` executions of block `b` of function `fname`.
+    pub fn record_block(&mut self, fname: &str, b: BlockId, n: u64) {
+        let v = self.block_counts.entry(fname.to_string()).or_default();
+        if v.len() <= b.index() {
+            v.resize(b.index() + 1, 0);
+        }
+        v[b.index()] += n;
+    }
+
+    /// Record one invocation of `fname`.
+    pub fn record_invocation(&mut self, fname: &str) {
+        *self.func_invocations.entry(fname.to_string()).or_default() += 1;
+    }
+
+    /// Record one execution of the conditional branch ending block `b`.
+    pub fn record_branch(&mut self, fname: &str, b: BlockId, taken: bool) {
+        let v = self.branch_counts.entry(fname.to_string()).or_default();
+        if v.len() <= b.index() {
+            v.resize(b.index() + 1, (0, 0));
+        }
+        v[b.index()].1 += 1;
+        if taken {
+            v[b.index()].0 += 1;
+        }
+    }
+
+    /// Fraction of executions on which the branch ending `b` took its true
+    /// edge, if it ever executed. Custom tools use this to pick likely paths
+    /// (e.g. the TIME tool biases clock decisions toward hot edges).
+    pub fn branch_bias(&self, fname: &str, b: BlockId) -> Option<f64> {
+        let (taken, total) = *self.branch_counts.get(fname)?.get(b.index())?;
+        (total > 0).then(|| taken as f64 / total as f64)
+    }
+
+    /// Execution count of block `b` of function `fname`.
+    pub fn block_count(&self, fname: &str, b: BlockId) -> u64 {
+        self.block_counts
+            .get(fname)
+            .and_then(|v| v.get(b.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Invocations of `fname`.
+    pub fn invocations(&self, fname: &str) -> u64 {
+        self.func_invocations.get(fname).copied().unwrap_or(0)
+    }
+
+    /// Dynamic instructions attributed to function `fid`.
+    pub fn function_dynamic_insts(&self, m: &Module, fid: FuncId) -> u64 {
+        let f = m.func(fid);
+        f.block_order()
+            .iter()
+            .map(|&b| self.block_count(&f.name, b) * f.block(b).insts.len() as u64)
+            .sum()
+    }
+
+    /// Dynamic instructions of the whole module.
+    pub fn total_dynamic_insts(&self, m: &Module) -> u64 {
+        m.func_ids()
+            .map(|fid| self.function_dynamic_insts(m, fid))
+            .sum()
+    }
+
+    /// Hotness of function `fid`: its share of the module's dynamic
+    /// instructions, in `[0, 1]`.
+    pub fn function_hotness(&self, m: &Module, fid: FuncId) -> f64 {
+        let total = self.total_dynamic_insts(m);
+        if total == 0 {
+            return 0.0;
+        }
+        self.function_dynamic_insts(m, fid) as f64 / total as f64
+    }
+
+    /// Dynamic instructions attributed to loop `l` of function `fid`.
+    pub fn loop_dynamic_insts(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> u64 {
+        let f = m.func(fid);
+        l.blocks
+            .iter()
+            .map(|&b| self.block_count(&f.name, b) * f.block(b).insts.len() as u64)
+            .sum()
+    }
+
+    /// Hotness of loop `l`: its share of the module's dynamic instructions.
+    pub fn loop_hotness(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> f64 {
+        let total = self.total_dynamic_insts(m);
+        if total == 0 {
+            return 0.0;
+        }
+        self.loop_dynamic_insts(m, fid, l) as f64 / total as f64
+    }
+
+    /// Number of times loop `l` was entered (approximated by its pre-header
+    /// count when present, else by header minus back-edge counts).
+    pub fn loop_invocations(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> u64 {
+        let f = m.func(fid);
+        if let Some(pre) = l.preheader {
+            return self.block_count(&f.name, pre);
+        }
+        let header = self.block_count(&f.name, l.header);
+        let back: u64 = l
+            .latches
+            .iter()
+            .map(|&b| self.block_count(&f.name, b))
+            .sum();
+        header.saturating_sub(back)
+    }
+
+    /// Total header executions of loop `l` (its trip-count-ish measure: for
+    /// while-shaped loops this is iterations + invocations).
+    pub fn loop_header_executions(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> u64 {
+        let f = m.func(fid);
+        self.block_count(&f.name, l.header)
+    }
+
+    /// Total iterations executed by loop `l` (back edges taken plus one per
+    /// invocation for do-while loops; header minus invocations for while
+    /// loops).
+    pub fn loop_total_iterations(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> u64 {
+        let header = self.loop_header_executions(m, fid, l);
+        let inv = self.loop_invocations(m, fid, l);
+        if l.is_do_while() {
+            header
+        } else {
+            header.saturating_sub(inv)
+        }
+    }
+
+    /// Average iterations per invocation of loop `l`.
+    pub fn loop_avg_iterations(&self, m: &Module, fid: FuncId, l: &LoopInfo) -> f64 {
+        let inv = self.loop_invocations(m, fid, l);
+        if inv == 0 {
+            return 0.0;
+        }
+        self.loop_total_iterations(m, fid, l) as f64 / inv as f64
+    }
+
+    /// Embed into module metadata (what `noelle-meta-prof-embed` does).
+    pub fn embed(&self, m: &mut Module) {
+        m.metadata.insert(
+            PROF_KEY.to_string(),
+            serde_json::to_string(self).expect("profiles serialize"),
+        );
+    }
+
+    /// Read profiles embedded by [`Profiles::embed`].
+    pub fn from_module(m: &Module) -> Option<Profiles> {
+        m.metadata
+            .get(PROF_KEY)
+            .and_then(|s| serde_json::from_str(s).ok())
+    }
+
+    /// Merge another profile run into this one.
+    pub fn merge(&mut self, other: &Profiles) {
+        for (fname, counts) in &other.block_counts {
+            for (i, &c) in counts.iter().enumerate() {
+                self.record_block(fname, BlockId(i as u32), c);
+            }
+        }
+        for (fname, &n) in &other.func_invocations {
+            *self.func_invocations.entry(fname.clone()).or_default() += n;
+        }
+        for (fname, counts) in &other.branch_counts {
+            for (i, &(t, n)) in counts.iter().enumerate() {
+                let b = BlockId(i as u32);
+                let v = self.branch_counts.entry(fname.clone()).or_default();
+                if v.len() <= b.index() {
+                    v.resize(b.index() + 1, (0, 0));
+                }
+                v[b.index()].0 += t;
+                v[b.index()].1 += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::cfg::Cfg;
+    use noelle_ir::dom::DomTree;
+    use noelle_ir::inst::{BinOp, IcmpPred};
+    use noelle_ir::loops::LoopForest;
+    use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
+
+    fn loop_module() -> (Module, FuncId, LoopInfo) {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("k", vec![("n", Type::I64)], Type::Void);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.switch_to(exit);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        (m, fid, l)
+    }
+
+    /// Simulate a run of 10 iterations: entry 1, header 11, body 10, exit 1.
+    fn ten_iter_profile() -> Profiles {
+        let mut p = Profiles::default();
+        p.record_invocation("k");
+        p.record_block("k", BlockId(0), 1);
+        p.record_block("k", BlockId(1), 11);
+        p.record_block("k", BlockId(2), 10);
+        p.record_block("k", BlockId(3), 1);
+        p
+    }
+
+    #[test]
+    fn loop_queries() {
+        let (m, fid, l) = loop_module();
+        let p = ten_iter_profile();
+        assert_eq!(p.loop_invocations(&m, fid, &l), 1);
+        assert_eq!(p.loop_total_iterations(&m, fid, &l), 10);
+        assert!((p.loop_avg_iterations(&m, fid, &l) - 10.0).abs() < 1e-9);
+        // Loop hotness dominates this tiny function.
+        let h = p.loop_hotness(&m, fid, &l);
+        assert!(h > 0.8, "hotness = {h}");
+        assert!(p.function_hotness(&m, fid) > 0.99);
+    }
+
+    #[test]
+    fn embed_round_trips_through_text() {
+        let (mut m, _, _) = loop_module();
+        let p = ten_iter_profile();
+        p.embed(&mut m);
+        let text = noelle_ir::printer::print_module(&m);
+        let m2 = noelle_ir::parser::parse_module(&text).unwrap();
+        assert_eq!(Profiles::from_module(&m2), Some(p));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ten_iter_profile();
+        let b = ten_iter_profile();
+        a.merge(&b);
+        assert_eq!(a.block_count("k", BlockId(2)), 20);
+        assert_eq!(a.invocations("k"), 2);
+    }
+
+    #[test]
+    fn missing_data_defaults_to_zero() {
+        let p = Profiles::default();
+        let (m, fid, l) = loop_module();
+        assert_eq!(p.block_count("nope", BlockId(0)), 0);
+        assert_eq!(p.loop_total_iterations(&m, fid, &l), 0);
+        assert_eq!(p.function_hotness(&m, fid), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod branch_tests {
+    use super::*;
+
+    #[test]
+    fn branch_bias_recorded_and_merged() {
+        let mut p = Profiles::default();
+        for taken in [true, true, true, false] {
+            p.record_branch("f", BlockId(2), taken);
+        }
+        assert_eq!(p.branch_bias("f", BlockId(2)), Some(0.75));
+        assert_eq!(p.branch_bias("f", BlockId(0)), None);
+        assert_eq!(p.branch_bias("g", BlockId(2)), None);
+        let mut q = Profiles::default();
+        q.record_branch("f", BlockId(2), false);
+        p.merge(&q);
+        assert_eq!(p.branch_bias("f", BlockId(2)), Some(0.6));
+    }
+
+    #[test]
+    fn branch_counts_survive_embedding() {
+        let mut m = noelle_ir::Module::new("t");
+        let mut p = Profiles::default();
+        p.record_branch("f", BlockId(1), true);
+        p.embed(&mut m);
+        assert_eq!(Profiles::from_module(&m), Some(p));
+    }
+}

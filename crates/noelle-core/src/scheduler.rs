@@ -1,0 +1,309 @@
+//! The Scheduler (SCD) abstraction.
+//!
+//! "The capability of moving instructions within and among basic blocks
+//! while preserving the original code semantics. The scheduler relies on the
+//! PDG abstraction to guarantee semantic preservation." A hierarchy is
+//! provided: the generic [`Scheduler`] (within-block motion) and the
+//! loop-specific [`LoopScheduler`] (e.g. reducing the header size of a loop,
+//! which HELIX uses to shrink sequential segments).
+//!
+//! Control equivalence — one of the paper's small supporting abstractions —
+//! also lives here.
+
+use noelle_ir::dom::{DomTree, PostDomTree};
+use noelle_ir::inst::InstId;
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::{BlockId, Function};
+use noelle_pdg::depgraph::DepGraph;
+use std::collections::HashSet;
+
+/// Legality oracle for instruction motion, backed by a dependence graph of
+/// the enclosing function.
+pub struct Scheduler<'a> {
+    pdg: &'a DepGraph<InstId>,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Create a scheduler over a function dependence graph.
+    pub fn new(pdg: &'a DepGraph<InstId>) -> Scheduler<'a> {
+        Scheduler { pdg }
+    }
+
+    /// True if `a` and `b` have no dependence in either direction (so they
+    /// may be reordered freely relative to each other).
+    pub fn independent(&self, a: InstId, b: InstId) -> bool {
+        !self
+            .pdg
+            .edges_from(a)
+            .any(|e| e.dst == b && e.attrs.is_data())
+            && !self
+                .pdg
+                .edges_from(b)
+                .any(|e| e.dst == a && e.attrs.is_data())
+    }
+
+    /// Sink `id` as far down its block as dependences allow (never past the
+    /// terminator). Returns the new position.
+    pub fn sink_within_block(&self, f: &mut Function, id: InstId) -> usize {
+        let block = f.parent_block(id);
+        loop {
+            let pos = f.position_in_block(id).expect("attached");
+            let insts = &f.block(block).insts;
+            if pos + 1 >= insts.len() {
+                return pos;
+            }
+            let next = insts[pos + 1];
+            if f.inst(next).is_terminator() || !self.independent(id, next) {
+                return pos;
+            }
+            f.move_inst(id, block, pos + 1);
+        }
+    }
+
+    /// Hoist `id` as far up its block as dependences allow (never above the
+    /// phis). Returns the new position.
+    pub fn hoist_within_block(&self, f: &mut Function, id: InstId) -> usize {
+        let block = f.parent_block(id);
+        loop {
+            let pos = f.position_in_block(id).expect("attached");
+            if pos == 0 {
+                return 0;
+            }
+            let prev = f.block(block).insts[pos - 1];
+            if matches!(f.inst(prev), noelle_ir::inst::Inst::Phi { .. })
+                || !self.independent(id, prev)
+            {
+                return pos;
+            }
+            f.move_inst(id, block, pos - 1);
+        }
+    }
+}
+
+/// Loop-specific scheduling: augments the generic capabilities with
+/// specialized ones, per the paper's scheduler hierarchy.
+pub struct LoopScheduler<'a> {
+    pdg: &'a DepGraph<InstId>,
+}
+
+impl<'a> LoopScheduler<'a> {
+    /// Create a loop scheduler over the loop's dependence graph.
+    pub fn new(pdg: &'a DepGraph<InstId>) -> LoopScheduler<'a> {
+        LoopScheduler { pdg }
+    }
+
+    /// Reduce the header size of `l`: move side-effect-free header
+    /// instructions whose every user lives in loop blocks other than the
+    /// header into the (single, in-loop) successor of the header. Returns
+    /// the instructions moved.
+    ///
+    /// Moving such an instruction is semantics-preserving: it is pure, its
+    /// value is only consumed on iterations that enter the body, and the
+    /// body is dominated by the header.
+    pub fn shrink_header(&self, f: &mut Function, l: &LoopInfo) -> Vec<InstId> {
+        // The in-loop successors of the header.
+        let in_loop_succs: Vec<BlockId> = f
+            .successors(l.header)
+            .into_iter()
+            .filter(|s| l.contains(*s))
+            .collect();
+        let &[body] = in_loop_succs.as_slice() else {
+            return Vec::new();
+        };
+        // The body must not be reachable from anywhere else in the loop
+        // except the header (otherwise values could be consumed without the
+        // move target executing) — conservatively require body's only role
+        // as the header's unique in-loop successor plus phis disallowed.
+        let uses = f.compute_uses();
+        let mut moved = Vec::new();
+        let header_insts: Vec<InstId> = f.block(l.header).insts.clone();
+        for id in header_insts {
+            let inst = f.inst(id);
+            if inst.is_terminator()
+                || matches!(inst, noelle_ir::inst::Inst::Phi { .. })
+                || inst.has_side_effects()
+                || inst.may_read_memory()
+            {
+                continue;
+            }
+            let users = uses.get(&id).map(Vec::as_slice).unwrap_or(&[]);
+            let ok = !users.is_empty()
+                && users.iter().all(|&u| {
+                    let ub = f.parent_block(u);
+                    ub != l.header && l.contains(ub)
+                });
+            // The PDG must not carry a dependence forcing the instruction to
+            // stay put (e.g. memory edges; excluded above already).
+            let pinned = self
+                .pdg
+                .edges_from(id)
+                .chain(self.pdg.edges_to(id))
+                .any(|e| e.attrs.memory);
+            if ok && !pinned {
+                // Insert after the phis of the body.
+                let pos = f.phis(body).len();
+                f.move_inst(id, body, pos);
+                moved.push(id);
+            }
+        }
+        moved
+    }
+}
+
+/// Control equivalence classes: blocks `a` and `b` are control equivalent
+/// when one dominates the other and is post-dominated by it — they execute
+/// the same number of times.
+pub fn control_equivalence_classes(
+    f: &Function,
+    dt: &DomTree,
+    pdt: &PostDomTree,
+) -> Vec<HashSet<BlockId>> {
+    let blocks: Vec<BlockId> = f.block_order().to_vec();
+    let equivalent = |a: BlockId, b: BlockId| -> bool {
+        (dt.dominates(a, b) && pdt.postdominates(b, a))
+            || (dt.dominates(b, a) && pdt.postdominates(a, b))
+    };
+    let mut classes: Vec<HashSet<BlockId>> = Vec::new();
+    for &b in &blocks {
+        match classes
+            .iter_mut()
+            .find(|c| c.iter().all(|&x| equivalent(x, b)))
+        {
+            Some(c) => {
+                c.insert(b);
+            }
+            None => {
+                classes.push(HashSet::from([b]));
+            }
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_analysis::alias::BasicAlias;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::cfg::Cfg;
+    use noelle_ir::inst::{BinOp, IcmpPred};
+    use noelle_ir::loops::LoopForest;
+    use noelle_ir::module::Module;
+    use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
+    use noelle_pdg::pdg::PdgBuilder;
+
+    #[test]
+    fn sink_respects_data_dependences() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("x", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let a = b.binop(BinOp::Add, Type::I64, b.arg(0), Value::const_i64(1));
+        let c = b.binop(BinOp::Mul, Type::I64, Value::const_i64(2), Value::const_i64(3));
+        let d = b.binop(BinOp::Add, Type::I64, a, c);
+        b.ret(Some(d));
+        let fid = m.add_function(b.finish());
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let pdg = builder.function_pdg(fid);
+        let sched = Scheduler::new(&pdg);
+        // `a` can sink past `c` (independent) but not past `d` (user).
+        let pos = sched.sink_within_block(m.func_mut(fid), a.as_inst().unwrap());
+        assert_eq!(pos, 1);
+        noelle_ir::verifier::verify_module(&m).expect("verifies after sinking");
+        // `c` can hoist above `a`.
+        let pos = sched.hoist_within_block(m.func_mut(fid), c.as_inst().unwrap());
+        assert_eq!(pos, 0);
+        noelle_ir::verifier::verify_module(&m).expect("verifies after hoisting");
+    }
+
+    #[test]
+    fn stores_do_not_cross_each_other() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("p", Type::I64.ptr_to())], Type::Void);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        b.store(Type::I64, Value::const_i64(1), b.arg(0));
+        b.store(Type::I64, Value::const_i64(2), b.arg(0));
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let s1 = m.func(fid).block(m.func(fid).entry()).insts[0];
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let pdg = builder.function_pdg(fid);
+        let sched = Scheduler::new(&pdg);
+        let pos = sched.sink_within_block(m.func_mut(fid), s1);
+        assert_eq!(pos, 0, "first store must not sink past the second");
+    }
+
+    #[test]
+    fn shrink_header_moves_body_only_computation() {
+        // Header computes t = n * 2 used only in the body: movable.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("n", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let t = b.binop(BinOp::Mul, Type::I64, b.arg(0), Value::const_i64(2));
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, t);
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = noelle_ir::dom::DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let pdg = builder.loop_pdg(fid, &l);
+        let sched = LoopScheduler::new(&pdg);
+        let moved = sched.shrink_header(m.func_mut(fid), &l);
+        assert_eq!(moved, vec![t.as_inst().unwrap()]);
+        noelle_ir::verifier::verify_module(&m).expect("verifies after shrink");
+        let f = m.func(fid);
+        assert_eq!(f.parent_block(t.as_inst().unwrap()), body);
+        // The compare (used by the header's terminator) stayed.
+        assert_eq!(f.parent_block(c.as_inst().unwrap()), header);
+    }
+
+    #[test]
+    fn control_equivalence_diamond() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("c", Type::I1)], Type::Void);
+        let entry = b.entry_block();
+        let l = b.block("l");
+        let r = b.block("r");
+        let j = b.block("j");
+        b.switch_to(entry);
+        b.cond_br(b.arg(0), l, r);
+        b.switch_to(l);
+        b.br(j);
+        b.switch_to(r);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = noelle_ir::dom::DomTree::new(f, &cfg);
+        let pdt = noelle_ir::dom::PostDomTree::new(f, &cfg);
+        let classes = control_equivalence_classes(f, &dt, &pdt);
+        // {entry, j} together; l and r alone.
+        let cls_of = |b: BlockId| classes.iter().find(|c| c.contains(&b)).unwrap();
+        assert!(cls_of(entry).contains(&j));
+        assert_eq!(cls_of(l).len(), 1);
+        assert_eq!(cls_of(r).len(), 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! The Task (T) abstraction.
+//!
+//! "NOELLE offers the Task abstraction to describe a code region that runs
+//! sequentially. [...] Nodes within an aSCCDAG are partitioned into tasks.
+//! An Environment is created for each task. At runtime, tasks are submitted
+//! to a thread-pool, which will run them in parallel across the cores."
+//!
+//! [`outline_loop_as_task`] materializes a task: it clones a loop into a new
+//! function `void task(i64* env, i64 task_id, i64 n_tasks)` that loads its
+//! live-ins from the environment, runs the (cloned) loop, and stores its
+//! live-outs into per-task environment slots. The parallelizing custom tools
+//! then specialize the clone (IV stepping for DOALL/HELIX, queue insertion
+//! for DSWP) and hand it to the `noelle.task.dispatch` runtime intrinsic.
+
+use crate::env::{Environment, EnvironmentBuilder};
+use noelle_ir::inst::{BinOp, Inst, InstId, Terminator};
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::{BlockId, FuncId, Function, Module};
+use noelle_ir::types::Type;
+use noelle_ir::value::Value;
+use std::collections::HashMap;
+
+/// Errors raised while materializing a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Task outlining currently requires a single exit block.
+    MultipleExits,
+    /// A value used inside the loop could not be remapped.
+    UnmappedValue(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::MultipleExits => write!(f, "loop has multiple exit blocks"),
+            TaskError::UnmappedValue(v) => write!(f, "cannot remap value {v}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// A materialized task: the outlined function plus the maps linking it back
+/// to the original loop.
+#[derive(Debug)]
+pub struct TaskFunction {
+    /// The task function (`void (i64* env, i64 task_id, i64 n_tasks)`).
+    pub fid: FuncId,
+    /// Entry block of the task (live-in loads happen here).
+    pub entry: BlockId,
+    /// Block that stores live-outs and returns.
+    pub finish: BlockId,
+    /// Original value → clone value (covers live-ins and loop instructions).
+    pub value_map: HashMap<Value, Value>,
+    /// Original loop block → cloned block.
+    pub block_map: HashMap<BlockId, BlockId>,
+    /// The environment shared with the dispatcher.
+    pub env: Environment,
+}
+
+impl TaskFunction {
+    /// The environment pointer argument of the task function.
+    pub fn env_arg(&self) -> Value {
+        Value::Arg(0)
+    }
+
+    /// The task-id argument.
+    pub fn task_id_arg(&self) -> Value {
+        Value::Arg(1)
+    }
+
+    /// The task-count argument.
+    pub fn n_tasks_arg(&self) -> Value {
+        Value::Arg(2)
+    }
+}
+
+/// Clone loop `l` of `src_fid` into a fresh task function named `name`.
+///
+/// The produced function:
+/// 1. loads every environment live-in in its entry block,
+/// 2. runs a verbatim clone of the loop (same CFG shape), and
+/// 3. on loop exit stores every live-out to `env[base + idx*n_tasks +
+///    task_id]` and returns.
+///
+/// # Errors
+/// Fails when the loop has more than one exit block, which the current
+/// outliner does not support.
+pub fn outline_loop_as_task(
+    m: &mut Module,
+    src_fid: FuncId,
+    l: &LoopInfo,
+    env: &Environment,
+    name: &str,
+) -> Result<TaskFunction, TaskError> {
+    let exits = l.exit_blocks();
+    let &[_exit] = exits.as_slice() else {
+        return Err(TaskError::MultipleExits);
+    };
+    let src = m.func(src_fid).clone();
+
+    let mut task = Function::new(
+        name,
+        vec![
+            ("env".into(), Type::I64.ptr_to()),
+            ("task_id".into(), Type::I64),
+            ("n_tasks".into(), Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = task.add_block("entry");
+
+    // 1. Live-in loads.
+    let mut value_map: HashMap<Value, Value> = HashMap::new();
+    for (slot, (v, ty)) in env.live_ins.iter().enumerate() {
+        let loaded = EnvironmentBuilder::load_slot(
+            &mut task,
+            entry,
+            Value::Arg(0),
+            Value::const_i64(slot as i64),
+            ty,
+        );
+        value_map.insert(*v, loaded);
+    }
+
+    // 2. Clone the loop blocks.
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut ordered_blocks: Vec<BlockId> = vec![l.header];
+    for &b in &l.blocks {
+        if b != l.header {
+            ordered_blocks.push(b);
+        }
+    }
+    for &b in &ordered_blocks {
+        let nb = task.add_block(src.block(b).name.clone());
+        block_map.insert(b, nb);
+    }
+    let finish = task.add_block("finish");
+
+    // Pass 1: clone instructions with original operands.
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for &b in &ordered_blocks {
+        let nb = block_map[&b];
+        for &id in &src.block(b).insts {
+            let cloned = task.append_inst(nb, src.inst(id).clone());
+            inst_map.insert(id, cloned);
+            value_map.insert(Value::Inst(id), Value::Inst(cloned));
+        }
+    }
+
+    // Pass 2: remap operands, blocks, and loop boundaries.
+    let map_value = |v: Value| -> Result<Value, TaskError> {
+        match v {
+            Value::Const(_) | Value::Global(_) | Value::Func(_) => Ok(v),
+            other => value_map
+                .get(&other)
+                .copied()
+                .ok_or_else(|| TaskError::UnmappedValue(format!("{other:?}"))),
+        }
+    };
+    let mut errors: Vec<TaskError> = Vec::new();
+    for (&old_id, &new_id) in &inst_map {
+        // Remap value operands.
+        let mut failed = None;
+        task.inst_mut(new_id).map_operands(|v| match map_value(v) {
+            Ok(nv) => nv,
+            Err(e) => {
+                failed = Some(e);
+                v
+            }
+        });
+        if let Some(e) = failed {
+            errors.push(e);
+        }
+        // Remap block references.
+        match task.inst_mut(new_id) {
+            Inst::Phi { incomings, .. } => {
+                for (b, _) in incomings.iter_mut() {
+                    *b = block_map.get(b).copied().unwrap_or(entry);
+                }
+            }
+            Inst::Term(t) => {
+                let succs = t.successors();
+                for s in succs {
+                    let target = block_map.get(&s).copied().unwrap_or(finish);
+                    t.replace_successor(s, target);
+                }
+            }
+            _ => {}
+        }
+        let _ = old_id;
+    }
+    if let Some(e) = errors.into_iter().next() {
+        return Err(e);
+    }
+
+    // Entry falls through to the cloned header.
+    task.set_terminator(entry, Terminator::Br(block_map[&l.header]));
+
+    // 3. Live-out stores: env[base + idx * n_tasks + task_id].
+    for (idx, (v, ty)) in env.live_outs.iter().enumerate() {
+        let clone = map_value(*v)?;
+        let base = env.live_out_base() as i64;
+        let pos = task.block(finish).insts.len();
+        let mul = task.insert_inst(
+            finish,
+            pos,
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Type::I64,
+                lhs: Value::const_i64(idx as i64),
+                rhs: Value::Arg(2),
+            },
+        );
+        let add1 = task.insert_inst(
+            finish,
+            pos + 1,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::Inst(mul),
+                rhs: Value::Arg(1),
+            },
+        );
+        let slot = task.insert_inst(
+            finish,
+            pos + 2,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::Inst(add1),
+                rhs: Value::const_i64(base),
+            },
+        );
+        EnvironmentBuilder::store_slot(
+            &mut task,
+            finish,
+            Value::Arg(0),
+            Value::Inst(slot),
+            clone,
+            ty,
+        );
+    }
+    task.set_terminator(finish, Terminator::Ret(None));
+
+    let fid = m.add_function(task);
+    Ok(TaskFunction {
+        fid,
+        entry,
+        finish,
+        value_map,
+        block_map,
+        env: env.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::builder::FunctionBuilder;
+    use noelle_ir::cfg::Cfg;
+    use noelle_ir::dom::DomTree;
+    use noelle_ir::inst::IcmpPred;
+    use noelle_ir::loops::LoopForest;
+
+    fn sum_loop_module() -> (Module, FuncId, LoopInfo) {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(
+            "k",
+            vec![("a", Type::I64.ptr_to()), ("n", Type::I64)],
+            Type::I64,
+        );
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let sum = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.index_ptr(Type::I64, b.arg(0), i);
+        let v = b.load(Type::I64, p);
+        let sum2 = b.binop(BinOp::Add, Type::I64, sum, v);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(sum, body, sum2);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        (m, fid, l)
+    }
+
+    #[test]
+    fn outlined_task_verifies() {
+        let (mut m, fid, l) = sum_loop_module();
+        let env = Environment::for_loop(&m, m.func(fid), &l);
+        let task = outline_loop_as_task(&mut m, fid, &l, &env, "k_task").unwrap();
+        noelle_ir::verifier::verify_module(&m).expect("task verifies");
+        let tf = m.func(task.fid);
+        assert_eq!(tf.params.len(), 3);
+        assert_eq!(tf.ret_ty, Type::Void);
+        // The clone contains a loop with the same shape.
+        let cfg = Cfg::new(tf);
+        let dt = DomTree::new(tf, &cfg);
+        let forest = LoopForest::new(tf, &cfg, &dt);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.loops()[0].blocks.len(), l.blocks.len());
+    }
+
+    #[test]
+    fn live_ins_loaded_live_outs_stored() {
+        let (mut m, fid, l) = sum_loop_module();
+        let env = Environment::for_loop(&m, m.func(fid), &l);
+        assert_eq!(env.live_ins.len(), 2);
+        assert_eq!(env.live_outs.len(), 1);
+        let task = outline_loop_as_task(&mut m, fid, &l, &env, "k_task").unwrap();
+        let tf = m.func(task.fid);
+        // Entry: 2 live-in loads (plus geps/casts) ending in a branch.
+        let entry_loads = tf
+            .block(task.entry)
+            .insts
+            .iter()
+            .filter(|&&i| matches!(tf.inst(i), Inst::Load { .. }))
+            .count();
+        assert_eq!(entry_loads, 2);
+        // Finish: one store for the live-out.
+        let finish_stores = tf
+            .block(task.finish)
+            .insts
+            .iter()
+            .filter(|&&i| matches!(tf.inst(i), Inst::Store { .. }))
+            .count();
+        assert_eq!(finish_stores, 1);
+    }
+
+    #[test]
+    fn multi_exit_loop_rejected() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![("n", Type::I64), ("c", Type::I1)], Type::Void);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let e1 = b.block("e1");
+        let e2 = b.block("e2");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(c, body, e1);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.cond_br(b.arg(1), header, e2);
+        b.add_incoming(i, body, i2);
+        b.switch_to(e1);
+        b.ret(None);
+        b.switch_to(e2);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dt);
+        let l = forest.loops()[0].clone();
+        let env = Environment::for_loop(&m, m.func(fid), &l);
+        assert_eq!(
+            outline_loop_as_task(&mut m, fid, &l, &env, "t").unwrap_err(),
+            TaskError::MultipleExits
+        );
+    }
+}

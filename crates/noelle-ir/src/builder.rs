@@ -1,0 +1,295 @@
+//! Programmatic IR construction.
+//!
+//! [`FunctionBuilder`] is the IR-level analogue of LLVM's `IRBuilder` (the
+//! loop-level analogue, the paper's Loop Builder (LB) abstraction, lives in
+//! `noelle-core`).
+
+use crate::inst::{BinOp, Callee, CastOp, FcmpPred, IcmpPred, Inst, InstId, Terminator};
+use crate::module::{BlockId, FuncId, Function};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Builds a [`Function`] by appending instructions at an insertion point.
+///
+/// # Example
+///
+/// ```
+/// use noelle_ir::builder::FunctionBuilder;
+/// use noelle_ir::{Type, BinOp, Value};
+///
+/// let mut b = FunctionBuilder::new("double", vec![("x", Type::I64)], Type::I64);
+/// let entry = b.entry_block();
+/// b.switch_to(entry);
+/// let two = Value::const_i64(2);
+/// let d = b.binop(BinOp::Mul, Type::I64, b.arg(0), two);
+/// b.ret(Some(d));
+/// let f = b.finish();
+/// assert_eq!(f.num_insts(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    entry: BlockId,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given signature. An entry block is
+    /// created and selected automatically.
+    pub fn new(name: &str, params: Vec<(&str, Type)>, ret_ty: Type) -> FunctionBuilder {
+        let params = params
+            .into_iter()
+            .map(|(n, t)| (n.to_string(), t))
+            .collect();
+        let mut func = Function::new(name, params, ret_ty);
+        let entry = func.add_block("entry");
+        FunctionBuilder {
+            func,
+            entry,
+            current: entry,
+        }
+    }
+
+    /// The automatically-created entry block.
+    pub fn entry_block(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Create a new (empty) block.
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Move the insertion point to the end of `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// The `i`-th formal argument as a value.
+    pub fn arg(&self, i: u32) -> Value {
+        debug_assert!((i as usize) < self.func.params.len());
+        Value::Arg(i)
+    }
+
+    /// Read access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Mutable access to the function under construction (escape hatch for
+    /// phi patching and metadata).
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    fn push(&mut self, inst: Inst) -> Value {
+        let id = self.func.append_inst(self.current, inst);
+        Value::Inst(id)
+    }
+
+    fn push_id(&mut self, inst: Inst) -> InstId {
+        
+        self.func.append_inst(self.current, inst)
+    }
+
+    /// `alloca ty` — one element.
+    pub fn alloca(&mut self, ty: Type) -> Value {
+        self.push(Inst::Alloca {
+            ty,
+            count: Value::const_i64(1),
+        })
+    }
+
+    /// `alloca ty, count`.
+    pub fn alloca_n(&mut self, ty: Type, count: Value) -> Value {
+        self.push(Inst::Alloca { ty, count })
+    }
+
+    /// `load ty, ptr`.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        self.push(Inst::Load { ty, ptr })
+    }
+
+    /// `store val, ptr`.
+    pub fn store(&mut self, ty: Type, val: Value, ptr: Value) {
+        self.push(Inst::Store { val, ptr, ty });
+    }
+
+    /// `gep base_ty, base, indices`.
+    pub fn gep(&mut self, base_ty: Type, base: Value, indices: Vec<Value>) -> Value {
+        self.push(Inst::Gep {
+            base,
+            base_ty,
+            indices,
+        })
+    }
+
+    /// Pointer to element `idx` of an array pointed to by `base`.
+    pub fn index_ptr(&mut self, elem_ty: Type, base: Value, idx: Value) -> Value {
+        self.push(Inst::Gep {
+            base,
+            base_ty: elem_ty,
+            indices: vec![idx],
+        })
+    }
+
+    /// Binary operation.
+    pub fn binop(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.push(Inst::Bin { op, ty, lhs, rhs })
+    }
+
+    /// Integer comparison.
+    pub fn icmp(&mut self, pred: IcmpPred, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.push(Inst::Icmp { pred, ty, lhs, rhs })
+    }
+
+    /// Floating-point comparison.
+    pub fn fcmp(&mut self, pred: FcmpPred, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.push(Inst::Fcmp { pred, ty, lhs, rhs })
+    }
+
+    /// Type conversion.
+    pub fn cast(&mut self, op: CastOp, from: Type, to: Type, val: Value) -> Value {
+        self.push(Inst::Cast { op, from, to, val })
+    }
+
+    /// Ternary select.
+    pub fn select(&mut self, ty: Type, cond: Value, tval: Value, fval: Value) -> Value {
+        self.push(Inst::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        })
+    }
+
+    /// Phi node with initial incomings (more can be patched in later via
+    /// [`FunctionBuilder::add_incoming`]).
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>) -> Value {
+        self.push(Inst::Phi { ty, incomings })
+    }
+
+    /// Add an incoming edge to an existing phi.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a phi instruction.
+    pub fn add_incoming(&mut self, phi: Value, block: BlockId, value: Value) {
+        let id = phi.as_inst().expect("phi must be an instruction");
+        match self.func.inst_mut(id) {
+            Inst::Phi { incomings, .. } => incomings.push((block, value)),
+            _ => panic!("add_incoming on non-phi"),
+        }
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret_ty: Type) -> Value {
+        self.push(Inst::Call {
+            callee: Callee::Direct(callee),
+            args,
+            ret_ty,
+        })
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(&mut self, fptr: Value, args: Vec<Value>, ret_ty: Type) -> Value {
+        self.push(Inst::Call {
+            callee: Callee::Indirect(fptr),
+            args,
+            ret_ty,
+        })
+    }
+
+    /// `ret` terminator.
+    pub fn ret(&mut self, value: Option<Value>) -> InstId {
+        self.push_id(Inst::Term(Terminator::Ret(value)))
+    }
+
+    /// Unconditional branch terminator.
+    pub fn br(&mut self, target: BlockId) -> InstId {
+        self.push_id(Inst::Term(Terminator::Br(target)))
+    }
+
+    /// Conditional branch terminator.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
+        self.push_id(Inst::Term(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        }))
+    }
+
+    /// Switch terminator.
+    pub fn switch(&mut self, value: Value, default: BlockId, cases: Vec<(i64, BlockId)>) -> InstId {
+        self.push_id(Inst::Term(Terminator::Switch {
+            value,
+            default,
+            cases,
+        }))
+    }
+
+    /// `unreachable` terminator.
+    pub fn unreachable(&mut self) -> InstId {
+        self.push_id(Inst::Term(Terminator::Unreachable))
+    }
+
+    /// Finish and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+
+    #[test]
+    fn build_loop_function() {
+        // sum = 0; for (i = 0; i < n; i++) sum += i; return sum;
+        let mut b = FunctionBuilder::new("sum_to_n", vec![("n", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+
+        b.switch_to(entry);
+        b.br(header);
+
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let sum = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+        let cond = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(cond, body, exit);
+
+        b.switch_to(body);
+        let sum2 = b.binop(BinOp::Add, Type::I64, sum, i);
+        let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+        b.br(header);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(sum, body, sum2);
+
+        b.switch_to(exit);
+        b.ret(Some(sum));
+
+        let f = b.finish();
+        assert_eq!(f.num_insts(), 9);
+        let mut m = Module::new("t");
+        m.add_function(f);
+        crate::verifier::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    #[should_panic(expected = "add_incoming on non-phi")]
+    fn add_incoming_rejects_non_phi() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I64);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let v = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        b.add_incoming(v, entry, Value::const_i64(0));
+    }
+}

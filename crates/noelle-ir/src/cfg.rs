@@ -1,0 +1,194 @@
+//! Control-flow-graph utilities: predecessor maps, traversal orders,
+//! reachability.
+
+use crate::module::{BlockId, Function};
+use std::collections::{HashMap, HashSet};
+
+/// Predecessor/successor maps of a function's CFG, computed once.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successors of each block, in terminator order.
+    pub succs: HashMap<BlockId, Vec<BlockId>>,
+    /// Predecessors of each block, in layout order.
+    pub preds: HashMap<BlockId, Vec<BlockId>>,
+    /// Blocks reachable from the entry, in reverse postorder.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`.
+    ///
+    /// # Panics
+    /// Panics if `f` is a declaration.
+    pub fn new(f: &Function) -> Cfg {
+        assert!(!f.is_declaration(), "cannot build a CFG for a declaration");
+        let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in f.block_order() {
+            preds.entry(b).or_default();
+        }
+        for &b in f.block_order() {
+            let ss = f.successors(b);
+            for &s in &ss {
+                preds.entry(s).or_default().push(b);
+            }
+            succs.insert(b, ss);
+        }
+        let rpo = reverse_postorder(f);
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        self.preds.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        self.succs.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Blocks with no successors (function exits).
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.rpo
+            .iter()
+            .copied()
+            .filter(|b| self.succs(*b).is_empty())
+            .collect()
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// Position of each block in the reverse postorder (for priority-ordered
+    /// data-flow work lists).
+    pub fn rpo_index(&self) -> HashMap<BlockId, usize> {
+        self.rpo
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i))
+            .collect()
+    }
+}
+
+/// Blocks reachable from the entry of `f`, in reverse postorder.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut post = Vec::new();
+    let mut visited = HashSet::new();
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let entry = f.entry();
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited.insert(entry);
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = f.successors(b);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Blocks reachable from the entry of `f` (unordered set).
+pub fn reachable_blocks(f: &Function) -> HashSet<BlockId> {
+    reverse_postorder(f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Build a diamond CFG: entry -> (left | right) -> join.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", vec![("c", Type::I1)], Type::Void);
+        let entry = b.entry_block();
+        let left = b.block("left");
+        let right = b.block("right");
+        let join = b.block("join");
+        b.switch_to(entry);
+        b.cond_br(b.arg(0), left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_cfg_shape() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let entry = f.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        assert!(cfg.preds(entry).is_empty());
+        let join = f.block_order()[3];
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert_eq!(cfg.exit_blocks(), vec![join]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], f.entry());
+        assert_eq!(cfg.rpo.len(), 4);
+        // RPO property: every block appears after at least one predecessor
+        // (except the entry and loop headers; the diamond has no loops).
+        let idx = cfg.rpo_index();
+        for &b in &cfg.rpo {
+            if b == f.entry() {
+                continue;
+            }
+            assert!(cfg.preds(b).iter().any(|p| idx[p] < idx[&b]));
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let entry = b.entry_block();
+        let dead = b.block("dead");
+        b.switch_to(entry);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(entry));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(reachable_blocks(&f).len(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_handled() {
+        let mut b = FunctionBuilder::new("f", vec![("c", Type::I1)], Type::Void);
+        let entry = b.entry_block();
+        let looping = b.block("loop");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(looping);
+        b.switch_to(looping);
+        b.cond_br(b.arg(0), looping, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.preds(looping).contains(&looping));
+        assert_eq!(cfg.rpo.len(), 3);
+        let _ = Value::const_i64(0);
+    }
+}

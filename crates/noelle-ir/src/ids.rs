@@ -1,0 +1,134 @@
+//! Deterministic IDs for instructions, blocks, functions, and loops.
+//!
+//! The paper lists "deterministic IDs" among NOELLE's supporting abstractions:
+//! stable identifiers that survive serialization, used by `noelle-meta-pdg-embed`
+//! to reference instructions from metadata. IDs are stored as instruction /
+//! function metadata under the `noelle.id` key.
+
+use crate::inst::InstId;
+use crate::module::{FuncId, Module};
+use std::collections::HashMap;
+
+/// Metadata key under which deterministic IDs are stored.
+pub const ID_KEY: &str = "noelle.id";
+
+/// Assign a deterministic, dense ID to every attached instruction of every
+/// defined function (overwriting any previous assignment). Returns the number
+/// of IDs assigned.
+pub fn assign_ids(m: &mut Module) -> usize {
+    let mut next = 0u64;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        let f = m.func_mut(fid);
+        if f.is_declaration() {
+            continue;
+        }
+        f.metadata.insert(ID_KEY.to_string(), next.to_string());
+        next += 1;
+        for id in f.inst_ids() {
+            f.set_inst_metadata(id, ID_KEY, next.to_string());
+            next += 1;
+        }
+    }
+    next as usize
+}
+
+/// Map from deterministic ID back to the instruction carrying it.
+pub fn id_index(m: &Module) -> HashMap<u64, (FuncId, InstId)> {
+    let mut out = HashMap::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for id in f.inst_ids() {
+            if let Some(s) = f.inst_metadata(id, ID_KEY) {
+                if let Ok(v) = s.parse::<u64>() {
+                    out.insert(v, (fid, id));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The deterministic ID of instruction `inst` in `f`, if assigned.
+pub fn inst_id_of(m: &Module, fid: FuncId, inst: InstId) -> Option<u64> {
+    m.func(fid)
+        .inst_metadata(inst, ID_KEY)
+        .and_then(|s| s.parse().ok())
+}
+
+/// Remove all NOELLE metadata (keys starting with `noelle.`) from the module,
+/// mirroring the paper's `noelle-meta-clean` tool.
+pub fn clean_noelle_metadata(m: &mut Module) {
+    m.metadata.retain(|k, _| !k.starts_with("noelle."));
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        let f = m.func_mut(fid);
+        f.metadata.retain(|k, _| !k.starts_with("noelle."));
+        for md in f.inst_metadata.values_mut() {
+            md.retain(|k, _| !k.starts_with("noelle."));
+        }
+        f.inst_metadata.retain(|_, md| !md.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    fn two_function_module() -> Module {
+        let mut m = Module::new("t");
+        for name in ["f", "g"] {
+            let mut b = FunctionBuilder::new(name, vec![("x", Type::I64)], Type::I64);
+            let entry = b.entry_block();
+            b.switch_to(entry);
+            let s = b.binop(BinOp::Add, Type::I64, b.arg(0), Value::const_i64(1));
+            b.ret(Some(s));
+            m.add_function(b.finish());
+        }
+        m
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let mut m = two_function_module();
+        let n = assign_ids(&mut m);
+        assert_eq!(n, 6); // 2 functions + 2*2 instructions
+        let idx = id_index(&m);
+        assert_eq!(idx.len(), 4); // instruction ids only
+        let mut seen: Vec<u64> = idx.keys().copied().collect();
+        seen.sort();
+        assert_eq!(seen, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn ids_survive_print_parse_round_trip() {
+        let mut m = two_function_module();
+        assign_ids(&mut m);
+        let text = crate::printer::print_module(&m);
+        let m2 = crate::parser::parse_module(&text).unwrap();
+        assert_eq!(id_index(&m), id_index(&m2));
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let mut m1 = two_function_module();
+        let mut m2 = two_function_module();
+        assign_ids(&mut m1);
+        assign_ids(&mut m2);
+        assert_eq!(id_index(&m1), id_index(&m2));
+    }
+
+    #[test]
+    fn clean_removes_only_noelle_keys() {
+        let mut m = two_function_module();
+        assign_ids(&mut m);
+        m.metadata.insert("noelle.pdg".into(), "...".into());
+        m.metadata.insert("user.key".into(), "kept".into());
+        clean_noelle_metadata(&mut m);
+        assert!(m.metadata.contains_key("user.key"));
+        assert!(!m.metadata.contains_key("noelle.pdg"));
+        assert!(id_index(&m).is_empty());
+    }
+}

@@ -1,0 +1,1258 @@
+//! Textual IR parser; the inverse of [`crate::printer`].
+//!
+//! # Errors
+//!
+//! All entry points return [`ParseError`] with a line number and message on
+//! malformed input.
+
+use crate::inst::{BinOp, Callee, CastOp, FcmpPred, IcmpPred, Inst, InstId, Terminator};
+use crate::module::{BlockId, Function, Global, GlobalInit, Module};
+use crate::types::{FloatWidth, FuncType, IntWidth, Type};
+use crate::value::{Constant, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse failure: message plus 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Local(String),  // %name
+    Sym(String),    // @name
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Punct(char),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '%' | '@' => {
+                let kind = c;
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        message: format!("empty name after '{kind}'"),
+                        line,
+                    });
+                }
+                toks.push((
+                    if kind == '%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Sym(name)
+                    },
+                    line,
+                ));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(ParseError {
+                                    message: format!("bad escape {other:?}"),
+                                    line,
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(ParseError {
+                                message: "unterminated string".into(),
+                                line,
+                            })
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string".into(),
+                                line,
+                            })
+                        }
+                    }
+                }
+                toks.push((Tok::Str(s), line));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let neg = c == '-';
+                if neg {
+                    chars.next();
+                    match chars.peek() {
+                        Some(&d) if d.is_ascii_digit() => {}
+                        Some(&'i') => {
+                            // "-inf"
+                            let mut word = String::new();
+                            while let Some(&c) = chars.peek() {
+                                if is_ident_char(c) {
+                                    word.push(c);
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                            if word == "inf" {
+                                toks.push((Tok::Float(f64::NEG_INFINITY), line));
+                                continue;
+                            }
+                            return Err(ParseError {
+                                message: format!("unexpected '-{word}'"),
+                                line,
+                            });
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                message: "dangling '-'".into(),
+                                line,
+                            })
+                        }
+                    }
+                }
+                let mut num = String::new();
+                if neg {
+                    num.push('-');
+                }
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else if c == '.' {
+                        // Only a float if a digit follows (names use dots too,
+                        // but numbers never abut names).
+                        is_float = true;
+                        num.push(c);
+                        chars.next();
+                    } else if c == 'e' || c == 'E' {
+                        is_float = true;
+                        num.push(c);
+                        chars.next();
+                        if let Some(&s) = chars.peek() {
+                            if s == '+' || s == '-' {
+                                num.push(s);
+                                chars.next();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let v: f64 = num.parse().map_err(|_| ParseError {
+                        message: format!("bad float literal '{num}'"),
+                        line,
+                    })?;
+                    toks.push((Tok::Float(v), line));
+                } else {
+                    let v: i64 = num.parse().map_err(|_| ParseError {
+                        message: format!("bad integer literal '{num}'"),
+                        line,
+                    })?;
+                    toks.push((Tok::Int(v), line));
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "inf" => toks.push((Tok::Float(f64::INFINITY), line)),
+                    "NaN" => toks.push((Tok::Float(f64::NAN), line)),
+                    _ => toks.push((Tok::Ident(name), line)),
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' | ':' | '=' | '*' | '!' => {
+                chars.next();
+                toks.push((Tok::Punct(c), line));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(w)) if w == word => Ok(()),
+            other => Err(self.err(format!("expected '{word}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(w)) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Symbolic (unresolved) value reference in the function AST.
+#[derive(Debug, Clone)]
+enum PValue {
+    Local(String),
+    Sym(String),
+    Const(Constant),
+}
+
+#[derive(Debug, Clone)]
+enum PCallee {
+    Sym(String),
+    Value(PValue),
+}
+
+/// An instruction with symbolic references, pre-resolution.
+#[derive(Debug)]
+struct PInst {
+    name: Option<String>,
+    kind: PInstKind,
+    meta: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+enum PInstKind {
+    Alloca(Type, PValue),
+    Load(Type, PValue),
+    Store(Type, PValue, PValue),
+    Gep(Type, PValue, Vec<PValue>),
+    Bin(BinOp, Type, PValue, PValue),
+    Icmp(IcmpPred, Type, PValue, PValue),
+    Fcmp(FcmpPred, Type, PValue, PValue),
+    Cast(CastOp, Type, PValue, Type),
+    Select(Type, PValue, PValue, PValue),
+    Phi(Type, Vec<(String, PValue)>),
+    Call(Type, PCallee, Vec<PValue>),
+    RetVoid,
+    Ret(PValue),
+    Br(String),
+    CondBr(PValue, String, String),
+    Switch(PValue, String, Vec<(i64, String)>),
+    Unreachable,
+}
+
+#[derive(Debug)]
+struct PBlock {
+    label: String,
+    insts: Vec<PInst>,
+}
+
+/// Parse a whole module from text.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed input or unresolved references.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src)?;
+    let mut lx = Lexer { toks, pos: 0 };
+    lx.expect_ident("module")?;
+    let name = lx.string()?;
+    lx.expect_punct('{')?;
+    let mut module = Module::new(name);
+
+    // Function bodies are resolved after all symbols are known, so indirect
+    // references to later functions work.
+    let mut pending: Vec<(String, Vec<(String, Type)>, Type, Vec<PBlock>, Vec<(String, String)>)> =
+        Vec::new();
+
+    loop {
+        match lx.peek() {
+            Some(Tok::Punct('}')) => {
+                lx.next();
+                break;
+            }
+            Some(Tok::Ident(w)) if w == "meta" => {
+                lx.next();
+                let k = lx.string()?;
+                lx.expect_punct('=')?;
+                let v = lx.string()?;
+                module.metadata.insert(k, v);
+            }
+            Some(Tok::Ident(w)) if w == "global" || w == "const" => {
+                let is_const = w == "const";
+                lx.next();
+                if is_const {
+                    lx.expect_ident("global")?;
+                }
+                let gname = match lx.next() {
+                    Some(Tok::Sym(s)) => s,
+                    other => return Err(lx.err(format!("expected @name, found {other:?}"))),
+                };
+                lx.expect_punct(':')?;
+                let ty = parse_type(&mut lx)?;
+                lx.expect_punct('=')?;
+                let init = parse_global_init(&mut lx)?;
+                module.add_global(Global {
+                    name: gname,
+                    ty,
+                    init,
+                    is_const,
+                });
+            }
+            Some(Tok::Ident(w)) if w == "declare" => {
+                lx.next();
+                let ret = parse_type(&mut lx)?;
+                let fname = match lx.next() {
+                    Some(Tok::Sym(s)) => s,
+                    other => return Err(lx.err(format!("expected @name, found {other:?}"))),
+                };
+                let params = parse_params(&mut lx)?;
+                module.add_function(Function::new(fname, params, ret));
+            }
+            Some(Tok::Ident(w)) if w == "define" => {
+                lx.next();
+                let ret = parse_type(&mut lx)?;
+                let fname = match lx.next() {
+                    Some(Tok::Sym(s)) => s,
+                    other => return Err(lx.err(format!("expected @name, found {other:?}"))),
+                };
+                let params = parse_params(&mut lx)?;
+                lx.expect_punct('{')?;
+                let mut fmeta = Vec::new();
+                while let Some(Tok::Ident(w)) = lx.peek() {
+                    if w != "fmeta" {
+                        break;
+                    }
+                    lx.next();
+                    let k = lx.string()?;
+                    lx.expect_punct('=')?;
+                    let v = lx.string()?;
+                    fmeta.push((k, v));
+                }
+                let blocks = parse_blocks(&mut lx)?;
+                // Reserve the function slot now so FuncIds match definition
+                // order; the body is materialized later.
+                module.add_function(Function::new(fname.clone(), params.clone(), ret.clone()));
+                pending.push((fname, params, ret, blocks, fmeta));
+            }
+            other => return Err(lx.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    for (fname, params, ret, blocks, fmeta) in pending {
+        let f = materialize_function(&module, &fname, params, ret, blocks, fmeta)?;
+        let fid = module
+            .func_id_by_name(&fname)
+            .expect("reserved function slot");
+        *module.func_mut(fid) = f;
+    }
+    Ok(module)
+}
+
+fn parse_params(lx: &mut Lexer) -> Result<Vec<(String, Type)>, ParseError> {
+    lx.expect_punct('(')?;
+    let mut params = Vec::new();
+    if lx.eat_punct(')') {
+        return Ok(params);
+    }
+    loop {
+        let ty = parse_type(lx)?;
+        let name = match lx.next() {
+            Some(Tok::Local(n)) => n,
+            other => return Err(lx.err(format!("expected %param, found {other:?}"))),
+        };
+        params.push((name, ty));
+        if lx.eat_punct(')') {
+            break;
+        }
+        lx.expect_punct(',')?;
+    }
+    Ok(params)
+}
+
+fn parse_global_init(lx: &mut Lexer) -> Result<GlobalInit, ParseError> {
+    match lx.peek() {
+        Some(Tok::Ident(w)) if w == "zero" => {
+            lx.next();
+            Ok(GlobalInit::Zero)
+        }
+        Some(Tok::Punct('[')) => {
+            lx.next();
+            let mut elems = Vec::new();
+            if lx.eat_punct(']') {
+                return Ok(GlobalInit::Array(elems));
+            }
+            loop {
+                elems.push(parse_constant(lx)?);
+                if lx.eat_punct(']') {
+                    break;
+                }
+                lx.expect_punct(',')?;
+            }
+            Ok(GlobalInit::Array(elems))
+        }
+        _ => Ok(GlobalInit::Scalar(parse_constant(lx)?)),
+    }
+}
+
+/// Parse a type, including pointer suffixes.
+fn parse_type(lx: &mut Lexer) -> Result<Type, ParseError> {
+    let mut ty = match lx.next() {
+        Some(Tok::Ident(w)) => match w.as_str() {
+            "void" => Type::Void,
+            "i1" => Type::I1,
+            "i8" => Type::I8,
+            "i16" => Type::I16,
+            "i32" => Type::I32,
+            "i64" => Type::I64,
+            "f32" => Type::F32,
+            "f64" => Type::F64,
+            "fn" => {
+                let ret = parse_type(lx)?;
+                lx.expect_punct('(')?;
+                let mut params = Vec::new();
+                if !lx.eat_punct(')') {
+                    loop {
+                        params.push(parse_type(lx)?);
+                        if lx.eat_punct(')') {
+                            break;
+                        }
+                        lx.expect_punct(',')?;
+                    }
+                }
+                Type::Func(Arc::new(FuncType { params, ret }))
+            }
+            other => return Err(lx.err(format!("unknown type '{other}'"))),
+        },
+        Some(Tok::Punct('[')) => {
+            let n = lx.int()?;
+            if n < 0 {
+                return Err(lx.err("negative array length"));
+            }
+            lx.expect_ident("x")?;
+            let elem = parse_type(lx)?;
+            lx.expect_punct(']')?;
+            Type::Array(Box::new(elem), n as u64)
+        }
+        Some(Tok::Punct('{')) => {
+            let mut fields = Vec::new();
+            if !lx.eat_punct('}') {
+                loop {
+                    fields.push(parse_type(lx)?);
+                    if lx.eat_punct('}') {
+                        break;
+                    }
+                    lx.expect_punct(',')?;
+                }
+            }
+            Type::Struct(Arc::new(fields))
+        }
+        other => return Err(lx.err(format!("expected type, found {other:?}"))),
+    };
+    while lx.eat_punct('*') {
+        ty = ty.ptr_to();
+    }
+    Ok(ty)
+}
+
+fn int_width_of(ty: &Type) -> Option<IntWidth> {
+    match ty {
+        Type::Int(w) => Some(*w),
+        _ => None,
+    }
+}
+
+fn float_width_of(ty: &Type) -> Option<FloatWidth> {
+    match ty {
+        Type::Float(w) => Some(*w),
+        _ => None,
+    }
+}
+
+/// Parse a typed constant: `i64 5`, `f64 1.5`, `null`, `undef`.
+fn parse_constant(lx: &mut Lexer) -> Result<Constant, ParseError> {
+    match lx.peek() {
+        Some(Tok::Ident(w)) if w == "null" => {
+            lx.next();
+            Ok(Constant::Null)
+        }
+        Some(Tok::Ident(w)) if w == "undef" => {
+            lx.next();
+            Ok(Constant::Undef)
+        }
+        _ => {
+            let ty = parse_type(lx)?;
+            if let Some(w) = int_width_of(&ty) {
+                let v = lx.int()?;
+                Ok(Constant::Int(v, w))
+            } else if let Some(w) = float_width_of(&ty) {
+                let v = match lx.next() {
+                    Some(Tok::Float(v)) => v,
+                    Some(Tok::Int(v)) => v as f64,
+                    other => return Err(lx.err(format!("expected float, found {other:?}"))),
+                };
+                Ok(Constant::Float(v.to_bits(), w))
+            } else {
+                Err(lx.err(format!("constants of type {ty} are not supported")))
+            }
+        }
+    }
+}
+
+/// Parse a value: local, symbol, or typed constant.
+fn parse_pvalue(lx: &mut Lexer) -> Result<PValue, ParseError> {
+    match lx.peek() {
+        Some(Tok::Local(_)) => {
+            if let Some(Tok::Local(n)) = lx.next() {
+                Ok(PValue::Local(n))
+            } else {
+                unreachable!()
+            }
+        }
+        Some(Tok::Sym(_)) => {
+            if let Some(Tok::Sym(n)) = lx.next() {
+                Ok(PValue::Sym(n))
+            } else {
+                unreachable!()
+            }
+        }
+        _ => Ok(PValue::Const(parse_constant(lx)?)),
+    }
+}
+
+fn parse_blocks(lx: &mut Lexer) -> Result<Vec<PBlock>, ParseError> {
+    let mut blocks: Vec<PBlock> = Vec::new();
+    loop {
+        match lx.peek() {
+            Some(Tok::Punct('}')) => {
+                lx.next();
+                break;
+            }
+            Some(Tok::Ident(_)) if lx.peek2() == Some(&Tok::Punct(':')) => {
+                let label = lx.ident()?;
+                lx.expect_punct(':')?;
+                blocks.push(PBlock {
+                    label,
+                    insts: Vec::new(),
+                });
+            }
+            Some(_) => {
+                let inst = parse_pinst(lx)?;
+                match blocks.last_mut() {
+                    Some(b) => b.insts.push(inst),
+                    None => return Err(lx.err("instruction before first block label")),
+                }
+            }
+            None => return Err(lx.err("unexpected end of input in function body")),
+        }
+    }
+    if blocks.is_empty() {
+        return Err(lx.err("function body has no blocks"));
+    }
+    Ok(blocks)
+}
+
+fn parse_label(lx: &mut Lexer) -> Result<String, ParseError> {
+    lx.ident()
+}
+
+fn parse_pinst(lx: &mut Lexer) -> Result<PInst, ParseError> {
+    let name = if let Some(Tok::Local(_)) = lx.peek() {
+        if let Some(Tok::Local(n)) = lx.next() {
+            lx.expect_punct('=')?;
+            Some(n)
+        } else {
+            unreachable!()
+        }
+    } else {
+        None
+    };
+    let op = lx.ident()?;
+    let kind = match op.as_str() {
+        "alloca" => {
+            let ty = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let count = parse_pvalue(lx)?;
+            PInstKind::Alloca(ty, count)
+        }
+        "load" => {
+            let ty = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let ptr = parse_pvalue(lx)?;
+            PInstKind::Load(ty, ptr)
+        }
+        "store" => {
+            let ty = parse_type(lx)?;
+            let val = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let ptr = parse_pvalue(lx)?;
+            PInstKind::Store(ty, val, ptr)
+        }
+        "gep" => {
+            let ty = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let base = parse_pvalue(lx)?;
+            let mut indices = Vec::new();
+            while lx.eat_punct(',') {
+                indices.push(parse_pvalue(lx)?);
+            }
+            if indices.is_empty() {
+                return Err(lx.err("gep requires at least one index"));
+            }
+            PInstKind::Gep(ty, base, indices)
+        }
+        "icmp" => {
+            let pred = parse_icmp_pred(lx)?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let rhs = parse_pvalue(lx)?;
+            PInstKind::Icmp(pred, ty, lhs, rhs)
+        }
+        "fcmp" => {
+            let pred = parse_fcmp_pred(lx)?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let rhs = parse_pvalue(lx)?;
+            PInstKind::Fcmp(pred, ty, lhs, rhs)
+        }
+        "select" => {
+            let ty = parse_type(lx)?;
+            let cond = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let t = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let f = parse_pvalue(lx)?;
+            PInstKind::Select(ty, cond, t, f)
+        }
+        "phi" => {
+            let ty = parse_type(lx)?;
+            let mut incomings = Vec::new();
+            while lx.eat_punct('[') {
+                let label = parse_label(lx)?;
+                lx.expect_punct(':')?;
+                let v = parse_pvalue(lx)?;
+                lx.expect_punct(']')?;
+                incomings.push((label, v));
+            }
+            PInstKind::Phi(ty, incomings)
+        }
+        "call" => {
+            let ret = parse_type(lx)?;
+            let callee = match lx.peek() {
+                Some(Tok::Sym(_)) => {
+                    if let Some(Tok::Sym(s)) = lx.next() {
+                        PCallee::Sym(s)
+                    } else {
+                        unreachable!()
+                    }
+                }
+                _ => PCallee::Value(parse_pvalue(lx)?),
+            };
+            lx.expect_punct('(')?;
+            let mut args = Vec::new();
+            if !lx.eat_punct(')') {
+                loop {
+                    args.push(parse_pvalue(lx)?);
+                    if lx.eat_punct(')') {
+                        break;
+                    }
+                    lx.expect_punct(',')?;
+                }
+            }
+            PInstKind::Call(ret, callee, args)
+        }
+        "ret" => {
+            if let Some(Tok::Ident(w)) = lx.peek() {
+                if w == "void" {
+                    lx.next();
+                    PInstKind::RetVoid
+                } else {
+                    PInstKind::Ret(parse_pvalue(lx)?)
+                }
+            } else {
+                PInstKind::Ret(parse_pvalue(lx)?)
+            }
+        }
+        "br" => PInstKind::Br(parse_label(lx)?),
+        "condbr" => {
+            let c = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let t = parse_label(lx)?;
+            lx.expect_punct(',')?;
+            let e = parse_label(lx)?;
+            PInstKind::CondBr(c, t, e)
+        }
+        "switch" => {
+            let v = parse_pvalue(lx)?;
+            lx.expect_punct(',')?;
+            let default = parse_label(lx)?;
+            let mut cases = Vec::new();
+            while lx.eat_punct('[') {
+                let c = lx.int()?;
+                lx.expect_punct(':')?;
+                let l = parse_label(lx)?;
+                lx.expect_punct(']')?;
+                cases.push((c, l));
+            }
+            PInstKind::Switch(v, default, cases)
+        }
+        "unreachable" => PInstKind::Unreachable,
+        mn => {
+            // Binary operation or cast.
+            if let Some(&binop) = BinOp::all().iter().find(|b| b.mnemonic() == mn) {
+                let ty = parse_type(lx)?;
+                let lhs = parse_pvalue(lx)?;
+                lx.expect_punct(',')?;
+                let rhs = parse_pvalue(lx)?;
+                PInstKind::Bin(binop, ty, lhs, rhs)
+            } else if let Some(castop) = cast_of(mn) {
+                let from = parse_type(lx)?;
+                let v = parse_pvalue(lx)?;
+                lx.expect_ident("to")?;
+                let to = parse_type(lx)?;
+                PInstKind::Cast(castop, from, v, to)
+            } else {
+                return Err(lx.err(format!("unknown opcode '{mn}'")));
+            }
+        }
+    };
+    // Optional metadata suffix: !{"k"="v", ...}
+    let mut meta = Vec::new();
+    if lx.eat_punct('!') {
+        lx.expect_punct('{')?;
+        if !lx.eat_punct('}') {
+            loop {
+                let k = lx.string()?;
+                lx.expect_punct('=')?;
+                let v = lx.string()?;
+                meta.push((k, v));
+                if lx.eat_punct('}') {
+                    break;
+                }
+                lx.expect_punct(',')?;
+            }
+        }
+    }
+    Ok(PInst { name, kind, meta })
+}
+
+fn cast_of(mn: &str) -> Option<CastOp> {
+    Some(match mn {
+        "zext" => CastOp::Zext,
+        "sext" => CastOp::Sext,
+        "trunc" => CastOp::Trunc,
+        "bitcast" => CastOp::Bitcast,
+        "ptrtoint" => CastOp::PtrToInt,
+        "inttoptr" => CastOp::IntToPtr,
+        "sitofp" => CastOp::SiToFp,
+        "fptosi" => CastOp::FpToSi,
+        "fpext" => CastOp::FpExt,
+        "fptrunc" => CastOp::FpTrunc,
+        _ => return None,
+    })
+}
+
+fn parse_icmp_pred(lx: &mut Lexer) -> Result<IcmpPred, ParseError> {
+    let w = lx.ident()?;
+    Ok(match w.as_str() {
+        "eq" => IcmpPred::Eq,
+        "ne" => IcmpPred::Ne,
+        "slt" => IcmpPred::Slt,
+        "sle" => IcmpPred::Sle,
+        "sgt" => IcmpPred::Sgt,
+        "sge" => IcmpPred::Sge,
+        "ult" => IcmpPred::Ult,
+        "ule" => IcmpPred::Ule,
+        "ugt" => IcmpPred::Ugt,
+        "uge" => IcmpPred::Uge,
+        other => return Err(lx.err(format!("unknown icmp predicate '{other}'"))),
+    })
+}
+
+fn parse_fcmp_pred(lx: &mut Lexer) -> Result<FcmpPred, ParseError> {
+    let w = lx.ident()?;
+    Ok(match w.as_str() {
+        "oeq" => FcmpPred::Oeq,
+        "one" => FcmpPred::One,
+        "olt" => FcmpPred::Olt,
+        "ole" => FcmpPred::Ole,
+        "ogt" => FcmpPred::Ogt,
+        "oge" => FcmpPred::Oge,
+        other => return Err(lx.err(format!("unknown fcmp predicate '{other}'"))),
+    })
+}
+
+fn materialize_function(
+    module: &Module,
+    fname: &str,
+    params: Vec<(String, Type)>,
+    ret: Type,
+    blocks: Vec<PBlock>,
+    fmeta: Vec<(String, String)>,
+) -> Result<Function, ParseError> {
+    let mut f = Function::new(fname, params, ret);
+    for (k, v) in fmeta {
+        f.metadata.insert(k, v);
+    }
+
+    let perr = |msg: String| ParseError { message: msg, line: 0 };
+
+    // Pass 1: labels and SSA names.
+    let mut label_map: HashMap<String, BlockId> = HashMap::new();
+    for pb in &blocks {
+        let id = f.add_block(pb.label.clone());
+        if label_map.insert(pb.label.clone(), id).is_some() {
+            return Err(perr(format!("duplicate block label '{}'", pb.label)));
+        }
+    }
+    let mut name_map: HashMap<String, Value> = HashMap::new();
+    for (i, (pname, _)) in f.params.iter().enumerate() {
+        name_map.insert(pname.clone(), Value::Arg(i as u32));
+    }
+    // Instruction ids are assigned in creation order, which will match
+    // textual order, so they can be pre-computed for forward references.
+    let mut next_id = 0u32;
+    for pb in &blocks {
+        for pi in &pb.insts {
+            let id = InstId(next_id);
+            next_id += 1;
+            if let Some(n) = &pi.name {
+                if name_map.insert(n.clone(), Value::Inst(id)).is_some() {
+                    return Err(perr(format!("duplicate SSA name '%{n}' in @{fname}")));
+                }
+            }
+        }
+    }
+
+    let resolve = |pv: &PValue| -> Result<Value, ParseError> {
+        match pv {
+            PValue::Const(c) => Ok(Value::Const(*c)),
+            PValue::Local(n) => name_map
+                .get(n)
+                .copied()
+                .ok_or_else(|| perr(format!("unknown value '%{n}' in @{fname}"))),
+            PValue::Sym(n) => {
+                if let Some(g) = module.global_id_by_name(n) {
+                    Ok(Value::Global(g))
+                } else if let Some(fid) = module.func_id_by_name(n) {
+                    Ok(Value::Func(fid))
+                } else {
+                    Err(perr(format!("unknown symbol '@{n}'")))
+                }
+            }
+        }
+    };
+    let resolve_label = |l: &String| -> Result<BlockId, ParseError> {
+        label_map
+            .get(l)
+            .copied()
+            .ok_or_else(|| perr(format!("unknown label '{l}' in @{fname}")))
+    };
+
+    // Pass 2: materialize.
+    for (bi, pb) in blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        for pi in &pb.insts {
+            let inst = match &pi.kind {
+                PInstKind::Alloca(ty, count) => Inst::Alloca {
+                    ty: ty.clone(),
+                    count: resolve(count)?,
+                },
+                PInstKind::Load(ty, ptr) => Inst::Load {
+                    ty: ty.clone(),
+                    ptr: resolve(ptr)?,
+                },
+                PInstKind::Store(ty, val, ptr) => Inst::Store {
+                    ty: ty.clone(),
+                    val: resolve(val)?,
+                    ptr: resolve(ptr)?,
+                },
+                PInstKind::Gep(ty, base, idx) => Inst::Gep {
+                    base: resolve(base)?,
+                    base_ty: ty.clone(),
+                    indices: idx.iter().map(&resolve).collect::<Result<_, _>>()?,
+                },
+                PInstKind::Bin(op, ty, l, r) => Inst::Bin {
+                    op: *op,
+                    ty: ty.clone(),
+                    lhs: resolve(l)?,
+                    rhs: resolve(r)?,
+                },
+                PInstKind::Icmp(p, ty, l, r) => Inst::Icmp {
+                    pred: *p,
+                    ty: ty.clone(),
+                    lhs: resolve(l)?,
+                    rhs: resolve(r)?,
+                },
+                PInstKind::Fcmp(p, ty, l, r) => Inst::Fcmp {
+                    pred: *p,
+                    ty: ty.clone(),
+                    lhs: resolve(l)?,
+                    rhs: resolve(r)?,
+                },
+                PInstKind::Cast(op, from, v, to) => Inst::Cast {
+                    op: *op,
+                    from: from.clone(),
+                    to: to.clone(),
+                    val: resolve(v)?,
+                },
+                PInstKind::Select(ty, c, t, e) => Inst::Select {
+                    ty: ty.clone(),
+                    cond: resolve(c)?,
+                    tval: resolve(t)?,
+                    fval: resolve(e)?,
+                },
+                PInstKind::Phi(ty, incs) => Inst::Phi {
+                    ty: ty.clone(),
+                    incomings: incs
+                        .iter()
+                        .map(|(l, v)| Ok((resolve_label(l)?, resolve(v)?)))
+                        .collect::<Result<_, ParseError>>()?,
+                },
+                PInstKind::Call(ret_ty, callee, args) => {
+                    let callee = match callee {
+                        PCallee::Sym(s) => {
+                            let fid = module.func_id_by_name(s).ok_or_else(|| {
+                                perr(format!("call to unknown function '@{s}'"))
+                            })?;
+                            Callee::Direct(fid)
+                        }
+                        PCallee::Value(v) => Callee::Indirect(resolve(v)?),
+                    };
+                    Inst::Call {
+                        callee,
+                        args: args.iter().map(&resolve).collect::<Result<_, _>>()?,
+                        ret_ty: ret_ty.clone(),
+                    }
+                }
+                PInstKind::RetVoid => Inst::Term(Terminator::Ret(None)),
+                PInstKind::Ret(v) => Inst::Term(Terminator::Ret(Some(resolve(v)?))),
+                PInstKind::Br(l) => Inst::Term(Terminator::Br(resolve_label(l)?)),
+                PInstKind::CondBr(c, t, e) => Inst::Term(Terminator::CondBr {
+                    cond: resolve(c)?,
+                    then_bb: resolve_label(t)?,
+                    else_bb: resolve_label(e)?,
+                }),
+                PInstKind::Switch(v, d, cases) => Inst::Term(Terminator::Switch {
+                    value: resolve(v)?,
+                    default: resolve_label(d)?,
+                    cases: cases
+                        .iter()
+                        .map(|(c, l)| Ok((*c, resolve_label(l)?)))
+                        .collect::<Result<_, ParseError>>()?,
+                }),
+                PInstKind::Unreachable => Inst::Term(Terminator::Unreachable),
+            };
+            let id = f.append_inst(bid, inst);
+            if let Some(n) = &pi.name {
+                f.set_inst_name(id, n.clone());
+            }
+            for (k, v) in &pi.meta {
+                f.set_inst_metadata(id, k.clone(), v.clone());
+            }
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const LOOP_SRC: &str = r#"
+module "demo" {
+meta "k" = "v"
+
+global @counter : i64 = i64 0
+const global @table : [4 x i64] = [i64 1, i64 2, i64 3, i64 4]
+
+declare i8* @malloc(i64 %n)
+
+define i64 @sum(i64 %n) {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: i64 0] [body: %i2]
+  %s = phi i64 [entry: i64 0] [body: %s2]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, i64 1
+  br header
+exit:
+  ret %s
+}
+}
+"#;
+
+    #[test]
+    fn parses_loop_module() {
+        let m = parse_module(LOOP_SRC).expect("parses");
+        assert_eq!(m.metadata.get("k").map(String::as_str), Some("v"));
+        assert_eq!(m.globals().len(), 2);
+        assert!(m.globals()[1].is_const);
+        let sum = m.func_by_name("sum").unwrap();
+        assert_eq!(sum.num_insts(), 9);
+        crate::verifier::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let m1 = parse_module(LOOP_SRC).unwrap();
+        let text = print_module(&m1);
+        let m2 = parse_module(&text).expect("reparses");
+        assert_eq!(print_module(&m2), text);
+    }
+
+    #[test]
+    fn parses_calls_direct_and_indirect() {
+        let src = r#"
+module "c" {
+define i64 @id(i64 %x) {
+entry:
+  ret %x
+}
+define i64 @caller(i64 %x) {
+entry:
+  %a = call i64 @id(%x)
+  %fp = bitcast fn i64(i64)* @id to fn i64(i64)*
+  %b = call i64 %fp(%a)
+  ret %b
+}
+}
+"#;
+        let m = parse_module(src).expect("parses");
+        let caller = m.func_by_name("caller").unwrap();
+        let calls: Vec<_> = caller
+            .inst_ids()
+            .into_iter()
+            .filter(|&i| matches!(caller.inst(i), Inst::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 2);
+        assert!(matches!(
+            caller.inst(calls[0]),
+            Inst::Call {
+                callee: Callee::Direct(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            caller.inst(calls[1]),
+            Inst::Call {
+                callee: Callee::Indirect(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_gep_store_switch_and_metadata() {
+        let src = r#"
+module "g" {
+global @buf : [8 x i64] = zero
+define void @f(i64 %i) {
+entry:
+  %p = gep [8 x i64], @buf, i64 0, %i !{"noelle.id"="3"}
+  store i64 i64 7, %p
+  switch %i, done [1: one] [2: two]
+one:
+  br done
+two:
+  br done
+done:
+  ret void
+}
+}
+"#;
+        let m = parse_module(src).expect("parses");
+        let f = m.func_by_name("f").unwrap();
+        let gep = f.inst_ids()[0];
+        assert_eq!(f.inst_metadata(gep, "noelle.id"), Some("3"));
+        assert!(matches!(f.inst(gep), Inst::Gep { indices, .. } if indices.len() == 2));
+        crate::verifier::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn rejects_unknown_value() {
+        let src = r#"
+module "b" {
+define i64 @f() {
+entry:
+  ret %nope
+}
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("unknown value"));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let src = r#"
+module "b" {
+define void @f() {
+entry:
+  br entry
+entry:
+  ret void
+}
+}
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("duplicate block label"));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode_with_line() {
+        let src = "module \"b\" {\ndefine void @f() {\nentry:\n  frobnicate i64 %x\n}\n}\n";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("unknown opcode"));
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn parses_float_specials() {
+        let src = r#"
+module "f" {
+define f64 @f() {
+entry:
+  %a = fadd f64 f64 1.5, f64 -2.25
+  %b = fmax f64 %a, f64 inf
+  %c = fmin f64 %b, f64 -inf
+  ret %c
+}
+}
+"#;
+        let m = parse_module(src).expect("parses");
+        let text = print_module(&m);
+        let m2 = parse_module(&text).expect("round trips");
+        assert_eq!(print_module(&m2), text);
+    }
+}

@@ -1,0 +1,353 @@
+//! Textual IR printer.
+//!
+//! The format round-trips with [`crate::parser`]; `noelle-tools` binaries use
+//! it as the on-disk representation that the paper's tools exchange (a single
+//! whole-program IR file with embedded metadata).
+
+use crate::inst::{Callee, Inst, InstId, Terminator};
+use crate::module::{BlockId, Function, Global, GlobalInit, Module};
+use crate::value::{Constant, Value};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Print a whole module in textual form.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    writeln!(out, "module \"{}\" {{", m.name).unwrap();
+    for (k, v) in &m.metadata {
+        writeln!(out, "meta \"{}\" = \"{}\"", escape(k), escape(v)).unwrap();
+    }
+    if !m.metadata.is_empty() {
+        out.push('\n');
+    }
+    for g in m.globals() {
+        out.push_str(&print_global(g));
+        out.push('\n');
+    }
+    if !m.globals().is_empty() {
+        out.push('\n');
+    }
+    for f in m.functions() {
+        out.push_str(&print_function(m, f));
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_global(g: &Global) -> String {
+    let prefix = if g.is_const { "const global" } else { "global" };
+    let init = match &g.init {
+        GlobalInit::Zero => "zero".to_string(),
+        GlobalInit::Scalar(c) => print_const(c),
+        GlobalInit::Array(cs) => {
+            let elems: Vec<String> = cs.iter().map(print_const).collect();
+            format!("[{}]", elems.join(", "))
+        }
+    };
+    format!("{} @{} : {} = {}", prefix, g.name, g.ty, init)
+}
+
+fn print_const(c: &Constant) -> String {
+    match c {
+        Constant::Int(v, w) => format!("{w} {v}"),
+        Constant::Float(bits, w) => format!("{w} {:?}", f64::from_bits(*bits)),
+        Constant::Null => "null".to_string(),
+        Constant::Undef => "undef".to_string(),
+    }
+}
+
+/// Unique printable names for blocks and instructions of a function.
+pub(crate) struct Namer {
+    pub blocks: HashMap<BlockId, String>,
+    pub insts: HashMap<InstId, String>,
+}
+
+impl Namer {
+    pub(crate) fn new(f: &Function) -> Namer {
+        let mut used = std::collections::HashSet::new();
+        let mut blocks = HashMap::new();
+        for &b in f.block_order() {
+            let base = {
+                let n = &f.block(b).name;
+                if n.is_empty() {
+                    format!("bb{}", b.0)
+                } else {
+                    n.clone()
+                }
+            };
+            let mut name = base.clone();
+            let mut i = 1;
+            while !used.insert(name.clone()) {
+                name = format!("{base}.{i}");
+                i += 1;
+            }
+            blocks.insert(b, name);
+        }
+        let mut used = std::collections::HashSet::new();
+        for (n, _) in &f.params {
+            used.insert(n.clone());
+        }
+        let mut insts = HashMap::new();
+        for id in f.inst_ids() {
+            if f.inst(id).result_type() == crate::types::Type::Void {
+                continue;
+            }
+            let base = f
+                .inst_data(id)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("v{}", id.0));
+            let mut name = base.clone();
+            let mut i = 1;
+            while !used.insert(name.clone()) {
+                name = format!("{base}.{i}");
+                i += 1;
+            }
+            insts.insert(id, name);
+        }
+        Namer { blocks, insts }
+    }
+}
+
+/// Print one function (definition or declaration).
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(n, t)| format!("{t} %{n}"))
+        .collect();
+    if f.is_declaration() {
+        writeln!(out, "declare {} @{}({})", f.ret_ty, f.name, params.join(", ")).unwrap();
+        return out;
+    }
+    writeln!(
+        out,
+        "define {} @{}({}) {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    )
+    .unwrap();
+    for (k, v) in &f.metadata {
+        writeln!(out, "  fmeta \"{}\" = \"{}\"", escape(k), escape(v)).unwrap();
+    }
+    let namer = Namer::new(f);
+    for &b in f.block_order() {
+        writeln!(out, "{}:", namer.blocks[&b]).unwrap();
+        for &id in &f.block(b).insts {
+            let text = print_inst(m, f, &namer, id);
+            let meta = f
+                .inst_metadata
+                .get(&id)
+                .filter(|m| !m.is_empty())
+                .map(|md| {
+                    let kvs: Vec<String> = md
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\"=\"{}\"", escape(k), escape(v)))
+                        .collect();
+                    format!(" !{{{}}}", kvs.join(", "))
+                })
+                .unwrap_or_default();
+            writeln!(out, "  {text}{meta}").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn print_value(m: &Module, f: &Function, namer: &Namer, v: Value) -> String {
+    match v {
+        Value::Inst(id) => format!("%{}", namer.insts.get(&id).cloned().unwrap_or_else(|| format!("v{}", id.0))),
+        Value::Arg(i) => format!("%{}", f.params[i as usize].0),
+        Value::Const(c) => print_const(&c),
+        Value::Global(g) => format!("@{}", m.global(g).name),
+        Value::Func(fid) => format!("@{}", m.func(fid).name),
+    }
+}
+
+fn print_inst(m: &Module, f: &Function, namer: &Namer, id: InstId) -> String {
+    let v = |val: Value| print_value(m, f, namer, val);
+    let def = namer
+        .insts
+        .get(&id)
+        .map(|n| format!("%{n} = "))
+        .unwrap_or_default();
+    match f.inst(id) {
+        Inst::Alloca { ty, count } => format!("{def}alloca {ty}, {}", v(*count)),
+        Inst::Load { ty, ptr } => format!("{def}load {ty}, {}", v(*ptr)),
+        Inst::Store { val, ptr, ty } => format!("store {ty} {}, {}", v(*val), v(*ptr)),
+        Inst::Gep {
+            base,
+            base_ty,
+            indices,
+        } => {
+            let idx: Vec<String> = indices.iter().map(|i| v(*i)).collect();
+            format!("{def}gep {base_ty}, {}, {}", v(*base), idx.join(", "))
+        }
+        Inst::Bin { op, ty, lhs, rhs } => {
+            format!("{def}{} {ty} {}, {}", op.mnemonic(), v(*lhs), v(*rhs))
+        }
+        Inst::Icmp { pred, ty, lhs, rhs } => {
+            format!("{def}icmp {} {ty} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+        }
+        Inst::Fcmp { pred, ty, lhs, rhs } => {
+            format!("{def}fcmp {} {ty} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+        }
+        Inst::Cast { op, from, to, val } => {
+            format!("{def}{} {from} {} to {to}", op.mnemonic(), v(*val))
+        }
+        Inst::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        } => format!("{def}select {ty} {}, {}, {}", v(*cond), v(*tval), v(*fval)),
+        Inst::Phi { ty, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, val)| format!("[{}: {}]", namer.blocks[b], v(*val)))
+                .collect();
+            format!("{def}phi {ty} {}", inc.join(" "))
+        }
+        Inst::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
+            let target = match callee {
+                Callee::Direct(fid) => format!("@{}", m.func(*fid).name),
+                Callee::Indirect(val) => v(*val),
+            };
+            let a: Vec<String> = args.iter().map(|x| v(*x)).collect();
+            format!("{def}call {ret_ty} {target}({})", a.join(", "))
+        }
+        Inst::Term(t) => match t {
+            Terminator::Ret(None) => "ret void".to_string(),
+            Terminator::Ret(Some(val)) => format!("ret {}", v(*val)),
+            Terminator::Br(b) => format!("br {}", namer.blocks[b]),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!(
+                "condbr {}, {}, {}",
+                v(*cond),
+                namer.blocks[then_bb],
+                namer.blocks[else_bb]
+            ),
+            Terminator::Switch {
+                value,
+                default,
+                cases,
+            } => {
+                let cs: Vec<String> = cases
+                    .iter()
+                    .map(|(c, b)| format!("[{c}: {}]", namer.blocks[b]))
+                    .collect();
+                format!(
+                    "switch {}, {} {}",
+                    v(*value),
+                    namer.blocks[default],
+                    cs.join(" ")
+                )
+            }
+            Terminator::Unreachable => "unreachable".to_string(),
+        },
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IcmpPred};
+    use crate::types::Type;
+
+    #[test]
+    fn prints_simple_module() {
+        let mut m = Module::new("demo");
+        m.metadata.insert("noelle.version".into(), "0.1".into());
+        let mut b = FunctionBuilder::new("inc", vec![("x", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let s = b.binop(BinOp::Add, Type::I64, b.arg(0), Value::const_i64(1));
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("meta \"noelle.version\" = \"0.1\""));
+        assert!(text.contains("define i64 @inc(i64 %x)"));
+        assert!(text.contains("add i64 %x, i64 1"));
+        assert!(text.contains("ret %"));
+    }
+
+    #[test]
+    fn prints_declaration() {
+        let mut m = Module::new("d");
+        m.declare_function("malloc", vec![Type::I64], Type::I8.ptr_to());
+        let text = print_module(&m);
+        assert!(text.contains("declare i8* @malloc(i64 %a0)"));
+    }
+
+    #[test]
+    fn duplicate_names_are_made_unique() {
+        let mut b = FunctionBuilder::new("f", vec![("c", Type::I1)], Type::I64);
+        let entry = b.entry_block();
+        let x1 = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let x2 = b.binop(BinOp::Add, Type::I64, Value::const_i64(3), Value::const_i64(4));
+        b.func_mut().set_inst_name(x1.as_inst().unwrap(), "x");
+        b.func_mut().set_inst_name(x2.as_inst().unwrap(), "x");
+        let s = b.binop(BinOp::Add, Type::I64, x1, x2);
+        b.ret(Some(s));
+        let _ = entry;
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("%x = "));
+        assert!(text.contains("%x.1 = "));
+    }
+
+    #[test]
+    fn prints_phi_and_branches() {
+        let mut b = FunctionBuilder::new("f", vec![("n", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        let header = b.block("header");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0)), (header, Value::const_i64(1))]);
+        let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+        b.cond_br(c, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("phi i64 [entry: i64 0] [header: i64 1]"));
+        assert!(text.contains("condbr %"));
+    }
+
+    #[test]
+    fn prints_metadata_suffix() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I64);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let s = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.set_inst_metadata(s.as_inst().unwrap(), "noelle.id", "7");
+        let mut m = Module::new("m");
+        m.add_function(f);
+        let text = print_module(&m);
+        assert!(text.contains("!{\"noelle.id\"=\"7\"}"));
+    }
+}

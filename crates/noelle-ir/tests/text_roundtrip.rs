@@ -1,0 +1,154 @@
+//! Textual-format integration tests: tricky constructs must survive
+//! print → parse → print exactly.
+
+use noelle_ir::parser::parse_module;
+use noelle_ir::printer::print_module;
+
+fn roundtrip(src: &str) -> String {
+    let m1 = parse_module(src).expect("parses");
+    noelle_ir::verifier::verify_module(&m1).expect("verifies");
+    let t1 = print_module(&m1);
+    let m2 = parse_module(&t1).expect("reparses");
+    let t2 = print_module(&m2);
+    assert_eq!(t1, t2, "print/parse must reach a fixed point");
+    t1
+}
+
+#[test]
+fn switch_and_struct_types() {
+    roundtrip(
+        r#"
+module "t" {
+global @pair : {i64, f64} = zero
+define i64 @f(i64 %x) {
+entry:
+  %p = gep {i64, f64}, @pair, i64 0, i32 0
+  store i64 %x, %p
+  switch %x, dflt [1: one] [2: two]
+one:
+  ret i64 1
+two:
+  ret i64 2
+dflt:
+  %v = load i64, %p
+  ret %v
+}
+}
+"#,
+    );
+}
+
+#[test]
+fn metadata_with_escapes() {
+    let text = roundtrip(
+        r#"
+module "t" {
+meta "quote" = "a \"quoted\" value"
+meta "backslash" = "a\\b"
+define void @f() {
+entry:
+  ret void !{"key"="line1\nline2"}
+}
+}
+"#,
+    );
+    assert!(text.contains("\\\"quoted\\\""));
+    assert!(text.contains("a\\\\b"));
+}
+
+#[test]
+fn comments_are_ignored()  {
+    let m = parse_module(
+        r#"
+; leading comment
+module "t" {
+; a comment inside
+define i64 @f() { ; trailing
+entry:
+  ret i64 1 ; after an instruction
+}
+}
+"#,
+    )
+    .expect("parses with comments");
+    assert_eq!(m.functions().len(), 1);
+}
+
+#[test]
+fn deeply_nested_types() {
+    roundtrip(
+        r#"
+module "t" {
+global @grid : [4 x [4 x {i32, i32}]] = zero
+define i32 @f(i64 %i, i64 %j) {
+entry:
+  %p = gep [4 x [4 x {i32, i32}]], @grid, i64 0, %i, %j, i32 1
+  %v = load i32, %p
+  ret %v
+}
+}
+"#,
+    );
+}
+
+#[test]
+fn all_cast_ops_round_trip() {
+    roundtrip(
+        r#"
+module "t" {
+define i64 @f(f64 %x) {
+entry:
+  %a = fptosi f64 %x to i64
+  %b = sitofp i64 %a to f64
+  %c = fptrunc f64 %b to f32
+  %d = fpext f32 %c to f64
+  %e = bitcast f64 %d to i64
+  %g = trunc i64 %e to i32
+  %h = zext i32 %g to i64
+  %i = sext i32 %g to i64
+  %p = inttoptr i64 %h to i64*
+  %q = ptrtoint i64* %p to i64
+  %r = add i64 %i, %q
+  ret %r
+}
+}
+"#,
+    );
+}
+
+#[test]
+fn float_literal_precision_preserved() {
+    let src = r#"
+module "t" {
+define f64 @f() {
+entry:
+  %a = fadd f64 f64 0.1, f64 0.2
+  %b = fmul f64 %a, f64 1e-9
+  %c = fadd f64 %b, f64 123456789.123456
+  ret %c
+}
+}
+"#;
+    let m1 = parse_module(src).unwrap();
+    let m2 = parse_module(&print_module(&m1)).unwrap();
+    // Semantic equality: both modules compute bit-identical results.
+    use noelle_ir::inst::Inst;
+    let f1 = m1.func_by_name("f").unwrap();
+    let f2 = m2.func_by_name("f").unwrap();
+    for (a, b) in f1.inst_ids().into_iter().zip(f2.inst_ids()) {
+        if let (Inst::Bin { lhs: l1, rhs: r1, .. }, Inst::Bin { lhs: l2, rhs: r2, .. }) =
+            (f1.inst(a), f2.inst(b))
+        {
+            assert_eq!((l1, r1), (l2, r2));
+        }
+    }
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let err = parse_module("module \"t\" {\n  garbage here\n}\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    let err = parse_module("module \"t\" {\ndefine void @f() {\nentry:\n  store i64 i64 1\n}\n}\n")
+        .unwrap_err();
+    assert!(err.line >= 4, "line = {}", err.line);
+}

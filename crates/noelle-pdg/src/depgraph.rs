@@ -1,0 +1,348 @@
+//! The generic (templated) dependence graph.
+//!
+//! Per the paper, NOELLE's *dependence graph* is "a templated class designed to
+//! represent a generic graph of directed dependences between nodes. What
+//! constitutes a node is decided when the class is instantiated." Here the
+//! node type is a generic parameter `N`; the PDG instantiates it with
+//! instruction ids, the call graph with function ids.
+//!
+//! Nodes are split into *internal* and *external* sets: internal nodes belong
+//! to the code region the graph describes (a loop, a function), external ones
+//! are the sources/sinks of dependences crossing the boundary — the live-ins
+//! and live-outs of the region.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// Kind of a data dependence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataDepKind {
+    /// Read-after-write (true/flow dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+}
+
+/// Kind of a dependence edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Control dependence.
+    Control,
+    /// Data dependence of the given kind.
+    Data(DataDepKind),
+}
+
+/// Attributes carried by each dependence edge, matching the paper's PDG edge
+/// description: control/data, RAW/WAW/WAR, register/memory, loop-carried,
+/// may ("apparent") vs must ("actual"), and dependence distance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeAttrs {
+    /// Control or data (+ data kind).
+    pub kind: DepKind,
+    /// True for dependences through memory, false for register (SSA) ones.
+    pub memory: bool,
+    /// True when the dependence is proven to occur ("actual"); false for
+    /// may-dependences ("apparent").
+    pub must: bool,
+    /// True when the dependence crosses loop iterations (meaningful in loop
+    /// dependence graphs).
+    pub loop_carried: bool,
+    /// Iteration distance, when known (`Some(0)` = intra-iteration).
+    pub distance: Option<i64>,
+}
+
+impl EdgeAttrs {
+    /// A register data dependence (SSA def-use): always a must RAW.
+    pub fn register() -> EdgeAttrs {
+        EdgeAttrs {
+            kind: DepKind::Data(DataDepKind::Raw),
+            memory: false,
+            must: true,
+            loop_carried: false,
+            distance: None,
+        }
+    }
+
+    /// A may memory dependence of the given kind.
+    pub fn memory(kind: DataDepKind) -> EdgeAttrs {
+        EdgeAttrs {
+            kind: DepKind::Data(kind),
+            memory: true,
+            must: false,
+            loop_carried: false,
+            distance: None,
+        }
+    }
+
+    /// A control dependence.
+    pub fn control() -> EdgeAttrs {
+        EdgeAttrs {
+            kind: DepKind::Control,
+            memory: false,
+            must: true,
+            loop_carried: false,
+            distance: None,
+        }
+    }
+
+    /// Same attributes with the loop-carried flag set.
+    pub fn carried(mut self) -> EdgeAttrs {
+        self.loop_carried = true;
+        self
+    }
+
+    /// True for data dependences.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, DepKind::Data(_))
+    }
+
+    /// True for control dependences.
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind, DepKind::Control)
+    }
+}
+
+/// Identifier of an edge within a [`DepGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// A directed dependence `src -> dst` (dst depends on src).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DepEdge<N> {
+    /// The instruction/node depended upon.
+    pub src: N,
+    /// The dependent node.
+    pub dst: N,
+    /// Edge attributes.
+    pub attrs: EdgeAttrs,
+}
+
+/// The generic dependence graph.
+#[derive(Clone, Debug)]
+pub struct DepGraph<N> {
+    internal: BTreeSet<N>,
+    external: BTreeSet<N>,
+    edges: Vec<DepEdge<N>>,
+    out_adj: HashMap<N, Vec<EdgeId>>,
+    in_adj: HashMap<N, Vec<EdgeId>>,
+}
+
+impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
+    /// An empty graph.
+    pub fn new() -> DepGraph<N> {
+        DepGraph {
+            internal: BTreeSet::new(),
+            external: BTreeSet::new(),
+            edges: Vec::new(),
+            out_adj: HashMap::new(),
+            in_adj: HashMap::new(),
+        }
+    }
+
+    /// Add an internal node (idempotent; promotes an external node).
+    pub fn add_internal(&mut self, n: N) {
+        self.external.remove(&n);
+        self.internal.insert(n);
+    }
+
+    /// Add an external node (no-op if already internal).
+    pub fn add_external(&mut self, n: N) {
+        if !self.internal.contains(&n) {
+            self.external.insert(n);
+        }
+    }
+
+    /// Add an edge; nodes not yet present are added as external.
+    pub fn add_edge(&mut self, src: N, dst: N, attrs: EdgeAttrs) -> EdgeId {
+        self.add_external(src);
+        self.add_external(dst);
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(DepEdge { src, dst, attrs });
+        self.out_adj.entry(src).or_default().push(id);
+        self.in_adj.entry(dst).or_default().push(id);
+        id
+    }
+
+    /// Internal nodes (the code region itself).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.internal.iter().copied()
+    }
+
+    /// External nodes (live-ins/live-outs of the region).
+    pub fn external_nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.external.iter().copied()
+    }
+
+    /// True if `n` is an internal node.
+    pub fn is_internal(&self, n: N) -> bool {
+        self.internal.contains(&n)
+    }
+
+    /// Number of internal nodes.
+    pub fn num_internal(&self) -> usize {
+        self.internal.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge<N>] {
+        &self.edges
+    }
+
+    /// Edges whose source is `n`.
+    pub fn edges_from(&self, n: N) -> impl Iterator<Item = &DepEdge<N>> + '_ {
+        self.out_adj
+            .get(&n)
+            .into_iter()
+            .flatten()
+            .map(move |e| &self.edges[e.0 as usize])
+    }
+
+    /// Edges whose destination is `n` (i.e. the dependences of `n`).
+    pub fn edges_to(&self, n: N) -> impl Iterator<Item = &DepEdge<N>> + '_ {
+        self.in_adj
+            .get(&n)
+            .into_iter()
+            .flatten()
+            .map(move |e| &self.edges[e.0 as usize])
+    }
+
+    /// Nodes `n` depends on (edge sources into `n`), deduplicated.
+    pub fn dependences_of(&self, n: N) -> BTreeSet<N> {
+        self.edges_to(n).map(|e| e.src).collect()
+    }
+
+    /// Nodes depending on `n` (edge destinations out of `n`), deduplicated.
+    pub fn dependents_of(&self, n: N) -> BTreeSet<N> {
+        self.edges_from(n).map(|e| e.dst).collect()
+    }
+
+    /// Build the sub-graph over `keep`: kept nodes become internal; nodes
+    /// outside `keep` that touch a crossing edge become external. This is how
+    /// loop dependence graphs are carved out of a function PDG.
+    pub fn subgraph(&self, keep: &BTreeSet<N>) -> DepGraph<N> {
+        let mut g = DepGraph::new();
+        for &n in keep {
+            g.add_internal(n);
+        }
+        for e in &self.edges {
+            if keep.contains(&e.src) || keep.contains(&e.dst) {
+                g.add_edge(e.src, e.dst, e.attrs);
+            }
+        }
+        g
+    }
+
+    /// Mutate the attributes of every edge through `f`.
+    pub fn map_edges(&mut self, mut f: impl FnMut(&mut DepEdge<N>)) {
+        for e in &mut self.edges {
+            f(e);
+        }
+    }
+
+    /// External nodes that feed internal ones: the region's dependence
+    /// live-ins.
+    pub fn incoming_externals(&self) -> BTreeSet<N> {
+        self.edges
+            .iter()
+            .filter(|e| !self.internal.contains(&e.src) && self.internal.contains(&e.dst))
+            .map(|e| e.src)
+            .collect()
+    }
+
+    /// External nodes fed by internal ones: the region's dependence
+    /// live-outs.
+    pub fn outgoing_externals(&self) -> BTreeSet<N> {
+        self.edges
+            .iter()
+            .filter(|e| self.internal.contains(&e.src) && !self.internal.contains(&e.dst))
+            .map(|e| e.dst)
+            .collect()
+    }
+}
+
+impl<N: Copy + Eq + Ord + Hash + fmt::Debug> Default for DepGraph<N> {
+    fn default() -> Self {
+        DepGraph::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_external_split() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        g.add_internal(1);
+        g.add_internal(2);
+        g.add_edge(0, 1, EdgeAttrs::register()); // 0 auto-added as external
+        g.add_edge(1, 2, EdgeAttrs::register());
+        g.add_edge(2, 9, EdgeAttrs::register());
+        assert_eq!(g.num_internal(), 2);
+        assert_eq!(g.external_nodes().collect::<Vec<_>>(), vec![0, 9]);
+        assert_eq!(g.incoming_externals(), BTreeSet::from([0]));
+        assert_eq!(g.outgoing_externals(), BTreeSet::from([9]));
+    }
+
+    #[test]
+    fn promote_external_to_internal() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        g.add_edge(0, 1, EdgeAttrs::register());
+        assert!(!g.is_internal(0));
+        g.add_internal(0);
+        assert!(g.is_internal(0));
+        // adding as external again does not demote
+        g.add_external(0);
+        assert!(g.is_internal(0));
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        g.add_edge(1, 2, EdgeAttrs::register());
+        g.add_edge(1, 3, EdgeAttrs::control());
+        g.add_edge(2, 3, EdgeAttrs::memory(DataDepKind::Waw));
+        assert_eq!(g.dependents_of(1), BTreeSet::from([2, 3]));
+        assert_eq!(g.dependences_of(3), BTreeSet::from([1, 2]));
+        assert_eq!(g.edges_from(1).count(), 2);
+        assert_eq!(g.edges_to(3).filter(|e| e.attrs.is_control()).count(), 1);
+        assert_eq!(g.edges_to(3).filter(|e| e.attrs.is_data()).count(), 1);
+    }
+
+    #[test]
+    fn subgraph_carves_region() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        for n in 0..5 {
+            g.add_internal(n);
+        }
+        g.add_edge(0, 1, EdgeAttrs::register());
+        g.add_edge(1, 2, EdgeAttrs::register());
+        g.add_edge(2, 3, EdgeAttrs::register());
+        g.add_edge(3, 4, EdgeAttrs::register());
+        let keep = BTreeSet::from([1, 2]);
+        let sub = g.subgraph(&keep);
+        assert_eq!(sub.num_internal(), 2);
+        // Crossing edges kept, with boundary nodes external.
+        assert_eq!(sub.edges().len(), 3);
+        assert_eq!(sub.incoming_externals(), BTreeSet::from([0]));
+        assert_eq!(sub.outgoing_externals(), BTreeSet::from([3]));
+        // Fully-outside edge dropped.
+        assert!(sub
+            .edges()
+            .iter()
+            .all(|e| keep.contains(&e.src) || keep.contains(&e.dst)));
+    }
+
+    #[test]
+    fn attrs_builders() {
+        let r = EdgeAttrs::register();
+        assert!(r.must && !r.memory && r.is_data());
+        let m = EdgeAttrs::memory(DataDepKind::War).carried();
+        assert!(m.memory && m.loop_carried && !m.must);
+        let c = EdgeAttrs::control();
+        assert!(c.is_control() && !c.is_data());
+    }
+}

@@ -1,0 +1,80 @@
+//! Islands (ISL): the disconnected sub-graphs of a graph.
+//!
+//! A tiny generic capability (56 LoC in the paper) used over both the call
+//! graph and dependence graphs — e.g. the Time-Squeezer custom tool uses
+//! islands of compare-instruction dependences, and DEAD uses call-graph
+//! islands.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// Partition `nodes` into connected components of the *undirected* view of
+/// `edges`. Nodes not mentioned by any edge form singleton islands.
+pub fn islands_of<N: Copy + Eq + Ord + Hash>(
+    nodes: &[N],
+    edges: &[(N, N)],
+) -> Vec<BTreeSet<N>> {
+    // Union-find over node indices.
+    let index: HashMap<N, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b) in edges {
+        let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else {
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut groups: HashMap<usize, BTreeSet<N>> = HashMap::new();
+    for (i, &n) in nodes.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().insert(n);
+    }
+    let mut out: Vec<BTreeSet<N>> = groups.into_values().collect();
+    out.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_disconnected_components() {
+        let nodes = [1u32, 2, 3, 4, 5];
+        let edges = [(1, 2), (2, 3), (4, 5)];
+        let islands = islands_of(&nodes, &edges);
+        assert_eq!(islands.len(), 2);
+        assert_eq!(islands[0], BTreeSet::from([1, 2, 3]));
+        assert_eq!(islands[1], BTreeSet::from([4, 5]));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let nodes = [1u32, 2, 3];
+        let islands = islands_of(&nodes, &[]);
+        assert_eq!(islands.len(), 3);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let nodes = [1u32, 2, 3];
+        let islands = islands_of(&nodes, &[(3, 1), (1, 3), (2, 3)]);
+        assert_eq!(islands.len(), 1);
+    }
+
+    #[test]
+    fn edges_to_unknown_nodes_are_skipped() {
+        let nodes = [1u32, 2];
+        let islands = islands_of(&nodes, &[(1, 99), (2, 98)]);
+        assert_eq!(islands.len(), 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # noelle-pdg
+//!
+//! The dependence-graph layer of NOELLE-rs:
+//!
+//! - [`depgraph`] — the paper's templated *dependence graph*: a generic graph
+//!   of directed dependences with typed edges (control vs data, RAW/WAW/WAR,
+//!   register vs memory, loop-carried, may/must, distance) and the
+//!   internal/external node split used to expose live-ins/live-outs;
+//! - [`pdg`] — construction of the Program Dependence Graph over IR
+//!   instructions, powered by the alias stacks of `noelle-analysis`; loop
+//!   dependence graphs with loop-aware refinement; Figure 3 statistics;
+//! - [`sccdag`] — Tarjan SCCs of a loop dependence graph and the *augmented*
+//!   SCCDAG (aSCCDAG) whose nodes are classified Independent / Sequential /
+//!   Reducible;
+//! - [`callgraph`] — the *complete* program call graph, including indirect
+//!   calls resolved through points-to analysis, with may/must edges and
+//!   sub-edges per call site;
+//! - [`islands`] — identification of the disconnected sub-graphs of a graph.
+
+pub mod callgraph;
+pub mod depgraph;
+pub mod islands;
+pub mod pdg;
+pub mod sccdag;
+
+pub use depgraph::{DataDepKind, DepEdge, DepGraph, DepKind, EdgeAttrs};
+pub use pdg::{PdgBuilder, ProgramPdg};
+pub use sccdag::{SccDag, SccKind};

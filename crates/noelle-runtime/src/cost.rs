@@ -1,0 +1,102 @@
+//! The instruction cost model of the simulated machine (virtual cycles).
+
+use noelle_ir::inst::{BinOp, Inst, Terminator};
+
+/// Cycles charged for one execution of `inst`. Costs approximate a simple
+/// in-order core; what matters for the evaluation is the *relative* weight
+/// of computation vs. memory vs. communication, not absolute accuracy.
+pub fn inst_cost(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Alloca { .. } => 2,
+        Inst::Load { .. } => 4,
+        Inst::Store { .. } => 4,
+        Inst::Gep { .. } => 1,
+        Inst::Bin { op, .. } => bin_cost(*op),
+        Inst::Icmp { .. } => 1,
+        Inst::Fcmp { .. } => 2,
+        Inst::Cast { .. } => 1,
+        Inst::Select { .. } => 1,
+        Inst::Phi { .. } => 0,
+        Inst::Call { .. } => 3, // call overhead; callee body charged separately
+        Inst::Term(Terminator::Ret(_)) => 1,
+        Inst::Term(Terminator::Br(_)) => 1,
+        Inst::Term(Terminator::CondBr { .. }) => 2,
+        Inst::Term(Terminator::Switch { .. }) => 3,
+        Inst::Term(Terminator::Unreachable) => 0,
+    }
+}
+
+fn bin_cost(op: BinOp) -> u64 {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl
+        | BinOp::AShr | BinOp::LShr | BinOp::SMax | BinOp::SMin => 1,
+        BinOp::Mul => 3,
+        BinOp::Div | BinOp::Rem => 20,
+        BinOp::FAdd | BinOp::FSub => 3,
+        BinOp::FMul => 4,
+        BinOp::FMax | BinOp::FMin => 2,
+        BinOp::FDiv => 18,
+    }
+}
+
+/// Cost of a known external routine, in cycles.
+pub fn external_cost(name: &str) -> u64 {
+    match name {
+        "sqrt" => 18,
+        "sin" | "cos" | "tan" => 40,
+        "exp" | "log" | "pow" => 45,
+        "fabs" | "floor" | "ceil" => 3,
+        "malloc" | "calloc" => 30,
+        "free" => 10,
+        "print_i64" | "print_f64" => 12,
+        // PRVG families for the PRVJeeves experiments: same interface,
+        // different quality/cost points.
+        "prv.mt.next" => 40,     // Mersenne-Twister-class: high quality, slow
+        "prv.lcg.next" => 8,     // LCG: medium
+        "prv.xs.next" => 5,      // xorshift: fast
+        "carat.guard" => 2,
+        "coos.callback" => 6,
+        "clock.set" => 4,
+        _ => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
+
+    #[test]
+    fn relative_weights_sane() {
+        let add = Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I64,
+            lhs: Value::const_i64(1),
+            rhs: Value::const_i64(2),
+        };
+        let div = Inst::Bin {
+            op: BinOp::Div,
+            ty: Type::I64,
+            lhs: Value::const_i64(1),
+            rhs: Value::const_i64(2),
+        };
+        let load = Inst::Load {
+            ty: Type::I64,
+            ptr: Value::Arg(0),
+        };
+        assert!(inst_cost(&add) < inst_cost(&load));
+        assert!(inst_cost(&load) < inst_cost(&div));
+        let phi = Inst::Phi {
+            ty: Type::I64,
+            incomings: vec![],
+        };
+        assert_eq!(inst_cost(&phi), 0);
+    }
+
+    #[test]
+    fn prv_generators_ordered_by_cost() {
+        assert!(external_cost("prv.xs.next") < external_cost("prv.lcg.next"));
+        assert!(external_cost("prv.lcg.next") < external_cost("prv.mt.next"));
+    }
+}

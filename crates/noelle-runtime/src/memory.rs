@@ -1,0 +1,304 @@
+//! Runtime values and the flat memory model.
+
+use noelle_ir::module::{FuncId, GlobalId, Module};
+use noelle_ir::types::{FloatWidth, IntWidth, Type};
+use noelle_ir::value::Constant;
+use std::collections::HashMap;
+
+/// A runtime value: 64-bit integer (also used for pointers and booleans) or
+/// double-precision float (also used for f32, widened).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RtVal {
+    /// Integer / pointer / boolean payload.
+    I(i64),
+    /// Floating-point payload.
+    F(f64),
+}
+
+impl RtVal {
+    /// Integer payload.
+    ///
+    /// # Panics
+    /// Panics if the value is a float (a type-confusion bug in the
+    /// interpreter or input program).
+    pub fn as_i(self) -> i64 {
+        match self {
+            RtVal::I(v) => v,
+            RtVal::F(v) => panic!("expected integer, found float {v}"),
+        }
+    }
+
+    /// Float payload.
+    ///
+    /// # Panics
+    /// Panics if the value is an integer.
+    pub fn as_f(self) -> f64 {
+        match self {
+            RtVal::F(v) => v,
+            RtVal::I(v) => panic!("expected float, found integer {v}"),
+        }
+    }
+
+    /// Build from a constant (context type decides the null/undef payload).
+    pub fn from_const(c: &Constant) -> RtVal {
+        match c {
+            Constant::Int(v, _) => RtVal::I(*v),
+            Constant::Float(bits, _) => RtVal::F(f64::from_bits(*bits)),
+            Constant::Null => RtVal::I(0),
+            Constant::Undef => RtVal::I(0),
+        }
+    }
+}
+
+/// Tag set on encoded function-pointer addresses.
+pub const FUNC_PTR_TAG: i64 = 0x4000_0000_0000_0000;
+
+/// Encode a function id as a callable address.
+pub fn encode_func_ptr(f: FuncId) -> i64 {
+    FUNC_PTR_TAG | f.0 as i64
+}
+
+/// Decode a callable address back to a function id.
+pub fn decode_func_ptr(addr: i64) -> Option<FuncId> {
+    if addr & FUNC_PTR_TAG != 0 {
+        Some(FuncId((addr & 0xFFFF_FFFF) as u32))
+    } else {
+        None
+    }
+}
+
+/// Flat byte-addressable memory: globals at the bottom, then a bump-allocated
+/// heap (mallocs and allocas). Address 0 is never mapped, so null
+/// dereferences trap.
+#[derive(Debug)]
+pub struct Memory {
+    data: Vec<u8>,
+    global_addr: HashMap<GlobalId, i64>,
+    brk: i64,
+}
+
+/// Base address of the first allocation (addresses below are unmapped).
+const BASE: i64 = 0x1000;
+
+impl Memory {
+    /// Initialize memory with every global of `m` laid out and initialized.
+    pub fn new(m: &Module) -> Memory {
+        let mut mem = Memory {
+            data: Vec::new(),
+            global_addr: HashMap::new(),
+            brk: BASE,
+        };
+        for gid in m.global_ids() {
+            let g = m.global(gid);
+            let addr = mem.bump(g.ty.size_bytes() as i64);
+            mem.global_addr.insert(gid, addr);
+            match &g.init {
+                noelle_ir::module::GlobalInit::Zero => {}
+                noelle_ir::module::GlobalInit::Scalar(c) => {
+                    mem.write_scalar(addr, &g.ty, RtVal::from_const(c))
+                        .expect("global init in range");
+                }
+                noelle_ir::module::GlobalInit::Array(cs) => {
+                    if let Type::Array(elem, _) = &g.ty {
+                        let sz = elem.size_bytes() as i64;
+                        for (i, c) in cs.iter().enumerate() {
+                            mem.write_scalar(addr + i as i64 * sz, elem, RtVal::from_const(c))
+                                .expect("global init in range");
+                        }
+                    }
+                }
+            }
+        }
+        mem
+    }
+
+    /// Allocate `size` bytes (zeroed) and return the base address.
+    pub fn bump(&mut self, size: i64) -> i64 {
+        let addr = self.brk;
+        self.brk += size.max(0);
+        // Round to 8-byte alignment.
+        self.brk = (self.brk + 7) & !7;
+        let need = (self.brk - BASE) as usize;
+        if self.data.len() < need {
+            self.data.resize(need, 0);
+        }
+        addr
+    }
+
+    /// Address of global `g`.
+    pub fn global_addr(&self, g: GlobalId) -> i64 {
+        self.global_addr[&g]
+    }
+
+    /// True if `[addr, addr+len)` lies within allocated memory.
+    pub fn in_bounds(&self, addr: i64, len: i64) -> bool {
+        addr >= BASE && len >= 0 && addr - BASE + len <= self.data.len() as i64
+    }
+
+    fn slice(&self, addr: i64, len: usize) -> Option<&[u8]> {
+        if !self.in_bounds(addr, len as i64) {
+            return None;
+        }
+        let off = (addr - BASE) as usize;
+        Some(&self.data[off..off + len])
+    }
+
+    fn slice_mut(&mut self, addr: i64, len: usize) -> Option<&mut [u8]> {
+        if !self.in_bounds(addr, len as i64) {
+            return None;
+        }
+        let off = (addr - BASE) as usize;
+        Some(&mut self.data[off..off + len])
+    }
+
+    /// Load a scalar of type `ty` from `addr`.
+    pub fn read_scalar(&self, addr: i64, ty: &Type) -> Option<RtVal> {
+        Some(match ty {
+            Type::Int(w) => {
+                let bytes = self.slice(addr, w.bytes() as usize)?;
+                let mut buf = [0u8; 8];
+                buf[..bytes.len()].copy_from_slice(bytes);
+                let raw = i64::from_le_bytes(buf);
+                // Sign-extend from width.
+                let shift = 64 - w.bits();
+                RtVal::I(if *w == IntWidth::I64 {
+                    raw
+                } else {
+                    (raw << shift) >> shift
+                })
+            }
+            Type::Float(FloatWidth::F64) => {
+                let bytes = self.slice(addr, 8)?;
+                RtVal::F(f64::from_le_bytes(bytes.try_into().ok()?))
+            }
+            Type::Float(FloatWidth::F32) => {
+                let bytes = self.slice(addr, 4)?;
+                RtVal::F(f32::from_le_bytes(bytes.try_into().ok()?) as f64)
+            }
+            Type::Ptr(_) | Type::Func(_) => {
+                let bytes = self.slice(addr, 8)?;
+                RtVal::I(i64::from_le_bytes(bytes.try_into().ok()?))
+            }
+            _ => return None,
+        })
+    }
+
+    /// Store scalar `v` of type `ty` at `addr`.
+    pub fn write_scalar(&mut self, addr: i64, ty: &Type, v: RtVal) -> Option<()> {
+        match ty {
+            Type::Int(w) => {
+                let n = w.bytes() as usize;
+                let bytes = v.as_i().to_le_bytes();
+                self.slice_mut(addr, n)?.copy_from_slice(&bytes[..n]);
+            }
+            Type::Float(FloatWidth::F64) => {
+                self.slice_mut(addr, 8)?
+                    .copy_from_slice(&v.as_f().to_le_bytes());
+            }
+            Type::Float(FloatWidth::F32) => {
+                self.slice_mut(addr, 4)?
+                    .copy_from_slice(&(v.as_f() as f32).to_le_bytes());
+            }
+            Type::Ptr(_) | Type::Func(_) => {
+                self.slice_mut(addr, 8)?
+                    .copy_from_slice(&v.as_i().to_le_bytes());
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Current break (top of allocated memory).
+    pub fn brk(&self) -> i64 {
+        self.brk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::module::{Global, GlobalInit};
+
+    #[test]
+    fn func_ptr_round_trip() {
+        let f = FuncId(17);
+        assert_eq!(decode_func_ptr(encode_func_ptr(f)), Some(f));
+        assert_eq!(decode_func_ptr(0x2000), None);
+    }
+
+    #[test]
+    fn globals_initialized() {
+        let mut m = Module::new("t");
+        let s = m.add_global(Global {
+            name: "s".into(),
+            ty: Type::I64,
+            init: GlobalInit::Scalar(Constant::Int(7, IntWidth::I64)),
+            is_const: false,
+        });
+        let a = m.add_global(Global {
+            name: "a".into(),
+            ty: Type::I32.array_of(3),
+            init: GlobalInit::Array(vec![
+                Constant::Int(1, IntWidth::I32),
+                Constant::Int(2, IntWidth::I32),
+                Constant::Int(3, IntWidth::I32),
+            ]),
+            is_const: false,
+        });
+        let mem = Memory::new(&m);
+        assert_eq!(
+            mem.read_scalar(mem.global_addr(s), &Type::I64),
+            Some(RtVal::I(7))
+        );
+        let base = mem.global_addr(a);
+        for i in 0..3 {
+            assert_eq!(
+                mem.read_scalar(base + 4 * i, &Type::I32),
+                Some(RtVal::I(i + 1))
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_round_trips_with_sign_extension() {
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m);
+        let p = mem.bump(64);
+        mem.write_scalar(p, &Type::I8, RtVal::I(-1)).unwrap();
+        assert_eq!(mem.read_scalar(p, &Type::I8), Some(RtVal::I(-1)));
+        mem.write_scalar(p, &Type::I32, RtVal::I(-123456)).unwrap();
+        assert_eq!(mem.read_scalar(p, &Type::I32), Some(RtVal::I(-123456)));
+        mem.write_scalar(p + 8, &Type::F64, RtVal::F(2.5)).unwrap();
+        assert_eq!(mem.read_scalar(p + 8, &Type::F64), Some(RtVal::F(2.5)));
+        mem.write_scalar(p + 16, &Type::F32, RtVal::F(1.25)).unwrap();
+        assert_eq!(mem.read_scalar(p + 16, &Type::F32), Some(RtVal::F(1.25)));
+        mem.write_scalar(p + 24, &Type::I64.ptr_to(), RtVal::I(0x2000))
+            .unwrap();
+        assert_eq!(
+            mem.read_scalar(p + 24, &Type::I64.ptr_to()),
+            Some(RtVal::I(0x2000))
+        );
+    }
+
+    #[test]
+    fn null_and_oob_trap() {
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m);
+        assert_eq!(mem.read_scalar(0, &Type::I64), None);
+        assert_eq!(mem.write_scalar(0, &Type::I64, RtVal::I(1)), None);
+        let p = mem.bump(8);
+        assert!(mem.read_scalar(p, &Type::I64).is_some());
+        assert_eq!(mem.read_scalar(p + 8, &Type::I64), None);
+    }
+
+    #[test]
+    fn bump_is_aligned() {
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m);
+        let a = mem.bump(3);
+        let b = mem.bump(5);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+    }
+}

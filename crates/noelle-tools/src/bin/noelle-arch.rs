@@ -1,0 +1,23 @@
+//! `noelle-arch`: describe the (simulated) machine — cores, NUMA nodes,
+//! core-to-core latencies — and embed it for AR consumers such as HELIX.
+
+use noelle_core::architecture::Architecture;
+use noelle_tools::{die, read_module, write_module, Args};
+
+fn main() {
+    let args = Args::parse();
+    let arch = Architecture::synthetic(
+        args.flag_usize("cores", 12),
+        args.flag_usize("numa", 1),
+    );
+    match args.positional.first() {
+        Some(input) => {
+            let mut m = read_module(input).unwrap_or_else(|e| die(&e));
+            arch.embed(&mut m);
+            write_module(&m, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));
+        }
+        None => {
+            println!("{}", serde_json::to_string_pretty(&arch).expect("serializes"));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! `noelle-meta-prof-embed`: embed a profile JSON file into the IR as
+//! metadata so the PRO abstraction can answer hotness queries offline.
+
+use noelle_core::profiler::Profiles;
+use noelle_tools::{die, read_module, write_module, Args};
+
+fn main() {
+    let args = Args::parse();
+    let (Some(input), Some(prof)) = (args.positional.first(), args.positional.get(1)) else {
+        die("usage: noelle-meta-prof-embed <in.nir> <prof.json> [--o out.nir]");
+    };
+    let mut m = read_module(input).unwrap_or_else(|e| die(&e));
+    let text = std::fs::read_to_string(prof).unwrap_or_else(|e| die(&e.to_string()));
+    let profiles: Profiles = serde_json::from_str(&text).unwrap_or_else(|e| die(&e.to_string()));
+    profiles.embed(&mut m);
+    write_module(&m, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));
+}

@@ -1,0 +1,28 @@
+//! `noelle-prof-coverage`: execute the program on its training input
+//! (simulated) and emit the collected profiles as JSON.
+
+use noelle_runtime::{run_module, RunConfig};
+use noelle_tools::{die, read_module, Args};
+
+fn main() {
+    let args = Args::parse();
+    let Some(input) = args.positional.first() else {
+        die("usage: noelle-prof-coverage <in.nir> [--entry main] [--o prof.json]");
+    };
+    let m = read_module(input).unwrap_or_else(|e| die(&e));
+    let cfg = RunConfig {
+        collect_profiles: true,
+        ..RunConfig::default()
+    };
+    let r = run_module(&m, args.flag_or("entry", "main"), &[], &cfg)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let json = serde_json::to_string_pretty(&r.profiles).expect("profiles serialize");
+    match args.flag_or("o", "-") {
+        "-" => println!("{json}"),
+        path => std::fs::write(path, json).unwrap_or_else(|e| die(&e.to_string())),
+    }
+    eprintln!(
+        "profiled {} dynamic instructions over {} cycles",
+        r.dyn_insts, r.cycles
+    );
+}

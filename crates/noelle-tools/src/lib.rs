@@ -1,0 +1,272 @@
+//! # noelle-tools
+//!
+//! Library support for the `noelle-*` command-line tools of Table 2:
+//!
+//! | Binary | Paper tool | Role |
+//! |---|---|---|
+//! | `noelle-whole-ir` | noelle-whole-IR | link IR files into one whole-program module |
+//! | `noelle-prof-coverage` | noelle-prof-coverage | run the program and collect profiles |
+//! | `noelle-meta-prof-embed` | noelle-meta-prof-embed | embed profiles as IR metadata |
+//! | `noelle-meta-pdg-embed` | noelle-meta-pdg-embed | compute the PDG and embed it as metadata |
+//! | `noelle-meta-clean` | noelle-meta-clean | strip NOELLE metadata |
+//! | `noelle-rm-lc-dependences` | noelle-rm-lc-dependences | reduce loop-carried dependences |
+//! | `noelle-arch` | noelle-arch | describe/measure the machine |
+//! | `noelle-load` | noelle-load | load the layer and run a custom tool |
+//! | `noelle-linker` | noelle-linker | link transformed IR files, preserving metadata |
+//! | `noelle-bin` | noelle-bin | produce/execute the final program (simulated) |
+//!
+//! This module provides file IO helpers, a tiny flag parser, and the module
+//! linker shared by `noelle-whole-ir` and `noelle-linker`.
+
+use noelle_ir::inst::{Callee, Inst};
+use noelle_ir::module::{FuncId, GlobalId, Module};
+use noelle_ir::value::Value;
+use std::collections::HashMap;
+
+/// Read a module from a `.nir` file, or build a named workload when the
+/// path has the form `workload:<name>`.
+///
+/// # Errors
+/// Returns a human-readable message on IO, parse, or lookup failure.
+pub fn read_module(path: &str) -> Result<Module, String> {
+    if let Some(name) = path.strip_prefix("workload:") {
+        return noelle_workloads::by_name(name)
+            .map(|w| w.build())
+            .ok_or_else(|| format!("unknown workload '{name}'"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    noelle_ir::parser::parse_module(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write a module to `path` (or stdout for `-`).
+///
+/// # Errors
+/// Returns a message on IO failure.
+pub fn write_module(m: &Module, path: &str) -> Result<(), String> {
+    let text = noelle_ir::printer::print_module(m);
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the binary name).
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let v = it.next().unwrap_or_default();
+                out.flags.insert(key.to_string(), v);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// The value of `--key`, if given.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` or a default.
+    pub fn flag_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flag(key).unwrap_or(default)
+    }
+
+    /// Integer flag with default.
+    pub fn flag_usize(&self, key: &str, default: usize) -> usize {
+        self.flag(key)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Link several modules into one whole-program module (what the paper's
+/// gllvm-based `noelle-whole-IR` does for bitcode): definitions override
+/// declarations, duplicate definitions are an error, and all cross-module
+/// references are re-bound by symbol name. Metadata is merged (later
+/// modules win on key conflicts).
+///
+/// # Errors
+/// Returns a message on symbol conflicts.
+pub fn link_modules(mods: Vec<Module>) -> Result<Module, String> {
+    let mut out = Module::new("linked");
+
+    // Pass 1: allocate output slots by name.
+    let mut func_slot: HashMap<String, FuncId> = HashMap::new();
+    let mut global_slot: HashMap<String, GlobalId> = HashMap::new();
+    for m in &mods {
+        for g in m.globals() {
+            if let Some(&existing) = global_slot.get(&g.name) {
+                if out.global(existing) != g {
+                    return Err(format!("duplicate global '@{}' with different contents", g.name));
+                }
+                continue;
+            }
+            let id = out.add_global(g.clone());
+            global_slot.insert(g.name.clone(), id);
+        }
+        for f in m.functions() {
+            if let Some(&existing) = func_slot.get(&f.name) {
+                let have_body = !out.func(existing).is_declaration();
+                if have_body && !f.is_declaration() {
+                    return Err(format!("duplicate definition of '@{}'", f.name));
+                }
+                continue;
+            }
+            let id = out.add_function(noelle_ir::module::Function::new(
+                f.name.clone(),
+                f.params.clone(),
+                f.ret_ty.clone(),
+            ));
+            func_slot.insert(f.name.clone(), id);
+        }
+        for (k, v) in &m.metadata {
+            out.metadata.insert(k.clone(), v.clone());
+        }
+    }
+
+    // Pass 2: copy bodies, remapping function/global references by name.
+    for m in &mods {
+        for f in m.functions() {
+            if f.is_declaration() {
+                continue;
+            }
+            let dst = func_slot[&f.name];
+            if !out.func(dst).is_declaration() {
+                return Err(format!("duplicate definition of '@{}'", f.name));
+            }
+            let mut nf = f.clone();
+            let remap_value = |v: Value| -> Value {
+                match v {
+                    Value::Func(old) => Value::Func(func_slot[&m.func(old).name]),
+                    Value::Global(old) => Value::Global(global_slot[&m.global(old).name]),
+                    other => other,
+                }
+            };
+            for id in nf.inst_ids() {
+                nf.inst_mut(id).map_operands(remap_value);
+                if let Inst::Call {
+                    callee: Callee::Direct(old),
+                    ..
+                } = nf.inst_mut(id)
+                {
+                    *old = func_slot[&m.func(*old).name];
+                }
+            }
+            *out.func_mut(dst) = nf;
+        }
+    }
+    Ok(out)
+}
+
+/// Exit with an error message (shared by the binaries).
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_ir::parser::parse_module;
+    use noelle_runtime::{run_module, RunConfig};
+
+    #[test]
+    fn links_declaration_against_definition() {
+        let a = parse_module(
+            r#"
+module "a" {
+declare i64 @helper(i64 %x)
+define i64 @main() {
+entry:
+  %r = call i64 @helper(i64 20)
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        let b = parse_module(
+            r#"
+module "b" {
+define i64 @helper(i64 %x) {
+entry:
+  %r = mul i64 %x, i64 2
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        let linked = link_modules(vec![a, b]).expect("links");
+        noelle_ir::verifier::verify_module(&linked).expect("verifies");
+        let r = run_module(&linked, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(r.ret_i64(), Some(40));
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        let src = r#"
+module "x" {
+define i64 @f() {
+entry:
+  ret i64 1
+}
+}
+"#;
+        let a = parse_module(src).unwrap();
+        let b = parse_module(src).unwrap();
+        let err = link_modules(vec![a, b]).unwrap_err();
+        assert!(err.contains("duplicate definition"));
+    }
+
+    #[test]
+    fn remaps_globals_across_modules() {
+        let a = parse_module(
+            r#"
+module "a" {
+global @shared : i64 = i64 5
+define i64 @get() {
+entry:
+  %v = load i64, @shared
+  ret %v
+}
+}
+"#,
+        )
+        .unwrap();
+        let b = parse_module(
+            r#"
+module "b" {
+global @other : i64 = i64 9
+declare i64 @get()
+define i64 @main() {
+entry:
+  %x = call i64 @get()
+  %y = load i64, @other
+  %r = add i64 %x, %y
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        let linked = link_modules(vec![a, b]).expect("links");
+        let r = run_module(&linked, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(r.ret_i64(), Some(14));
+    }
+}

@@ -1,0 +1,325 @@
+//! Shared machinery for the parallelizing custom tools: task customization
+//! hooks, the dispatcher codegen, and loop-selection helpers. This is the
+//! NOELLE-powered part that makes DOALL/HELIX/DSWP expressible in a few
+//! hundred lines each (the Table 3 claim).
+
+use noelle_core::env::EnvironmentBuilder;
+use noelle_core::loop_abs::LoopAbstraction;
+use noelle_core::loop_builder::{bypass_loop, ensure_preheader, LoopBuilderError};
+use noelle_core::reduction::Reduction;
+use noelle_core::task::{outline_loop_as_task, TaskError, TaskFunction};
+use noelle_ir::inst::{Inst, InstId, Terminator};
+use noelle_ir::loops::LoopInfo;
+use noelle_ir::module::{BlockId, FuncId, Module};
+use noelle_ir::types::{FuncType, Type};
+use noelle_ir::value::Value;
+use std::sync::Arc;
+
+/// Why a loop could not be parallelized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelizeError {
+    /// The loop shape is unsupported (multiple exits, no pre-header...).
+    Shape(String),
+    /// The loop has no governing induction variable.
+    NoGoverningIv,
+    /// A live-out is neither a reduction nor reconstructible.
+    UnsupportedLiveOut,
+    /// Loop-carried dependences the technique cannot handle.
+    CarriedDependences,
+}
+
+impl std::fmt::Display for ParallelizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelizeError::Shape(s) => write!(f, "unsupported loop shape: {s}"),
+            ParallelizeError::NoGoverningIv => write!(f, "no governing induction variable"),
+            ParallelizeError::UnsupportedLiveOut => write!(f, "unsupported live-out"),
+            ParallelizeError::CarriedDependences => write!(f, "unhandled loop-carried dependences"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelizeError {}
+
+impl From<TaskError> for ParallelizeError {
+    fn from(e: TaskError) -> ParallelizeError {
+        ParallelizeError::Shape(e.to_string())
+    }
+}
+
+impl From<LoopBuilderError> for ParallelizeError {
+    fn from(e: LoopBuilderError) -> ParallelizeError {
+        ParallelizeError::Shape(e.to_string())
+    }
+}
+
+/// What a parallelizing tool did to a module.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelReport {
+    /// `(function name, loop header)` of each parallelized loop.
+    pub parallelized: Vec<(String, BlockId)>,
+    /// Loops considered but skipped, with the reason.
+    pub skipped: Vec<(String, BlockId, String)>,
+}
+
+impl ParallelReport {
+    /// Number of loops parallelized.
+    pub fn count(&self) -> usize {
+        self.parallelized.len()
+    }
+}
+
+/// The signature of task functions: `void (i64* env, i64 task_id, i64
+/// n_tasks)`.
+pub fn task_fn_ptr_type() -> Type {
+    Type::Func(Arc::new(FuncType {
+        params: vec![Type::I64.ptr_to(), Type::I64, Type::I64],
+        ret: Type::Void,
+    }))
+    .ptr_to()
+}
+
+/// Declare (once) and return the `noelle.task.dispatch` intrinsic.
+pub fn declare_dispatch(m: &mut Module) -> FuncId {
+    m.get_or_declare(
+        "noelle.task.dispatch",
+        vec![task_fn_ptr_type(), Type::I64.ptr_to(), Type::I64],
+        Type::Void,
+    )
+}
+
+/// Check that every live-out of the loop is the accumulator of one of its
+/// reductions (the only live-outs the dispatcher knows how to reconstruct).
+pub fn liveouts_supported(la: &LoopAbstraction) -> bool {
+    la.env.live_outs.iter().all(|(v, _)| {
+        la.reductions
+            .iter()
+            .any(|r| Value::Inst(r.phi) == *v)
+    })
+}
+
+/// Rewire a cloned reduction accumulator to start from the operator identity
+/// (each task computes a partial value; the dispatcher combines them).
+pub fn reset_reduction_initials(m: &mut Module, task: &TaskFunction, reductions: &[Reduction]) {
+    let entry = task.entry;
+    let tf = m.func_mut(task.fid);
+    for r in reductions {
+        let Some(Value::Inst(clone_phi)) = task.value_map.get(&Value::Inst(r.phi)).copied()
+        else {
+            continue;
+        };
+        let identity = Value::Const(r.identity());
+        if let Inst::Phi { incomings, .. } = tf.inst_mut(clone_phi) {
+            for (b, v) in incomings.iter_mut() {
+                if *b == entry {
+                    *v = identity;
+                }
+            }
+        }
+    }
+}
+
+/// Emit the dispatcher in the original function and make the loop
+/// unreachable:
+///
+/// 1. a `dispatch` block allocates the environment and stores the live-ins,
+/// 2. calls `noelle.task.dispatch(task, env, n_tasks)`,
+/// 3. reloads per-task live-out slots, combining reductions, and
+/// 4. bypasses the loop, rewiring its exit phis and external uses.
+pub fn emit_dispatcher(
+    m: &mut Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    task: &TaskFunction,
+    n_tasks: usize,
+) -> Result<(), ParallelizeError> {
+    emit_dispatcher_with_queues(m, fid, la, task.fid, &task.env, n_tasks, 0)
+}
+
+/// Like [`emit_dispatcher`], but additionally creates `n_queues` inter-core
+/// queues before dispatching and stores their ids in the environment slots
+/// following the live-out section (used by DSWP stages).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_dispatcher_with_queues(
+    m: &mut Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    dispatch_target: FuncId,
+    env: &noelle_core::env::Environment,
+    n_tasks: usize,
+    n_queues: usize,
+) -> Result<(), ParallelizeError> {
+    let dispatch_fn = declare_dispatch(m);
+    let queue_create = m.get_or_declare("noelle.queue.create", vec![Type::I64], Type::I64);
+    let l = &la.structure;
+    let exits = l.exit_blocks();
+    let &[exit_block] = exits.as_slice() else {
+        return Err(ParallelizeError::Shape("multiple exit blocks".into()));
+    };
+
+    let f = m.func_mut(fid);
+    ensure_preheader(f, l)?;
+    let dispatch = f.add_block("dispatch");
+
+    // 1. Environment allocation + live-in stores + queue creation.
+    let env_ptr = EnvironmentBuilder::alloc(f, dispatch, env.num_slots(n_tasks) + n_queues);
+    for (slot, (v, ty)) in env.live_ins.iter().enumerate() {
+        EnvironmentBuilder::store_slot(
+            f,
+            dispatch,
+            env_ptr,
+            Value::const_i64(slot as i64),
+            *v,
+            ty,
+        );
+    }
+    for qi in 0..n_queues {
+        let q = f.append_inst(
+            dispatch,
+            Inst::Call {
+                callee: noelle_ir::inst::Callee::Direct(queue_create),
+                args: vec![Value::const_i64(64)],
+                ret_ty: Type::I64,
+            },
+        );
+        EnvironmentBuilder::store_slot(
+            f,
+            dispatch,
+            env_ptr,
+            Value::const_i64((env.num_slots(n_tasks) + qi) as i64),
+            Value::Inst(q),
+            &Type::I64,
+        );
+    }
+
+    // 2. The dispatch call.
+    f.append_inst(
+        dispatch,
+        Inst::Call {
+            callee: noelle_ir::inst::Callee::Direct(dispatch_fn),
+            args: vec![
+                Value::Func(dispatch_target),
+                env_ptr,
+                Value::const_i64(n_tasks as i64),
+            ],
+            ret_ty: Type::Void,
+        },
+    );
+
+    // 3. Live-out reconstruction: fold the per-task partial values with the
+    //    reduction operator, seeded by the sequential initial value.
+    let mut combined: Vec<(Value, Value)> = Vec::new(); // (original, rebuilt)
+    for (idx, (v, ty)) in env.live_outs.iter().enumerate() {
+        let red = la
+            .reductions
+            .iter()
+            .find(|r| Value::Inst(r.phi) == *v)
+            .ok_or(ParallelizeError::UnsupportedLiveOut)?;
+        let mut acc = red.initial;
+        for t in 0..n_tasks {
+            let slot = env.live_out_base() + idx * n_tasks + t;
+            let part =
+                EnvironmentBuilder::load_slot(f, dispatch, env_ptr, Value::const_i64(slot as i64), ty);
+            let op = f.append_inst(
+                dispatch,
+                Inst::Bin {
+                    op: red.op,
+                    ty: ty.clone(),
+                    lhs: acc,
+                    rhs: part,
+                },
+            );
+            acc = Value::Inst(op);
+        }
+        combined.push((*v, acc));
+    }
+    f.set_terminator(dispatch, Terminator::Br(exit_block));
+
+    // 4. Bypass the loop. Exit phis take the rebuilt values.
+    let exit_phi_values: Vec<(InstId, Value)> = f
+        .phis(exit_block)
+        .into_iter()
+        .filter_map(|phi| {
+            let incoming = match f.inst(phi) {
+                Inst::Phi { incomings, .. } => incomings
+                    .iter()
+                    .find(|(b, _)| l.contains(*b))
+                    .map(|(_, v)| *v),
+                _ => None,
+            }?;
+            combined
+                .iter()
+                .find(|(orig, _)| *orig == incoming)
+                .map(|(_, rebuilt)| (phi, *rebuilt))
+        })
+        .collect();
+    bypass_loop(f, l, dispatch, &exit_phi_values)?;
+
+    // Remaining external uses of live-outs (outside the now-dead loop and
+    // not through the exit phis) read the rebuilt values.
+    let loop_blocks = l.blocks.clone();
+    for id in f.inst_ids() {
+        if loop_blocks.contains(&f.parent_block(id)) || f.parent_block(id) == dispatch {
+            continue;
+        }
+        for (orig, rebuilt) in &combined {
+            let (orig, rebuilt) = (*orig, *rebuilt);
+            f.inst_mut(id)
+                .map_operands(|v| if v == orig { rebuilt } else { v });
+        }
+    }
+    Ok(())
+}
+
+/// Outline + customize + dispatch: the common skeleton of DOALL/HELIX.
+/// `customize` receives the module and the freshly outlined task to apply
+/// technique-specific rewriting (IV stepping, sequential-segment gates...).
+pub fn parallelize_with(
+    m: &mut Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    n_tasks: usize,
+    task_name: &str,
+    customize: impl FnOnce(&mut Module, &TaskFunction) -> Result<(), ParallelizeError>,
+) -> Result<(), ParallelizeError> {
+    if !liveouts_supported(la) {
+        return Err(ParallelizeError::UnsupportedLiveOut);
+    }
+    let task = outline_loop_as_task(m, fid, &la.structure, &la.env, task_name)?;
+    reset_reduction_initials(m, &task, &la.reductions);
+    customize(m, &task)?;
+    emit_dispatcher(m, fid, la, &task, n_tasks)?;
+    Ok(())
+}
+
+/// The cloned loop inside a task function (there is exactly one).
+pub fn task_loop(m: &Module, task_fid: FuncId) -> LoopInfo {
+    let tf = m.func(task_fid);
+    let cfg = noelle_ir::cfg::Cfg::new(tf);
+    let dt = noelle_ir::dom::DomTree::new(tf, &cfg);
+    let forest = noelle_ir::loops::LoopForest::new(tf, &cfg, &dt);
+    forest.loops()[0].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_declared_once() {
+        let mut m = Module::new("t");
+        let a = declare_dispatch(&mut m);
+        let b = declare_dispatch(&mut m);
+        assert_eq!(a, b);
+        assert_eq!(m.functions().len(), 1);
+    }
+
+    #[test]
+    fn task_fn_ptr_type_shape() {
+        let t = task_fn_ptr_type();
+        let Type::Ptr(inner) = &t else { panic!() };
+        let Type::Func(ft) = &**inner else { panic!() };
+        assert_eq!(ft.params.len(), 3);
+        assert_eq!(ft.ret, Type::Void);
+    }
+}

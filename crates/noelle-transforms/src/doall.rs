@@ -1,0 +1,294 @@
+//! DOALL: parallelize loops with no (unhandled) loop-carried data
+//! dependences by distributing iterations among cores.
+//!
+//! The implementation follows the paper's recipe: PRO + FR + L select the
+//! most profitable loops; PDG/aSCCDAG prove independence; ENV + T organize
+//! live-ins/live-outs and materialize the task; IVS performs the iteration
+//! distribution (cyclic: task `t` starts at `start + t*step` and strides by
+//! `n_tasks*step`); RD parallelizes reductions by accumulator cloning.
+
+use crate::common::{parallelize_with, task_loop, ParallelReport, ParallelizeError};
+use noelle_core::ivstepper::{offset_start, scale_step};
+use noelle_core::noelle::{Abstraction, Noelle};
+use noelle_core::task::TaskFunction;
+use noelle_ir::module::{FuncId, Module};
+use noelle_ir::value::Value;
+
+/// Options controlling loop selection.
+#[derive(Clone, Debug)]
+pub struct DoallOptions {
+    /// Number of tasks (cores) to distribute over.
+    pub n_tasks: usize,
+    /// Minimum profile hotness (fraction of dynamic instructions) a loop
+    /// must have to be considered; loops below are not worth the dispatch
+    /// overhead. Ignored when no profiles are embedded.
+    pub min_hotness: f64,
+    /// Restrict the tool to a single loop, named by `(function, header)` —
+    /// the paper's testing hook: "a user can force a parallelizing custom
+    /// tool to parallelize only a given loop".
+    pub only: Option<(String, noelle_ir::module::BlockId)>,
+}
+
+impl Default for DoallOptions {
+    fn default() -> DoallOptions {
+        DoallOptions {
+            n_tasks: 4,
+            min_hotness: 0.05,
+            only: None,
+        }
+    }
+}
+
+/// Apply DOALL to every eligible loop of the module.
+pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
+    for a in [
+        Abstraction::Pro,
+        Abstraction::Fr,
+        Abstraction::L,
+        Abstraction::Env,
+        Abstraction::Task,
+        Abstraction::Lb,
+        Abstraction::Iv,
+        Abstraction::Ivs,
+        Abstraction::Inv,
+        Abstraction::Rd,
+        Abstraction::ASccDag,
+        Abstraction::Ar,
+        Abstraction::Ls,
+    ] {
+        noelle.note(a);
+    }
+    let mut report = ParallelReport::default();
+    let profiles = noelle.profiles();
+    let have_profiles = !profiles.block_counts.is_empty();
+
+    // Outermost-first over the program loop forest: parallelizing an outer
+    // loop subsumes its children.
+    let forest = noelle.program_loop_forest();
+    let mut order = forest.innermost_first();
+    order.reverse();
+    let mut done_funcs: Vec<(FuncId, noelle_ir::module::BlockId)> = Vec::new();
+    for node in order {
+        let (fid, _) = node;
+        let l = forest.loop_info(node).clone();
+        // Skip loops nested in an already-parallelized loop of this run.
+        if done_funcs
+            .iter()
+            .any(|&(df, dh)| df == fid && l.header != dh && {
+                let parent = forest.per_function[&fid]
+                    .loops()
+                    .iter()
+                    .find(|x| x.header == dh)
+                    .expect("recorded loop");
+                parent.contains(l.header)
+            })
+        {
+            continue;
+        }
+        let fname = noelle.module().func(fid).name.clone();
+        if let Some((only_f, only_h)) = &opts.only {
+            if *only_f != fname || *only_h != l.header {
+                continue;
+            }
+        }
+        if have_profiles
+            && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness
+        {
+            report
+                .skipped
+                .push((fname, l.header, "cold loop".to_string()));
+            continue;
+        }
+        let la = noelle.loop_abstraction(fid, l.clone());
+        if !la.is_doall() {
+            report
+                .skipped
+                .push((fname, l.header, "loop-carried dependences".to_string()));
+            continue;
+        }
+        let m = noelle.module_mut();
+        let task_name = format!("{fname}.doall.{}", l.header.0);
+        match parallelize_with(m, fid, &la, opts.n_tasks, &task_name, |m, task| {
+            distribute_cyclically(m, task)
+        }) {
+            Ok(()) => {
+                report.parallelized.push((fname, l.header));
+                done_funcs.push((fid, l.header));
+            }
+            Err(e) => report.skipped.push((fname, l.header, e.to_string())),
+        }
+    }
+    report
+}
+
+/// Rewrite the task's governing IV for cyclic distribution: start at
+/// `start + task_id*step`, stride by `n_tasks*step` — pure IVS usage.
+pub fn distribute_cyclically(m: &mut Module, task: &TaskFunction) -> Result<(), ParallelizeError> {
+    let l = task_loop(m, task.fid);
+    let tf = m.func_mut(task.fid);
+    let recs = noelle_analysis::scev::affine_recurrences(tf, &l);
+    // Every affine recurrence must stride by n_tasks; the governing one
+    // controls termination, secondary IVs (e.g. a second index) follow suit.
+    if recs.is_empty() {
+        return Err(ParallelizeError::NoGoverningIv);
+    }
+    for rec in &recs {
+        offset_start(tf, &l, rec, Value::Arg(1))
+            .map_err(|e| ParallelizeError::Shape(e.to_string()))?;
+        scale_step(tf, &l, rec, Value::Arg(2))
+            .map_err(|e| ParallelizeError::Shape(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_core::noelle::AliasTier;
+    use noelle_ir::parser::parse_module;
+    use noelle_runtime::{run_module, RunConfig};
+
+    const SUM_PROGRAM: &str = r#"
+module "sum" {
+declare i64* @malloc(i64 %n)
+define i64 @kernel(i64* %a, i64 %n) {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: i64 0] [body: %i2]
+  %s = phi i64 [entry: i64 0] [body: %s2]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %p = gep i64, %a, %i
+  %v = load i64, %p
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, i64 1
+  br header
+exit:
+  ret %s
+}
+define i64 @main() {
+entry:
+  %buf = call i64* @malloc(i64 8000)
+  br fill
+fill:
+  %i = phi i64 [entry: i64 0] [fill: %i2]
+  %p = gep i64, %buf, %i
+  store i64 %i, %p
+  %i2 = add i64 %i, i64 1
+  %c = icmp slt i64 %i2, i64 1000
+  condbr %c, fill, done
+done:
+  %s = call i64 @kernel(%buf, i64 1000)
+  ret %s
+}
+}
+"#;
+
+    #[test]
+    fn doall_preserves_semantics_and_speeds_up() {
+        let m = parse_module(SUM_PROGRAM).unwrap();
+        let seq = run_module(&m, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(seq.ret_i64(), Some(499500));
+
+        let mut noelle = Noelle::new(m, AliasTier::Full);
+        let report = run(
+            &mut noelle,
+            &DoallOptions {
+                n_tasks: 4,
+                min_hotness: 0.0,
+                only: None,
+            },
+        );
+        // Both the kernel loop and the fill loop in main are DOALL-able...
+        // but the fill loop's store is provably per-iteration distinct, so
+        // both should parallelize.
+        assert!(report.count() >= 1, "report: {report:?}");
+        assert!(report
+            .parallelized
+            .iter()
+            .any(|(f, _)| f == "kernel"), "kernel loop must parallelize: {report:?}");
+
+        let m2 = noelle.into_module();
+        noelle_ir::verifier::verify_module(&m2)
+            .unwrap_or_else(|e| panic!("transformed module verifies: {e}"));
+        let par = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(par.ret_i64(), Some(499500), "semantics preserved");
+        assert!(par.counters.get("tasks").copied().unwrap_or(0) >= 4);
+        let speedup = seq.cycles as f64 / par.cycles as f64;
+        assert!(speedup > 1.5, "speedup = {speedup:.2}");
+    }
+
+    #[test]
+    fn sequential_loop_is_skipped() {
+        // Pointer-chase recurrence: DOALL must refuse.
+        let src = r#"
+module "seq" {
+define i64 @main() {
+entry:
+  %cell = alloca i64, i64 1
+  store i64 i64 1, %cell
+  br header
+header:
+  %i = phi i64 [entry: i64 0] [body: %i2]
+  %c = icmp slt i64 %i, i64 100
+  condbr %c, body, exit
+body:
+  %v = load i64, %cell
+  %v2 = mul i64 %v, i64 3
+  store i64 %v2, %cell
+  %i2 = add i64 %i, i64 1
+  br header
+exit:
+  %r = load i64, %cell
+  ret %r
+}
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let seq = run_module(&m, "main", &[], &RunConfig::default()).unwrap();
+        let mut noelle = Noelle::new(m, AliasTier::Full);
+        let report = run(
+            &mut noelle,
+            &DoallOptions {
+                n_tasks: 4,
+                min_hotness: 0.0,
+                only: None,
+            },
+        );
+        assert_eq!(report.count(), 0, "{report:?}");
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(_, _, why)| why.contains("dependences")));
+        // Untouched module still runs identically.
+        let m2 = noelle.into_module();
+        let again = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(again.ret_i64(), seq.ret_i64());
+    }
+
+    #[test]
+    fn cold_loops_skipped_with_profiles() {
+        let m = parse_module(SUM_PROGRAM).unwrap();
+        // Profile the run, embed, then set an impossible hotness threshold.
+        let cfg = RunConfig {
+            collect_profiles: true,
+            ..RunConfig::default()
+        };
+        let r = run_module(&m, "main", &[], &cfg).unwrap();
+        let mut m = m;
+        r.profiles.embed(&mut m);
+        let mut noelle = Noelle::new(m, AliasTier::Full);
+        let report = run(
+            &mut noelle,
+            &DoallOptions {
+                n_tasks: 4,
+                min_hotness: 2.0, // impossible
+                only: None,
+            },
+        );
+        assert_eq!(report.count(), 0);
+        assert!(report.skipped.iter().all(|(_, _, why)| why == "cold loop"));
+    }
+}

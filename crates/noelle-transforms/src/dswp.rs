@@ -1,0 +1,844 @@
+//! DSWP: decoupled software pipelining.
+//!
+//! "DSWP parallelizes a loop by distributing its SCCs between cores.
+//! Instances of a given SCC are executed by the same core to create a
+//! unidirectional communication between cores."
+//!
+//! The aSCCDAG is partitioned (in topological order) into pipeline *stages*;
+//! each stage becomes a task that runs a pruned clone of the loop. Values
+//! crossing stage boundaries flow through `noelle.queue.*` inter-core
+//! queues; a token queue between consecutive stages keeps iteration `k` of
+//! stage `s+1` behind iteration `k` of stage `s`, which also orders
+//! cross-stage memory accesses.
+
+use crate::common::{
+    emit_dispatcher_with_queues, liveouts_supported, reset_reduction_initials, task_fn_ptr_type,
+    task_loop, ParallelReport, ParallelizeError,
+};
+use noelle_core::loop_abs::LoopAbstraction;
+use noelle_core::noelle::{Abstraction, Noelle};
+use noelle_core::reduction::identity_for;
+use noelle_core::task::{outline_loop_as_task, TaskFunction};
+use noelle_ir::cfg::Cfg;
+use noelle_ir::dom::DomTree;
+use noelle_ir::inst::{Callee, CastOp, Inst, InstId, Terminator};
+use noelle_ir::module::{BlockId, FuncId, Function, Module};
+use noelle_ir::types::Type;
+use noelle_ir::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Options controlling DSWP.
+#[derive(Clone, Debug)]
+pub struct DswpOptions {
+    /// Number of pipeline stages (= cores used).
+    pub n_stages: usize,
+    /// Minimum profile hotness for a loop to be considered.
+    pub min_hotness: f64,
+}
+
+impl Default for DswpOptions {
+    fn default() -> DswpOptions {
+        DswpOptions {
+            n_stages: 2,
+            min_hotness: 0.05,
+        }
+    }
+}
+
+/// Apply DSWP to every eligible loop of the module.
+pub fn run(noelle: &mut Noelle, opts: &DswpOptions) -> ParallelReport {
+    for a in [
+        Abstraction::Pro,
+        Abstraction::Fr,
+        Abstraction::L,
+        Abstraction::Env,
+        Abstraction::Task,
+        Abstraction::Lb,
+        Abstraction::Iv,
+        Abstraction::Ivs,
+        Abstraction::Inv,
+        Abstraction::Rd,
+        Abstraction::ASccDag,
+        Abstraction::Pdg,
+        Abstraction::Ar,
+        Abstraction::Ls,
+    ] {
+        noelle.note(a);
+    }
+    let mut report = ParallelReport::default();
+    let profiles = noelle.profiles();
+    let have_profiles = !profiles.block_counts.is_empty();
+    let forest = noelle.program_loop_forest();
+    let mut order = forest.innermost_first();
+    order.reverse();
+
+    let mut done: Vec<(FuncId, BlockId)> = Vec::new();
+    for node in order {
+        let (fid, _) = node;
+        let l = forest.loop_info(node).clone();
+        if done.iter().any(|&(df, dh)| {
+            df == fid
+                && l.header != dh
+                && forest.per_function[&fid]
+                    .loops()
+                    .iter()
+                    .find(|x| x.header == dh)
+                    .map(|p| p.contains(l.header))
+                    .unwrap_or(false)
+        }) {
+            continue;
+        }
+        let fname = noelle.module().func(fid).name.clone();
+        if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
+            report.skipped.push((fname, l.header, "cold loop".into()));
+            continue;
+        }
+        let la = noelle.loop_abstraction(fid, l.clone());
+        match pipeline_loop(noelle.module_mut(), fid, &la, opts.n_stages) {
+            Ok(()) => {
+                report.parallelized.push((fname, l.header));
+                done.push((fid, l.header));
+            }
+            Err(e) => report.skipped.push((fname, l.header, e.to_string())),
+        }
+    }
+    report
+}
+
+/// SCC partition of a loop into pipeline stages.
+struct StagePlan {
+    /// Stage index of every *assignable* SCC.
+    stage_of_scc: BTreeMap<usize, usize>,
+    /// Instructions replicated in every stage (IVs, control, invariants).
+    replicated: BTreeSet<InstId>,
+    /// Number of stages actually used.
+    n_stages: usize,
+}
+
+/// Pipeline one loop.
+pub fn pipeline_loop(
+    m: &mut Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    want_stages: usize,
+) -> Result<(), ParallelizeError> {
+    let l = &la.structure;
+    if la.ivs.governing().is_none() {
+        return Err(ParallelizeError::NoGoverningIv);
+    }
+    if !liveouts_supported(la) {
+        return Err(ParallelizeError::UnsupportedLiveOut);
+    }
+    let latch = l
+        .single_latch()
+        .ok_or_else(|| ParallelizeError::Shape("multiple latches".into()))?;
+    // Every loop block must run exactly once per iteration.
+    {
+        let f = m.func(fid);
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(f, &cfg);
+        for &b in &l.blocks {
+            if !dt.dominates(b, latch) {
+                return Err(ParallelizeError::Shape(
+                    "conditional control flow inside loop body".into(),
+                ));
+            }
+        }
+    }
+
+    let plan = plan_stages(m, fid, la, want_stages)?;
+    let n_stages = plan.n_stages;
+
+    // Profitability: pipelining pays only when a stage's share of the body
+    // exceeds the queue traffic it must perform each iteration. A light loop
+    // body drowned in queue operations would *slow down* (the selection step
+    // real DSWP implementations also perform).
+    {
+        let f = m.func(fid);
+        let body_cost: u64 = la
+            .pdg
+            .internal_nodes()
+            .map(|i| approx_cost(f.inst(i)))
+            .sum();
+        // Each stage pays ~2 queue operations (30 cycles each) plus, in the
+        // balanced steady state, one inter-core latency (60 cycles) per
+        // iteration because its pops arrive just before the matching push.
+        let est_stage = body_cost / n_stages as u64 + 2 * 30 + 60;
+        if est_stage * 21 / 20 >= body_cost {
+            return Err(ParallelizeError::Shape(
+                "loop body too light for pipelining".into(),
+            ));
+        }
+    }
+
+    // Cross-stage register dependences: (def, consumer stage) pairs.
+    let f = m.func(fid);
+    let stage_of_inst = |i: InstId| -> Option<usize> {
+        if plan.replicated.contains(&i) || matches!(f.inst(i), Inst::Term(_)) {
+            return None; // present everywhere
+        }
+        la.sccdag.scc_of(i).and_then(|s| plan.stage_of_scc.get(&s).copied())
+    };
+    let mut value_queues: Vec<(InstId, usize)> = Vec::new(); // (def, consumer stage)
+    for e in la.pdg.edges() {
+        if !e.attrs.is_data() || e.attrs.memory {
+            continue;
+        }
+        if !la.pdg.is_internal(e.src) || !la.pdg.is_internal(e.dst) {
+            continue;
+        }
+        let (Some(sa), db) = (stage_of_inst(e.src), stage_of_inst(e.dst)) else {
+            continue;
+        };
+        let Some(sb) = db else { continue };
+        if sa == sb {
+            continue;
+        }
+        if sb < sa {
+            return Err(ParallelizeError::Shape(
+                "backward cross-stage dependence".into(),
+            ));
+        }
+        if !value_queues.contains(&(e.src, sb)) {
+            value_queues.push((e.src, sb));
+        }
+    }
+    value_queues.sort();
+    // Queue operations must execute exactly once per iteration: forbid
+    // communicated defs that live in the header (it runs one extra time).
+    for &(d, _) in &value_queues {
+        if f.parent_block(d) == l.header {
+            return Err(ParallelizeError::Shape(
+                "communicated value defined in the loop header".into(),
+            ));
+        }
+    }
+    let n_token_queues = n_stages - 1;
+    let n_queues = value_queues.len() + n_token_queues;
+    let queue_index: HashMap<(InstId, usize), usize> = value_queues
+        .iter()
+        .enumerate()
+        .map(|(qi, &(d, s))| ((d, s), qi))
+        .collect();
+
+    // Build one pruned clone per stage.
+    let fname = m.func(fid).name.clone();
+    let mut stage_fids = Vec::new();
+    for s in 0..n_stages {
+        let task = outline_loop_as_task(
+            m,
+            fid,
+            l,
+            &la.env,
+            &format!("{fname}.dswp.{}.stage{}", l.header.0, s),
+        )?;
+        reset_reduction_initials(m, &task, &la.reductions);
+        prune_stage(
+            m, la, &task, s, &plan, &queue_index, value_queues.len(), n_stages,
+        )?;
+        stage_fids.push(task.fid);
+    }
+
+    // Trampoline: dispatch target that forwards to the stage of task_id.
+    let tramp = build_trampoline(m, &format!("{fname}.dswp.{}.tramp", l.header.0), &stage_fids);
+
+    emit_dispatcher_with_queues(m, fid, la, tramp, &la.env, n_stages, n_queues)?;
+    Ok(())
+}
+
+/// Rough per-instruction cycle estimate used by the profitability gate
+/// (mirrors the simulator's cost model without depending on it).
+fn approx_cost(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Bin { op, .. } => match op {
+            noelle_ir::inst::BinOp::Div | noelle_ir::inst::BinOp::Rem => 20,
+            noelle_ir::inst::BinOp::FDiv => 18,
+            noelle_ir::inst::BinOp::Mul | noelle_ir::inst::BinOp::FMul => 3,
+            _ => 1,
+        },
+        Inst::Load { .. } | Inst::Store { .. } => 4,
+        Inst::Call { .. } => 20,
+        _ => 1,
+    }
+}
+
+/// Plan the pipeline stages: the replicated set (IVs, control chains,
+/// invariants) and a contiguous, weight-balanced partition of the remaining
+/// SCCs in topological order.
+fn plan_stages(
+    m: &Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    want: usize,
+) -> Result<StagePlan, ParallelizeError> {
+    let f = m.func(fid);
+    let f_insts: BTreeSet<InstId> = la.pdg.internal_nodes().collect();
+    let mut replicated: BTreeSet<InstId> = la.invariants.iter().collect();
+    for node in la.sccdag.nodes() {
+        if node.is_induction {
+            replicated.extend(node.insts.iter().copied());
+        }
+    }
+    // Terminator operand closure over register dependences.
+    let mut work: Vec<InstId> = Vec::new();
+    for &i in &f_insts {
+        if matches!(f.inst(i), Inst::Term(_)) {
+            for e in la.pdg.edges_to(i) {
+                if e.attrs.is_data() && !e.attrs.memory && f_insts.contains(&e.src) {
+                    work.push(e.src);
+                }
+            }
+        }
+    }
+    while let Some(n) = work.pop() {
+        if !replicated.insert(n) {
+            continue;
+        }
+        for e in la.pdg.edges_to(n) {
+            if e.attrs.is_data() && !e.attrs.memory && f_insts.contains(&e.src) {
+                work.push(e.src);
+            }
+        }
+    }
+    for &i in &replicated {
+        if f.inst(i).may_read_memory() || f.inst(i).may_write_memory() {
+            return Err(ParallelizeError::Shape(
+                "loop control depends on memory".into(),
+            ));
+        }
+    }
+
+    let topo = la.sccdag.topo_order();
+    let assignable: Vec<usize> = topo
+        .into_iter()
+        .filter(|&s| {
+            let node = &la.sccdag.nodes()[s];
+            !node.is_induction
+                && !node.insts.iter().all(|&i| {
+                    replicated.contains(&i) || matches!(f.inst(i), Inst::Term(_))
+                })
+        })
+        .collect();
+    if assignable.len() < 2 {
+        return Err(ParallelizeError::Shape(
+            "fewer than two pipeline stages".into(),
+        ));
+    }
+    let n_stages = want.clamp(2, assignable.len());
+    let weights: Vec<usize> = assignable
+        .iter()
+        .map(|&s| la.sccdag.nodes()[s].insts.len())
+        .collect();
+    let total: usize = weights.iter().sum();
+    let per_stage = total.div_ceil(n_stages);
+    let mut stage_of_scc = BTreeMap::new();
+    let mut stage = 0usize;
+    let mut acc = 0usize;
+    for (k, &scc) in assignable.iter().enumerate() {
+        stage_of_scc.insert(scc, stage);
+        acc += weights[k];
+        let remaining = assignable.len() - k - 1;
+        if acc >= per_stage && stage + 1 < n_stages && remaining >= n_stages - stage - 1 {
+            stage += 1;
+            acc = 0;
+        }
+    }
+    Ok(StagePlan {
+        stage_of_scc,
+        replicated,
+        n_stages: stage + 1,
+    })
+}
+
+/// Cast an i64 queue payload into `ty` at `(block, pos)`; returns the value
+/// and the next insertion position.
+fn cast_from_i64(
+    tf: &mut Function,
+    block: BlockId,
+    pos: usize,
+    v: Value,
+    ty: &Type,
+) -> (Value, usize) {
+    match ty {
+        Type::Int(noelle_ir::types::IntWidth::I64) => (v, pos),
+        Type::Int(_) => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::Trunc,
+                    from: Type::I64,
+                    to: ty.clone(),
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+        Type::Float(_) => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::Bitcast,
+                    from: Type::I64,
+                    to: Type::F64,
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+        _ => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::IntToPtr,
+                    from: Type::I64,
+                    to: ty.clone(),
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+    }
+}
+
+/// Cast `v` of type `ty` to an i64 queue payload at `(block, pos)`.
+fn cast_to_i64(
+    tf: &mut Function,
+    block: BlockId,
+    pos: usize,
+    v: Value,
+    ty: &Type,
+) -> (Value, usize) {
+    match ty {
+        Type::Int(noelle_ir::types::IntWidth::I64) => (v, pos),
+        Type::Int(_) => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::Sext,
+                    from: ty.clone(),
+                    to: Type::I64,
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+        Type::Float(_) => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::Bitcast,
+                    from: Type::F64,
+                    to: Type::I64,
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+        _ => {
+            let c = tf.insert_inst(
+                block,
+                pos,
+                Inst::Cast {
+                    op: CastOp::PtrToInt,
+                    from: ty.clone(),
+                    to: Type::I64,
+                    val: v,
+                },
+            );
+            (Value::Inst(c), pos + 1)
+        }
+    }
+}
+
+/// Prune a stage clone: keep this stage's SCCs plus the replicated set,
+/// replace consumed foreign values with queue pops, push produced values,
+/// insert the token chain, and patch dead live-out stores with identities.
+#[allow(clippy::too_many_arguments)]
+fn prune_stage(
+    m: &mut Module,
+    la: &LoopAbstraction,
+    task: &TaskFunction,
+    stage: usize,
+    plan: &StagePlan,
+    queue_index: &HashMap<(InstId, usize), usize>,
+    n_value_queues: usize,
+    n_stages: usize,
+) -> Result<(), ParallelizeError> {
+    let pop_fn = m.get_or_declare("noelle.queue.pop", vec![Type::I64], Type::I64);
+    let push_fn = m.get_or_declare(
+        "noelle.queue.push",
+        vec![Type::I64, Type::I64],
+        Type::Void,
+    );
+
+    // Load all queue ids in the entry block (before its terminator).
+    let env_base_slot = la.env.num_slots(n_stages) as i64;
+    let n_queues = n_value_queues + (n_stages - 1);
+    let orig_f = {
+        // Clone the original function's instruction view for stage queries.
+        // (Only instruction kinds are needed.)
+        la.pdg.internal_nodes().collect::<BTreeSet<_>>()
+    };
+    let _ = orig_f;
+
+    let tl = task_loop(m, task.fid);
+    let latch = tl
+        .single_latch()
+        .ok_or_else(|| ParallelizeError::Shape("clone lost its latch".into()))?;
+    let tf = m.func_mut(task.fid);
+    let mut qids: Vec<Value> = Vec::new();
+    {
+        let entry = task.entry;
+        for qi in 0..n_queues {
+            let v = noelle_core::env::EnvironmentBuilder::load_slot(
+                tf,
+                entry,
+                Value::Arg(0),
+                Value::const_i64(env_base_slot + qi as i64),
+                &Type::I64,
+            );
+            qids.push(v);
+        }
+    }
+
+    // Instruction stage classification on the ORIGINAL ids.
+    let stage_of = |i: InstId| -> Option<usize> {
+        la.sccdag
+            .scc_of(i)
+            .and_then(|s| plan.stage_of_scc.get(&s).copied())
+    };
+
+    // Walk all original loop instructions.
+    let originals: Vec<InstId> = la.pdg.internal_nodes().collect();
+    let mut to_delete: Vec<InstId> = Vec::new(); // clone ids
+    for &orig in &originals {
+        let Some(Value::Inst(clone)) = task.value_map.get(&Value::Inst(orig)).copied() else {
+            continue;
+        };
+        let kept = plan.replicated.contains(&orig)
+            || matches!(tf.inst(clone), Inst::Term(_))
+            || stage_of(orig) == Some(stage);
+        if kept {
+            // Producer side: push for each consumer stage.
+            let mut consumer_stages: Vec<usize> = queue_index
+                .iter()
+                .filter(|((d, _), _)| *d == orig)
+                .map(|((_, t), _)| *t)
+                .collect();
+            consumer_stages.sort();
+            consumer_stages.dedup();
+            if stage_of(orig) == Some(stage) && !consumer_stages.is_empty() {
+                let ty = tf.inst(clone).result_type();
+                let b = tf.parent_block(clone);
+                let mut pos = tf.position_in_block(clone).expect("attached") + 1;
+                let (payload, npos) = cast_to_i64(tf, b, pos, Value::Inst(clone), &ty);
+                pos = npos;
+                for t in consumer_stages {
+                    let qi = queue_index[&(orig, t)];
+                    tf.insert_inst(
+                        b,
+                        pos,
+                        Inst::Call {
+                            callee: Callee::Direct(push_fn),
+                            args: vec![qids[qi], payload],
+                            ret_ty: Type::Void,
+                        },
+                    );
+                    pos += 1;
+                }
+            }
+            continue;
+        }
+        // Foreign instruction: consumed here?
+        if let Some(&qi) = queue_index.get(&(orig, stage)) {
+            // Replace with a pop at the same position.
+            let ty = tf.inst(clone).result_type();
+            let b = tf.parent_block(clone);
+            let pos = tf.position_in_block(clone).expect("attached");
+            let pop = tf.insert_inst(
+                b,
+                pos,
+                Inst::Call {
+                    callee: Callee::Direct(pop_fn),
+                    args: vec![qids[qi]],
+                    ret_ty: Type::I64,
+                },
+            );
+            let (val, _) = cast_from_i64(tf, b, pos + 1, Value::Inst(pop), &ty);
+            tf.replace_all_uses(Value::Inst(clone), val);
+            tf.remove_inst(clone);
+        } else {
+            to_delete.push(clone);
+        }
+    }
+
+    // Token chain: pop from stage-1 at the start of the iteration's *body*
+    // (which runs exactly once per iteration, unlike the header, which also
+    // runs for the final, failing test), push to stage+1 at the end of the
+    // latch (before the terminator).
+    let token_block = if tl.header == latch {
+        tl.header
+    } else {
+        let in_loop: Vec<BlockId> = tf
+            .successors(tl.header)
+            .into_iter()
+            .filter(|b| tl.contains(*b))
+            .collect();
+        let &[body] = in_loop.as_slice() else {
+            return Err(ParallelizeError::Shape(
+                "header with multiple in-loop successors".into(),
+            ));
+        };
+        body
+    };
+    if stage > 0 {
+        let q = qids[n_value_queues + stage - 1];
+        let pos = tf.phis(token_block).len();
+        tf.insert_inst(
+            token_block,
+            pos,
+            Inst::Call {
+                callee: Callee::Direct(pop_fn),
+                args: vec![q],
+                ret_ty: Type::I64,
+            },
+        );
+    }
+    if stage + 1 < n_stages {
+        let q = qids[n_value_queues + stage];
+        let pos = tf.block(latch).insts.len() - 1;
+        tf.insert_inst(
+            latch,
+            pos,
+            Inst::Call {
+                callee: Callee::Direct(push_fn),
+                args: vec![q, Value::const_i64(0)],
+                ret_ty: Type::Void,
+            },
+        );
+    }
+
+    // Delete foreign unconsumed instructions; patch any remaining use (these
+    // can only be the finish block's live-out stores of reductions owned by
+    // other stages) with the reduction identity.
+    for clone in to_delete {
+        let uses = tf.compute_uses();
+        if let Some(users) = uses.get(&clone) {
+            // Find the matching reduction identity through the original id.
+            let orig = task
+                .value_map
+                .iter()
+                .find(|(_, v)| **v == Value::Inst(clone))
+                .and_then(|(k, _)| k.as_inst());
+            let replacement = orig
+                .and_then(|o| la.reductions.iter().find(|r| r.phi == o))
+                .map(|r| Value::Const(r.identity()))
+                .unwrap_or_else(|| {
+                    let ty = tf.inst(clone).result_type();
+                    Value::Const(identity_for(noelle_ir::inst::BinOp::Add, &ty))
+                });
+            if !users.is_empty() {
+                tf.replace_all_uses(Value::Inst(clone), replacement);
+            }
+        }
+        tf.remove_inst(clone);
+    }
+    // Second pass: deleting may orphan more foreign pure instructions that
+    // only fed deleted ones; they are already detached (removed) above, so
+    // nothing further is needed — removals were unconditional.
+    Ok(())
+}
+
+/// Build `void tramp(env, id, n)` that forwards to `stages[id]`.
+fn build_trampoline(m: &mut Module, name: &str, stages: &[FuncId]) -> FuncId {
+    let mut f = Function::new(
+        name,
+        vec![
+            ("env".into(), Type::I64.ptr_to()),
+            ("task_id".into(), Type::I64),
+            ("n_tasks".into(), Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.add_block("entry");
+    let mut case_blocks = Vec::new();
+    for (s, &sf) in stages.iter().enumerate() {
+        let b = f.add_block(format!("stage{s}"));
+        f.append_inst(
+            b,
+            Inst::Call {
+                callee: Callee::Direct(sf),
+                args: vec![Value::Arg(0), Value::Arg(1), Value::Arg(2)],
+                ret_ty: Type::Void,
+            },
+        );
+        f.set_terminator(b, Terminator::Ret(None));
+        case_blocks.push((s as i64, b));
+    }
+    let default = case_blocks[0].1;
+    f.set_terminator(
+        entry,
+        Terminator::Switch {
+            value: Value::Arg(1),
+            default,
+            cases: case_blocks,
+        },
+    );
+    let _ = task_fn_ptr_type();
+    m.add_function(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_core::noelle::AliasTier;
+    use noelle_ir::parser::parse_module;
+    use noelle_runtime::{run_module, RunConfig};
+
+    /// A classic DSWP loop: load a[i] (stage 0) -> heavy transform (stage 1)
+    /// -> accumulate (stage 1/2). The load feeds a long dependence chain,
+    /// so pipelining it across cores overlaps memory and compute.
+    const DSWP_PROGRAM: &str = r#"
+module "dswpdemo" {
+declare i64* @malloc(i64 %n)
+define i64 @kernel(i64* %a, i64 %n) {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: i64 0] [body: %i2]
+  %s = phi i64 [entry: i64 0] [body: %s2]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %p = gep i64, %a, %i
+  %v = load i64, %p
+  %t1 = mul i64 %v, %v
+  %u0 = div i64 %t1, i64 7
+  %w0 = add i64 %u0, %v
+  %u1 = div i64 %w0, i64 3
+  %w1 = add i64 %u1, %v
+  %u2 = div i64 %w1, i64 5
+  %w2 = add i64 %u2, %v
+  %u3 = div i64 %w2, i64 9
+  %w3 = add i64 %u3, %v
+  %u4 = div i64 %w3, i64 11
+  %w4 = add i64 %u4, %v
+  %u5 = div i64 %w4, i64 13
+  %w5 = add i64 %u5, %v
+  %u6 = div i64 %w5, i64 2
+  %w6 = add i64 %u6, %v
+  %u7 = div i64 %w6, i64 17
+  %w7 = add i64 %u7, %v
+  %u8 = div i64 %w7, i64 19
+  %w8 = add i64 %u8, %v
+  %u9 = div i64 %w8, i64 23
+  %w9 = add i64 %u9, %v
+  %u10 = div i64 %w9, i64 7
+  %w10 = add i64 %u10, %v
+  %u11 = div i64 %w10, i64 3
+  %w11 = add i64 %u11, %v
+  %u12 = div i64 %w11, i64 5
+  %w12 = add i64 %u12, %v
+  %u13 = div i64 %w12, i64 9
+  %w13 = add i64 %u13, %v
+  %u14 = div i64 %w13, i64 11
+  %w14 = add i64 %u14, %v
+  %u15 = div i64 %w14, i64 13
+  %w15 = add i64 %u15, %v
+  %u16 = div i64 %w15, i64 2
+  %w16 = add i64 %u16, %v
+  %u17 = div i64 %w16, i64 17
+  %w17 = add i64 %u17, %v
+  %u18 = div i64 %w17, i64 19
+  %w18 = add i64 %u18, %v
+  %u19 = div i64 %w18, i64 23
+  %w19 = add i64 %u19, %v
+  %s2 = add i64 %s, %w19
+  %i2 = add i64 %i, i64 1
+  br header
+exit:
+  ret %s
+}
+define i64 @main() {
+entry:
+  %buf = call i64* @malloc(i64 4096)
+  br fill
+fill:
+  %i = phi i64 [entry: i64 0] [fill: %i2]
+  %p = gep i64, %buf, %i
+  %x = mul i64 %i, i64 37
+  %y = and i64 %x, i64 255
+  store i64 %y, %p
+  %i2 = add i64 %i, i64 1
+  %c = icmp slt i64 %i2, i64 512
+  condbr %c, fill, done
+done:
+  %s = call i64 @kernel(%buf, i64 512)
+  ret %s
+}
+}
+"#;
+
+    #[test]
+    fn dswp_pipelines_and_preserves_semantics() {
+        let m = parse_module(DSWP_PROGRAM).unwrap();
+        let seq = run_module(&m, "main", &[], &RunConfig::default()).unwrap();
+
+        let mut noelle = Noelle::new(m, AliasTier::Full);
+        let report = run(
+            &mut noelle,
+            &DswpOptions {
+                n_stages: 2,
+                min_hotness: 0.0,
+            },
+        );
+        assert!(
+            report.parallelized.iter().any(|(f, _)| f == "kernel"),
+            "kernel loop must pipeline: {report:?}"
+        );
+        let m2 = noelle.into_module();
+        noelle_ir::verifier::verify_module(&m2)
+            .unwrap_or_else(|e| panic!("transformed module verifies: {e}"));
+        let par = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(par.ret_i64(), seq.ret_i64(), "semantics preserved");
+        assert!(par.counters.get("queues").copied().unwrap_or(0) >= 1);
+        assert!(par.counters.get("queue_ops").copied().unwrap_or(0) > 100);
+        let speedup = seq.cycles as f64 / par.cycles as f64;
+        assert!(speedup > 1.05, "pipelining must pay off: {speedup:.2}");
+    }
+
+    #[test]
+    fn loops_without_pipeline_structure_are_skipped() {
+        // A single tiny SCC: nothing to pipeline.
+        let src = r#"
+module "t" {
+define i64 @main() {
+entry:
+  br header
+header:
+  %i = phi i64 [entry: i64 0] [header: %i2]
+  %i2 = add i64 %i, i64 1
+  %c = icmp slt i64 %i2, i64 100
+  condbr %c, header, exit
+exit:
+  ret %i2
+}
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut noelle = Noelle::new(m, AliasTier::Full);
+        let report = run(
+            &mut noelle,
+            &DswpOptions {
+                n_stages: 2,
+                min_hotness: 0.0,
+            },
+        );
+        assert_eq!(report.count(), 0, "{report:?}");
+    }
+}

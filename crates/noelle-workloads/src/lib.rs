@@ -1,0 +1,251 @@
+//! # noelle-workloads
+//!
+//! The benchmark corpus standing in for the paper's 41 benchmarks from SPEC
+//! CPU2017, PARSEC 3.0, and MiBench (DESIGN.md documents the substitution).
+//! Each workload is a synthetic program named after its counterpart whose
+//! loop/memory/call structure mimics the original's qualitative character:
+//!
+//! - PARSEC-like programs are loop-centric with hot, often parallelizable
+//!   kernels (maps, reductions, stencils, Monte-Carlo draws);
+//! - MiBench-like programs mix small kernels with bit-twiddling sequential
+//!   recurrences (`crc32` and `sha` stay sequential — the paper calls out
+//!   crc as resisting its parallelizers);
+//! - SPEC-like programs are dominated by sequential chains with only small
+//!   parallel fractions, which is why the paper reports just 1–5% speedups
+//!   there.
+//!
+//! Every workload also carries a couple of uncalled helper functions so the
+//! §4.5 dead-function-elimination experiment has something to find.
+
+pub mod kernels;
+
+use noelle_ir::Module;
+
+/// Benchmark suite a workload imitates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// PARSEC 3.0-like.
+    Parsec,
+    /// MiBench-like.
+    MiBench,
+    /// SPEC CPU2017-like.
+    Spec,
+}
+
+impl Suite {
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Parsec => "PARSEC",
+            Suite::MiBench => "MiBench",
+            Suite::Spec => "SPEC CPU2017",
+        }
+    }
+}
+
+/// The kernel shapes a workload is assembled from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kernel {
+    MapLight,
+    MapHeavy,
+    SumLight,
+    SumHeavy,
+    Min,
+    FSum,
+    Stencil,
+    SeqChain,
+    Hist,
+    Scratch,
+    Monte,
+    Branchy,
+    CallWork,
+    Indirect,
+    Pipe,
+    SeqChainHeavy,
+}
+
+/// One synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Name (after the benchmark it imitates).
+    pub name: &'static str,
+    /// Suite it belongs to.
+    pub suite: Suite,
+    /// Array length driving the problem size.
+    pub n: i64,
+    /// Kernels composing the program, called in order from `main`.
+    pub kernels: &'static [Kernel],
+    /// How many times `main` repeats the kernel sequence (sequential-heavy
+    /// programs use more passes so input preparation stays cold).
+    pub passes: usize,
+}
+
+impl Workload {
+    /// Materialize the workload as an IR module (deterministic).
+    pub fn build(&self) -> Module {
+        let mut m = Module::new(self.name);
+        let mut fids = Vec::new();
+        for (k, kind) in self.kernels.iter().enumerate() {
+            let name = format!("kernel{k}");
+            let fid = match kind {
+                Kernel::MapLight => kernels::add_map(&mut m, &name, false),
+                Kernel::MapHeavy => kernels::add_map(&mut m, &name, true),
+                Kernel::SumLight => kernels::add_sum(&mut m, &name, false),
+                Kernel::SumHeavy => kernels::add_sum(&mut m, &name, true),
+                Kernel::Min => kernels::add_min(&mut m, &name),
+                Kernel::FSum => kernels::add_fsum(&mut m, &name),
+                Kernel::Stencil => kernels::add_stencil(&mut m, &name),
+                Kernel::SeqChain => kernels::add_seq_chain(&mut m, &name),
+                Kernel::Hist => kernels::add_hist(&mut m, &name),
+                Kernel::Scratch => kernels::add_scratch(&mut m, &name),
+                Kernel::Monte => kernels::add_monte(&mut m, &name),
+                Kernel::Branchy => kernels::add_branchy(&mut m, &name),
+                Kernel::CallWork => kernels::add_call_work(&mut m, &name),
+                Kernel::Indirect => kernels::add_indirect(&mut m, &name),
+                Kernel::Pipe => kernels::add_pipe(&mut m, &name),
+                Kernel::SeqChainHeavy => kernels::add_seq_chain_heavy(&mut m, &name),
+            };
+            fids.push(fid);
+        }
+        kernels::add_dead_functions(&mut m, 2, 1);
+        kernels::add_main(&mut m, &fids, self.n, self.passes, self.n == 512);
+        m
+    }
+}
+
+use Kernel::*;
+
+/// The full 41-benchmark corpus.
+pub fn all() -> Vec<Workload> {
+    let w = |name, suite, n, kernels| Workload {
+        name,
+        suite,
+        n,
+        kernels,
+        passes: if suite == Suite::Spec { 3 } else { 1 },
+    };
+    let wp = |name, suite, n, kernels, passes| Workload {
+        name,
+        suite,
+        n,
+        kernels,
+        passes,
+    };
+    vec![
+        // ------------------------- PARSEC-like (13) ------------------------
+        w("blackscholes", Suite::Parsec, 512, &[FSum, MapHeavy][..]),
+        w("bodytrack", Suite::Parsec, 384, &[Monte, MapLight]),
+        wp("canneal", Suite::Parsec, 384, &[Hist, SeqChain][..], 2),
+        w("dedup", Suite::Parsec, 384, &[Hist, SumLight]),
+        w("facesim", Suite::Parsec, 448, &[Stencil, FSum]),
+        w("ferret", Suite::Parsec, 320, &[Indirect, SumHeavy]),
+        w("fluidanimate", Suite::Parsec, 512, &[Stencil, MapLight]),
+        w("freqmine", Suite::Parsec, 384, &[Hist, SumHeavy]),
+        w("raytrace", Suite::Parsec, 448, &[FSum, Pipe]),
+        w("streamcluster", Suite::Parsec, 512, &[Min, MapHeavy]),
+        w("swaptions", Suite::Parsec, 448, &[SumHeavy, Monte]),
+        w("vips", Suite::Parsec, 512, &[MapHeavy, MapLight]),
+        w("x264", Suite::Parsec, 384, &[Branchy, MapLight]),
+        // ------------------------- MiBench-like (14) -----------------------
+        w("basicmath", Suite::MiBench, 384, &[FSum]),
+        w("bitcount", Suite::MiBench, 512, &[SumLight, MapLight]),
+        w("qsort", Suite::MiBench, 320, &[CallWork, SumLight]),
+        w("susan", Suite::MiBench, 448, &[MapHeavy, Branchy]),
+        w("jpeg", Suite::MiBench, 384, &[MapHeavy, Hist]),
+        w("dijkstra", Suite::MiBench, 384, &[Min, SumLight]),
+        w("patricia", Suite::MiBench, 320, &[Hist, SumLight]),
+        w("stringsearch", Suite::MiBench, 384, &[Branchy, SumLight]),
+        w("blowfish", Suite::MiBench, 384, &[MapLight, SeqChain]),
+        wp("sha", Suite::MiBench, 448, &[SeqChain, SumLight][..], 2),
+        wp("crc32", Suite::MiBench, 512, &[SeqChain][..], 3),
+        w("fft", Suite::MiBench, 448, &[FSum, Stencil]),
+        wp("adpcm", Suite::MiBench, 448, &[SeqChain, MapLight][..], 2),
+        w("gsm", Suite::MiBench, 384, &[SeqChain, SumHeavy]),
+        // ------------------------ SPEC-like (14) ---------------------------
+        w("perlbench", Suite::Spec, 448, &[SeqChainHeavy, MapLight]),
+        w("mcf", Suite::Spec, 448, &[SeqChainHeavy, Min]),
+        w("omnetpp", Suite::Spec, 384, &[SeqChainHeavy, CallWork]),
+        w("xalancbmk", Suite::Spec, 384, &[SeqChainHeavy, Hist]),
+        w("deepsjeng", Suite::Spec, 448, &[SeqChainHeavy, Branchy]),
+        w("leela", Suite::Spec, 384, &[SeqChainHeavy, Monte]),
+        w("exchange2", Suite::Spec, 448, &[SeqChainHeavy, SumLight]),
+        w("xz", Suite::Spec, 512, &[SeqChainHeavy, SeqChain, SumLight]),
+        w("bwaves", Suite::Spec, 448, &[SeqChainHeavy, SumLight]),
+        w("cactuBSSN", Suite::Spec, 448, &[SeqChainHeavy, MapLight]),
+        w("lbm", Suite::Spec, 512, &[SeqChainHeavy, SeqChain, MapLight]),
+        w("imagick", Suite::Spec, 448, &[SeqChainHeavy, MapLight]),
+        w("nab", Suite::Spec, 384, &[SeqChainHeavy, SumLight]),
+        w("wrf", Suite::Spec, 448, &[SeqChainHeavy, Scratch]),
+    ]
+}
+
+/// The workloads of one suite.
+pub fn suite(s: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == s).collect()
+}
+
+/// Look up one workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_runtime::{run_module, RunConfig};
+
+    #[test]
+    fn corpus_has_41_benchmarks_across_three_suites() {
+        let ws = all();
+        assert_eq!(ws.len(), 41);
+        assert_eq!(suite(Suite::Parsec).len(), 13);
+        assert_eq!(suite(Suite::MiBench).len(), 14);
+        assert_eq!(suite(Suite::Spec).len(), 14);
+        // Unique names.
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 41);
+        assert!(by_name("crc32").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_verifies_and_runs() {
+        for w in all() {
+            let m = w.build();
+            noelle_ir::verifier::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} does not verify: {e}", w.name));
+            let r = run_module(&m, "main", &[], &RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+            assert!(r.ret_i64().is_some(), "{} returned no value", w.name);
+            assert!(r.cycles > 1000, "{} did too little work", w.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let w = by_name("blackscholes").unwrap();
+        let a = noelle_ir::printer::print_module(&w.build());
+        let b = noelle_ir::printer::print_module(&w.build());
+        assert_eq!(a, b);
+        let r1 = run_module(&w.build(), "main", &[], &RunConfig::default()).unwrap();
+        let r2 = run_module(&w.build(), "main", &[], &RunConfig::default()).unwrap();
+        assert_eq!(r1.ret_i64(), r2.ret_i64());
+        assert_eq!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn workloads_round_trip_through_text() {
+        for w in [by_name("crc32").unwrap(), by_name("ferret").unwrap()] {
+            let m = w.build();
+            let text = noelle_ir::printer::print_module(&m);
+            let m2 = noelle_ir::parser::parse_module(&text)
+                .unwrap_or_else(|e| panic!("{} does not reparse: {e}", w.name));
+            let r1 = run_module(&m, "main", &[], &RunConfig::default()).unwrap();
+            let r2 = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();
+            assert_eq!(r1.ret_i64(), r2.ret_i64());
+        }
+    }
+}

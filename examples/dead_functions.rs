@@ -1,0 +1,31 @@
+//! §4.5 in miniature: dead-function elimination over the complete call
+//! graph, including indirect-call targets that must be kept.
+//!
+//! Run with: `cargo run --example dead_functions`
+
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::runtime::{run_module, RunConfig};
+
+fn main() {
+    let w = noelle::workloads::by_name("ferret").expect("known workload");
+    let m = w.build();
+    let before = run_module(&m, "main", &[], &RunConfig::default()).expect("runs");
+
+    let mut noelle = Noelle::new(m, AliasTier::Full);
+    let report = noelle::transforms::dead::run(&mut noelle, "main");
+    println!(
+        "removed {} function(s): {:?}",
+        report.removed.len(),
+        report.removed
+    );
+    println!(
+        "instructions: {} -> {} ({:.1}% smaller)",
+        report.insts_before,
+        report.insts_after,
+        100.0 * report.reduction()
+    );
+    let m2 = noelle.into_module();
+    let after = run_module(&m2, "main", &[], &RunConfig::default()).expect("still runs");
+    assert_eq!(after.ret_i64(), before.ret_i64());
+    println!("semantics preserved: result = {:?}", after.ret_i64());
+}

@@ -1,0 +1,30 @@
+//! CARAT in miniature: inject memory guards, observe the optimizer removing
+//! redundant ones and hoisting loop-invariant ones, and count the runtime
+//! guard executions.
+//!
+//! Run with: `cargo run --example guards`
+
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::runtime::{run_module, RunConfig};
+
+fn main() {
+    let w = noelle::workloads::by_name("fluidanimate").expect("known workload");
+    let m = w.build();
+    let before = run_module(&m, "main", &[], &RunConfig::default()).expect("runs");
+
+    let mut noelle = Noelle::new(m, AliasTier::Full);
+    let report = noelle::transforms::carat::run(&mut noelle);
+    println!(
+        "guards inserted: {} (static proofs: {}, redundant skipped: {}, hoisted: {})",
+        report.guarded, report.proven, report.redundant, report.hoisted
+    );
+    let m2 = noelle.into_module();
+    noelle::ir::verifier::verify_module(&m2).expect("verifies");
+    let after = run_module(&m2, "main", &[], &RunConfig::default()).expect("runs guarded");
+    assert_eq!(after.ret_i64(), before.ret_i64());
+    println!(
+        "runtime guard executions: {}  (overhead: {:.1}%)",
+        after.counters.get("guards").copied().unwrap_or(0),
+        100.0 * (after.cycles as f64 / before.cycles as f64 - 1.0)
+    );
+}
