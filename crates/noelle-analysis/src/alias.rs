@@ -50,9 +50,23 @@ pub enum MemoryObject {
 
 /// Interface shared by all alias analyses: answer whether two pointer values
 /// of function `fid` may address the same memory.
-pub trait AliasAnalysis {
+///
+/// `Sync` is a supertrait so `&dyn AliasAnalysis` can be shared across the
+/// per-function PDG construction threads; every analysis here is immutable
+/// after construction (or, for [`CachedAlias`], internally synchronized).
+pub trait AliasAnalysis: Sync {
     /// Query aliasing of pointers `a` and `b`, both values of function `fid`.
     fn alias(&self, fid: FuncId, a: Value, b: Value) -> AliasResult;
+
+    /// The set of abstract objects pointer `ptr` may address, or `None` when
+    /// the analysis cannot bound it. The contract consumed by the PDG's
+    /// base-object bucketing: whenever `base_objects` returns disjoint
+    /// non-`None` sets for two pointers, `alias` on that pair returns
+    /// [`AliasResult::No`] — so the pair can be skipped without querying.
+    fn base_objects(&self, fid: FuncId, ptr: Value) -> Option<BTreeSet<MemoryObject>> {
+        let _ = (fid, ptr);
+        None
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -289,6 +303,18 @@ impl AliasAnalysis for BasicAlias<'_> {
         }
 
         AliasResult::May
+    }
+
+    fn base_objects(&self, fid: FuncId, ptr: Value) -> Option<BTreeSet<MemoryObject>> {
+        // Sound for bucketing because the underlying-object rule in `alias`
+        // answers `No` on any pair of fully-known disjoint base sets, and the
+        // earlier const-gep rules only produce `Must`/`May` for pointers
+        // sharing a base (hence sharing base objects).
+        let objs = underlying_objects(self.module, fid, ptr);
+        if objs.is_empty() || objs.contains(&None) {
+            return None;
+        }
+        Some(objs.into_iter().flatten().collect())
     }
 
     fn name(&self) -> &'static str {
@@ -798,6 +824,16 @@ impl AliasAnalysis for AndersenAlias {
         AliasResult::May
     }
 
+    fn base_objects(&self, fid: FuncId, ptr: Value) -> Option<BTreeSet<MemoryObject>> {
+        // Sound for bucketing: `alias` answers `No` exactly when both
+        // points-to sets are non-empty, Unknown-free, and disjoint.
+        let pts = self.points_to(fid, ptr);
+        if pts.is_empty() || pts.contains(&MemoryObject::Unknown) {
+            return None;
+        }
+        Some(pts)
+    }
+
     fn name(&self) -> &'static str {
         "andersen-aa"
     }
@@ -825,11 +861,133 @@ impl AliasAnalysis for AliasStack<'_> {
                 decisive => return decisive,
             }
         }
+        // Cross-tier rule: each tier's base set over-approximates the
+        // concrete objects its pointer can address, so the tightest sets may
+        // come from different tiers and still prove disjointness. This also
+        // makes the stack honor the `base_objects` bucketing contract.
+        if let (Some(sa), Some(sb)) = (self.base_objects(fid, a), self.base_objects(fid, b)) {
+            if sa.intersection(&sb).next().is_none() {
+                return AliasResult::No;
+            }
+        }
         AliasResult::May
+    }
+
+    fn base_objects(&self, fid: FuncId, ptr: Value) -> Option<BTreeSet<MemoryObject>> {
+        // The tightest (smallest) known set among the tiers.
+        self.tiers
+            .iter()
+            .filter_map(|t| t.base_objects(fid, ptr))
+            .min_by_key(BTreeSet::len)
     }
 
     fn name(&self) -> &'static str {
         "alias-stack"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memoizing wrapper
+// ---------------------------------------------------------------------------
+
+/// Shared memoization state for [`CachedAlias`]. Owns nothing about the
+/// module, so it can outlive the (borrowing) analyses it accelerates: the
+/// `Noelle` manager keeps one across queries and wraps each freshly-built
+/// alias stack around it. Internally synchronized, so one cache may serve
+/// the parallel per-function PDG builders concurrently.
+#[derive(Default)]
+pub struct AliasQueryCache {
+    alias: std::sync::RwLock<HashMap<(FuncId, Value, Value), AliasResult>>,
+    bases: std::sync::RwLock<HashMap<(FuncId, Value), Option<BTreeSet<MemoryObject>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl AliasQueryCache {
+    /// An empty cache.
+    pub fn new() -> AliasQueryCache {
+        AliasQueryCache::default()
+    }
+
+    /// `(hits, misses)` accumulated over both query kinds.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of queries answered from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drop all memoized results (module mutated) but keep the counters.
+    pub fn clear(&self) {
+        self.alias.write().unwrap().clear();
+        self.bases.write().unwrap().clear();
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Memoizing wrapper over any alias analysis. Alias keys are canonicalized
+/// to `(min, max)` — every analysis here is symmetric in its arguments — so
+/// a query and its flip share one entry.
+pub struct CachedAlias<'a> {
+    inner: &'a dyn AliasAnalysis,
+    cache: &'a AliasQueryCache,
+}
+
+impl<'a> CachedAlias<'a> {
+    /// Wrap `inner`, memoizing into `cache`.
+    pub fn new(inner: &'a dyn AliasAnalysis, cache: &'a AliasQueryCache) -> CachedAlias<'a> {
+        CachedAlias { inner, cache }
+    }
+}
+
+impl AliasAnalysis for CachedAlias<'_> {
+    fn alias(&self, fid: FuncId, a: Value, b: Value) -> AliasResult {
+        let key = if a <= b { (fid, a, b) } else { (fid, b, a) };
+        if let Some(&r) = self.cache.alias.read().unwrap().get(&key) {
+            self.cache.hit();
+            return r;
+        }
+        self.cache.miss();
+        let r = self.inner.alias(key.0, key.1, key.2);
+        self.cache.alias.write().unwrap().insert(key, r);
+        r
+    }
+
+    fn base_objects(&self, fid: FuncId, ptr: Value) -> Option<BTreeSet<MemoryObject>> {
+        if let Some(r) = self.cache.bases.read().unwrap().get(&(fid, ptr)) {
+            self.cache.hit();
+            return r.clone();
+        }
+        self.cache.miss();
+        let r = self.inner.base_objects(fid, ptr);
+        self.cache
+            .bases
+            .write()
+            .unwrap()
+            .insert((fid, ptr), r.clone());
+        r
+    }
+
+    fn name(&self) -> &'static str {
+        "cached-aa"
     }
 }
 
@@ -1091,6 +1249,57 @@ mod tests {
             stack.alias(fid, Value::Global(g1), Value::Global(g1)),
             AliasResult::Must
         );
+    }
+
+    #[test]
+    fn base_objects_honor_bucketing_contract() {
+        let mut b = FunctionBuilder::new("f", vec![("p", Type::I64.ptr_to())], Type::Void);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let p = b.alloca(Type::I64);
+        let q = b.alloca(Type::I64);
+        b.ret(None);
+        let (m, fid) = module_with(b.finish());
+        let basic = BasicAlias::new(&m);
+        let andersen = AndersenAlias::new(&m);
+        let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+        for aa in [&basic as &dyn AliasAnalysis, &andersen, &stack] {
+            let sp = aa.base_objects(fid, p).expect("alloca base is known");
+            let sq = aa.base_objects(fid, q).expect("alloca base is known");
+            // Disjoint known sets must imply a `No` answer.
+            assert!(sp.intersection(&sq).next().is_none());
+            assert_eq!(aa.alias(fid, p, q), AliasResult::No, "{}", aa.name());
+        }
+        // An incoming argument has no bounded base set under the basic tier.
+        assert_eq!(basic.base_objects(fid, Value::Arg(0)), None);
+    }
+
+    #[test]
+    fn cached_alias_memoizes_and_canonicalizes() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let p = b.alloca(Type::I64);
+        let q = b.alloca(Type::I64);
+        b.ret(None);
+        let (m, fid) = module_with(b.finish());
+        let basic = BasicAlias::new(&m);
+        let cache = AliasQueryCache::new();
+        let cached = CachedAlias::new(&basic, &cache);
+        assert_eq!(cached.alias(fid, p, q), AliasResult::No);
+        // The flipped query is the same canonical key: a hit.
+        assert_eq!(cached.alias(fid, q, p), AliasResult::No);
+        assert_eq!(cache.stats(), (1, 1));
+        // Base-object queries memoize too.
+        let s1 = cached.base_objects(fid, p);
+        let s2 = cached.base_objects(fid, p);
+        assert_eq!(s1, s2);
+        assert_eq!(cache.stats(), (2, 2));
+        // Clearing drops entries (next query misses) but keeps counters.
+        cache.clear();
+        assert_eq!(cached.alias(fid, p, q), AliasResult::No);
+        assert_eq!(cache.stats(), (2, 3));
+        assert!(cache.hit_rate() > 0.0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Criterion benchmarks over the experiment regeneration paths: one bench
-//! per table/figure family, each exercising the same code the `src/bin`
-//! printers run (on reduced inputs so `cargo bench` stays fast).
+//! Benchmarks over the experiment regeneration paths: one measurement per
+//! table/figure family, each exercising the same code the `src/bin`
+//! printers run (on reduced inputs so the bench stays fast).
+//!
+//! Plain `std::time` harness (harness = false; the registry is offline, so
+//! no criterion): each measurement reports the median of `SAMPLES` runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use noelle_analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
 use noelle_analysis::modref::ModRefSummaries;
 use noelle_core::invariants::{invariants_llvm, invariants_noelle};
@@ -12,30 +14,53 @@ use noelle_ir::dom::DomTree;
 use noelle_ir::loops::LoopForest;
 use noelle_pdg::pdg::{memory_dependence_stats, PdgBuilder};
 use noelle_runtime::{run_module, RunConfig};
+use std::time::Instant;
 
-fn sample() -> noelle_ir::Module {
-    noelle_workloads::by_name("streamcluster").expect("exists").build()
+const SAMPLES: usize = 10;
+
+fn median_micros(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
 }
 
-fn bench_fig3(c: &mut Criterion) {
+fn report(name: &str, micros: f64) {
+    println!("{name:<40} {micros:>12.1} us");
+}
+
+fn sample() -> noelle_ir::Module {
+    noelle_workloads::by_name("streamcluster")
+        .expect("exists")
+        .build()
+}
+
+fn bench_fig3() {
     let m = sample();
-    c.bench_function("fig3_dependence_stats", |b| {
-        b.iter(|| {
+    report(
+        "fig3_dependence_stats",
+        median_micros(|| {
             let basic = BasicAlias::new(&m);
             let andersen = AndersenAlias::new(&m);
             let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
-            (
+            std::hint::black_box((
                 memory_dependence_stats(&m, &basic),
                 memory_dependence_stats(&m, &stack),
-            )
-        })
-    });
+            ));
+        }),
+    );
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4() {
     let m = sample();
-    c.bench_function("fig4_invariants_both_algorithms", |b| {
-        b.iter(|| {
+    report(
+        "fig4_invariants_both_algorithms",
+        median_micros(|| {
             let modref = ModRefSummaries::compute(&m);
             let basic = BasicAlias::new(&m);
             let builder = PdgBuilder::new(&m, &basic);
@@ -53,15 +78,16 @@ fn bench_fig4(c: &mut Criterion) {
                     total += invariants_noelle(f, l, &g).len();
                 }
             }
-            total
-        })
-    });
+            std::hint::black_box(total);
+        }),
+    );
 }
 
-fn bench_fig5_one_benchmark(c: &mut Criterion) {
+fn bench_fig5_one_benchmark() {
     // One full Figure 5 cell: profile, parallelize with DOALL, re-run.
-    c.bench_function("fig5_doall_blackscholes", |b| {
-        b.iter(|| {
+    report(
+        "fig5_doall_blackscholes",
+        median_micros(|| {
             let w = noelle_workloads::by_name("blackscholes").expect("exists");
             let mut m = w.build();
             let cfg = RunConfig {
@@ -80,23 +106,32 @@ fn bench_fig5_one_benchmark(c: &mut Criterion) {
                 },
             );
             let m2 = noelle.into_module();
-            run_module(&m2, "main", &[], &RunConfig::default())
-                .expect("parallel runs")
-                .cycles
-        })
-    });
+            std::hint::black_box(
+                run_module(&m2, "main", &[], &RunConfig::default())
+                    .expect("parallel runs")
+                    .cycles,
+            );
+        }),
+    );
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let m = sample();
-    c.bench_function("simulator_sequential_run", |b| {
-        b.iter(|| run_module(&m, "main", &[], &RunConfig::default()).expect("runs").cycles)
-    });
+    report(
+        "simulator_sequential_run",
+        median_micros(|| {
+            std::hint::black_box(
+                run_module(&m, "main", &[], &RunConfig::default())
+                    .expect("runs")
+                    .cycles,
+            );
+        }),
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig3, bench_fig4, bench_fig5_one_benchmark, bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig3();
+    bench_fig4();
+    bench_fig5_one_benchmark();
+    bench_simulator();
+}

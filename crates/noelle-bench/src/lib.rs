@@ -85,11 +85,14 @@ pub fn fig4_invariants() -> Vec<Fig4Row> {
         .iter()
         .map(|w| {
             let m = w.build();
-            let modref = ModRefSummaries::compute(&m);
+            // One mod/ref summary + one PDG builder shared by both
+            // algorithms: Algorithm 1 consumes the summaries directly and
+            // the builder reuses the same Arc instead of recomputing.
+            let modref = std::sync::Arc::new(ModRefSummaries::compute(&m));
             let basic = BasicAlias::new(&m);
             let andersen = AndersenAlias::new(&m);
             let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
-            let builder = PdgBuilder::new(&m, &stack);
+            let builder = PdgBuilder::new_with_modref(&m, &stack, std::sync::Arc::clone(&modref));
             let (mut n_llvm, mut n_noelle) = (0usize, 0usize);
             for fid in m.func_ids() {
                 let f = m.func(fid);
@@ -99,9 +102,10 @@ pub fn fig4_invariants() -> Vec<Fig4Row> {
                 let cfg = Cfg::new(f);
                 let dt = DomTree::new(f, &cfg);
                 let forest = LoopForest::new(f, &cfg, &dt);
+                let fg = builder.function_pdg(fid);
                 for l in forest.loops() {
                     n_llvm += invariants_llvm(&m, fid, l, &dt, &basic, &modref).len();
-                    let g = builder.loop_pdg(fid, l);
+                    let g = builder.loop_pdg_with(fid, l, &fg);
                     n_noelle += invariants_noelle(f, l, &g).len();
                 }
             }

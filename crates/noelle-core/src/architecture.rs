@@ -8,13 +8,13 @@
 //! documents — and consumed identically by HELIX's helper-thread placement
 //! and by the simulated runtime's communication costs.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// Metadata key under which the architecture description is embedded.
 pub const ARCH_KEY: &str = "noelle.arch";
 
 /// A machine description.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Architecture {
     /// Human-readable name.
     pub name: String,
@@ -107,20 +107,82 @@ impl Architecture {
             .unwrap_or(0)
     }
 
+    /// Serialize to a JSON value (the embedding format).
+    pub fn to_json(&self) -> Json {
+        let matrix = |m: &Vec<Vec<u64>>| {
+            Json::Array(
+                m.iter()
+                    .map(|row| Json::Array(row.iter().map(|&c| Json::Int(c as i64)).collect()))
+                    .collect(),
+            )
+        };
+        Json::object([
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("num_cores".to_string(), Json::Int(self.num_cores as i64)),
+            ("smt".to_string(), Json::Int(self.smt as i64)),
+            ("numa_nodes".to_string(), Json::Int(self.numa_nodes as i64)),
+            (
+                "core_to_numa".to_string(),
+                Json::Array(
+                    self.core_to_numa
+                        .iter()
+                        .map(|&n| Json::Int(n as i64))
+                        .collect(),
+                ),
+            ),
+            ("latency".to_string(), matrix(&self.latency)),
+            ("bandwidth".to_string(), matrix(&self.bandwidth)),
+            (
+                "dispatch_overhead".to_string(),
+                Json::Int(self.dispatch_overhead as i64),
+            ),
+            (
+                "queue_op_cost".to_string(),
+                Json::Int(self.queue_op_cost as i64),
+            ),
+        ])
+    }
+
+    /// Deserialize from the JSON produced by [`Architecture::to_json`].
+    pub fn from_json(v: &Json) -> Option<Architecture> {
+        let matrix = |j: &Json| -> Option<Vec<Vec<u64>>> {
+            j.as_array()?
+                .iter()
+                .map(|row| row.as_array()?.iter().map(Json::as_u64).collect())
+                .collect()
+        };
+        Some(Architecture {
+            name: v.get("name")?.as_str()?.to_string(),
+            num_cores: v.get("num_cores")?.as_u64()? as usize,
+            smt: v.get("smt")?.as_u64()? as usize,
+            numa_nodes: v.get("numa_nodes")?.as_u64()? as usize,
+            core_to_numa: v
+                .get("core_to_numa")?
+                .as_array()?
+                .iter()
+                .map(|n| Some(n.as_u64()? as usize))
+                .collect::<Option<Vec<usize>>>()?,
+            latency: matrix(v.get("latency")?)?,
+            bandwidth: matrix(v.get("bandwidth")?)?,
+            dispatch_overhead: v.get("dispatch_overhead")?.as_u64()?,
+            queue_op_cost: v.get("queue_op_cost")?.as_u64()?,
+        })
+    }
+
     /// Embed this description into module metadata (what `noelle-arch`
     /// writes).
     pub fn embed(&self, m: &mut noelle_ir::Module) {
-        m.metadata.insert(
-            ARCH_KEY.to_string(),
-            serde_json::to_string(self).expect("architecture serializes"),
-        );
+        m.metadata
+            .insert(ARCH_KEY.to_string(), self.to_json().to_string_compact());
     }
 
     /// Read a description embedded by [`Architecture::embed`].
     pub fn from_module(m: &noelle_ir::Module) -> Option<Architecture> {
         m.metadata
             .get(ARCH_KEY)
-            .and_then(|s| serde_json::from_str(s).ok())
+            .and_then(|s| Json::parse(s))
+            .as_ref()
+            .and_then(Architecture::from_json)
     }
 }
 

@@ -1,0 +1,420 @@
+//! A minimal, dependency-free JSON value type with a parser and printers.
+//!
+//! The build environment has no network access to crates.io, so the
+//! metadata-embedding paths (profiles, architecture descriptions, PDG
+//! summaries) serialize through this module instead of serde. Objects keep
+//! their keys in a `BTreeMap` so every serialization is deterministic — a
+//! requirement for the byte-identical module round-trip tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without a fractional part (kept exact).
+    Int(i64),
+    /// A fractional number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Object(pairs.into_iter().collect())
+    }
+
+    /// The value as an i64 (integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?.get(key)
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented multi-line rendering.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    // Keep the float/int distinction through a round trip.
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Returns `None` on any syntax error or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'n' => parse_lit(b, pos, "null", Json::Null),
+        b't' => parse_lit(b, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Array(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                eat(b, pos, b':')?;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Object(map));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Option<Json> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = *b.get(*pos)?;
+        *pos += 1;
+        match c {
+            b'"' => return Some(out),
+            b'\\' => {
+                let e = *b.get(*pos)?;
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(*pos..*pos + 4)?).ok()?;
+                        *pos += 4;
+                        let cp = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return None,
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let len = utf8_len(c);
+                    let s = std::str::from_utf8(b.get(start..start + len)?).ok()?;
+                    out.push_str(s);
+                    *pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+    if text.is_empty() || text == "-" {
+        return None;
+    }
+    if is_float {
+        text.parse::<f64>().ok().map(Json::Float)
+    } else {
+        text.parse::<i64>().ok().map(Json::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Json::object([
+            ("name".to_string(), Json::Str("machine \"x\"".into())),
+            (
+                "cores".to_string(),
+                Json::Array(vec![Json::Int(0), Json::Int(1)]),
+            ),
+            ("ratio".to_string(), Json::Float(0.5)),
+            ("flag".to_string(), Json::Bool(true)),
+            ("none".to_string(), Json::Null),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a": [1, 2.5, {"b": "c\nd"}], "e": -3}"#).unwrap();
+        assert_eq!(v.get("e").and_then(Json::as_i64), Some(-3));
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].get("b").and_then(Json::as_str), Some("c\nd"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Json::parse("{"), None);
+        assert_eq!(Json::parse("[1,]"), None);
+        assert_eq!(Json::parse("1 2"), None);
+        assert_eq!(Json::parse(""), None);
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = Json::Int(i64::MAX);
+        assert_eq!(Json::parse(&big.to_string_compact()), Some(big));
+        // Floats that print without a dot keep their float-ness.
+        let f = Json::Float(2.0);
+        assert_eq!(Json::parse(&f.to_string_compact()), Some(f));
+    }
+}

@@ -31,6 +31,7 @@ pub mod forest;
 pub mod induction;
 pub mod invariants;
 pub mod ivstepper;
+pub mod json;
 pub mod loop_abs;
 pub mod loop_builder;
 pub mod noelle;

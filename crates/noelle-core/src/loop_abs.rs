@@ -46,9 +46,23 @@ impl LoopAbstraction {
     /// stack. This is the expensive, on-demand computation the `Noelle`
     /// manager caches.
     pub fn build(builder: &PdgBuilder<'_>, fid: FuncId, l: LoopInfo) -> LoopAbstraction {
+        let function_graph = builder.function_pdg(fid);
+        LoopAbstraction::build_with(builder, fid, l, &function_graph)
+    }
+
+    /// [`LoopAbstraction::build`] carving from an already-built function
+    /// PDG — the `Noelle` manager passes its cached whole-program graph so
+    /// requesting several loop abstractions of one function analyzes the
+    /// function once.
+    pub fn build_with(
+        builder: &PdgBuilder<'_>,
+        fid: FuncId,
+        l: LoopInfo,
+        function_graph: &DepGraph<InstId>,
+    ) -> LoopAbstraction {
         let m = builder.module();
         let f = m.func(fid);
-        let pdg = builder.loop_pdg(fid, &l);
+        let pdg = builder.loop_pdg_with(fid, &l, function_graph);
         let sccdag = SccDag::new(f, &l, &pdg);
         let ivs = ivs_noelle(f, &l);
         let invariants = invariants_noelle(f, &l, &pdg);

@@ -14,14 +14,19 @@ use crate::architecture::Architecture;
 use crate::forest::ProgramLoopForest;
 use crate::loop_abs::LoopAbstraction;
 use crate::profiler::Profiles;
-use noelle_analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
+use noelle_analysis::alias::{
+    AliasAnalysis, AliasQueryCache, AliasStack, AndersenAlias, BasicAlias, CachedAlias,
+};
+use noelle_analysis::modref::ModRefSummaries;
 use noelle_ir::cfg::Cfg;
-use noelle_ir::dom::DomTree;
+use noelle_ir::dom::{DomTree, PostDomTree};
 use noelle_ir::loops::{LoopForest, LoopInfo};
 use noelle_ir::module::{FuncId, Module};
 use noelle_pdg::callgraph::CallGraph;
-use noelle_pdg::pdg::PdgBuilder;
-use std::collections::{BTreeSet, HashMap};
+use noelle_pdg::pdg::{PdgBuilder, ProgramPdg};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which alias stack powers the PDG.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,15 +87,42 @@ impl Abstraction {
     }
 }
 
+/// The per-function control-flow structures the manager caches together:
+/// one CFG walk serves the dominator trees and the loop forest.
+#[derive(Debug)]
+pub struct FuncStructures {
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Post-dominator tree.
+    pub postdom: PostDomTree,
+    /// Loop forest.
+    pub forest: LoopForest,
+}
+
+/// Accumulated build-time cost of one cached abstraction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStat {
+    /// Times the abstraction was (re)built from scratch.
+    pub builds: u64,
+    /// Total wall-clock time spent building, in nanoseconds.
+    pub nanos: u128,
+}
+
 /// The NOELLE compilation layer over one module.
 pub struct Noelle {
     module: Module,
     tier: AliasTier,
     andersen: Option<AndersenAlias>,
+    modref: Option<Arc<ModRefSummaries>>,
     call_graph: Option<CallGraph>,
-    forests: HashMap<FuncId, LoopForest>,
+    structures: HashMap<FuncId, FuncStructures>,
+    pdg: Option<Arc<ProgramPdg>>,
+    alias_cache: Arc<AliasQueryCache>,
     profiles: Option<Profiles>,
     requested: BTreeSet<Abstraction>,
+    build_stats: BTreeMap<Abstraction, BuildStat>,
 }
 
 impl Noelle {
@@ -101,10 +133,14 @@ impl Noelle {
             module,
             tier,
             andersen: None,
+            modref: None,
             call_graph: None,
-            forests: HashMap::new(),
+            structures: HashMap::new(),
+            pdg: None,
+            alias_cache: Arc::new(AliasQueryCache::new()),
             profiles: None,
             requested: BTreeSet::new(),
+            build_stats: BTreeMap::new(),
         }
     }
 
@@ -125,11 +161,16 @@ impl Noelle {
         self.module
     }
 
-    /// Drop every cached abstraction.
+    /// Drop every cached abstraction. Alias-cache *entries* are dropped too
+    /// (pointer identities may change under mutation); its hit/miss counters
+    /// survive so reports cover the whole compilation.
     pub fn invalidate(&mut self) {
         self.andersen = None;
+        self.modref = None;
         self.call_graph = None;
-        self.forests.clear();
+        self.structures.clear();
+        self.pdg = None;
+        self.alias_cache.clear();
         self.profiles = None;
     }
 
@@ -156,32 +197,111 @@ impl Noelle {
         }
     }
 
-    /// Run `k` with a [`PdgBuilder`] configured for this manager's alias
-    /// tier. The PDG abstraction is recorded as requested.
-    pub fn with_pdg<R>(&mut self, k: impl FnOnce(&Module, &PdgBuilder<'_>) -> R) -> R {
-        self.note(Abstraction::Pdg);
-        if self.tier == AliasTier::Full {
-            self.ensure_andersen();
+    fn ensure_modref(&mut self) -> Arc<ModRefSummaries> {
+        if self.modref.is_none() {
+            self.modref = Some(Arc::new(ModRefSummaries::compute(&self.module)));
         }
+        Arc::clone(self.modref.as_ref().expect("just set"))
+    }
+
+    fn record_build(&mut self, a: Abstraction, d: Duration) {
+        let s = self.build_stats.entry(a).or_default();
+        s.builds += 1;
+        s.nanos += d.as_nanos();
+    }
+
+    /// Wall-clock cost of every abstraction built so far, by abstraction.
+    pub fn build_stats(&self) -> &BTreeMap<Abstraction, BuildStat> {
+        &self.build_stats
+    }
+
+    /// The persistent alias-query cache (for hit-rate reporting).
+    pub fn alias_cache(&self) -> &AliasQueryCache {
+        &self.alias_cache
+    }
+
+    /// Run `k` against the manager's memoizing alias stack and shared
+    /// mod/ref summaries (the immutable-borrow core of [`Noelle::with_pdg`]
+    /// and [`Noelle::pdg`]).
+    fn with_cached_stack<R>(
+        &self,
+        modref: Arc<ModRefSummaries>,
+        k: impl FnOnce(&Module, &PdgBuilder<'_>) -> R,
+    ) -> R {
         let basic = BasicAlias::new(&self.module);
         let mut tiers: Vec<&dyn AliasAnalysis> = vec![&basic];
         if let (AliasTier::Full, Some(a)) = (self.tier, self.andersen.as_ref()) {
             tiers.push(a);
         }
         let stack = AliasStack::new(tiers);
-        let builder = PdgBuilder::new(&self.module, &stack);
+        let cached = CachedAlias::new(&stack, &self.alias_cache);
+        let builder = PdgBuilder::new_with_modref(&self.module, &cached, modref);
         k(&self.module, &builder)
+    }
+
+    /// Run `k` with a [`PdgBuilder`] configured for this manager's alias
+    /// tier. The builder memoizes alias queries into the manager's
+    /// persistent cache and shares the cached mod/ref summaries, so repeated
+    /// calls do not re-pay analysis costs. The PDG abstraction is recorded
+    /// as requested.
+    pub fn with_pdg<R>(&mut self, k: impl FnOnce(&Module, &PdgBuilder<'_>) -> R) -> R {
+        self.note(Abstraction::Pdg);
+        if self.tier == AliasTier::Full {
+            self.ensure_andersen();
+        }
+        let modref = self.ensure_modref();
+        self.with_cached_stack(modref, k)
+    }
+
+    /// The whole-program PDG, built once (in parallel, demand-driven) and
+    /// shared through a cheap `Arc` handle. Mutating the module through
+    /// [`Noelle::module_mut`] invalidates the cached graph; holders of old
+    /// handles keep a consistent pre-mutation snapshot.
+    pub fn pdg(&mut self) -> Arc<ProgramPdg> {
+        self.note(Abstraction::Pdg);
+        if self.pdg.is_none() {
+            if self.tier == AliasTier::Full {
+                self.ensure_andersen();
+            }
+            let modref = self.ensure_modref();
+            let t = Instant::now();
+            let built = self.with_cached_stack(modref, |_, b| b.program_pdg());
+            self.record_build(Abstraction::Pdg, t.elapsed());
+            self.pdg = Some(Arc::new(built));
+        }
+        Arc::clone(self.pdg.as_ref().expect("just set"))
+    }
+
+    /// The cached control-flow structures (CFG, dominator and post-dominator
+    /// trees, loop forest) of function `fid`, built together on first
+    /// request.
+    pub fn structures(&mut self, fid: FuncId) -> &FuncStructures {
+        self.note(Abstraction::Ls);
+        if !self.structures.contains_key(&fid) {
+            let t = Instant::now();
+            let f = self.module.func(fid);
+            let cfg = Cfg::new(f);
+            let dom = DomTree::new(f, &cfg);
+            let postdom = PostDomTree::new(f, &cfg);
+            let forest = LoopForest::new(f, &cfg, &dom);
+            self.structures.insert(
+                fid,
+                FuncStructures {
+                    cfg,
+                    dom,
+                    postdom,
+                    forest,
+                },
+            );
+            let elapsed = t.elapsed();
+            self.record_build(Abstraction::Ls, elapsed);
+        }
+        &self.structures[&fid]
     }
 
     /// The loop structures (LS) of function `fid`, cached.
     pub fn loop_forest(&mut self, fid: FuncId) -> &LoopForest {
-        self.note(Abstraction::Ls);
-        self.forests.entry(fid).or_insert_with(|| {
-            let f = self.module.func(fid);
-            let cfg = Cfg::new(f);
-            let dt = DomTree::new(f, &cfg);
-            LoopForest::new(f, &cfg, &dt)
-        })
+        &self.structures(fid).forest
     }
 
     /// All loops of `fid` (cloned structures, safe to hold across other
@@ -210,7 +330,17 @@ impl Noelle {
         ] {
             self.note(a);
         }
-        self.with_pdg(|_, b| LoopAbstraction::build(b, fid, l))
+        // Carve from the cached whole-program PDG: requesting several loops
+        // of one function analyzes the function once.
+        let pdg = self.pdg();
+        let modref = self.ensure_modref();
+        let t = Instant::now();
+        let la = self.with_cached_stack(modref, |_, b| match pdg.per_function.get(&fid) {
+            Some(fg) => LoopAbstraction::build_with(b, fid, l, fg),
+            None => LoopAbstraction::build(b, fid, l),
+        });
+        self.record_build(Abstraction::L, t.elapsed());
+        la
     }
 
     /// The complete program call graph (CG), cached. Always uses the
@@ -219,8 +349,11 @@ impl Noelle {
         self.note(Abstraction::Cg);
         if self.call_graph.is_none() {
             self.ensure_andersen();
+            let t = Instant::now();
             let cg = CallGraph::build(&self.module, self.andersen.as_ref().expect("cached"));
+            let elapsed = t.elapsed();
             self.call_graph = Some(cg);
+            self.record_build(Abstraction::Cg, elapsed);
         }
         self.call_graph.as_ref().expect("just set")
     }
@@ -311,12 +444,65 @@ mod tests {
         let fid = n.module().func_ids().next().unwrap();
         let _ = n.loop_forest(fid);
         let _ = n.call_graph();
+        let _ = n.pdg();
         // Touch the module mutably: caches must reset.
         n.module_mut().metadata.insert("x".into(), "y".into());
-        assert!(n.forests.is_empty());
+        assert!(n.structures.is_empty());
         assert!(n.call_graph.is_none());
+        assert!(n.pdg.is_none());
+        assert!(n.modref.is_none());
         // Re-requests still work.
         assert_eq!(n.loops_of(fid).len(), 1);
+    }
+
+    #[test]
+    fn pdg_handle_is_cached_and_cheap() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let p1 = n.pdg();
+        let p2 = n.pdg();
+        // Same underlying graph, no rebuild.
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(n.build_stats()[&Abstraction::Pdg].builds, 1);
+        // Invalidation forces a rebuild; the old handle stays readable.
+        n.module_mut().metadata.insert("x".into(), "y".into());
+        let p3 = n.pdg();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(n.build_stats()[&Abstraction::Pdg].builds, 2);
+        assert_eq!(p1.num_edges(), p3.num_edges());
+    }
+
+    #[test]
+    fn structures_cached_and_stats_recorded() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Basic);
+        let fid = n.module().func_ids().next().unwrap();
+        let _ = n.structures(fid);
+        let _ = n.structures(fid);
+        let _ = n.loop_forest(fid);
+        // One build despite three requests.
+        assert_eq!(n.build_stats()[&Abstraction::Ls].builds, 1);
+        let entry = n.module().func(fid).entry();
+        let s = n.structures(fid);
+        assert!(!s.forest.loops().is_empty());
+        assert!(s.dom.dominates(entry, s.forest.loops()[0].header));
+    }
+
+    #[test]
+    fn alias_cache_persists_across_pdg_requests() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let fid = n.module().func_ids().next().unwrap();
+        n.with_pdg(|_, b| {
+            let _ = b.function_pdg(fid);
+        });
+        let (_, m1) = n.alias_cache().stats();
+        n.with_pdg(|_, b| {
+            let _ = b.function_pdg(fid);
+        });
+        let (h2, m2) = n.alias_cache().stats();
+        // The second identical build answers from the cache: misses did not
+        // grow, hits did.
+        assert_eq!(m1, m2);
+        assert!(h2 > 0);
+        assert!(n.alias_cache().hit_rate() > 0.0);
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! model, the queries, and metadata embedding
 //! (`noelle-meta-prof-embed`).
 
+use crate::json::Json;
 use noelle_ir::loops::LoopInfo;
 use noelle_ir::module::{BlockId, FuncId, Module};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Metadata key under which profiles are embedded.
@@ -19,7 +19,7 @@ pub const PROF_KEY: &str = "noelle.prof";
 
 /// Execution profiles of a module, keyed by function *name* so they survive
 /// serialization and linking.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profiles {
     /// Execution count of each block, indexed by `BlockId`.
     pub block_counts: BTreeMap<String, Vec<u64>>,
@@ -28,7 +28,6 @@ pub struct Profiles {
     /// Taken counts of each conditional branch, indexed by the `BlockId` of
     /// the branching block: `(times the true edge was taken, executions)` —
     /// the paper's *branch profiler*.
-    #[serde(default)]
     pub branch_counts: BTreeMap<String, Vec<(u64, u64)>>,
 }
 
@@ -170,19 +169,102 @@ impl Profiles {
         self.loop_total_iterations(m, fid, l) as f64 / inv as f64
     }
 
+    /// Serialize to a JSON value (the embedding format).
+    pub fn to_json(&self) -> Json {
+        let counts = |m: &BTreeMap<String, Vec<u64>>| {
+            Json::object(m.iter().map(|(k, v)| {
+                (
+                    k.clone(),
+                    Json::Array(v.iter().map(|&c| Json::Int(c as i64)).collect()),
+                )
+            }))
+        };
+        Json::object([
+            ("block_counts".to_string(), counts(&self.block_counts)),
+            (
+                "func_invocations".to_string(),
+                Json::object(
+                    self.func_invocations
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64))),
+                ),
+            ),
+            (
+                "branch_counts".to_string(),
+                Json::object(self.branch_counts.iter().map(|(k, v)| {
+                    (
+                        k.clone(),
+                        Json::Array(
+                            v.iter()
+                                .map(|&(t, n)| {
+                                    Json::Array(vec![Json::Int(t as i64), Json::Int(n as i64)])
+                                })
+                                .collect(),
+                        ),
+                    )
+                })),
+            ),
+        ])
+    }
+
+    /// Deserialize from the JSON produced by [`Profiles::to_json`].
+    pub fn from_json(v: &Json) -> Option<Profiles> {
+        let counts = |j: &Json| -> Option<BTreeMap<String, Vec<u64>>> {
+            j.as_object()?
+                .iter()
+                .map(|(k, arr)| {
+                    let v: Option<Vec<u64>> =
+                        arr.as_array()?.iter().map(Json::as_u64).collect();
+                    Some((k.clone(), v?))
+                })
+                .collect()
+        };
+        let block_counts = counts(v.get("block_counts")?)?;
+        let func_invocations = v
+            .get("func_invocations")?
+            .as_object()?
+            .iter()
+            .map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+            .collect::<Option<BTreeMap<String, u64>>>()?;
+        // Absent in older embeddings: default to empty.
+        let branch_counts = match v.get("branch_counts") {
+            Some(j) => j
+                .as_object()?
+                .iter()
+                .map(|(k, arr)| {
+                    let v: Option<Vec<(u64, u64)>> = arr
+                        .as_array()?
+                        .iter()
+                        .map(|pair| {
+                            let p = pair.as_array()?;
+                            Some((p.first()?.as_u64()?, p.get(1)?.as_u64()?))
+                        })
+                        .collect();
+                    Some((k.clone(), v?))
+                })
+                .collect::<Option<BTreeMap<_, _>>>()?,
+            None => BTreeMap::new(),
+        };
+        Some(Profiles {
+            block_counts,
+            func_invocations,
+            branch_counts,
+        })
+    }
+
     /// Embed into module metadata (what `noelle-meta-prof-embed` does).
     pub fn embed(&self, m: &mut Module) {
-        m.metadata.insert(
-            PROF_KEY.to_string(),
-            serde_json::to_string(self).expect("profiles serialize"),
-        );
+        m.metadata
+            .insert(PROF_KEY.to_string(), self.to_json().to_string_compact());
     }
 
     /// Read profiles embedded by [`Profiles::embed`].
     pub fn from_module(m: &Module) -> Option<Profiles> {
         m.metadata
             .get(PROF_KEY)
-            .and_then(|s| serde_json::from_str(s).ok())
+            .and_then(|s| Json::parse(s))
+            .as_ref()
+            .and_then(Profiles::from_json)
     }
 
     /// Merge another profile run into this one.

@@ -227,10 +227,18 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
         for &n in keep {
             g.add_internal(n);
         }
-        for e in &self.edges {
-            if keep.contains(&e.src) || keep.contains(&e.dst) {
-                g.add_edge(e.src, e.dst, e.attrs);
-            }
+        // Gather the touching edges through the adjacency index —
+        // O(|keep| · degree) instead of a scan of every edge. Edge ids are
+        // insertion-ordered, so the sorted set replays them in the same
+        // order the full scan would.
+        let mut touching: BTreeSet<EdgeId> = BTreeSet::new();
+        for &n in keep {
+            touching.extend(self.out_adj.get(&n).into_iter().flatten());
+            touching.extend(self.in_adj.get(&n).into_iter().flatten());
+        }
+        for id in touching {
+            let e = &self.edges[id.0 as usize];
+            g.add_edge(e.src, e.dst, e.attrs);
         }
         g
     }
@@ -243,22 +251,24 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
     }
 
     /// External nodes that feed internal ones: the region's dependence
-    /// live-ins.
+    /// live-ins. Walks only the external nodes' out-adjacency, not the full
+    /// edge list.
     pub fn incoming_externals(&self) -> BTreeSet<N> {
-        self.edges
+        self.external
             .iter()
-            .filter(|e| !self.internal.contains(&e.src) && self.internal.contains(&e.dst))
-            .map(|e| e.src)
+            .filter(|&&n| self.edges_from(n).any(|e| self.internal.contains(&e.dst)))
+            .copied()
             .collect()
     }
 
     /// External nodes fed by internal ones: the region's dependence
-    /// live-outs.
+    /// live-outs. Walks only the external nodes' in-adjacency, not the full
+    /// edge list.
     pub fn outgoing_externals(&self) -> BTreeSet<N> {
-        self.edges
+        self.external
             .iter()
-            .filter(|e| self.internal.contains(&e.src) && !self.internal.contains(&e.dst))
-            .map(|e| e.dst)
+            .filter(|&&n| self.edges_to(n).any(|e| self.internal.contains(&e.src)))
+            .copied()
             .collect()
     }
 }
@@ -334,6 +344,31 @@ mod tests {
             .edges()
             .iter()
             .all(|e| keep.contains(&e.src) || keep.contains(&e.dst)));
+    }
+
+    #[test]
+    fn subgraph_preserves_edge_order() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        for n in 0..6 {
+            g.add_internal(n);
+        }
+        g.add_edge(5, 1, EdgeAttrs::control());
+        g.add_edge(0, 1, EdgeAttrs::register());
+        g.add_edge(2, 1, EdgeAttrs::memory(DataDepKind::Raw));
+        g.add_edge(3, 4, EdgeAttrs::register()); // untouched by keep
+        g.add_edge(1, 5, EdgeAttrs::register());
+        let keep = BTreeSet::from([1]);
+        let sub = g.subgraph(&keep);
+        // The adjacency-indexed carve replays touching edges in insertion
+        // order, exactly as a full edge scan would.
+        let expect: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .filter(|e| keep.contains(&e.src) || keep.contains(&e.dst))
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let got: Vec<(u32, u32)> = sub.edges().iter().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! loop in-question").
 
 use crate::depgraph::{DataDepKind, DepGraph, EdgeAttrs};
-use noelle_analysis::alias::{AliasAnalysis, AliasResult};
+use noelle_analysis::alias::{AliasAnalysis, AliasResult, MemoryObject};
 use noelle_analysis::modref::ModRefSummaries;
 use noelle_analysis::scev::{affine_recurrences, trivially_loop_invariant, AddRec};
 use noelle_ir::cfg::Cfg;
@@ -20,7 +20,8 @@ use noelle_ir::inst::{Callee, Inst, InstId};
 use noelle_ir::loops::LoopInfo;
 use noelle_ir::module::{FuncId, Function, Module};
 use noelle_ir::value::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// How an instruction touches memory, as seen by the PDG builder.
 #[derive(Clone, Copy, Debug)]
@@ -33,10 +34,14 @@ struct MemEffect {
 }
 
 /// Builds PDGs for one module against a chosen alias-analysis stack.
+///
+/// The builder is `Sync` (the module and alias stack are immutable, the
+/// mod/ref summaries shared through an `Arc`), so [`PdgBuilder::program_pdg`]
+/// can fan per-function construction out across threads.
 pub struct PdgBuilder<'a> {
     module: &'a Module,
     alias: &'a dyn AliasAnalysis,
-    modref: ModRefSummaries,
+    modref: Arc<ModRefSummaries>,
 }
 
 /// The whole-program PDG: one dependence graph per defined function (linked
@@ -60,7 +65,22 @@ impl<'a> PdgBuilder<'a> {
         PdgBuilder {
             module,
             alias,
-            modref: ModRefSummaries::compute(module),
+            modref: Arc::new(ModRefSummaries::compute(module)),
+        }
+    }
+
+    /// Create a builder reusing already-computed mod/ref summaries — what
+    /// the experiment harnesses use to share one summary computation across
+    /// several alias configurations of the same module.
+    pub fn new_with_modref(
+        module: &'a Module,
+        alias: &'a dyn AliasAnalysis,
+        modref: Arc<ModRefSummaries>,
+    ) -> PdgBuilder<'a> {
+        PdgBuilder {
+            module,
+            alias,
+            modref,
         }
     }
 
@@ -74,15 +94,64 @@ impl<'a> PdgBuilder<'a> {
         &self.modref
     }
 
-    /// Build the whole-program PDG.
+    /// A shareable handle on the mod/ref summaries.
+    pub fn modref_arc(&self) -> Arc<ModRefSummaries> {
+        Arc::clone(&self.modref)
+    }
+
+    /// Build the whole-program PDG, fanning per-function construction out
+    /// across threads. Each function's graph is independent, so the result
+    /// is edge-identical to the sequential build.
     pub fn program_pdg(&self) -> ProgramPdg {
-        let mut per_function = HashMap::new();
-        for fid in self.module.func_ids() {
-            if self.module.func(fid).is_declaration() {
-                continue;
-            }
-            per_function.insert(fid, self.function_pdg(fid));
+        let fids: Vec<FuncId> = self
+            .module
+            .func_ids()
+            .filter(|&fid| !self.module.func(fid).is_declaration())
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(fids.len().max(1));
+        if workers <= 1 {
+            let per_function = fids
+                .into_iter()
+                .map(|fid| (fid, self.function_pdg(fid)))
+                .collect();
+            return ProgramPdg { per_function };
         }
+        let mut per_function = HashMap::with_capacity(fids.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let fids = &fids;
+                    s.spawn(move || {
+                        // Round-robin chunking keeps per-thread work balanced
+                        // without coordination.
+                        fids.iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|&fid| (fid, self.function_pdg(fid)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_function.extend(h.join().expect("PDG worker panicked"));
+            }
+        });
+        ProgramPdg { per_function }
+    }
+
+    /// Sequential all-pairs reference build of the whole-program PDG: the
+    /// pre-bucketing algorithm, kept as the oracle the bucketed/parallel
+    /// path is tested against and the baseline the benches compare to.
+    pub fn program_pdg_allpairs(&self) -> ProgramPdg {
+        let per_function = self
+            .module
+            .func_ids()
+            .filter(|&fid| !self.module.func(fid).is_declaration())
+            .map(|fid| (fid, self.function_pdg_allpairs(fid)))
+            .collect();
         ProgramPdg { per_function }
     }
 
@@ -158,9 +227,67 @@ impl<'a> PdgBuilder<'a> {
         Some((kind, must))
     }
 
+    /// Indices into `mem` of the unordered access pairs that base-object
+    /// bucketing cannot rule out, in ascending `(i, j)` order (`i < j`).
+    ///
+    /// Accesses are grouped by the abstract objects their pointer may
+    /// address ([`AliasAnalysis::base_objects`]); only pairs sharing a
+    /// bucket are candidates. Accesses with no bounded base set — calls,
+    /// unknown pointers — land in a catch-all group examined against
+    /// everything. Sound and *exact* relative to the all-pairs loop: a
+    /// skipped pair has disjoint known base sets, for which the alias
+    /// contract guarantees `No` — the all-pairs loop would add no edge.
+    fn candidate_pairs(&self, fid: FuncId, mem: &[(InstId, MemEffect)]) -> Vec<(usize, usize)> {
+        let mut buckets: BTreeMap<MemoryObject, Vec<usize>> = BTreeMap::new();
+        let mut catch_all: Vec<usize> = Vec::new();
+        for (i, (_, e)) in mem.iter().enumerate() {
+            match e.ptr.and_then(|p| self.alias.base_objects(fid, p)) {
+                Some(objs) if !objs.is_empty() => {
+                    for o in objs {
+                        buckets.entry(o).or_default().push(i);
+                    }
+                }
+                _ => catch_all.push(i),
+            }
+        }
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for idxs in buckets.values() {
+            for (k, &i) in idxs.iter().enumerate() {
+                for &j in &idxs[k + 1..] {
+                    pairs.insert((i, j));
+                }
+            }
+        }
+        for &i in &catch_all {
+            for j in 0..mem.len() {
+                if i != j {
+                    pairs.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// All unordered index pairs — the pre-bucketing reference enumeration.
+    fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+        (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .collect()
+    }
+
     /// Build the dependence graph of one function (all instructions
-    /// internal).
+    /// internal), enumerating memory pairs through base-object bucketing.
     pub fn function_pdg(&self, fid: FuncId) -> DepGraph<InstId> {
+        self.function_pdg_impl(fid, false)
+    }
+
+    /// Reference build examining every memory pair — the oracle
+    /// [`PdgBuilder::function_pdg`] is tested against.
+    pub fn function_pdg_allpairs(&self, fid: FuncId) -> DepGraph<InstId> {
+        self.function_pdg_impl(fid, true)
+    }
+
+    fn function_pdg_impl(&self, fid: FuncId, all_pairs: bool) -> DepGraph<InstId> {
         let f = self.module.func(fid);
         let cfg = Cfg::new(f);
         let mut g: DepGraph<InstId> = DepGraph::new();
@@ -207,26 +334,31 @@ impl<'a> PdgBuilder<'a> {
                 )
             })
             .collect();
-        for (i, (ia, ea)) in mem.iter().enumerate() {
-            for (ib, eb) in mem.iter().skip(i + 1) {
-                let (ba, pa) = pos[ia];
-                let (bb, pb) = pos[ib];
-                let same_block = ba == bb;
-                // a -> b direction.
-                if let Some((kind, must)) = self.conflict_kind(fid, ea, eb) {
-                    if !same_block || pa < pb {
-                        let mut attrs = EdgeAttrs::memory(kind);
-                        attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
-                        g.add_edge(*ia, *ib, attrs);
-                    }
+        let pairs = if all_pairs {
+            PdgBuilder::all_pairs(mem.len())
+        } else {
+            self.candidate_pairs(fid, &mem)
+        };
+        for (i, j) in pairs {
+            let (ia, ea) = &mem[i];
+            let (ib, eb) = &mem[j];
+            let (ba, pa) = pos[ia];
+            let (bb, pb) = pos[ib];
+            let same_block = ba == bb;
+            // a -> b direction.
+            if let Some((kind, must)) = self.conflict_kind(fid, ea, eb) {
+                if !same_block || pa < pb {
+                    let mut attrs = EdgeAttrs::memory(kind);
+                    attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
+                    g.add_edge(*ia, *ib, attrs);
                 }
-                // b -> a direction.
-                if let Some((kind, must)) = self.conflict_kind(fid, eb, ea) {
-                    if !same_block || pb < pa {
-                        let mut attrs = EdgeAttrs::memory(kind);
-                        attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
-                        g.add_edge(*ib, *ia, attrs);
-                    }
+            }
+            // b -> a direction.
+            if let Some((kind, must)) = self.conflict_kind(fid, eb, ea) {
+                if !same_block || pb < pa {
+                    let mut attrs = EdgeAttrs::memory(kind);
+                    attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
+                    g.add_edge(*ib, *ia, attrs);
                 }
             }
         }
@@ -238,8 +370,19 @@ impl<'a> PdgBuilder<'a> {
     /// producers/consumers, and memory/register dependences carry
     /// loop-carried flags refined with loop-centric analyses.
     pub fn loop_pdg(&self, fid: FuncId, l: &LoopInfo) -> DepGraph<InstId> {
+        self.loop_pdg_with(fid, l, &self.function_pdg(fid))
+    }
+
+    /// [`PdgBuilder::loop_pdg`] carving from an already-built function PDG —
+    /// callers holding a cached whole-program PDG (the `Noelle` manager)
+    /// avoid rebuilding the function graph for every loop of a function.
+    pub fn loop_pdg_with(
+        &self,
+        fid: FuncId,
+        l: &LoopInfo,
+        function_graph: &DepGraph<InstId>,
+    ) -> DepGraph<InstId> {
         let f = self.module.func(fid);
-        let function_graph = self.function_pdg(fid);
         let loop_insts: BTreeSet<InstId> = f
             .inst_ids()
             .into_iter()
@@ -287,6 +430,11 @@ impl<'a> PdgBuilder<'a> {
             .collect();
         let iter_local =
             |e: &MemEffect| e.ptr.map(|p| distinct_per_iteration(f, l, &recs, p)).unwrap_or(false);
+        // Bucketing prunes the cross-access pairs here just as in the
+        // function-level build; a pruned pair has `No` aliasing, for which
+        // both `conflict_kind` directions return `None` below.
+        let candidates: std::collections::HashSet<(usize, usize)> =
+            self.candidate_pairs(fid, &mem).into_iter().collect();
         for (i, (ia, ea)) in mem.iter().enumerate() {
             // Self-dependence of writes across iterations.
             if ea.writes && !iter_local(ea) {
@@ -296,7 +444,10 @@ impl<'a> PdgBuilder<'a> {
                 // I/O must stay ordered across iterations too.
                 g.add_edge(*ia, *ia, EdgeAttrs::memory(DataDepKind::Waw).carried());
             }
-            for (ib, eb) in mem.iter().skip(i + 1) {
+            for (j, (ib, eb)) in mem.iter().enumerate().skip(i + 1) {
+                if !candidates.contains(&(i, j)) {
+                    continue;
+                }
                 let fwd = self.conflict_kind(fid, ea, eb);
                 let bwd = self.conflict_kind(fid, eb, ea);
                 if fwd.is_none() && bwd.is_none() {
@@ -346,8 +497,12 @@ impl<'a> PdgBuilder<'a> {
     /// instructions other than those of its induction recurrences — the DOALL
     /// legality test.
     pub fn loop_is_doall(&self, fid: FuncId, l: &LoopInfo) -> bool {
+        self.loop_is_doall_on(fid, l, &self.loop_pdg(fid, l))
+    }
+
+    /// The DOALL legality test on an already-built loop dependence graph.
+    pub fn loop_is_doall_on(&self, fid: FuncId, l: &LoopInfo, g: &DepGraph<InstId>) -> bool {
         let f = self.module.func(fid);
-        let g = self.loop_pdg(fid, l);
         let recs = affine_recurrences(f, l);
         let iv_nodes: BTreeSet<InstId> = recs
             .iter()
@@ -675,6 +830,131 @@ mod tests {
             s_full.disproved > s_basic.disproved,
             "basic={s_basic:?} full={s_full:?}"
         );
+    }
+
+    /// Flatten a graph into a comparable (sorted) edge multiset.
+    fn edge_set(g: &DepGraph<InstId>) -> Vec<(InstId, InstId, String)> {
+        let mut v: Vec<_> = g
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst, format!("{:?}", e.attrs)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// A module mixing known-base accesses (allocas, globals, geps), calls,
+    /// and unknown pointers (args, loads of pointers) across two functions —
+    /// exercises every bucketing path.
+    fn mixed_module() -> Module {
+        let mut m = Module::new("t");
+        let g = m.add_global(noelle_ir::module::Global {
+            name: "g".into(),
+            ty: Type::I64,
+            init: noelle_ir::module::GlobalInit::Zero,
+            is_const: false,
+        });
+        let ext = m.declare_function("print", vec![Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new(
+            "f1",
+            vec![("p", Type::I64.ptr_to()), ("n", Type::I64)],
+            Type::I64,
+        );
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let a = b.alloca(Type::I64.array_of(8));
+        let a0 = b.gep(
+            Type::I64.array_of(8),
+            a,
+            vec![Value::const_i64(0), Value::const_i64(0)],
+        );
+        let a1 = b.gep(
+            Type::I64.array_of(8),
+            a,
+            vec![Value::const_i64(0), Value::const_i64(1)],
+        );
+        b.store(Type::I64, Value::const_i64(1), a0);
+        b.store(Type::I64, Value::const_i64(2), a1);
+        let v0 = b.load(Type::I64, a0);
+        b.store(Type::I64, v0, Value::Global(g));
+        b.store(Type::I64, v0, Value::Arg(0)); // unknown base
+        b.call(ext, vec![v0], Type::Void); // call: catch-all
+        let gv = b.load(Type::I64, Value::Global(g));
+        b.ret(Some(gv));
+        m.add_function(b.finish());
+
+        let mut b = FunctionBuilder::new("f2", vec![("q", Type::I64.ptr_to())], Type::Void);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let cell = b.alloca(Type::I64.ptr_to());
+        b.store(Type::I64.ptr_to(), Value::Arg(0), cell);
+        let loaded = b.load(Type::I64.ptr_to(), cell); // unknown base ptr
+        b.store(Type::I64, Value::const_i64(3), loaded);
+        b.store(Type::I64, Value::const_i64(4), Value::Global(g));
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn bucketed_pdg_matches_allpairs_reference() {
+        let m = mixed_module();
+        let basic = BasicAlias::new(&m);
+        let andersen = AndersenAlias::new(&m);
+        let stack = noelle_analysis::alias::AliasStack::new(vec![
+            &basic as &dyn AliasAnalysis,
+            &andersen,
+        ]);
+        for alias in [&basic as &dyn AliasAnalysis, &andersen, &stack] {
+            let builder = PdgBuilder::new(&m, alias);
+            for fid in m.func_ids() {
+                if m.func(fid).is_declaration() {
+                    continue;
+                }
+                let fast = builder.function_pdg(fid);
+                let oracle = builder.function_pdg_allpairs(fid);
+                assert_eq!(
+                    edge_set(&fast),
+                    edge_set(&oracle),
+                    "bucketing diverged on {} under {}",
+                    m.func(fid).name,
+                    alias.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_program_pdg_is_deterministic() {
+        let m = mixed_module();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let parallel = builder.program_pdg();
+        let sequential = builder.program_pdg_allpairs();
+        assert_eq!(
+            parallel.per_function.keys().collect::<BTreeSet<_>>(),
+            sequential.per_function.keys().collect::<BTreeSet<_>>()
+        );
+        for (fid, g) in &parallel.per_function {
+            assert_eq!(edge_set(g), edge_set(&sequential.per_function[fid]));
+        }
+        // And a second parallel run reproduces itself exactly.
+        let again = builder.program_pdg();
+        for (fid, g) in &parallel.per_function {
+            assert_eq!(edge_set(g), edge_set(&again.per_function[fid]));
+        }
+    }
+
+    #[test]
+    fn loop_pdg_with_reuses_prebuilt_function_graph() {
+        let (m, fid, l) = doall_loop();
+        let basic = BasicAlias::new(&m);
+        let builder = PdgBuilder::new(&m, &basic);
+        let fg = builder.function_pdg(fid);
+        let direct = builder.loop_pdg(fid, &l);
+        let reused = builder.loop_pdg_with(fid, &l, &fg);
+        assert_eq!(edge_set(&direct), edge_set(&reused));
+        assert!(builder.loop_is_doall_on(fid, &l, &reused));
     }
 
     #[test]

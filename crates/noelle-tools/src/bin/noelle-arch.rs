@@ -17,7 +17,7 @@ fn main() {
             write_module(&m, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));
         }
         None => {
-            println!("{}", serde_json::to_string_pretty(&arch).expect("serializes"));
+            println!("{}", arch.to_json().to_string_pretty());
         }
     }
 }

@@ -4,8 +4,10 @@
 
 use noelle_analysis::alias::{AliasStack, AndersenAlias, BasicAlias};
 use noelle_analysis::AliasAnalysis;
+use noelle_core::json::Json;
 use noelle_pdg::pdg::PdgBuilder;
 use noelle_tools::{die, read_module, write_module, Args};
+use std::collections::BTreeMap;
 
 fn main() {
     let args = Args::parse();
@@ -21,25 +23,30 @@ fn main() {
         let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
         let builder = PdgBuilder::new(&m, &stack);
         let pdg = builder.program_pdg();
-        let mut per_function = serde_json::Map::new();
+        let mut per_function = BTreeMap::new();
         for (fid, g) in &pdg.per_function {
             let f = m.func(*fid);
-            let edges: Vec<serde_json::Value> = g
+            let edges: Vec<Json> = g
                 .edges()
                 .iter()
                 .filter_map(|e| {
                     let a = noelle_ir::ids::inst_id_of(&m, *fid, e.src)?;
                     let b = noelle_ir::ids::inst_id_of(&m, *fid, e.dst)?;
-                    Some(serde_json::json!([a, b, e.attrs.memory, e.attrs.must]))
+                    Some(Json::Array(vec![
+                        Json::Int(a as i64),
+                        Json::Int(b as i64),
+                        Json::Bool(e.attrs.memory),
+                        Json::Bool(e.attrs.must),
+                    ]))
                 })
                 .collect();
-            per_function.insert(f.name.clone(), serde_json::Value::Array(edges));
+            per_function.insert(f.name.clone(), Json::Array(edges));
         }
         (pdg.num_edges(), per_function)
     };
     m.metadata.insert(
         "noelle.pdg".to_string(),
-        serde_json::Value::Object(per_function).to_string(),
+        Json::Object(per_function).to_string_compact(),
     );
     eprintln!("embedded {edge_count} dependence edges");
     write_module(&m, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));

@@ -16,7 +16,7 @@ fn main() {
     };
     let r = run_module(&m, args.flag_or("entry", "main"), &[], &cfg)
         .unwrap_or_else(|e| die(&e.to_string()));
-    let json = serde_json::to_string_pretty(&r.profiles).expect("profiles serialize");
+    let json = r.profiles.to_json().to_string_pretty();
     match args.flag_or("o", "-") {
         "-" => println!("{json}"),
         path => std::fs::write(path, json).unwrap_or_else(|e| die(&e.to_string())),

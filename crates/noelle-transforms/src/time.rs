@@ -52,6 +52,10 @@ pub fn run(noelle: &mut Noelle) -> TimeReport {
         noelle.note(a);
     }
     let mut report = TimeReport::default();
+    // One cheap handle to the cached whole-program PDG: the compare swaps
+    // below don't change dependences, and the Arc stays valid across the
+    // module mutations even though the manager invalidates its own cache.
+    let pdg = noelle.pdg();
     let fids: Vec<FuncId> = noelle.module().func_ids().collect();
     for fid in fids {
         if noelle.module().func(fid).is_declaration() {
@@ -60,28 +64,29 @@ pub fn run(noelle: &mut Noelle) -> TimeReport {
         // Analyze compare islands through the PDG (compares connected by
         // shared data dependences form one island and must agree on the
         // clock period).
-        let compare_deps: (Vec<InstId>, Vec<(InstId, InstId)>) = noelle.with_pdg(|m, b| {
-            let g = b.function_pdg(fid);
-            let f = m.func(fid);
-            let compares: Vec<InstId> = f
-                .inst_ids()
-                .into_iter()
-                .filter(|&i| matches!(f.inst(i), Inst::Icmp { .. }))
-                .collect();
-            let mut edges = Vec::new();
+        let f = noelle.module().func(fid);
+        let compares: Vec<InstId> = f
+            .inst_ids()
+            .into_iter()
+            .filter(|&i| matches!(f.inst(i), Inst::Icmp { .. }))
+            .collect();
+        let mut edges = Vec::new();
+        if let Some(g) = pdg.per_function.get(&fid) {
             for &a in &compares {
                 for &bb in &compares {
                     if a < bb {
-                        let linked = g.dependences_of(a).intersection(&g.dependences_of(bb)).next().is_some();
+                        let linked = g
+                            .dependences_of(a)
+                            .intersection(&g.dependences_of(bb))
+                            .next()
+                            .is_some();
                         if linked {
                             edges.push((a, bb));
                         }
                     }
                 }
             }
-            (compares, edges)
-        });
-        let (compares, edges) = compare_deps;
+        }
         report.islands += islands_of(&compares, &edges).len();
 
         let m = noelle.module_mut();

@@ -302,6 +302,38 @@ pub fn add_scratch(m: &mut Module, name: &str) -> FuncId {
     m.add_function(b.finish())
 }
 
+/// Bucketing stress kernel: `banks` disjoint scratch cells, each
+/// read-modify-written `touches` times. The shape where all-pairs dependence
+/// testing pays ~(banks·touches)² alias queries while base-object bucketing
+/// proves the banks disjoint from one `base_objects` query per access.
+pub fn add_bank_scratch(m: &mut Module, name: &str, banks: usize, touches: usize) -> FuncId {
+    let mut b = FunctionBuilder::new(name, kernel_params(), Type::I64);
+    let entry = b.entry_block();
+    b.switch_to(entry);
+    let cells: Vec<Value> = (0..banks)
+        .map(|k| {
+            let c = b.alloca(Type::I64);
+            b.store(Type::I64, Value::const_i64(k as i64 + 1), c);
+            c
+        })
+        .collect();
+    for t in 0..touches {
+        for &c in &cells {
+            let v = b.load(Type::I64, c);
+            let v2 = b.binop(BinOp::Mul, Type::I64, v, Value::const_i64((t % 5) as i64 + 3));
+            let v3 = b.binop(BinOp::Xor, Type::I64, v2, Value::const_i64(0x2D));
+            b.store(Type::I64, v3, c);
+        }
+    }
+    let mut sum = Value::const_i64(0);
+    for &c in &cells {
+        let v = b.load(Type::I64, c);
+        sum = b.binop(BinOp::Add, Type::I64, sum, v);
+    }
+    b.ret(Some(sum));
+    m.add_function(b.finish())
+}
+
 /// Like [`counted_loop`] but continues from a pre-populated entry block.
 fn counted_loop_from(
     b: &mut FunctionBuilder,

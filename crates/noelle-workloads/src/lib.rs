@@ -63,6 +63,7 @@ pub enum Kernel {
     Indirect,
     Pipe,
     SeqChainHeavy,
+    BankScratch,
 }
 
 /// One synthetic benchmark.
@@ -105,6 +106,7 @@ impl Workload {
                 Kernel::Indirect => kernels::add_indirect(&mut m, &name),
                 Kernel::Pipe => kernels::add_pipe(&mut m, &name),
                 Kernel::SeqChainHeavy => kernels::add_seq_chain_heavy(&mut m, &name),
+                Kernel::BankScratch => kernels::add_bank_scratch(&mut m, &name, 16, 10),
             };
             fids.push(fid);
         }
@@ -180,6 +182,30 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
+/// The compilation-scale stress workload: an order of magnitude more memory
+/// instructions than anything in the 41-benchmark corpus (which mirrors the
+/// paper and stays fixed). Bundled for the PDG scaling bench and the
+/// parallel-determinism tests, which need a workload where dependence
+/// analysis is the dominant cost.
+pub fn pdg_stress() -> Workload {
+    Workload {
+        name: "pdg_stress",
+        suite: Suite::Parsec,
+        n: 256,
+        kernels: &[
+            BankScratch,
+            BankScratch,
+            BankScratch,
+            BankScratch,
+            MapHeavy,
+            Stencil,
+            Hist,
+            SumHeavy,
+        ],
+        passes: 1,
+    }
+}
+
 /// The workloads of one suite.
 pub fn suite(s: Suite) -> Vec<Workload> {
     all().into_iter().filter(|w| w.suite == s).collect()
@@ -222,6 +248,37 @@ mod tests {
             assert!(r.ret_i64().is_some(), "{} returned no value", w.name);
             assert!(r.cycles > 1000, "{} did too little work", w.name);
         }
+    }
+
+    #[test]
+    fn pdg_stress_builds_verifies_and_dwarfs_the_corpus() {
+        let m = pdg_stress().build();
+        noelle_ir::verifier::verify_module(&m).expect("pdg_stress verifies");
+        let r = run_module(&m, "main", &[], &RunConfig::default()).expect("pdg_stress runs");
+        assert!(r.ret_i64().is_some());
+        let mem_insts = |m: &Module| -> usize {
+            m.func_ids()
+                .map(|fid| {
+                    let f = m.func(fid);
+                    f.inst_ids()
+                        .into_iter()
+                        .filter(|&i| {
+                            matches!(
+                                f.inst(i),
+                                noelle_ir::inst::Inst::Load { .. }
+                                    | noelle_ir::inst::Inst::Store { .. }
+                            )
+                        })
+                        .count()
+                })
+                .sum()
+        };
+        let stress = mem_insts(&m);
+        let largest_corpus = all().iter().map(|w| mem_insts(&w.build())).max().unwrap();
+        assert!(
+            stress >= 10 * largest_corpus,
+            "stress {stress} vs corpus max {largest_corpus}"
+        );
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! The parallel PDG pipeline's acceptance tests: the bucketed/parallel
+//! build is edge-for-edge identical to the sequential all-pairs oracle on
+//! every bundled workload, loop-carried refinement is iteration-aware on
+//! nested loops, and the demand-driven manager drops stale graphs when the
+//! module is mutated.
+
+use noelle::analysis::alias::{AliasAnalysis, AliasStack, AndersenAlias, BasicAlias};
+use noelle::core::loop_builder;
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::ir::builder::FunctionBuilder;
+use noelle::ir::cfg::Cfg;
+use noelle::ir::dom::DomTree;
+use noelle::ir::inst::{BinOp, IcmpPred, Inst, InstId};
+use noelle::ir::loops::{LoopForest, LoopInfo};
+use noelle::ir::module::{FuncId, Module};
+use noelle::ir::types::Type;
+use noelle::ir::value::Value;
+use noelle::pdg::depgraph::{DataDepKind, DepGraph, DepKind};
+use noelle::pdg::pdg::PdgBuilder;
+use noelle::workloads::{all, pdg_stress};
+use std::sync::Arc;
+
+/// Flatten a graph into a comparable (sorted) edge multiset.
+fn edge_set(g: &DepGraph<InstId>) -> Vec<(InstId, InstId, String)> {
+    let mut v: Vec<_> = g
+        .edges()
+        .iter()
+        .map(|e| (e.src, e.dst, format!("{:?}", e.attrs)))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn parallel_bucketed_pdg_matches_sequential_oracle_on_every_workload() {
+    let mut workloads = all();
+    workloads.push(pdg_stress());
+    for w in &workloads {
+        let m = w.build();
+        let basic = BasicAlias::new(&m);
+        let andersen = AndersenAlias::new(&m);
+        let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+        let builder = PdgBuilder::new(&m, &stack);
+        let fast = builder.program_pdg();
+        let oracle = builder.program_pdg_allpairs();
+        assert_eq!(
+            fast.per_function.len(),
+            oracle.per_function.len(),
+            "{}: function count",
+            w.name
+        );
+        for (fid, g) in &oracle.per_function {
+            assert_eq!(
+                edge_set(&fast.per_function[fid]),
+                edge_set(g),
+                "{}: function {fid:?} diverges from the all-pairs oracle",
+                w.name
+            );
+        }
+    }
+}
+
+/// `for i { for j { a[j] += 1 } }`: the store/load pair on `a[j]` is
+/// iteration-local for the inner loop (j addresses a fresh element every
+/// iteration) but loop-carried for the outer loop (j restarts, so iteration
+/// i+1 rereads what iteration i wrote).
+fn nested_update() -> (Module, FuncId) {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(
+        "k",
+        vec![("a", Type::I64.ptr_to()), ("n", Type::I64)],
+        Type::I64,
+    );
+    let entry = b.entry_block();
+    let oh = b.block("outer_header");
+    let ih = b.block("inner_header");
+    let ib = b.block("inner_body");
+    let ol = b.block("outer_latch");
+    let exit = b.block("exit");
+    b.switch_to(entry);
+    b.br(oh);
+    b.switch_to(oh);
+    let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+    let ci = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(1));
+    b.cond_br(ci, ih, exit);
+    b.switch_to(ih);
+    let j = b.phi(Type::I64, vec![(oh, Value::const_i64(0))]);
+    let cj = b.icmp(IcmpPred::Slt, Type::I64, j, b.arg(1));
+    b.cond_br(cj, ib, ol);
+    b.switch_to(ib);
+    let p = b.index_ptr(Type::I64, b.arg(0), j);
+    let v = b.load(Type::I64, p);
+    let v2 = b.binop(BinOp::Add, Type::I64, v, Value::const_i64(1));
+    b.store(Type::I64, v2, p);
+    let j2 = b.binop(BinOp::Add, Type::I64, j, Value::const_i64(1));
+    b.br(ih);
+    b.add_incoming(j, ib, j2);
+    b.switch_to(ol);
+    let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+    b.br(oh);
+    b.add_incoming(i, ol, i2);
+    b.switch_to(exit);
+    b.ret(Some(Value::const_i64(0)));
+    let fid = m.add_function(b.finish());
+    (m, fid)
+}
+
+fn mem_insts(m: &Module, fid: FuncId) -> (InstId, InstId) {
+    let f = m.func(fid);
+    let load = f
+        .inst_ids()
+        .into_iter()
+        .find(|&id| matches!(f.inst(id), Inst::Load { .. }))
+        .unwrap();
+    let store = f
+        .inst_ids()
+        .into_iter()
+        .find(|&id| matches!(f.inst(id), Inst::Store { .. }))
+        .unwrap();
+    (load, store)
+}
+
+#[test]
+fn nested_loop_memory_refinement_is_iteration_aware() {
+    let (m, fid) = nested_update();
+    noelle::ir::verifier::verify_module(&m).expect("verifies");
+    let (load, store) = mem_insts(&m, fid);
+    let f = m.func(fid);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(f, &cfg);
+    let forest = LoopForest::new(f, &cfg, &dt);
+    let outer = forest
+        .loops()
+        .iter()
+        .find(|l| l.depth == 1)
+        .expect("outer loop")
+        .clone();
+    let inner = forest
+        .loops()
+        .iter()
+        .find(|l| l.depth == 2)
+        .expect("inner loop")
+        .clone();
+    assert!(outer.blocks.len() > inner.blocks.len());
+
+    let basic = BasicAlias::new(&m);
+    let builder = PdgBuilder::new(&m, &basic);
+
+    // Inner loop: a[j] is a fresh element every iteration, so the only
+    // memory dependence between the load and the store is intra-iteration.
+    let gi = builder.loop_pdg(fid, &inner);
+    let carried_mem: Vec<_> = gi
+        .edges()
+        .iter()
+        .filter(|e| e.attrs.memory && e.attrs.loop_carried)
+        .collect();
+    assert!(
+        carried_mem.is_empty(),
+        "inner loop must have no carried memory deps: {carried_mem:?}"
+    );
+    assert!(
+        gi.edges().iter().any(|e| e.src == load
+            && e.dst == store
+            && e.attrs.memory
+            && e.attrs.distance == Some(0)),
+        "intra-iteration load->store dependence expected"
+    );
+
+    // Outer loop: j restarts at 0 each outer iteration, so the same pair is
+    // loop-carried (RAW from the store back around to the load) and the
+    // store conflicts with itself across iterations (WAW).
+    let go = builder.loop_pdg(fid, &outer);
+    assert!(
+        go.edges().iter().any(|e| e.src == store
+            && e.dst == load
+            && e.attrs.memory
+            && e.attrs.loop_carried
+            && e.attrs.kind == DepKind::Data(DataDepKind::Raw)),
+        "outer loop must carry the store->load RAW dependence"
+    );
+    assert!(
+        go.edges().iter().any(|e| e.src == store
+            && e.dst == store
+            && e.attrs.memory
+            && e.attrs.loop_carried
+            && e.attrs.kind == DepKind::Data(DataDepKind::Waw)),
+        "outer loop must carry the store's self-WAW"
+    );
+}
+
+/// A single loop whose body loads and stores a scratch cell: mutating the
+/// function through `LoopBuilder` must invalidate the manager's cached PDG.
+fn scratch_loop() -> (Module, FuncId) {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new("k", vec![("n", Type::I64)], Type::I64);
+    let entry = b.entry_block();
+    let header = b.block("header");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.switch_to(entry);
+    let cell = b.alloca(Type::I64);
+    b.store(Type::I64, Value::const_i64(1), cell);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0))]);
+    let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let v = b.load(Type::I64, cell);
+    let v2 = b.binop(BinOp::Add, Type::I64, v, i);
+    b.store(Type::I64, v2, cell);
+    let i2 = b.binop(BinOp::Add, Type::I64, i, Value::const_i64(1));
+    b.br(header);
+    b.add_incoming(i, body, i2);
+    b.switch_to(exit);
+    b.ret(Some(Value::const_i64(0)));
+    let fid = m.add_function(b.finish());
+    (m, fid)
+}
+
+#[test]
+fn manager_drops_stale_pdg_after_loop_builder_mutation() {
+    let (m, fid) = scratch_loop();
+    noelle::ir::verifier::verify_module(&m).expect("verifies");
+    let f = m.func(fid);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(f, &cfg);
+    let l: LoopInfo = LoopForest::new(f, &cfg, &dt).loops()[0].clone();
+    let cond_term = f.terminator_id(l.header).expect("header terminator");
+    let load = f
+        .inst_ids()
+        .into_iter()
+        .find(|&id| matches!(f.inst(id), Inst::Load { .. }))
+        .unwrap();
+
+    let mut n = Noelle::new(m, AliasTier::Full);
+    let p1 = n.pdg();
+    let g1 = &p1.per_function[&fid];
+    assert!(
+        g1.edges()
+            .iter()
+            .any(|e| e.src == cond_term && e.dst == load && e.attrs.is_control()),
+        "load in the conditional body is control-dependent on the header branch"
+    );
+
+    // Hoist the load out of the loop: it no longer executes under the loop
+    // condition, so the control dependence above is stale.
+    loop_builder::hoist_to_preheader(n.module_mut().func_mut(fid), &l, load).expect("hoists");
+    noelle::ir::verifier::verify_module(n.module()).expect("still verifies");
+
+    let p2 = n.pdg();
+    assert!(
+        !Arc::ptr_eq(&p1, &p2),
+        "mutation must invalidate the cached PDG handle"
+    );
+    let g2 = &p2.per_function[&fid];
+    assert!(
+        !g2.edges()
+            .iter()
+            .any(|e| e.src == cond_term && e.dst == load && e.attrs.is_control()),
+        "stale control dependence must be gone after re-request"
+    );
+    // The old handle still describes the pre-mutation program (Arc snapshot).
+    assert!(g1
+        .edges()
+        .iter()
+        .any(|e| e.src == cond_term && e.dst == load && e.attrs.is_control()));
+}

@@ -3,6 +3,9 @@
 //! through the printer/parser, verify, and execute deterministically; the
 //! dominator and dependence structures must satisfy their defining
 //! properties on arbitrary CFGs.
+//!
+//! The generator is a deterministic xorshift PRNG (the registry is offline,
+//! so no proptest) — every failure reproduces from its case index.
 
 use noelle::ir::builder::FunctionBuilder;
 use noelle::ir::cfg::Cfg;
@@ -12,7 +15,35 @@ use noelle::ir::types::Type;
 use noelle::ir::value::Value;
 use noelle::ir::Module;
 use noelle::runtime::{run_module, RunConfig};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// A tiny random program: a chain of arithmetic on an argument, optional
 /// diamonds, and a counted loop with a random body mix.
@@ -23,17 +54,16 @@ struct ProgSpec {
     diamond_on_bit: bool,
 }
 
-fn prog_strategy() -> impl Strategy<Value = ProgSpec> {
-    (
-        prop::collection::vec((0u8..5, 1i64..50), 1..12),
-        1i64..40,
-        any::<bool>(),
-    )
-        .prop_map(|(ops, trip, diamond_on_bit)| ProgSpec {
-            ops,
-            trip,
-            diamond_on_bit,
-        })
+fn gen_spec(rng: &mut Rng) -> ProgSpec {
+    let n_ops = rng.range(1, 12) as usize;
+    let ops = (0..n_ops)
+        .map(|_| (rng.range(0, 5) as u8, rng.range(1, 50)))
+        .collect();
+    ProgSpec {
+        ops,
+        trip: rng.range(1, 40),
+        diamond_on_bit: rng.bool(),
+    }
 }
 
 fn build(spec: &ProgSpec) -> Module {
@@ -97,27 +127,40 @@ fn build(spec: &ProgSpec) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Run `check` over the deterministic case corpus, reporting the failing
+/// case index and spec on panic.
+fn for_each_case(check: impl Fn(&ProgSpec)) {
+    for case in 0..CASES {
+        let spec = gen_spec(&mut Rng::new(case));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&spec)));
+        if let Err(e) = result {
+            eprintln!("failing case {case}: {spec:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
-    #[test]
-    fn generated_programs_verify_and_round_trip(spec in prog_strategy()) {
-        let m = build(&spec);
+#[test]
+fn generated_programs_verify_and_round_trip() {
+    for_each_case(|spec| {
+        let m = build(spec);
         noelle::ir::verifier::verify_module(&m).expect("generated program verifies");
         // Printer/parser round trip preserves the program exactly.
         let text = noelle::ir::printer::print_module(&m);
         let m2 = noelle::ir::parser::parse_module(&text).expect("reparses");
-        prop_assert_eq!(noelle::ir::printer::print_module(&m2), text);
+        assert_eq!(noelle::ir::printer::print_module(&m2), text);
         // Execution is deterministic and identical across the round trip.
         let r1 = run_module(&m, "main", &[], &RunConfig::default()).expect("runs");
         let r2 = run_module(&m2, "main", &[], &RunConfig::default()).expect("runs");
-        prop_assert_eq!(r1.ret_i64(), r2.ret_i64());
-        prop_assert_eq!(r1.cycles, r2.cycles);
-    }
+        assert_eq!(r1.ret_i64(), r2.ret_i64());
+        assert_eq!(r1.cycles, r2.cycles);
+    });
+}
 
-    #[test]
-    fn dominance_properties_hold(spec in prog_strategy()) {
-        let m = build(&spec);
+#[test]
+fn dominance_properties_hold() {
+    for_each_case(|spec| {
+        let m = build(spec);
         let f = m.func_by_name("main").unwrap();
         let cfg = Cfg::new(f);
         let dt = DomTree::new(f, &cfg);
@@ -126,43 +169,47 @@ proptest! {
         for &x in &cfg.rpo {
             // The entry dominates every reachable block; dominance is
             // reflexive; the idom strictly dominates its node.
-            prop_assert!(dt.dominates(entry, x));
-            prop_assert!(dt.dominates(x, x));
+            assert!(dt.dominates(entry, x));
+            assert!(dt.dominates(x, x));
             if let Some(d) = dt.idom(x) {
-                prop_assert!(dt.strictly_dominates(d, x));
+                assert!(dt.strictly_dominates(d, x));
             }
             // Every dominator of x also dominates x's idom chain upward.
             if let Some(d) = dt.idom(x) {
                 for &y in &cfg.rpo {
                     if dt.strictly_dominates(y, x) {
-                        prop_assert!(dt.dominates(y, d) || y == d);
+                        assert!(dt.dominates(y, d) || y == d);
                     }
                 }
             }
             // Post-dominance mirrors: every block post-dominates itself.
-            prop_assert!(pdt.postdominates(x, x));
+            assert!(pdt.postdominates(x, x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn licm_preserves_random_program_semantics(spec in prog_strategy()) {
+#[test]
+fn licm_preserves_random_program_semantics() {
+    for_each_case(|spec| {
         use noelle::core::noelle::{AliasTier, Noelle};
-        let m = build(&spec);
+        let m = build(spec);
         let before = run_module(&m, "main", &[], &RunConfig::default()).expect("runs");
         let mut n = Noelle::new(m, AliasTier::Full);
         noelle::transforms::licm::run(&mut n);
         let m2 = n.into_module();
         noelle::ir::verifier::verify_module(&m2).expect("verifies after LICM");
         let after = run_module(&m2, "main", &[], &RunConfig::default()).expect("runs");
-        prop_assert_eq!(before.ret_i64(), after.ret_i64());
-    }
+        assert_eq!(before.ret_i64(), after.ret_i64());
+    });
+}
 
-    #[test]
-    fn sccdag_partitions_loop_instructions(spec in prog_strategy()) {
+#[test]
+fn sccdag_partitions_loop_instructions() {
+    for_each_case(|spec| {
         use noelle_analysis::alias::BasicAlias;
         use noelle_pdg::pdg::PdgBuilder;
         use noelle_pdg::sccdag::SccDag;
-        let m = build(&spec);
+        let m = build(spec);
         let fid = m.func_ids().next().unwrap();
         let f = m.func(fid);
         let cfg = Cfg::new(f);
@@ -176,12 +223,12 @@ proptest! {
             // Every internal instruction is in exactly one SCC, and the SCC
             // DAG's topological order covers every node exactly once.
             let covered: usize = dag.nodes().iter().map(|n| n.insts.len()).sum();
-            prop_assert_eq!(covered, g.num_internal());
+            assert_eq!(covered, g.num_internal());
             let topo = dag.topo_order();
-            prop_assert_eq!(topo.len(), dag.nodes().len());
+            assert_eq!(topo.len(), dag.nodes().len());
             for i in g.internal_nodes() {
-                prop_assert!(dag.scc_of(i).is_some());
+                assert!(dag.scc_of(i).is_some());
             }
         }
-    }
+    });
 }
