@@ -116,9 +116,7 @@ fn collect_bases(
             Inst::Alloca { .. } => {
                 out.insert(Some(MemoryObject::Alloca(fid, id)));
             }
-            Inst::Gep { base, .. } => {
-                collect_bases(m, fid, *base, out, visited, fuel - 1)
-            }
+            Inst::Gep { base, .. } => collect_bases(m, fid, *base, out, visited, fuel - 1),
             Inst::Cast { op, val, .. } => match op {
                 noelle_ir::inst::CastOp::Bitcast => {
                     collect_bases(m, fid, *val, out, visited, fuel - 1)
@@ -400,8 +398,8 @@ struct Solver<'m> {
     m: &'m Module,
     vars: HashMap<VarKey, usize>,
     pts: Vec<BTreeSet<usize>>,
-    succs: Vec<Vec<usize>>, // copy edges: pts(to) ⊇ pts(from)
-    loads: Vec<Vec<usize>>, // loads[p] = dst vars of `dst = load p`
+    succs: Vec<Vec<usize>>,  // copy edges: pts(to) ⊇ pts(from)
+    loads: Vec<Vec<usize>>,  // loads[p] = dst vars of `dst = load p`
     stores: Vec<Vec<usize>>, // stores[p] = src vars of `store src, p`
     objects: Vec<MemoryObject>,
     obj_ids: HashMap<MemoryObject, usize>,
@@ -939,7 +937,8 @@ impl AliasQueryCache {
     }
 
     fn miss(&self) {
-        self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -1146,7 +1145,8 @@ mod tests {
     fn andersen_interprocedural_flow() {
         // id(p) returns its argument; q = id(a) aliases a, not b.
         let mut m = Module::new("t");
-        let mut idb = FunctionBuilder::new("id", vec![("p", Type::I64.ptr_to())], Type::I64.ptr_to());
+        let mut idb =
+            FunctionBuilder::new("id", vec![("p", Type::I64.ptr_to())], Type::I64.ptr_to());
         let e = idb.entry_block();
         idb.switch_to(e);
         idb.ret(Some(Value::Arg(0)));

@@ -92,9 +92,7 @@ impl Liveness {
             n: values.len(),
         };
         let res = DataFlowEngine::new().solve(f, cfg, &problem);
-        let to_set = |bits: &BitSet| -> HashSet<Value> {
-            bits.iter().map(|i| values[i]).collect()
-        };
+        let to_set = |bits: &BitSet| -> HashSet<Value> { bits.iter().map(|i| values[i]).collect() };
         Liveness {
             live_in: res.inb.iter().map(|(&b, s)| (b, to_set(s))).collect(),
             live_out: res.outb.iter().map(|(&b, s)| (b, to_set(s))).collect(),
@@ -103,7 +101,10 @@ impl Liveness {
 
     /// True if `v` is live on entry to `b`.
     pub fn is_live_in(&self, b: BlockId, v: Value) -> bool {
-        self.live_in.get(&b).map(|s| s.contains(&v)).unwrap_or(false)
+        self.live_in
+            .get(&b)
+            .map(|s| s.contains(&v))
+            .unwrap_or(false)
     }
 
     /// True if `v` is live on exit from `b`.
@@ -203,9 +204,8 @@ impl ReachingStores {
             by_ptr,
         };
         let res = DataFlowEngine::new().solve(f, cfg, &problem);
-        let to_set = |bits: &BitSet| -> HashSet<InstId> {
-            bits.iter().map(|i| stores[i]).collect()
-        };
+        let to_set =
+            |bits: &BitSet| -> HashSet<InstId> { bits.iter().map(|i| stores[i]).collect() };
         ReachingStores {
             reach_in: res.inb.iter().map(|(&b, s)| (b, to_set(s))).collect(),
             reach_out: res.outb.iter().map(|(&b, s)| (b, to_set(s))).collect(),
@@ -262,8 +262,18 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![], Type::I64);
         let entry = b.entry_block();
         b.switch_to(entry);
-        let dead = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
-        let live = b.binop(BinOp::Add, Type::I64, Value::const_i64(3), Value::const_i64(4));
+        let dead = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
+        let live = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(3),
+            Value::const_i64(4),
+        );
         b.ret(Some(live));
         let f = b.finish();
         let cfg = Cfg::new(&f);

@@ -258,7 +258,8 @@ mod tests {
         let leaf = m.add_function(leaf.finish());
 
         // writer: stores to memory
-        let mut writer = FunctionBuilder::new("writer", vec![("p", Type::I64.ptr_to())], Type::Void);
+        let mut writer =
+            FunctionBuilder::new("writer", vec![("p", Type::I64.ptr_to())], Type::Void);
         let e = writer.entry_block();
         writer.switch_to(e);
         writer.store(Type::I64, Value::const_i64(1), Value::Arg(0));
@@ -266,7 +267,8 @@ mod tests {
         let writer = m.add_function(writer.finish());
 
         // caller: calls both
-        let mut caller = FunctionBuilder::new("caller", vec![("p", Type::I64.ptr_to())], Type::Void);
+        let mut caller =
+            FunctionBuilder::new("caller", vec![("p", Type::I64.ptr_to())], Type::Void);
         let e = caller.entry_block();
         caller.switch_to(e);
         let c1 = caller.call(leaf, vec![Value::const_i64(1)], Type::I64);

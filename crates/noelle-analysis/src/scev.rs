@@ -177,9 +177,7 @@ pub fn exit_condition(f: &Function, l: &LoopInfo, recs: &[AddRec]) -> Option<Exi
             })
         };
         let (rec_index, compares_update, bound, pred) = match (classify(*lhs), classify(*rhs)) {
-            (Some((i, upd)), None) if trivially_loop_invariant(f, l, *rhs) => {
-                (i, upd, *rhs, *pred)
-            }
+            (Some((i, upd)), None) if trivially_loop_invariant(f, l, *rhs) => (i, upd, *rhs, *pred),
             (None, Some((i, upd))) if trivially_loop_invariant(f, l, *lhs) => {
                 (i, upd, *lhs, pred.swapped())
             }

@@ -10,8 +10,14 @@ fn main() {
                 r.bench.clone(),
                 r.suite.to_string(),
                 r.total.to_string(),
-                format!("{:.1}%", 100.0 * r.llvm_disproved as f64 / r.total.max(1) as f64),
-                format!("{:.1}%", 100.0 * r.noelle_disproved as f64 / r.total.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * r.llvm_disproved as f64 / r.total.max(1) as f64
+                ),
+                format!(
+                    "{:.1}%",
+                    100.0 * r.noelle_disproved as f64 / r.total.max(1) as f64
+                ),
             ]
         })
         .collect();

@@ -12,6 +12,11 @@ fn main() {
         "{}",
         noelle_bench::render_table(&["Benchmark", "LLVM (Alg. 1)", "NOELLE (Alg. 2)"], &rows)
     );
-    let (l, n) = data.iter().fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
-    println!("\nTotals: LLVM {l}, NOELLE {n} — NOELLE detects {:.1}x more", n as f64 / l.max(1) as f64);
+    let (l, n) = data
+        .iter()
+        .fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
+    println!(
+        "\nTotals: LLVM {l}, NOELLE {n} — NOELLE detects {:.1}x more",
+        n as f64 / l.max(1) as f64
+    );
 }

@@ -29,7 +29,15 @@ fn main() {
     print!(
         "{}",
         noelle_bench::render_table(
-            &["Benchmark", "Suite", "DOALL", "HELIX", "DSWP", "PERS", "gcc/icc-like"],
+            &[
+                "Benchmark",
+                "Suite",
+                "DOALL",
+                "HELIX",
+                "DSWP",
+                "PERS",
+                "gcc/icc-like"
+            ],
             &rows
         )
     );

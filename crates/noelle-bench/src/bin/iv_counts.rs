@@ -12,6 +12,8 @@ fn main() {
         "{}",
         noelle_bench::render_table(&["Benchmark", "LLVM", "NOELLE"], &rows)
     );
-    let (l, n) = data.iter().fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
+    let (l, n) = data
+        .iter()
+        .fold((0, 0), |(l, n), r| (l + r.llvm, n + r.noelle));
     println!("\nTotals: LLVM {l}, NOELLE {n} (paper: 11 vs 385 — while-shaped loops defeat LLVM's analysis)");
 }

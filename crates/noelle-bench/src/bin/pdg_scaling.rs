@@ -40,10 +40,7 @@ fn main() {
 
     for w in &workloads {
         let m = w.build();
-        let insts: usize = m
-            .func_ids()
-            .map(|fid| m.func(fid).inst_ids().len())
-            .sum();
+        let insts: usize = m.func_ids().map(|fid| m.func(fid).inst_ids().len()).sum();
         let basic = BasicAlias::new(&m);
         let andersen = AndersenAlias::new(&m);
         let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
@@ -58,8 +55,7 @@ fn main() {
 
         let cache = AliasQueryCache::new();
         let cached_alias = CachedAlias::new(&stack, &cache);
-        let cached_builder =
-            PdgBuilder::new_with_modref(&m, &cached_alias, builder.modref_arc());
+        let cached_builder = PdgBuilder::new_with_modref(&m, &cached_alias, builder.modref_arc());
         // Warm once so the steady-state (hot-cache) cost is what's measured,
         // matching the Noelle manager's repeated-request pattern.
         let _ = cached_builder.program_pdg();
@@ -76,7 +72,11 @@ fn main() {
             format!("{par_cached:.1}"),
             format!("{:.2}x", seq / par),
             format!("{:.2}x", seq / par_cached),
-            format!("{:.1}% ({hits}/{})", cache.hit_rate() * 100.0, hits + misses),
+            format!(
+                "{:.1}% ({hits}/{})",
+                cache.hit_rate() * 100.0,
+                hits + misses
+            ),
         ]);
     }
 

@@ -1,0 +1,99 @@
+//! Daemon throughput: requests/sec and tail latency of `noelle-served`
+//! under concurrent clients, written as JSON to `results/BENCH_server.json`
+//! (the seed of the server performance trajectory).
+//!
+//! Starts an in-process daemon on an ephemeral port, loads one session per
+//! workload, pays the cold PDG build once, then hammers the warm cache
+//! from `CLIENTS` threads with a `pdg`/`loops`/`sccdag`/`stats` mix —
+//! the steady state a resident analysis service actually runs in.
+
+use noelle_core::json::Json;
+use noelle_server::{Client, Server, ServerConfig};
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 100;
+const WORKLOADS: [&str; 3] = ["blackscholes", "swaptions", "crc32"];
+
+fn main() {
+    let server = Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        ..ServerConfig::default()
+    })
+    .start()
+    .expect("bind ephemeral port");
+    let addr = server.addr.to_string();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let cold_start = Instant::now();
+    for w in WORKLOADS {
+        c.call(
+            "load",
+            Json::object([
+                ("path".to_string(), Json::Str(format!("workload:{w}"))),
+                ("session".to_string(), Json::Str(w.to_string())),
+            ]),
+        )
+        .expect("load");
+        // Pay every cold build up front so the measured window is warm.
+        c.call(
+            "pdg",
+            Json::object([("session".to_string(), Json::Str(w.to_string()))]),
+        )
+        .expect("cold pdg");
+    }
+    let cold_us = cold_start.elapsed().as_micros() as i64;
+
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let w = WORKLOADS[(client_id + i) % WORKLOADS.len()];
+                    let sess = Json::object([("session".to_string(), Json::Str(w.to_string()))]);
+                    let r = match i % 4 {
+                        0 | 1 => c.call("pdg", sess),
+                        2 => c.call("loops", sess),
+                        _ => c.call("stats", Json::object([])),
+                    };
+                    r.expect("warm request succeeds");
+                }
+            });
+        }
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+
+    let metrics = c.call("metrics", Json::object([])).expect("metrics");
+    c.call("shutdown", Json::object([])).expect("shutdown");
+    server.join();
+
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("server_throughput".into())),
+        ("clients".to_string(), Json::Int(CLIENTS as i64)),
+        (
+            "requests".to_string(),
+            Json::Int((CLIENTS * REQUESTS_PER_CLIENT) as i64),
+        ),
+        ("cold_load_us".to_string(), Json::Int(cold_us)),
+        ("wall_s".to_string(), Json::Float(wall_s)),
+        ("requests_per_sec".to_string(), Json::Float(total / wall_s)),
+        (
+            "methods".to_string(),
+            metrics.get("requests").cloned().unwrap_or(Json::Null),
+        ),
+    ]);
+    let text = report.to_string_pretty();
+    println!("{text}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_server.json", text + "\n").expect("write report");
+    eprintln!(
+        "{} requests in {:.3}s = {:.0} req/s -> results/BENCH_server.json",
+        total,
+        wall_s,
+        total / wall_s
+    );
+}

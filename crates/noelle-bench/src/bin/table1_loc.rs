@@ -7,6 +7,9 @@ fn main() {
         .collect();
     let total: usize = noelle_bench::table1_loc().iter().map(|r| r.loc).sum();
     println!("Table 1 — NOELLE-rs abstractions (measured LoC)\n");
-    print!("{}", noelle_bench::render_table(&["Abstraction", "LoC", "Files"], &rows));
+    print!(
+        "{}",
+        noelle_bench::render_table(&["Abstraction", "LoC", "Files"], &rows)
+    );
     println!("\nTotal abstraction LoC: {total} (paper reports 26142 C++ LoC)");
 }

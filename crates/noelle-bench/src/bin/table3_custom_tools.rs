@@ -18,7 +18,13 @@ fn main() {
     print!(
         "{}",
         noelle_bench::render_table(
-            &["Tool", "paper LLVM", "paper +NOELLE", "paper reduction", "ours (+NOELLE-rs)"],
+            &[
+                "Tool",
+                "paper LLVM",
+                "paper +NOELLE",
+                "paper reduction",
+                "ours (+NOELLE-rs)"
+            ],
             &rows
         )
     );

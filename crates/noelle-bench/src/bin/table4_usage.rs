@@ -3,15 +3,19 @@
 
 fn main() {
     const COLS: [&str; 18] = [
-        "PDG", "aSCCDAG", "CG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB", "IV", "IVS",
-        "INV", "FR", "ISL", "RD", "AR", "LS",
+        "PDG", "aSCCDAG", "CG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB", "IV", "IVS", "INV",
+        "FR", "ISL", "RD", "AR", "LS",
     ];
     let usage = noelle_bench::table4_usage();
     let mut rows = Vec::new();
     for (tool, used) in &usage {
         let mut row = vec![tool.to_string()];
         for c in COLS {
-            row.push(if used.contains(&c) { "x".into() } else { "".into() });
+            row.push(if used.contains(&c) {
+                "x".into()
+            } else {
+                "".into()
+            });
         }
         rows.push(row);
     }

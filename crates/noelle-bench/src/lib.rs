@@ -381,7 +381,10 @@ pub fn table4_usage() -> Vec<(&'static str, Vec<&'static str>)> {
                 tools::dead::run(&mut noelle, "main");
             }
             "PERS" => {
-                tools::perspective::run(&mut noelle, &tools::perspective::PerspectiveOptions::default());
+                tools::perspective::run(
+                    &mut noelle,
+                    &tools::perspective::PerspectiveOptions::default(),
+                );
             }
             _ => unreachable!(),
         }
@@ -432,29 +435,71 @@ fn count_loc(files: &[&'static str]) -> usize {
 /// Regenerate Table 1: LoC per NOELLE abstraction (our Rust measurements).
 pub fn table1_loc() -> Vec<LocRow> {
     let rows: Vec<(&'static str, Vec<&'static str>)> = vec![
-        ("PDG", vec!["crates/noelle-pdg/src/depgraph.rs", "crates/noelle-pdg/src/pdg.rs"]),
+        (
+            "PDG",
+            vec![
+                "crates/noelle-pdg/src/depgraph.rs",
+                "crates/noelle-pdg/src/pdg.rs",
+            ],
+        ),
         ("aSCCDAG", vec!["crates/noelle-pdg/src/sccdag.rs"]),
-        ("Call graph (CG)", vec!["crates/noelle-pdg/src/callgraph.rs"]),
+        (
+            "Call graph (CG)",
+            vec!["crates/noelle-pdg/src/callgraph.rs"],
+        ),
         ("Environment (ENV)", vec!["crates/noelle-core/src/env.rs"]),
         ("Task (T)", vec!["crates/noelle-core/src/task.rs"]),
-        ("Data-flow engine (DFE)", vec!["crates/noelle-analysis/src/dfe.rs", "crates/noelle-analysis/src/analyses.rs"]),
+        (
+            "Data-flow engine (DFE)",
+            vec![
+                "crates/noelle-analysis/src/dfe.rs",
+                "crates/noelle-analysis/src/analyses.rs",
+            ],
+        ),
         ("Loop structure (LS)", vec!["crates/noelle-ir/src/loops.rs"]),
         ("Profiler (PRO)", vec!["crates/noelle-core/src/profiler.rs"]),
-        ("Scheduler (SCD)", vec!["crates/noelle-core/src/scheduler.rs"]),
-        ("Invariant (INV)", vec!["crates/noelle-core/src/invariants.rs"]),
-        ("Induction variable (IV)", vec!["crates/noelle-core/src/induction.rs", "crates/noelle-analysis/src/scev.rs"]),
-        ("IV stepper (IVS)", vec!["crates/noelle-core/src/ivstepper.rs"]),
-        ("Reduction (RD)", vec!["crates/noelle-core/src/reduction.rs"]),
+        (
+            "Scheduler (SCD)",
+            vec!["crates/noelle-core/src/scheduler.rs"],
+        ),
+        (
+            "Invariant (INV)",
+            vec!["crates/noelle-core/src/invariants.rs"],
+        ),
+        (
+            "Induction variable (IV)",
+            vec![
+                "crates/noelle-core/src/induction.rs",
+                "crates/noelle-analysis/src/scev.rs",
+            ],
+        ),
+        (
+            "IV stepper (IVS)",
+            vec!["crates/noelle-core/src/ivstepper.rs"],
+        ),
+        (
+            "Reduction (RD)",
+            vec!["crates/noelle-core/src/reduction.rs"],
+        ),
         ("Loop (L)", vec!["crates/noelle-core/src/loop_abs.rs"]),
         ("Forest (FR)", vec!["crates/noelle-core/src/forest.rs"]),
-        ("Loop builder (LB)", vec!["crates/noelle-core/src/loop_builder.rs"]),
+        (
+            "Loop builder (LB)",
+            vec!["crates/noelle-core/src/loop_builder.rs"],
+        ),
         ("Islands (ISL)", vec!["crates/noelle-pdg/src/islands.rs"]),
-        ("Architecture (AR)", vec!["crates/noelle-core/src/architecture.rs"]),
-        ("Others (manager, alias analyses)", vec![
-            "crates/noelle-core/src/noelle.rs",
-            "crates/noelle-analysis/src/alias.rs",
-            "crates/noelle-analysis/src/modref.rs",
-        ]),
+        (
+            "Architecture (AR)",
+            vec!["crates/noelle-core/src/architecture.rs"],
+        ),
+        (
+            "Others (manager, alias analyses)",
+            vec![
+                "crates/noelle-core/src/noelle.rs",
+                "crates/noelle-analysis/src/alias.rs",
+                "crates/noelle-analysis/src/modref.rs",
+            ],
+        ),
     ];
     rows.into_iter()
         .map(|(name, files)| LocRow {
@@ -468,16 +513,49 @@ pub fn table1_loc() -> Vec<LocRow> {
 /// Regenerate Table 2: LoC per NOELLE tool.
 pub fn table2_loc() -> Vec<LocRow> {
     let rows: Vec<(&'static str, Vec<&'static str>)> = vec![
-        ("noelle-whole-IR", vec!["crates/noelle-tools/src/bin/noelle-whole-ir.rs", "crates/noelle-tools/src/lib.rs"]),
-        ("noelle-rm-lc-dependences", vec!["crates/noelle-tools/src/bin/noelle-rm-lc-dependences.rs"]),
-        ("noelle-prof-coverage", vec!["crates/noelle-tools/src/bin/noelle-prof-coverage.rs"]),
-        ("noelle-meta-prof-embed", vec!["crates/noelle-tools/src/bin/noelle-meta-prof-embed.rs"]),
-        ("noelle-meta-pdg-embed", vec!["crates/noelle-tools/src/bin/noelle-meta-pdg-embed.rs"]),
-        ("noelle-meta-clean", vec!["crates/noelle-tools/src/bin/noelle-meta-clean.rs"]),
-        ("noelle-load", vec!["crates/noelle-tools/src/bin/noelle-load.rs"]),
-        ("noelle-arch", vec!["crates/noelle-tools/src/bin/noelle-arch.rs"]),
-        ("noelle-linker", vec!["crates/noelle-tools/src/bin/noelle-linker.rs"]),
-        ("noelle-bin", vec!["crates/noelle-tools/src/bin/noelle-bin.rs"]),
+        (
+            "noelle-whole-IR",
+            vec![
+                "crates/noelle-tools/src/bin/noelle-whole-ir.rs",
+                "crates/noelle-tools/src/lib.rs",
+            ],
+        ),
+        (
+            "noelle-rm-lc-dependences",
+            vec!["crates/noelle-tools/src/bin/noelle-rm-lc-dependences.rs"],
+        ),
+        (
+            "noelle-prof-coverage",
+            vec!["crates/noelle-tools/src/bin/noelle-prof-coverage.rs"],
+        ),
+        (
+            "noelle-meta-prof-embed",
+            vec!["crates/noelle-tools/src/bin/noelle-meta-prof-embed.rs"],
+        ),
+        (
+            "noelle-meta-pdg-embed",
+            vec!["crates/noelle-tools/src/bin/noelle-meta-pdg-embed.rs"],
+        ),
+        (
+            "noelle-meta-clean",
+            vec!["crates/noelle-tools/src/bin/noelle-meta-clean.rs"],
+        ),
+        (
+            "noelle-load",
+            vec!["crates/noelle-tools/src/bin/noelle-load.rs"],
+        ),
+        (
+            "noelle-arch",
+            vec!["crates/noelle-tools/src/bin/noelle-arch.rs"],
+        ),
+        (
+            "noelle-linker",
+            vec!["crates/noelle-tools/src/bin/noelle-linker.rs"],
+        ),
+        (
+            "noelle-bin",
+            vec!["crates/noelle-tools/src/bin/noelle-bin.rs"],
+        ),
     ];
     rows.into_iter()
         .map(|(name, files)| LocRow {
@@ -518,16 +596,66 @@ pub fn table3_loc() -> Vec<Table3Row> {
         ours: count_loc(&files),
     };
     vec![
-        t("TIME", 510, 92, vec!["crates/noelle-transforms/src/time.rs"]),
-        t("COOS", 1641, 495, vec!["crates/noelle-transforms/src/coos.rs"]),
-        t("LICM", 2317, 170, vec!["crates/noelle-transforms/src/licm.rs"]),
-        t("DOALL", 5512, 321, vec!["crates/noelle-transforms/src/doall.rs"]),
-        t("DEAD", 7512, 61, vec!["crates/noelle-transforms/src/dead.rs"]),
-        t("DSWP", 8525, 775, vec!["crates/noelle-transforms/src/dswp.rs"]),
-        t("HELIX", 15453, 958, vec!["crates/noelle-transforms/src/helix.rs"]),
-        t("PRVJ", 17863, 456, vec!["crates/noelle-transforms/src/prvj.rs"]),
-        t("CARAT", 21899, 595, vec!["crates/noelle-transforms/src/carat.rs"]),
-        t("PERS", 33998, 22706, vec!["crates/noelle-transforms/src/perspective.rs"]),
+        t(
+            "TIME",
+            510,
+            92,
+            vec!["crates/noelle-transforms/src/time.rs"],
+        ),
+        t(
+            "COOS",
+            1641,
+            495,
+            vec!["crates/noelle-transforms/src/coos.rs"],
+        ),
+        t(
+            "LICM",
+            2317,
+            170,
+            vec!["crates/noelle-transforms/src/licm.rs"],
+        ),
+        t(
+            "DOALL",
+            5512,
+            321,
+            vec!["crates/noelle-transforms/src/doall.rs"],
+        ),
+        t(
+            "DEAD",
+            7512,
+            61,
+            vec!["crates/noelle-transforms/src/dead.rs"],
+        ),
+        t(
+            "DSWP",
+            8525,
+            775,
+            vec!["crates/noelle-transforms/src/dswp.rs"],
+        ),
+        t(
+            "HELIX",
+            15453,
+            958,
+            vec!["crates/noelle-transforms/src/helix.rs"],
+        ),
+        t(
+            "PRVJ",
+            17863,
+            456,
+            vec!["crates/noelle-transforms/src/prvj.rs"],
+        ),
+        t(
+            "CARAT",
+            21899,
+            595,
+            vec!["crates/noelle-transforms/src/carat.rs"],
+        ),
+        t(
+            "PERS",
+            33998,
+            22706,
+            vec!["crates/noelle-transforms/src/perspective.rs"],
+        ),
     ]
 }
 

@@ -49,7 +49,10 @@ fn fig4_algorithm2_finds_more_invariants() {
         noelle += r.noelle;
     }
     // "NOELLE detects significantly more invariants than LLVM".
-    assert!(noelle as f64 >= llvm as f64 * 1.5, "NOELLE {noelle} vs LLVM {llvm}");
+    assert!(
+        noelle as f64 >= llvm as f64 * 1.5,
+        "NOELLE {noelle} vs LLVM {llvm}"
+    );
     assert!(noelle > 0);
 }
 
@@ -119,7 +122,11 @@ fn spec_speedups_are_small_but_positive() {
         assert!(autopar <= 1.05, "{}: autopar {autopar}", r.bench);
         // §4.4: speedups exist but are small — the sequential chains bound
         // them well below the parallel suites' numbers.
-        assert!(best < 1.4, "{}: {best} too large for a SPEC-like program", r.bench);
+        assert!(
+            best < 1.4,
+            "{}: {best} too large for a SPEC-like program",
+            r.bench
+        );
         if best > 1.005 {
             positive += 1;
         }
@@ -146,8 +153,8 @@ fn table4_every_abstraction_serves_multiple_tools() {
     // The paper's point: high heterogeneity, yet every abstraction is used
     // by more than one custom tool.
     const COLS: [&str; 18] = [
-        "PDG", "aSCCDAG", "CG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB", "IV", "IVS",
-        "INV", "FR", "ISL", "RD", "AR", "LS",
+        "PDG", "aSCCDAG", "CG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB", "IV", "IVS", "INV",
+        "FR", "ISL", "RD", "AR", "LS",
     ];
     for c in COLS {
         let n = usage.iter().filter(|(_, used)| used.contains(&c)).count();

@@ -213,7 +213,10 @@ mod tests {
         let a = Architecture::synthetic(4, 1);
         a.embed(&mut m);
         assert_eq!(Architecture::from_module(&m), Some(a));
-        assert_eq!(Architecture::from_module(&noelle_ir::Module::new("x")), None);
+        assert_eq!(
+            Architecture::from_module(&noelle_ir::Module::new("x")),
+            None
+        );
     }
 
     #[test]

@@ -116,16 +116,7 @@ impl EnvironmentBuilder {
         ty: &Type,
     ) -> (Value, usize) {
         let cast = |f: &mut Function, pos: &mut usize, op, from: Type, to: Type, val| {
-            let id = f.insert_inst(
-                block,
-                *pos,
-                Inst::Cast {
-                    op,
-                    from,
-                    to,
-                    val,
-                },
-            );
+            let id = f.insert_inst(block, *pos, Inst::Cast { op, from, to, val });
             *pos += 1;
             Value::Inst(id)
         };
@@ -153,16 +144,7 @@ impl EnvironmentBuilder {
         ty: &Type,
     ) -> (Value, usize) {
         let cast = |f: &mut Function, pos: &mut usize, op, from: Type, to: Type, val| {
-            let id = f.insert_inst(
-                block,
-                *pos,
-                Inst::Cast {
-                    op,
-                    from,
-                    to,
-                    val,
-                },
-            );
+            let id = f.insert_inst(block, *pos, Inst::Cast { op, from, to, val });
             *pos += 1;
             Value::Inst(id)
         };
@@ -333,14 +315,9 @@ mod tests {
         let f = m.func_mut(fid);
         let entry = f.entry();
         let env = EnvironmentBuilder::alloc(f, entry, 4);
-        for (i, ty) in [
-            Type::I64,
-            Type::F64,
-            Type::I64.ptr_to(),
-            Type::I32,
-        ]
-        .iter()
-        .enumerate()
+        for (i, ty) in [Type::I64, Type::F64, Type::I64.ptr_to(), Type::I32]
+            .iter()
+            .enumerate()
         {
             EnvironmentBuilder::store_slot(
                 f,

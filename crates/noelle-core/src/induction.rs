@@ -77,14 +77,8 @@ pub fn ivs_noelle(f: &Function, l: &LoopInfo) -> InductionVariables {
     let cond = exit_condition(f, l, &recs);
     let mut ivs = Vec::new();
     for (i, rec) in recs.iter().enumerate() {
-        let governing = cond
-            .as_ref()
-            .map(|c| c.rec_index == i)
-            .unwrap_or(false);
-        let bound = cond
-            .as_ref()
-            .filter(|c| c.rec_index == i)
-            .map(|c| c.bound);
+        let governing = cond.as_ref().map(|c| c.rec_index == i).unwrap_or(false);
+        let bound = cond.as_ref().filter(|c| c.rec_index == i).map(|c| c.bound);
         let derived = derived_ivs(f, l, rec);
         ivs.push(InductionVariable {
             rec: rec.clone(),
@@ -113,10 +107,7 @@ pub fn ivs_llvm(f: &Function, l: &LoopInfo) -> InductionVariables {
             continue; // LLVM-style: requires a constant step
         }
         let governing = cond.as_ref().map(|c| c.rec_index == i).unwrap_or(false);
-        let bound = cond
-            .as_ref()
-            .filter(|c| c.rec_index == i)
-            .map(|c| c.bound);
+        let bound = cond.as_ref().filter(|c| c.rec_index == i).map(|c| c.bound);
         ivs.push(InductionVariable {
             rec: rec.clone(),
             governing,

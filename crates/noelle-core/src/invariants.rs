@@ -136,13 +136,13 @@ fn is_invariant_llvm_one(
                 }
                 match f.inst(j) {
                     Inst::Store { ptr: sp, .. }
-                        if alias.alias(fid, *ptr, *sp) != AliasResult::No => {
-                            return false;
-                        }
-                    Inst::Call { .. }
-                        if modref.call_may_write(m, fid, j) => {
-                            return false;
-                        }
+                        if alias.alias(fid, *ptr, *sp) != AliasResult::No =>
+                    {
+                        return false;
+                    }
+                    Inst::Call { .. } if modref.call_may_write(m, fid, j) => {
+                        return false;
+                    }
                     _ => {}
                 }
             }
@@ -218,11 +218,7 @@ fn is_invariant_llvm_one(
 /// **Algorithm 2** (the paper's NOELLE logic): detect the invariant
 /// instructions of `l` using the loop dependence graph. Smaller, simpler,
 /// and more precise — the comparison the paper draws in §2.5.
-pub fn invariants_noelle(
-    f: &Function,
-    l: &LoopInfo,
-    loop_pdg: &DepGraph<InstId>,
-) -> InvariantSet {
+pub fn invariants_noelle(f: &Function, l: &LoopInfo, loop_pdg: &DepGraph<InstId>) -> InvariantSet {
     let loop_insts: Vec<InstId> = f
         .inst_ids()
         .into_iter()
@@ -285,11 +281,10 @@ fn is_invariant_noelle_rec(
             result = false;
             break;
         }
-        if l.contains(f.parent_block(j))
-            && !is_invariant_noelle_rec(f, l, dg, j, stack, memo) {
-                result = false;
-                break;
-            }
+        if l.contains(f.parent_block(j)) && !is_invariant_noelle_rec(f, l, dg, j, stack, memo) {
+            result = false;
+            break;
+        }
     }
     stack.pop();
     memo.insert(id, result);
@@ -484,11 +479,7 @@ mod tests {
     fn pure_call_invariant_for_noelle() {
         let mut m = Module::new("t");
         let sqrt = m.declare_function("sqrt", vec![Type::F64], Type::F64);
-        let mut b = FunctionBuilder::new(
-            "k",
-            vec![("x", Type::F64), ("n", Type::I64)],
-            Type::F64,
-        );
+        let mut b = FunctionBuilder::new("k", vec![("x", Type::F64), ("n", Type::I64)], Type::F64);
         let entry = b.entry_block();
         let header = b.block("header");
         let body = b.block("body");

@@ -236,10 +236,7 @@ mod tests {
         let f = m.func(fid);
         // The phi's entry incoming is now an add instruction.
         if let Inst::Phi { incomings, .. } = f.inst(rec.phi) {
-            let outside: Vec<_> = incomings
-                .iter()
-                .filter(|(b, _)| !l.contains(*b))
-                .collect();
+            let outside: Vec<_> = incomings.iter().filter(|(b, _)| !l.contains(*b)).collect();
             assert_eq!(outside.len(), 1);
             assert!(matches!(outside[0].1, Value::Inst(_)));
         } else {

@@ -311,10 +311,30 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
                     b'b' => out.push('\u{8}'),
                     b'f' => out.push('\u{c}'),
                     b'u' => {
-                        let hex = std::str::from_utf8(b.get(*pos..*pos + 4)?).ok()?;
-                        *pos += 4;
-                        let cp = u32::from_str_radix(hex, 16).ok()?;
-                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        let cp = parse_hex4(b, pos)?;
+                        if (0xD800..=0xDBFF).contains(&cp) {
+                            // High surrogate: a `\uXXXX` low surrogate must
+                            // follow to form one astral code point.
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                if (0xDC00..=0xDFFF).contains(&lo) {
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                } else {
+                                    // Unpaired high surrogate; the second
+                                    // escape stands on its own.
+                                    out.push('\u{fffd}');
+                                    out.push(char::from_u32(lo).unwrap_or('\u{fffd}'));
+                                }
+                            } else {
+                                out.push('\u{fffd}');
+                            }
+                        } else {
+                            // Lone low surrogates land in the from_u32 None
+                            // branch and degrade to U+FFFD.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return None,
                 }
@@ -333,6 +353,12 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
             }
         }
     }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Option<u32> {
+    let hex = std::str::from_utf8(b.get(*pos..*pos + 4)?).ok()?;
+    *pos += 4;
+    u32::from_str_radix(hex, 16).ok()
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -407,6 +433,72 @@ mod tests {
         assert_eq!(Json::parse("[1,]"), None);
         assert_eq!(Json::parse("1 2"), None);
         assert_eq!(Json::parse(""), None);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_after_top_level_value() {
+        // A wire frame must hold exactly one value: anything after the
+        // top-level value is a protocol error, not ignorable noise.
+        assert_eq!(Json::parse(r#"{"a":1} x"#), None);
+        assert_eq!(Json::parse("[1] [2]"), None);
+        assert_eq!(Json::parse("\"abc\"garbage"), None);
+        assert_eq!(Json::parse("true false"), None);
+        assert_eq!(Json::parse("null,"), None);
+        // Pure trailing whitespace stays fine.
+        assert_eq!(Json::parse(" 7 \n\t"), Some(Json::Int(7)));
+    }
+
+    #[test]
+    fn decodes_unicode_escapes_and_surrogate_pairs() {
+        // BMP escapes.
+        assert_eq!(
+            Json::parse("\"\\u00e9\\u2211\""),
+            Some(Json::Str("é∑".into()))
+        );
+        // Raw (unescaped) UTF-8 passes through.
+        assert_eq!(Json::parse(r#""é∑😀""#), Some(Json::Str("é∑😀".into())));
+        // Astral plane via a surrogate pair (U+1F600).
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\""),
+            Some(Json::Str("😀".into()))
+        );
+        // Unpaired surrogates degrade to U+FFFD instead of crashing the
+        // connection.
+        assert_eq!(
+            Json::parse(r#""\ud800""#),
+            Some(Json::Str("\u{fffd}".into()))
+        );
+        assert_eq!(
+            Json::parse(r#""\udc00""#),
+            Some(Json::Str("\u{fffd}".into()))
+        );
+        // High surrogate followed by a normal escape: the second escape
+        // survives on its own.
+        assert_eq!(
+            Json::parse(r#""\ud800A""#),
+            Some(Json::Str("\u{fffd}A".into()))
+        );
+        // Truncated escape is a syntax error.
+        assert_eq!(Json::parse(r#""\ud83d\ude0"#), None);
+        assert_eq!(Json::parse(r#""\uzzzz""#), None);
+    }
+
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        for s in [
+            "héllo wörld",
+            "日本語テスト",
+            "mixed 😀 emoji ∑∫√",
+            "\u{fffd}",
+        ] {
+            let v = Json::Str(s.to_string());
+            for text in [v.to_string_compact(), v.to_string_pretty()] {
+                assert_eq!(Json::parse(&text), Some(v.clone()), "round trip of {s:?}");
+            }
+            // Keys round-trip too.
+            let o = Json::object([(s.to_string(), Json::Int(1))]);
+            assert_eq!(Json::parse(&o.to_string_compact()), Some(o));
+        }
     }
 
     #[test]

@@ -39,5 +39,6 @@ pub mod profiler;
 pub mod reduction;
 pub mod scheduler;
 pub mod task;
+pub mod wire;
 
 pub use noelle::{Abstraction, AliasTier, Noelle};

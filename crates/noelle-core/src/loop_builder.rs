@@ -322,13 +322,7 @@ mod tests {
             },
         );
         f.set_terminator(dispatch, Terminator::Br(l.exit_blocks()[0]));
-        bypass_loop(
-            f,
-            &l,
-            dispatch,
-            &[(out.as_inst().unwrap(), Value::Inst(v))],
-        )
-        .unwrap();
+        bypass_loop(f, &l, dispatch, &[(out.as_inst().unwrap(), Value::Inst(v))]).unwrap();
         noelle_ir::verifier::verify_module(&m).expect("verifies after bypass");
         // The loop is unreachable now.
         let f = m.func(fid);

@@ -161,6 +161,14 @@ impl Noelle {
         self.module
     }
 
+    /// Swap in a rebuilt module (tools like the conservative parallelizer
+    /// produce a new `Module` rather than editing in place), returning the
+    /// old one. All cached abstractions are invalidated.
+    pub fn replace_module(&mut self, m: Module) -> Module {
+        self.invalidate();
+        std::mem::replace(&mut self.module, m)
+    }
+
     /// Drop every cached abstraction. Alias-cache *entries* are dropped too
     /// (pointer identities may change under mutation); its hit/miss counters
     /// survive so reports cover the whole compilation.
@@ -358,6 +366,14 @@ impl Noelle {
         self.call_graph.as_ref().expect("just set")
     }
 
+    /// The call graph if it has already been built (no build is triggered).
+    /// Lets callers holding only `&self` — e.g. a server serializing a
+    /// just-built graph next to the module — read it back without a second
+    /// mutable borrow.
+    pub fn cached_call_graph(&self) -> Option<&CallGraph> {
+        self.call_graph.as_ref()
+    }
+
     /// Profiles embedded in the module, or empty profiles when absent (PRO).
     pub fn profiles(&mut self) -> Profiles {
         self.note(Abstraction::Pro);
@@ -512,7 +528,10 @@ mod tests {
         n.with_pdg(|_, b| {
             let _ = b.function_pdg(fid);
         });
-        assert!(n.andersen.is_none(), "basic tier must not compute points-to");
+        assert!(
+            n.andersen.is_none(),
+            "basic tier must not compute points-to"
+        );
         // The call graph still forces points-to (it needs indirect callees).
         let _ = n.call_graph();
         assert!(n.andersen.is_some());

@@ -213,8 +213,7 @@ impl Profiles {
             j.as_object()?
                 .iter()
                 .map(|(k, arr)| {
-                    let v: Option<Vec<u64>> =
-                        arr.as_array()?.iter().map(Json::as_u64).collect();
+                    let v: Option<Vec<u64>> = arr.as_array()?.iter().map(Json::as_u64).collect();
                     Some((k.clone(), v?))
                 })
                 .collect()

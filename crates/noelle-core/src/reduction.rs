@@ -116,8 +116,14 @@ mod tests {
 
     #[test]
     fn identities() {
-        assert_eq!(identity_for(BinOp::Add, &Type::I64), Constant::Int(0, noelle_ir::types::IntWidth::I64));
-        assert_eq!(identity_for(BinOp::Mul, &Type::I32), Constant::Int(1, noelle_ir::types::IntWidth::I32));
+        assert_eq!(
+            identity_for(BinOp::Add, &Type::I64),
+            Constant::Int(0, noelle_ir::types::IntWidth::I64)
+        );
+        assert_eq!(
+            identity_for(BinOp::Mul, &Type::I32),
+            Constant::Int(1, noelle_ir::types::IntWidth::I32)
+        );
         assert_eq!(identity_for(BinOp::FAdd, &Type::F64), Constant::f64(0.0));
         assert_eq!(
             identity_for(BinOp::SMax, &Type::I64),
@@ -174,6 +180,9 @@ mod tests {
         assert_eq!(rds[0].op, BinOp::SMax);
         assert_eq!(rds[0].phi, best.as_inst().unwrap());
         assert_eq!(rds[0].initial, Value::const_i64(i64::MIN));
-        assert_eq!(rds[0].identity(), Constant::Int(i64::MIN, noelle_ir::types::IntWidth::I64));
+        assert_eq!(
+            rds[0].identity(),
+            Constant::Int(i64::MIN, noelle_ir::types::IntWidth::I64)
+        );
     }
 }

@@ -200,7 +200,12 @@ mod tests {
         let entry = b.entry_block();
         b.switch_to(entry);
         let a = b.binop(BinOp::Add, Type::I64, b.arg(0), Value::const_i64(1));
-        let c = b.binop(BinOp::Mul, Type::I64, Value::const_i64(2), Value::const_i64(3));
+        let c = b.binop(
+            BinOp::Mul,
+            Type::I64,
+            Value::const_i64(2),
+            Value::const_i64(3),
+        );
         let d = b.binop(BinOp::Add, Type::I64, a, c);
         b.ret(Some(d));
         let fid = m.add_function(b.finish());

@@ -93,7 +93,6 @@ impl FunctionBuilder {
     }
 
     fn push_id(&mut self, inst: Inst) -> InstId {
-        
         self.func.append_inst(self.current, inst)
     }
 
@@ -289,7 +288,12 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![], Type::I64);
         let entry = b.entry_block();
         b.switch_to(entry);
-        let v = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let v = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
         b.add_incoming(v, entry, Value::const_i64(0));
     }
 }

@@ -65,11 +65,7 @@ impl Cfg {
     /// Position of each block in the reverse postorder (for priority-ordered
     /// data-flow work lists).
     pub fn rpo_index(&self) -> HashMap<BlockId, usize> {
-        self.rpo
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, i))
-            .collect()
+        self.rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect()
     }
 }
 

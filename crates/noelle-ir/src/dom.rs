@@ -170,11 +170,7 @@ impl DomTree {
 
     /// Children of `b` in the dominator tree.
     pub fn children(&self, b: BlockId) -> &[BlockId] {
-        self.core
-            .children
-            .get(&b)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.core.children.get(&b).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The tree root (the entry block).
@@ -226,11 +222,7 @@ impl PostDomTree {
         let n = f.num_blocks();
         // Node numbering: 0..n for blocks, n for the virtual exit.
         let vexit = n;
-        let mut exits: Vec<usize> = cfg
-            .exit_blocks()
-            .iter()
-            .map(|b| b.index())
-            .collect();
+        let mut exits: Vec<usize> = cfg.exit_blocks().iter().map(|b| b.index()).collect();
 
         // Blocks that cannot reach an exit (infinite loops): walk backwards
         // from exits; anything reachable-from-entry but not in that set needs
@@ -499,7 +491,8 @@ mod tests {
     #[test]
     fn nested_if_dominance() {
         // entry -> a | d ; a -> b | c ; b,c -> m ; m,d -> join
-        let mut bd = FunctionBuilder::new("f", vec![("c1", Type::I1), ("c2", Type::I1)], Type::Void);
+        let mut bd =
+            FunctionBuilder::new("f", vec![("c1", Type::I1), ("c2", Type::I1)], Type::Void);
         let entry = bd.entry_block();
         let a = bd.block("a");
         let b = bd.block("b");

@@ -49,6 +49,6 @@ pub mod value;
 pub mod verifier;
 
 pub use inst::{BinOp, Callee, CastOp, FcmpPred, IcmpPred, Inst, InstData, InstId, Terminator};
-pub use module::{BasicBlock, BlockId, Function, FuncId, Global, GlobalId, GlobalInit, Module};
+pub use module::{BasicBlock, BlockId, FuncId, Function, Global, GlobalId, GlobalInit, Module};
 pub use types::{FloatWidth, IntWidth, Type};
 pub use value::{Constant, Value};

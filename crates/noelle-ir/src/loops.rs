@@ -79,7 +79,9 @@ impl LoopInfo {
     /// LLVM's induction-variable analysis expects this shape (§4.3 of the
     /// paper); NOELLE's does not.
     pub fn is_do_while(&self) -> bool {
-        self.exit_edges.iter().all(|&(s, _)| self.latches.contains(&s))
+        self.exit_edges
+            .iter()
+            .all(|&(s, _)| self.latches.contains(&s))
     }
 
     /// True for while-shaped loops: the header tests the exit condition.
@@ -201,7 +203,9 @@ impl LoopForest {
             let header = loops[i].header;
             let mut best: Option<usize> = None;
             for (j, cand) in loops.iter().enumerate() {
-                if j != i && cand.blocks.contains(&header) && cand.blocks.len() > loops[i].blocks.len()
+                if j != i
+                    && cand.blocks.contains(&header)
+                    && cand.blocks.len() > loops[i].blocks.len()
                 {
                     match best {
                         None => best = Some(j),
@@ -437,7 +441,10 @@ mod tests {
         // Innermost map: inner header maps to the inner loop, outer latch to
         // the outer loop.
         assert_eq!(forest.innermost_containing(inner.header), Some(inner.id));
-        assert_eq!(forest.innermost_containing(outer.latches[0]), Some(outer_id));
+        assert_eq!(
+            forest.innermost_containing(outer.latches[0]),
+            Some(outer_id)
+        );
         assert_eq!(forest.innermost_containing(BlockId(6)), None);
         // innermost_first puts the inner loop before the outer one.
         let order = forest.innermost_first();

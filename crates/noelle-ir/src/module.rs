@@ -114,11 +114,7 @@ pub struct Function {
 
 impl Function {
     /// Create an empty function (a declaration until blocks are added).
-    pub fn new(
-        name: impl Into<String>,
-        params: Vec<(String, Type)>,
-        ret_ty: Type,
-    ) -> Function {
+    pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret_ty: Type) -> Function {
         Function {
             name: name.into(),
             params,
@@ -264,7 +260,10 @@ impl Function {
     /// Position of `id` within its block, if attached.
     pub fn position_in_block(&self, id: InstId) -> Option<usize> {
         let block = self.insts[id.index()].block;
-        self.blocks[block.index()].insts.iter().position(|&i| i == id)
+        self.blocks[block.index()]
+            .insts
+            .iter()
+            .position(|&i| i == id)
     }
 
     /// The terminator of `block`, if present.
@@ -437,12 +436,7 @@ impl Module {
     }
 
     /// Declare `name` if not already present; return its id either way.
-    pub fn get_or_declare(
-        &mut self,
-        name: &str,
-        params: Vec<Type>,
-        ret_ty: Type,
-    ) -> FuncId {
+    pub fn get_or_declare(&mut self, name: &str, params: Vec<Type>, ret_ty: Type) -> FuncId {
         if let Some(id) = self.func_id_by_name(name) {
             return id;
         }
@@ -590,7 +584,10 @@ mod tests {
         assert_eq!(m.func_id_by_name("f"), Some(f));
         assert_eq!(m.func_id_by_name("g"), None);
         let malloc = m.get_or_declare("malloc", vec![Type::I64], Type::I8.ptr_to());
-        assert_eq!(m.get_or_declare("malloc", vec![Type::I64], Type::I8.ptr_to()), malloc);
+        assert_eq!(
+            m.get_or_declare("malloc", vec![Type::I64], Type::I8.ptr_to()),
+            malloc
+        );
         assert!(m.func(malloc).is_declaration());
         assert_eq!(m.total_insts(), 2);
     }

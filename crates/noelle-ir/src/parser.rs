@@ -34,8 +34,8 @@ impl Error for ParseError {}
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Ident(String),
-    Local(String),  // %name
-    Sym(String),    // @name
+    Local(String), // %name
+    Sym(String),   // @name
     Str(String),
     Int(i64),
     Float(f64),
@@ -385,8 +385,13 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
 
     // Function bodies are resolved after all symbols are known, so indirect
     // references to later functions work.
-    let mut pending: Vec<(String, Vec<(String, Type)>, Type, Vec<PBlock>, Vec<(String, String)>)> =
-        Vec::new();
+    let mut pending: Vec<(
+        String,
+        Vec<(String, Type)>,
+        Type,
+        Vec<PBlock>,
+        Vec<(String, String)>,
+    )> = Vec::new();
 
     loop {
         match lx.peek() {
@@ -920,7 +925,10 @@ fn materialize_function(
         f.metadata.insert(k, v);
     }
 
-    let perr = |msg: String| ParseError { message: msg, line: 0 };
+    let perr = |msg: String| ParseError {
+        message: msg,
+        line: 0,
+    };
 
     // Pass 1: labels and SSA names.
     let mut label_map: HashMap<String, BlockId> = HashMap::new();
@@ -1037,9 +1045,9 @@ fn materialize_function(
                 PInstKind::Call(ret_ty, callee, args) => {
                     let callee = match callee {
                         PCallee::Sym(s) => {
-                            let fid = module.func_id_by_name(s).ok_or_else(|| {
-                                perr(format!("call to unknown function '@{s}'"))
-                            })?;
+                            let fid = module
+                                .func_id_by_name(s)
+                                .ok_or_else(|| perr(format!("call to unknown function '@{s}'")))?;
                             Callee::Direct(fid)
                         }
                         PCallee::Value(v) => Callee::Indirect(resolve(v)?),

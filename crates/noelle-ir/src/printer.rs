@@ -113,13 +113,16 @@ impl Namer {
 /// Print one function (definition or declaration).
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> = f
-        .params
-        .iter()
-        .map(|(n, t)| format!("{t} %{n}"))
-        .collect();
+    let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{t} %{n}")).collect();
     if f.is_declaration() {
-        writeln!(out, "declare {} @{}({})", f.ret_ty, f.name, params.join(", ")).unwrap();
+        writeln!(
+            out,
+            "declare {} @{}({})",
+            f.ret_ty,
+            f.name,
+            params.join(", ")
+        )
+        .unwrap();
         return out;
     }
     writeln!(
@@ -159,7 +162,14 @@ pub fn print_function(m: &Module, f: &Function) -> String {
 
 fn print_value(m: &Module, f: &Function, namer: &Namer, v: Value) -> String {
     match v {
-        Value::Inst(id) => format!("%{}", namer.insts.get(&id).cloned().unwrap_or_else(|| format!("v{}", id.0))),
+        Value::Inst(id) => format!(
+            "%{}",
+            namer
+                .insts
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("v{}", id.0))
+        ),
         Value::Arg(i) => format!("%{}", f.params[i as usize].0),
         Value::Const(c) => print_const(&c),
         Value::Global(g) => format!("@{}", m.global(g).name),
@@ -190,10 +200,20 @@ fn print_inst(m: &Module, f: &Function, namer: &Namer, id: InstId) -> String {
             format!("{def}{} {ty} {}, {}", op.mnemonic(), v(*lhs), v(*rhs))
         }
         Inst::Icmp { pred, ty, lhs, rhs } => {
-            format!("{def}icmp {} {ty} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+            format!(
+                "{def}icmp {} {ty} {}, {}",
+                pred.mnemonic(),
+                v(*lhs),
+                v(*rhs)
+            )
         }
         Inst::Fcmp { pred, ty, lhs, rhs } => {
-            format!("{def}fcmp {} {ty} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+            format!(
+                "{def}fcmp {} {ty} {}, {}",
+                pred.mnemonic(),
+                v(*lhs),
+                v(*rhs)
+            )
         }
         Inst::Cast { op, from, to, val } => {
             format!("{def}{} {from} {} to {to}", op.mnemonic(), v(*val))
@@ -301,8 +321,18 @@ mod tests {
     fn duplicate_names_are_made_unique() {
         let mut b = FunctionBuilder::new("f", vec![("c", Type::I1)], Type::I64);
         let entry = b.entry_block();
-        let x1 = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
-        let x2 = b.binop(BinOp::Add, Type::I64, Value::const_i64(3), Value::const_i64(4));
+        let x1 = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
+        let x2 = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(3),
+            Value::const_i64(4),
+        );
         b.func_mut().set_inst_name(x1.as_inst().unwrap(), "x");
         b.func_mut().set_inst_name(x2.as_inst().unwrap(), "x");
         let s = b.binop(BinOp::Add, Type::I64, x1, x2);
@@ -324,7 +354,10 @@ mod tests {
         b.switch_to(entry);
         b.br(header);
         b.switch_to(header);
-        let i = b.phi(Type::I64, vec![(entry, Value::const_i64(0)), (header, Value::const_i64(1))]);
+        let i = b.phi(
+            Type::I64,
+            vec![(entry, Value::const_i64(0)), (header, Value::const_i64(1))],
+        );
         let c = b.icmp(IcmpPred::Slt, Type::I64, i, b.arg(0));
         b.cond_br(c, header, exit);
         b.switch_to(exit);
@@ -341,7 +374,12 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![], Type::I64);
         let entry = b.entry_block();
         b.switch_to(entry);
-        let s = b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let s = b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
         b.ret(Some(s));
         let mut f = b.finish();
         f.set_inst_metadata(s.as_inst().unwrap(), "noelle.id", "7");

@@ -81,9 +81,7 @@ pub fn verify_function(m: &Module, f: &Function, errors: &mut Vec<String>) {
                 }
             }
             if f.parent_block(id) != b {
-                errors.push(format!(
-                    "@{fname}: instruction {id} has stale parent block"
-                ));
+                errors.push(format!("@{fname}: instruction {id} has stale parent block"));
             }
         }
         // Successor validity.
@@ -178,18 +176,16 @@ fn check_operand_dominance(
         inst => {
             for v in inst.operands() {
                 match v {
-                    Value::Inst(def)
-                        if !def_dominates_use(f, dt, def, b, pos) => {
-                            errors.push(format!(
-                                "@{fname}: use of {def} in {id} is not dominated by its definition"
-                            ));
-                        }
-                    Value::Arg(i)
-                        if i as usize >= f.params.len() => {
-                            errors.push(format!(
-                                "@{fname}: {id} references out-of-range argument {i}"
-                            ));
-                        }
+                    Value::Inst(def) if !def_dominates_use(f, dt, def, b, pos) => {
+                        errors.push(format!(
+                            "@{fname}: use of {def} in {id} is not dominated by its definition"
+                        ));
+                    }
+                    Value::Arg(i) if i as usize >= f.params.len() => {
+                        errors.push(format!(
+                            "@{fname}: {id} references out-of-range argument {i}"
+                        ));
+                    }
                     _ => {}
                 }
             }
@@ -253,15 +249,13 @@ fn check_types(m: &Module, f: &Function, id: InstId, errors: &mut Vec<String>) {
                 match &ty {
                     Type::Array(elem, _) => ty = (**elem).clone(),
                     Type::Struct(fields) => match idx {
-                        Value::Const(Constant::Int(v, _)) => {
-                            match fields.get(*v as usize) {
-                                Some(t) => ty = t.clone(),
-                                None => {
-                                    bad(format!("gep struct index {v} out of range"));
-                                    return;
-                                }
+                        Value::Const(Constant::Int(v, _)) => match fields.get(*v as usize) {
+                            Some(t) => ty = t.clone(),
+                            None => {
+                                bad(format!("gep struct index {v} out of range"));
+                                return;
                             }
-                        }
+                        },
                         _ => {
                             bad("gep struct index must be a constant".into());
                             return;
@@ -416,7 +410,12 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![], Type::Void);
         let entry = b.entry_block();
         b.switch_to(entry);
-        b.binop(BinOp::Add, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        b.binop(
+            BinOp::Add,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
         let err = verify_one(b.finish()).unwrap_err();
         assert!(err.errors[0].contains("does not end in a terminator"));
     }
@@ -442,8 +441,12 @@ mod tests {
         let f = {
             let fut = crate::inst::InstId(1);
             let use_first = b.binop(BinOp::Add, Type::I64, Value::Inst(fut), Value::const_i64(1));
-            let _def_later =
-                b.binop(BinOp::Add, Type::I64, Value::const_i64(2), Value::const_i64(3));
+            let _def_later = b.binop(
+                BinOp::Add,
+                Type::I64,
+                Value::const_i64(2),
+                Value::const_i64(3),
+            );
             b.ret(Some(use_first));
             b.finish()
         };
@@ -483,10 +486,18 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![], Type::I64);
         let entry = b.entry_block();
         b.switch_to(entry);
-        let s = b.binop(BinOp::FAdd, Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let s = b.binop(
+            BinOp::FAdd,
+            Type::I64,
+            Value::const_i64(1),
+            Value::const_i64(2),
+        );
         b.ret(Some(s));
         let err = verify_one(b.finish()).unwrap_err();
-        assert!(err.errors.iter().any(|e| e.contains("fadd used with type i64")));
+        assert!(err
+            .errors
+            .iter()
+            .any(|e| e.contains("fadd used with type i64")));
     }
 
     #[test]

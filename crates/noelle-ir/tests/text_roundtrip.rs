@@ -57,7 +57,7 @@ entry:
 }
 
 #[test]
-fn comments_are_ignored()  {
+fn comments_are_ignored() {
     let m = parse_module(
         r#"
 ; leading comment
@@ -136,8 +136,14 @@ entry:
     let f1 = m1.func_by_name("f").unwrap();
     let f2 = m2.func_by_name("f").unwrap();
     for (a, b) in f1.inst_ids().into_iter().zip(f2.inst_ids()) {
-        if let (Inst::Bin { lhs: l1, rhs: r1, .. }, Inst::Bin { lhs: l2, rhs: r2, .. }) =
-            (f1.inst(a), f2.inst(b))
+        if let (
+            Inst::Bin {
+                lhs: l1, rhs: r1, ..
+            },
+            Inst::Bin {
+                lhs: l2, rhs: r2, ..
+            },
+        ) = (f1.inst(a), f2.inst(b))
         {
             assert_eq!((l1, r1), (l2, r2));
         }

@@ -150,11 +150,8 @@ impl CallGraph {
     /// call edges between the sets) — the CG/ISL capability of the paper.
     pub fn islands(&self) -> Vec<BTreeSet<FuncId>> {
         let nodes: Vec<FuncId> = (0..self.num_funcs as u32).map(FuncId).collect();
-        let edges: Vec<(FuncId, FuncId)> = self
-            .edges
-            .iter()
-            .map(|e| (e.caller, e.callee))
-            .collect();
+        let edges: Vec<(FuncId, FuncId)> =
+            self.edges.iter().map(|e| (e.caller, e.callee)).collect();
         islands_of(&nodes, &edges)
     }
 }

@@ -10,10 +10,7 @@ use std::hash::Hash;
 
 /// Partition `nodes` into connected components of the *undirected* view of
 /// `edges`. Nodes not mentioned by any edge form singleton islands.
-pub fn islands_of<N: Copy + Eq + Ord + Hash>(
-    nodes: &[N],
-    edges: &[(N, N)],
-) -> Vec<BTreeSet<N>> {
+pub fn islands_of<N: Copy + Eq + Ord + Hash>(nodes: &[N], edges: &[(N, N)]) -> Vec<BTreeSet<N>> {
     // Union-find over node indices.
     let index: HashMap<N, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut parent: Vec<usize> = (0..nodes.len()).collect();

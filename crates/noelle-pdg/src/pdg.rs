@@ -411,9 +411,9 @@ impl<'a> PdgBuilder<'a> {
             if both_internal && !attrs.memory && attrs.is_data() {
                 if let Inst::Phi { incomings, .. } = f.inst(e.dst) {
                     if f.parent_block(e.dst) == l.header
-                        && incomings.iter().any(|(pred, v)| {
-                            l.contains(*pred) && *v == Value::Inst(e.src)
-                        })
+                        && incomings
+                            .iter()
+                            .any(|(pred, v)| l.contains(*pred) && *v == Value::Inst(e.src))
                     {
                         attrs.loop_carried = true;
                     }
@@ -428,8 +428,11 @@ impl<'a> PdgBuilder<'a> {
             .iter()
             .filter_map(|&id| self.mem_effect(fid, f, id).map(|e| (id, e)))
             .collect();
-        let iter_local =
-            |e: &MemEffect| e.ptr.map(|p| distinct_per_iteration(f, l, &recs, p)).unwrap_or(false);
+        let iter_local = |e: &MemEffect| {
+            e.ptr
+                .map(|p| distinct_per_iteration(f, l, &recs, p))
+                .unwrap_or(false)
+        };
         // Bucketing prunes the cross-access pairs here just as in the
         // function-level build; a pruned pair has `No` aliasing, for which
         // both `conflict_kind` directions return `None` below.
@@ -458,10 +461,7 @@ impl<'a> PdgBuilder<'a> {
                 // order within the body.
                 let same_ptr = ea.ptr.is_some() && ea.ptr == eb.ptr;
                 if same_ptr && iter_local(ea) {
-                    let (pa, pb) = (
-                        order_key(f, l, *ia),
-                        order_key(f, l, *ib),
-                    );
+                    let (pa, pb) = (order_key(f, l, *ia), order_key(f, l, *ib));
                     let (src, dst, kind_pair) = if pa <= pb {
                         (*ia, *ib, fwd)
                     } else {
@@ -504,10 +504,7 @@ impl<'a> PdgBuilder<'a> {
     pub fn loop_is_doall_on(&self, fid: FuncId, l: &LoopInfo, g: &DepGraph<InstId>) -> bool {
         let f = self.module.func(fid);
         let recs = affine_recurrences(f, l);
-        let iv_nodes: BTreeSet<InstId> = recs
-            .iter()
-            .flat_map(|r| [r.phi, r.update])
-            .collect();
+        let iv_nodes: BTreeSet<InstId> = recs.iter().flat_map(|r| [r.phi, r.update]).collect();
         !g.edges().iter().any(|e| {
             e.attrs.loop_carried
                 && e.attrs.is_data()
@@ -531,12 +528,7 @@ fn order_key(f: &Function, _l: &LoopInfo, id: InstId) -> (usize, usize) {
 /// True if `ptr` provably addresses a *different* location on every
 /// iteration of `l`: a `gep` whose base is loop-invariant and whose only
 /// varying index is an affine recurrence of `l` with non-zero constant step.
-pub fn distinct_per_iteration(
-    f: &Function,
-    l: &LoopInfo,
-    recs: &[AddRec],
-    ptr: Value,
-) -> bool {
+pub fn distinct_per_iteration(f: &Function, l: &LoopInfo, recs: &[AddRec], ptr: Value) -> bool {
     let Some(id) = ptr.as_inst() else {
         return false;
     };
@@ -901,10 +893,8 @@ mod tests {
         let m = mixed_module();
         let basic = BasicAlias::new(&m);
         let andersen = AndersenAlias::new(&m);
-        let stack = noelle_analysis::alias::AliasStack::new(vec![
-            &basic as &dyn AliasAnalysis,
-            &andersen,
-        ]);
+        let stack =
+            noelle_analysis::alias::AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
         for alias in [&basic as &dyn AliasAnalysis, &andersen, &stack] {
             let builder = PdgBuilder::new(&m, alias);
             for fid in m.func_ids() {

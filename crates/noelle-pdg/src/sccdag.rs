@@ -86,8 +86,7 @@ impl SccDag {
             // an induction SCC (each core recomputes them).
             let is_induction = insts.iter().any(|x| iv_insts.contains(x))
                 && insts.iter().all(|x| {
-                    iv_insts.contains(x)
-                        || matches!(f.inst(*x), Inst::Icmp { .. } | Inst::Term(_))
+                    iv_insts.contains(x) || matches!(f.inst(*x), Inst::Icmp { .. } | Inst::Term(_))
                 });
             nodes.push(SccNode {
                 id: i,
@@ -162,9 +161,7 @@ impl SccDag {
     /// True if every SCC is Independent or Reducible (DOALL after reduction
     /// handling).
     pub fn is_fully_parallelizable(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|n| n.kind != SccKind::Sequential)
+        self.nodes.iter().all(|n| n.kind != SccKind::Sequential)
     }
 }
 
@@ -176,10 +173,8 @@ fn tarjan(nodes: &[InstId], g: &DepGraph<InstId>) -> Vec<Vec<InstId>> {
         lowlink: u32,
         on_stack: bool,
     }
-    let mut state: HashMap<InstId, NodeState> = nodes
-        .iter()
-        .map(|&n| (n, NodeState::default()))
-        .collect();
+    let mut state: HashMap<InstId, NodeState> =
+        nodes.iter().map(|&n| (n, NodeState::default())).collect();
     let mut counter = 0u32;
     let mut stack: Vec<InstId> = Vec::new();
     let mut sccs: Vec<Vec<InstId>> = Vec::new();
@@ -322,7 +317,6 @@ fn classify(
 mod tests {
     use super::*;
     use crate::pdg::PdgBuilder;
-    use noelle_ir::value::Value;
     use noelle_analysis::alias::BasicAlias;
     use noelle_ir::builder::FunctionBuilder;
     use noelle_ir::cfg::Cfg;
@@ -331,6 +325,7 @@ mod tests {
     use noelle_ir::loops::LoopForest;
     use noelle_ir::module::{FuncId, Module};
     use noelle_ir::types::Type;
+    use noelle_ir::value::Value;
 
     fn build_reduction() -> (Module, FuncId, LoopInfo) {
         let mut m = Module::new("t");
@@ -403,7 +398,11 @@ mod tests {
         let load_scc = dag
             .nodes()
             .iter()
-            .find(|n| n.insts.iter().any(|&i| matches!(f.inst(i), Inst::Load { .. })))
+            .find(|n| {
+                n.insts
+                    .iter()
+                    .any(|&i| matches!(f.inst(i), Inst::Load { .. }))
+            })
             .expect("load SCC");
         assert_eq!(load_scc.kind, SccKind::Independent);
     }
@@ -420,7 +419,11 @@ mod tests {
         let load_scc = dag
             .nodes()
             .iter()
-            .position(|n| n.insts.iter().any(|&i| matches!(f.inst(i), Inst::Load { .. })))
+            .position(|n| {
+                n.insts
+                    .iter()
+                    .any(|&i| matches!(f.inst(i), Inst::Load { .. }))
+            })
             .unwrap();
         let red_scc = dag
             .nodes()
@@ -479,7 +482,13 @@ mod tests {
         assert!(!dag.is_fully_parallelizable());
         // The sequential SCC contains both the load and the store.
         let node = &dag.nodes()[seq[0]];
-        assert!(node.insts.iter().any(|&i| matches!(f.inst(i), Inst::Load { .. })));
-        assert!(node.insts.iter().any(|&i| matches!(f.inst(i), Inst::Store { .. })));
+        assert!(node
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i), Inst::Load { .. })));
+        assert!(node
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i), Inst::Store { .. })));
     }
 }

@@ -28,8 +28,16 @@ pub fn inst_cost(inst: &Inst) -> u64 {
 
 fn bin_cost(op: BinOp) -> u64 {
     match op {
-        BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl
-        | BinOp::AShr | BinOp::LShr | BinOp::SMax | BinOp::SMin => 1,
+        BinOp::Add
+        | BinOp::Sub
+        | BinOp::And
+        | BinOp::Or
+        | BinOp::Xor
+        | BinOp::Shl
+        | BinOp::AShr
+        | BinOp::LShr
+        | BinOp::SMax
+        | BinOp::SMin => 1,
         BinOp::Mul => 3,
         BinOp::Div | BinOp::Rem => 20,
         BinOp::FAdd | BinOp::FSub => 3,
@@ -51,9 +59,9 @@ pub fn external_cost(name: &str) -> u64 {
         "print_i64" | "print_f64" => 12,
         // PRVG families for the PRVJeeves experiments: same interface,
         // different quality/cost points.
-        "prv.mt.next" => 40,     // Mersenne-Twister-class: high quality, slow
-        "prv.lcg.next" => 8,     // LCG: medium
-        "prv.xs.next" => 5,      // xorshift: fast
+        "prv.mt.next" => 40, // Mersenne-Twister-class: high quality, slow
+        "prv.lcg.next" => 8, // LCG: medium
+        "prv.xs.next" => 5,  // xorshift: fast
         "carat.guard" => 2,
         "coos.callback" => 6,
         "clock.set" => 4,

@@ -348,8 +348,8 @@ impl<'m> Machine<'m> {
                 let my_core = self.tasks[tid].core;
                 let mut end = self.tasks[tid].clock;
                 for &k in &kids {
-                    let child_end =
-                        self.tasks[k].clock + self.config.arch.core_latency(self.tasks[k].core, my_core);
+                    let child_end = self.tasks[k].clock
+                        + self.config.arch.core_latency(self.tasks[k].core, my_core);
                     end = end.max(child_end);
                 }
                 let t = &mut self.tasks[tid];
@@ -365,10 +365,7 @@ impl<'m> Machine<'m> {
         match v {
             Value::Const(c) => RtVal::from_const(&c),
             Value::Arg(i) => frame.args[i as usize],
-            Value::Inst(id) => *frame
-                .regs
-                .get(&id)
-                .unwrap_or(&RtVal::I(0)), // undef reads yield 0 deterministically
+            Value::Inst(id) => *frame.regs.get(&id).unwrap_or(&RtVal::I(0)), // undef reads yield 0 deterministically
             Value::Global(g) => RtVal::I(self.mem.global_addr(g)),
             Value::Func(f) => RtVal::I(encode_func_ptr(f)),
         }
@@ -536,7 +533,11 @@ impl<'m> Machine<'m> {
                             Type::Int(w) => w.bits(),
                             _ => 64,
                         };
-                        let mask = if bits >= 64 { -1i64 } else { (1i64 << bits) - 1 };
+                        let mask = if bits >= 64 {
+                            -1i64
+                        } else {
+                            (1i64 << bits) - 1
+                        };
                         RtVal::I(v.as_i() & mask)
                     }
                     C::Sext => RtVal::I(v.as_i()),
@@ -610,11 +611,7 @@ impl<'m> Machine<'m> {
                     }
                     // Push the callee frame; the caller resumes after it.
                     let entry = callee_f.entry();
-                    self.tasks[tid]
-                        .frames
-                        .last_mut()
-                        .expect("frame")
-                        .inst_idx += 1;
+                    self.tasks[tid].frames.last_mut().expect("frame").inst_idx += 1;
                     self.tasks[tid].frames.push(Frame {
                         func: target,
                         args: argv,
@@ -745,15 +742,14 @@ impl<'m> Machine<'m> {
     }
 
     fn advance(&mut self, tid: usize) {
-        self.tasks[tid]
-            .frames
-            .last_mut()
-            .expect("frame")
-            .inst_idx += 1;
+        self.tasks[tid].frames.last_mut().expect("frame").inst_idx += 1;
     }
 
     fn xorshift(&mut self, gen: i64) -> i64 {
-        let s = self.prv_states.entry(gen).or_insert(0x9E3779B97F4A7C15 ^ gen as u64);
+        let s = self
+            .prv_states
+            .entry(gen)
+            .or_insert(0x9E3779B97F4A7C15 ^ gen as u64);
         let mut x = *s;
         x ^= x << 13;
         x ^= x >> 7;
@@ -822,8 +818,7 @@ impl<'m> Machine<'m> {
                     let gap = now.saturating_sub(prev);
                     let cur = self.counters.get("max_callback_gap").copied().unwrap_or(0);
                     if gap > cur {
-                        self.counters
-                            .insert("max_callback_gap".to_string(), gap);
+                        self.counters.insert("max_callback_gap".to_string(), gap);
                     }
                 }
                 self.tasks[tid].last_callback = Some(now);
@@ -877,8 +872,10 @@ impl<'m> Machine<'m> {
                         .expect("frame")
                         .set_pending_result(inst_id);
                 } else {
-                    let (v, ready, producer) =
-                        self.queues[q as usize].items.pop_front().expect("non-empty");
+                    let (v, ready, producer) = self.queues[q as usize]
+                        .items
+                        .pop_front()
+                        .expect("non-empty");
                     let lat = self
                         .config
                         .arch
@@ -930,8 +927,7 @@ impl<'m> Machine<'m> {
                 let mut kids = Vec::new();
                 for i in 0..n {
                     let core = i % self.config.arch.num_cores;
-                    let clock = base_clock
-                        + self.config.arch.dispatch_overhead * (i as u64 + 1);
+                    let clock = base_clock + self.config.arch.dispatch_overhead * (i as u64 + 1);
                     let kid = self.spawn_task(
                         target,
                         vec![RtVal::I(env), RtVal::I(i as i64), RtVal::I(n as i64)],
@@ -1136,7 +1132,10 @@ spin:
             max_steps: 1000,
             ..RunConfig::default()
         };
-        assert_eq!(run_module(&m, "main", &[], &cfg).unwrap_err(), RtError::StepLimit);
+        assert_eq!(
+            run_module(&m, "main", &[], &cfg).unwrap_err(),
+            RtError::StepLimit
+        );
     }
 
     #[test]

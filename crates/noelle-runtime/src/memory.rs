@@ -270,7 +270,8 @@ mod tests {
         assert_eq!(mem.read_scalar(p, &Type::I32), Some(RtVal::I(-123456)));
         mem.write_scalar(p + 8, &Type::F64, RtVal::F(2.5)).unwrap();
         assert_eq!(mem.read_scalar(p + 8, &Type::F64), Some(RtVal::F(2.5)));
-        mem.write_scalar(p + 16, &Type::F32, RtVal::F(1.25)).unwrap();
+        mem.write_scalar(p + 16, &Type::F32, RtVal::F(1.25))
+            .unwrap();
         assert_eq!(mem.read_scalar(p + 16, &Type::F32), Some(RtVal::F(1.25)));
         mem.write_scalar(p + 24, &Type::I64.ptr_to(), RtVal::I(0x2000))
             .unwrap();

@@ -1,0 +1,80 @@
+//! A blocking client for the daemon's framed TCP protocol, shared by
+//! `noelle-query`, the protocol tests, and the throughput benchmark.
+
+use crate::protocol::{read_frame, write_frame, Request};
+use noelle_core::json::Json;
+use std::io;
+use std::net::TcpStream;
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Send one request and wait for its reply (the full reply object,
+    /// `ok` or `error`).
+    ///
+    /// # Errors
+    /// IO/framing failures and premature connection close surface as
+    /// `io::Error`.
+    pub fn request(&mut self, method: &str, params: Json) -> io::Result<Json> {
+        self.request_with_deadline(method, params, None)
+    }
+
+    /// [`Client::request`] with a per-request deadline override.
+    ///
+    /// # Errors
+    /// Same as [`Client::request`].
+    pub fn request_with_deadline(
+        &mut self,
+        method: &str,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Json> {
+        self.next_id += 1;
+        let req = Request {
+            id: self.next_id,
+            method: method.to_string(),
+            params,
+            deadline_ms,
+        };
+        write_frame(&mut self.stream, &req.to_json())?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )
+        })
+    }
+
+    /// Send a request and return just the `ok` payload, turning protocol
+    /// errors into `io::Error`.
+    ///
+    /// # Errors
+    /// Error replies map to `io::ErrorKind::Other` with the wire message.
+    pub fn call(&mut self, method: &str, params: Json) -> io::Result<Json> {
+        let reply = self.request(method, params)?;
+        match reply.get("ok") {
+            Some(v) => Ok(v.clone()),
+            None => {
+                let msg = reply
+                    .get("error")
+                    .map(|e| e.to_string_compact())
+                    .unwrap_or_else(|| "malformed reply".to_string());
+                Err(io::Error::other(msg))
+            }
+        }
+    }
+}

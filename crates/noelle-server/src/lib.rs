@@ -1,0 +1,36 @@
+//! # noelle-server
+//!
+//! A persistent, concurrent NOELLE analysis daemon. The paper's pitch is
+//! that expensive abstractions — PDG, SCCDAG, call graph, induction
+//! variables — are built once, demand-driven, and shared by many small
+//! custom tools. A one-shot CLI throws those caches away on every exit;
+//! this crate keeps them resident: `noelle-served` holds a table of loaded
+//! modules, each behind a warm [`Noelle`](noelle_core::noelle::Noelle)
+//! manager, and serves `load` / `pdg` / `sccdag` / `loops` / `induction` /
+//! `invariants` / `callgraph` / `run-tool` / `stats` / `metrics` queries
+//! from many clients over localhost TCP.
+//!
+//! Production-shaping properties:
+//!
+//! - **Framed wire protocol** ([`protocol`]): 4-byte length-prefixed JSON,
+//!   hardened against trailing garbage and oversized frames.
+//! - **Fixed worker pool** ([`server`]): analysis runs on a bounded pool;
+//!   connections are cheap readers.
+//! - **In-flight coalescing** ([`session`]): concurrent identical builds
+//!   share one execution via the per-session build lock.
+//! - **LRU eviction** ([`session`]): entry and byte budgets bound resident
+//!   memory.
+//! - **Deadlines**: every request gets a timeout error instead of a hung
+//!   connection.
+//! - **Observability** ([`metrics`]): per-method counters and latency
+//!   quantiles, plus per-session build/cache counters.
+//! - **Graceful shutdown**: queued requests drain before workers exit.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use server::{RunningServer, Server, ServerConfig, ToolRunner};

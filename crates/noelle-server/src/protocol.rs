@@ -1,0 +1,217 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on a TCP connection is one **frame**: a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON holding exactly
+//! one value (the hardened [`Json::parse`] rejects trailing garbage). In
+//! `--stdio` mode the daemon speaks newline-delimited JSON instead — one
+//! request or reply per line — so shell pipelines and CI smoke tests can
+//! drive it without binary framing.
+//!
+//! Requests are objects `{"id": <int>, "method": <str>, "params": <obj>}`
+//! with an optional `"deadline_ms"`. Replies echo the id and carry either
+//! `"ok"` (the result value) or `"error"` (`{"code", "message"}`).
+
+use noelle_core::json::Json;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// rather than an allocation request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+/// Propagates IO failures; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
+    let payload = v.to_string_compact();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF before any
+/// prefix byte.
+///
+/// # Errors
+/// IO failures, oversized frames, invalid UTF-8, and JSON syntax errors
+/// (including trailing garbage) all surface as `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len_buf[1..])?,
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    Json::parse(&text)
+        .map(Some)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame is not valid JSON"))
+}
+
+/// A decoded request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen id echoed in the reply.
+    pub id: i64,
+    /// Method name (`load`, `pdg`, `stats`, ...).
+    pub method: String,
+    /// Method parameters (an object; `{}` when omitted).
+    pub params: Json,
+    /// Per-request deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// Decode a request frame.
+    ///
+    /// # Errors
+    /// Returns a human-readable message when the frame is not a request
+    /// object.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let obj = v.as_object().ok_or("request must be an object")?;
+        let id = obj
+            .get("id")
+            .and_then(Json::as_i64)
+            .ok_or("request needs an integer 'id'")?;
+        let method = obj
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string 'method'")?
+            .to_string();
+        let params = obj
+            .get("params")
+            .cloned()
+            .unwrap_or_else(|| Json::object([]));
+        if params.as_object().is_none() {
+            return Err("'params' must be an object".into());
+        }
+        let deadline_ms = obj.get("deadline_ms").and_then(Json::as_u64);
+        Ok(Request {
+            id,
+            method,
+            params,
+            deadline_ms,
+        })
+    }
+
+    /// Encode a request (the client side of [`Request::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::Int(self.id)),
+            ("method".to_string(), Json::Str(self.method.clone())),
+            ("params".to_string(), self.params.clone()),
+        ];
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Json::Int(d as i64)));
+        }
+        Json::object(fields)
+    }
+}
+
+/// Error codes a reply can carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// Malformed request or unknown method/params.
+    BadRequest,
+    /// Named session does not exist (or was evicted).
+    NoSession,
+    /// The request missed its deadline.
+    Timeout,
+    /// The daemon is shutting down.
+    Shutdown,
+    /// Analysis or tool failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire name of the code.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NoSession => "no_session",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A successful reply.
+pub fn response_ok(id: i64, result: Json) -> Json {
+    Json::object([
+        ("id".to_string(), Json::Int(id)),
+        ("ok".to_string(), result),
+    ])
+}
+
+/// An error reply.
+pub fn response_err(id: i64, code: ErrorCode, message: &str) -> Json {
+    Json::object([
+        ("id".to_string(), Json::Int(id)),
+        (
+            "error".to_string(),
+            Json::object([
+                ("code".to_string(), Json::Str(code.name().into())),
+                ("message".to_string(), Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let v = Json::object([
+            ("id".to_string(), Json::Int(7)),
+            ("method".to_string(), Json::Str("pdg".into())),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        assert_eq!(&buf[..4], &(buf.len() as u32 - 4).to_be_bytes());
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&5u32.to_be_bytes());
+        bad.extend_from_slice(b"{} {}"); // trailing garbage inside the frame
+        assert!(read_frame(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn request_decoding() {
+        let v = Json::parse(r#"{"id":1,"method":"load","params":{"path":"x"},"deadline_ms":50}"#)
+            .unwrap();
+        let r = Request::from_json(&v).unwrap();
+        assert_eq!(r.id, 1);
+        assert_eq!(r.method, "load");
+        assert_eq!(r.deadline_ms, Some(50));
+        assert_eq!(Request::from_json(&r.to_json()).unwrap().method, "load");
+        assert!(Request::from_json(&Json::Int(3)).is_err());
+        assert!(Request::from_json(&Json::parse(r#"{"id":1}"#).unwrap()).is_err());
+    }
+}

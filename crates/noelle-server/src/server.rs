@@ -1,0 +1,564 @@
+//! The daemon: request dispatch, worker pool, deadlines, shutdown.
+//!
+//! Connections are cheap reader threads; the analysis work runs on a
+//! **fixed worker pool** so a flood of clients cannot oversubscribe the
+//! machine. A connection thread frames one request, enqueues it, and waits
+//! for the reply with a deadline — if the deadline passes, the client gets
+//! a `timeout` error immediately and the (still running) build finishes in
+//! the background and warms the cache for the next attempt.
+//!
+//! Shutdown is graceful: the `shutdown` method flips a flag; the accept
+//! loop stops, connection readers wind down, and the workers drain every
+//! queued request before exiting, so no accepted request is dropped
+//! unanswered (modulo its own deadline).
+
+use crate::metrics::{Metrics, Outcome};
+use crate::protocol::{read_frame, response_err, response_ok, write_frame, ErrorCode, Request};
+use crate::session::{Session, SessionTable};
+use noelle_core::json::Json;
+use noelle_core::noelle::{Abstraction, AliasTier, Noelle};
+use noelle_core::wire;
+use noelle_ir::module::{FuncId, Module};
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A tool dispatcher injected by the binary that owns the tool registry
+/// (`noelle-served` wires in `noelle_tools::registry`), keeping this crate
+/// free of a dependency cycle on the transforms.
+pub type ToolRunner = Arc<dyn Fn(&mut Noelle, &str, usize) -> Result<String, String> + Send + Sync>;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Fixed worker pool size.
+    pub workers: usize,
+    /// Session-table entry budget.
+    pub max_sessions: usize,
+    /// Session-table approximate byte budget.
+    pub max_bytes: usize,
+    /// Default per-request deadline (ms) when the request carries none.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_sessions: 8,
+            max_bytes: 256 << 20,
+            default_deadline_ms: 30_000,
+        }
+    }
+}
+
+/// Shared daemon state.
+pub struct ServerState {
+    cfg: ServerConfig,
+    /// Loaded sessions.
+    pub sessions: SessionTable,
+    /// Request counters and latency histograms.
+    pub metrics: Metrics,
+    tool_runner: Option<ToolRunner>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl ServerState {
+    fn new(cfg: ServerConfig, tool_runner: Option<ToolRunner>) -> ServerState {
+        ServerState {
+            sessions: SessionTable::new(cfg.max_sessions, cfg.max_bytes),
+            metrics: Metrics::new(),
+            tool_runner,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            cfg,
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown (what the `shutdown` method does).
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A configured (not yet started) daemon.
+pub struct Server {
+    cfg: ServerConfig,
+    tool_runner: Option<ToolRunner>,
+}
+
+impl Server {
+    /// A daemon with `cfg`.
+    pub fn new(cfg: ServerConfig) -> Server {
+        Server {
+            cfg,
+            tool_runner: None,
+        }
+    }
+
+    /// Attach a tool registry dispatcher for the `run-tool` method.
+    #[must_use]
+    pub fn with_tool_runner(mut self, r: ToolRunner) -> Server {
+        self.tool_runner = Some(r);
+        self
+    }
+
+    /// Bind the TCP listener and spawn the accept loop plus the worker
+    /// pool. Returns a handle carrying the bound address.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(self) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(&self.cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = self.cfg.workers.max(1);
+        let state = Arc::new(ServerState::new(self.cfg, self.tool_runner));
+
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("noelle-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_state = Arc::clone(&state);
+        let accept_conns = Arc::clone(&conn_handles);
+        let accept_handle = std::thread::Builder::new()
+            .name("noelle-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &accept_state, &job_tx, &accept_conns);
+                // job_tx drops here; once connection threads finish, the
+                // workers see a closed queue and drain out.
+            })
+            .expect("spawn accept loop");
+
+        Ok(RunningServer {
+            addr,
+            state,
+            accept_handle,
+            worker_handles,
+            conn_handles,
+        })
+    }
+
+    /// Serve one connection over stdin/stdout using newline-delimited JSON
+    /// (the `--stdio` test mode): one request per line, one reply per line,
+    /// synchronous, until EOF or `shutdown`.
+    ///
+    /// # Errors
+    /// Propagates stdout write failures.
+    pub fn serve_stdio(self, input: &mut impl BufRead, output: &mut impl Write) -> io::Result<()> {
+        let state = Arc::new(ServerState::new(self.cfg, self.tool_runner));
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match Json::parse(&line) {
+                None => response_err(0, ErrorCode::BadRequest, "line is not valid JSON"),
+                Some(v) => match Request::from_json(&v) {
+                    Err(e) => response_err(0, ErrorCode::BadRequest, &e),
+                    Ok(req) => run_request(&state, &req),
+                },
+            };
+            writeln!(output, "{}", reply.to_string_compact())?;
+            output.flush()?;
+            if state.is_shutting_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A started daemon.
+pub struct RunningServer {
+    /// The bound listen address (resolved ephemeral port included).
+    pub addr: SocketAddr,
+    /// Shared state (exposed so in-process harnesses can read metrics).
+    pub state: Arc<ServerState>,
+    accept_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RunningServer {
+    /// Ask the daemon to stop (same as a `shutdown` request).
+    pub fn trigger_shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+
+    /// Block until the accept loop, every connection reader, and every
+    /// worker have exited. Queued requests are drained first.
+    pub fn join(self) {
+        let _ = self.accept_handle.join();
+        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("conn lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        for h in self.worker_handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Trigger shutdown and wait for a full drain.
+    pub fn shutdown_and_join(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+}
+
+/// One queued request: compute, then send the reply back to the
+/// connection thread (which may have given up on its deadline).
+struct Job {
+    state: Arc<ServerState>,
+    req: Request,
+    reply: Sender<Json>,
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(j) => j,
+            Err(_) => return, // queue closed and drained
+        };
+        let reply = run_request(&job.state, &job.req);
+        let _ = job.reply.send(reply); // receiver may have timed out
+    }
+}
+
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+const READ_POLL: Duration = Duration::from_millis(50);
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    job_tx: &Sender<Job>,
+    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !state.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(state);
+                let tx = job_tx.clone();
+                let h = std::thread::Builder::new()
+                    .name("noelle-conn".to_string())
+                    .spawn(move || connection_loop(stream, &st, &tx))
+                    .expect("spawn connection");
+                conn_handles.lock().expect("conn lock").push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Read one frame, tolerating read-timeout polls so the thread can notice
+/// shutdown between frames. Returns `None` on EOF, error, or shutdown.
+fn read_frame_polling(stream: &mut TcpStream, state: &ServerState) -> Option<Json> {
+    loop {
+        match read_frame(stream) {
+            Ok(v) => return v,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.is_shutting_down() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, state: &Arc<ServerState>, job_tx: &Sender<Job>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    while !state.is_shutting_down() {
+        let Some(frame) = read_frame_polling(&mut stream, state) else {
+            return;
+        };
+        let req = match Request::from_json(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &response_err(0, ErrorCode::BadRequest, &e));
+                continue;
+            }
+        };
+        let deadline =
+            Duration::from_millis(req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms));
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            state: Arc::clone(state),
+            req: req.clone(),
+            reply: reply_tx,
+        };
+        if job_tx.send(job).is_err() {
+            let _ = write_frame(
+                &mut stream,
+                &response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down"),
+            );
+            return;
+        }
+        let reply = match reply_rx.recv_timeout(deadline) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                state
+                    .metrics
+                    .observe(&req.method, deadline, Outcome::Timeout);
+                response_err(
+                    req.id,
+                    ErrorCode::Timeout,
+                    &format!("deadline of {}ms exceeded", deadline.as_millis()),
+                )
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down")
+            }
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute `req` against `state`, recording metrics. This is the single
+/// dispatch point shared by the worker pool and `--stdio` mode.
+pub fn run_request(state: &Arc<ServerState>, req: &Request) -> Json {
+    let t = Instant::now();
+    let result = dispatch(state, req);
+    let latency = t.elapsed();
+    match result {
+        Ok(v) => {
+            state.metrics.observe(&req.method, latency, Outcome::Ok);
+            response_ok(req.id, v)
+        }
+        Err((code, msg)) => {
+            state.metrics.observe(&req.method, latency, Outcome::Error);
+            response_err(req.id, code, &msg)
+        }
+    }
+}
+
+type MethodResult = Result<Json, (ErrorCode, String)>;
+
+fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
+    (ErrorCode::BadRequest, msg.into())
+}
+
+fn param_str<'a>(req: &'a Request, key: &str) -> Option<&'a str> {
+    req.params.get(key).and_then(Json::as_str)
+}
+
+fn load_module(path: &str) -> Result<Module, String> {
+    if let Some(name) = path.strip_prefix("workload:") {
+        return noelle_workloads::by_name(name)
+            .map(|w| w.build())
+            .ok_or_else(|| format!("unknown workload '{name}'"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    noelle_ir::parser::parse_module(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn session_of(state: &ServerState, req: &Request) -> Result<Arc<Session>, (ErrorCode, String)> {
+    let name = param_str(req, "session").ok_or_else(|| bad("missing 'session' param"))?;
+    state.sessions.get(name).ok_or_else(|| {
+        (
+            ErrorCode::NoSession,
+            format!("no session '{name}' (evicted or never loaded)"),
+        )
+    })
+}
+
+fn func_by_name(m: &Module, name: &str) -> Option<FuncId> {
+    m.func_ids().find(|&fid| m.func(fid).name == name)
+}
+
+fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
+    if state.is_shutting_down() && req.method != "shutdown" {
+        return Err((ErrorCode::Shutdown, "daemon is shutting down".into()));
+    }
+    match req.method.as_str() {
+        "ping" => Ok(Json::object([
+            ("pong".to_string(), Json::Bool(true)),
+            (
+                "uptime_ms".to_string(),
+                Json::Int(state.started.elapsed().as_millis() as i64),
+            ),
+        ])),
+        "load" => {
+            let path = param_str(req, "path").ok_or_else(|| bad("missing 'path' param"))?;
+            let tier = match param_str(req, "tier").unwrap_or("full") {
+                "basic" => AliasTier::Basic,
+                "full" => AliasTier::Full,
+                other => return Err(bad(format!("unknown tier '{other}'"))),
+            };
+            let m = load_module(path).map_err(|e| (ErrorCode::Internal, e))?;
+            let name = match param_str(req, "session") {
+                Some(s) => s.to_string(),
+                None => state.sessions.generate_name(),
+            };
+            let functions = m.functions().len();
+            let s = state.sessions.insert(&name, Noelle::new(m, tier));
+            Ok(Json::object([
+                ("session".to_string(), Json::Str(name)),
+                ("functions".to_string(), Json::Int(functions as i64)),
+                (
+                    "approx_bytes".to_string(),
+                    Json::Int(s.approx_bytes() as i64),
+                ),
+            ]))
+        }
+        "pdg" => {
+            let s = session_of(state, req)?;
+            let out = {
+                let mut n = s.noelle.lock().expect("session build lock");
+                let before = n
+                    .build_stats()
+                    .get(&Abstraction::Pdg)
+                    .map_or(0, |st| st.builds);
+                let pdg = n.pdg();
+                if n.build_stats()[&Abstraction::Pdg].builds > before {
+                    s.note_pdg_built(pdg.num_edges());
+                }
+                wire::pdg_to_json(n.module(), &pdg)
+            };
+            // The graph may have grown the session's footprint past budget.
+            state.sessions.evict_over_budget();
+            Ok(out)
+        }
+        "loops" => {
+            let s = session_of(state, req)?;
+            let mut n = s.noelle.lock().expect("session build lock");
+            let fids: Vec<FuncId> = match param_str(req, "func") {
+                Some(name) => vec![func_by_name(n.module(), name)
+                    .ok_or_else(|| bad(format!("no function '{name}'")))?],
+                None => n
+                    .module()
+                    .func_ids()
+                    .filter(|&f| !n.module().func(f).is_declaration())
+                    .collect(),
+            };
+            let mut per_fn = Vec::new();
+            for fid in fids {
+                let fname = n.module().func(fid).name.clone();
+                let loops = n.loops_of(fid);
+                per_fn.push((
+                    fname,
+                    Json::Array(loops.iter().map(wire::loop_to_json).collect()),
+                ));
+            }
+            Ok(Json::object(per_fn))
+        }
+        "sccdag" | "induction" | "invariants" => {
+            let s = session_of(state, req)?;
+            let fname = param_str(req, "func")
+                .ok_or_else(|| bad("missing 'func' param"))?
+                .to_string();
+            let idx = req.params.get("loop").and_then(Json::as_u64).unwrap_or(0) as usize;
+            let mut n = s.noelle.lock().expect("session build lock");
+            let fid = func_by_name(n.module(), &fname)
+                .ok_or_else(|| bad(format!("no function '{fname}'")))?;
+            let loops = n.loops_of(fid);
+            let l = loops
+                .get(idx)
+                .ok_or_else(|| bad(format!("function '{fname}' has {} loops", loops.len())))?
+                .clone();
+            let la = n.loop_abstraction(fid, l);
+            Ok(match req.method.as_str() {
+                "sccdag" => wire::sccdag_to_json(&la.sccdag),
+                "induction" => wire::ivs_to_json(&la.ivs),
+                _ => wire::invariants_to_json(&la.invariants),
+            })
+        }
+        "callgraph" => {
+            let s = session_of(state, req)?;
+            let mut n = s.noelle.lock().expect("session build lock");
+            let _ = n.call_graph();
+            let cg = n.cached_call_graph().expect("just built");
+            Ok(wire::callgraph_to_json(n.module(), cg))
+        }
+        "run-tool" => {
+            let runner = state
+                .tool_runner
+                .as_ref()
+                .ok_or_else(|| bad("this daemon was started without a tool registry"))?;
+            let s = session_of(state, req)?;
+            let tool = param_str(req, "tool").ok_or_else(|| bad("missing 'tool' param"))?;
+            let cores = req.params.get("cores").and_then(Json::as_u64).unwrap_or(4) as usize;
+            let mut n = s.noelle.lock().expect("session build lock");
+            n.reset_requests();
+            let summary = runner(&mut n, tool, cores).map_err(|e| (ErrorCode::Internal, e))?;
+            let requested = n
+                .requested()
+                .iter()
+                .map(|a| Json::Str(a.short_name().to_string()))
+                .collect();
+            Ok(Json::object([
+                ("tool".to_string(), Json::Str(tool.to_string())),
+                ("summary".to_string(), Json::Str(summary)),
+                ("requested".to_string(), Json::Array(requested)),
+            ]))
+        }
+        "stats" => Ok(Json::object([
+            (
+                "uptime_ms".to_string(),
+                Json::Int(state.started.elapsed().as_millis() as i64),
+            ),
+            ("table".to_string(), state.sessions.stats_json()),
+        ])),
+        "metrics" => {
+            let managers = state
+                .sessions
+                .snapshot()
+                .into_iter()
+                .map(|s| {
+                    let stats = s
+                        .noelle
+                        .lock()
+                        .map(|n| wire::manager_stats_to_json(&n))
+                        .unwrap_or(Json::Null);
+                    (s.name.clone(), stats)
+                })
+                .collect::<Vec<_>>();
+            Ok(Json::object([
+                ("requests".to_string(), state.metrics.to_json()),
+                ("sessions".to_string(), Json::object(managers)),
+                (
+                    "evictions".to_string(),
+                    Json::Int(state.sessions.evictions() as i64),
+                ),
+            ]))
+        }
+        "shutdown" => {
+            state.trigger_shutdown();
+            Ok(Json::object([("stopping".to_string(), Json::Bool(true))]))
+        }
+        other => Err(bad(format!("unknown method '{other}'"))),
+    }
+}

@@ -1,0 +1,243 @@
+//! The session table: loaded modules and their warm abstractions.
+//!
+//! A **session** is one loaded module wrapped in a demand-driven [`Noelle`]
+//! manager. The manager *is* the cache: the first `pdg` request pays the
+//! build, later requests get the `Arc` handle back. The per-session
+//! `Mutex<Noelle>` doubles as the build lock — when N identical requests
+//! race, one takes the lock and builds while the rest queue behind it and
+//! then read the cached result, so exactly one build runs (in-flight
+//! coalescing). Distinct sessions never share the lock, so the worker pool
+//! stays busy across modules.
+//!
+//! The table evicts least-recently-used sessions when either budget —
+//! entry count or approximate resident bytes — is exceeded. Byte usage is
+//! a coarse estimate (instruction count when loaded, plus PDG edges once
+//! built); the point is bounding growth, not accounting to the byte.
+
+use noelle_core::json::Json;
+use noelle_core::noelle::Noelle;
+use noelle_ir::module::Module;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Rough per-instruction resident cost (module + per-function structures).
+const BYTES_PER_INST: usize = 256;
+/// Rough per-PDG-edge resident cost once the graph is built.
+const BYTES_PER_EDGE: usize = 96;
+
+/// Estimate the resident footprint of a freshly loaded module.
+pub fn estimate_module_bytes(m: &Module) -> usize {
+    let insts: usize = m.functions().iter().map(|f| f.inst_ids().len()).sum();
+    insts.max(1) * BYTES_PER_INST
+}
+
+/// One loaded module and its warm manager.
+pub struct Session {
+    /// Session name (client-chosen or generated).
+    pub name: String,
+    /// The demand-driven manager; its mutex is the per-session build lock.
+    pub noelle: Mutex<Noelle>,
+    /// LRU clock value of the last touch.
+    touched: AtomicU64,
+    /// Approximate resident bytes (grows once the PDG is built).
+    approx_bytes: AtomicUsize,
+}
+
+impl Session {
+    /// Current byte estimate.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Grow the byte estimate after an abstraction build (e.g. by
+    /// `edges * BYTES_PER_EDGE` once the PDG exists).
+    pub fn note_pdg_built(&self, num_edges: usize) {
+        self.approx_bytes
+            .fetch_add(num_edges * BYTES_PER_EDGE, Ordering::Relaxed);
+    }
+}
+
+/// The LRU-evicting session table.
+pub struct SessionTable {
+    max_entries: usize,
+    max_bytes: usize,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    auto_name: AtomicU64,
+    inner: Mutex<HashMap<String, Arc<Session>>>,
+}
+
+impl SessionTable {
+    /// A table bounded by `max_entries` sessions and `max_bytes` of
+    /// (approximate) resident abstraction memory.
+    pub fn new(max_entries: usize, max_bytes: usize) -> SessionTable {
+        SessionTable {
+            max_entries: max_entries.max(1),
+            max_bytes: max_bytes.max(1),
+            clock: AtomicU64::new(1),
+            evictions: AtomicU64::new(0),
+            auto_name: AtomicU64::new(0),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A fresh generated session name (`s1`, `s2`, ...).
+    pub fn generate_name(&self) -> String {
+        format!("s{}", self.auto_name.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Insert (or replace) a session holding `noelle`, then evict if over
+    /// budget. The new session is the most recently used, so eviction
+    /// targets older sessions first.
+    pub fn insert(&self, name: &str, noelle: Noelle) -> Arc<Session> {
+        let bytes = estimate_module_bytes(noelle.module());
+        let s = Arc::new(Session {
+            name: name.to_string(),
+            noelle: Mutex::new(noelle),
+            touched: AtomicU64::new(self.tick()),
+            approx_bytes: AtomicUsize::new(bytes),
+        });
+        {
+            let mut map = self.inner.lock().expect("session lock");
+            map.insert(name.to_string(), Arc::clone(&s));
+        }
+        self.evict_over_budget();
+        s
+    }
+
+    /// Look up a session, refreshing its LRU position.
+    pub fn get(&self, name: &str) -> Option<Arc<Session>> {
+        let map = self.inner.lock().expect("session lock");
+        let s = map.get(name).cloned()?;
+        s.touched.store(self.tick(), Ordering::Relaxed);
+        Some(s)
+    }
+
+    /// Drop least-recently-used sessions until both budgets hold (always
+    /// keeping the most recent one).
+    pub fn evict_over_budget(&self) {
+        let mut map = self.inner.lock().expect("session lock");
+        loop {
+            let total: usize = map.values().map(|s| s.approx_bytes()).sum();
+            if map.len() <= 1 || (map.len() <= self.max_entries && total <= self.max_bytes) {
+                return;
+            }
+            let oldest = map
+                .values()
+                .min_by_key(|s| s.touched.load(Ordering::Relaxed))
+                .map(|s| s.name.clone())
+                .expect("non-empty");
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All live sessions, sorted by name (for deterministic reports).
+    pub fn snapshot(&self) -> Vec<Arc<Session>> {
+        let map = self.inner.lock().expect("session lock");
+        let mut v: Vec<Arc<Session>> = map.values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("session lock").len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sessions evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Table-level stats: budgets, usage, and one line per session.
+    pub fn stats_json(&self) -> Json {
+        let map = self.inner.lock().expect("session lock");
+        let mut sessions: Vec<(String, Arc<Session>)> = map
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        sessions.sort_by(|a, b| a.0.cmp(&b.0));
+        drop(map);
+        let rows = sessions
+            .iter()
+            .map(|(name, s)| {
+                let funcs = s
+                    .noelle
+                    .lock()
+                    .map(|n| n.module().functions().len() as i64)
+                    .unwrap_or(-1);
+                (
+                    name.clone(),
+                    Json::object([
+                        (
+                            "approx_bytes".to_string(),
+                            Json::Int(s.approx_bytes() as i64),
+                        ),
+                        ("functions".to_string(), Json::Int(funcs)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::object([
+            ("sessions".to_string(), Json::object(rows)),
+            ("count".to_string(), Json::Int(sessions.len() as i64)),
+            (
+                "max_entries".to_string(),
+                Json::Int(self.max_entries as i64),
+            ),
+            ("max_bytes".to_string(), Json::Int(self.max_bytes as i64)),
+            ("evictions".to_string(), Json::Int(self.evictions() as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_core::noelle::AliasTier;
+
+    fn tiny_module(name: &str) -> Module {
+        Module::new(name)
+    }
+
+    #[test]
+    fn lru_eviction_by_entry_budget() {
+        let t = SessionTable::new(2, usize::MAX);
+        t.insert("a", Noelle::new(tiny_module("a"), AliasTier::Basic));
+        t.insert("b", Noelle::new(tiny_module("b"), AliasTier::Basic));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(t.get("a").is_some());
+        t.insert("c", Noelle::new(tiny_module("c"), AliasTier::Basic));
+        assert_eq!(t.len(), 2);
+        assert!(t.get("b").is_none(), "LRU session evicted");
+        assert!(t.get("a").is_some() && t.get("c").is_some());
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_budget_keeps_most_recent() {
+        let t = SessionTable::new(16, 1); // any session overflows 1 byte
+        t.insert("a", Noelle::new(tiny_module("a"), AliasTier::Basic));
+        t.insert("b", Noelle::new(tiny_module("b"), AliasTier::Basic));
+        // Over budget, but the most recent session always survives.
+        assert_eq!(t.len(), 1);
+        assert!(t.get("b").is_some());
+    }
+
+    #[test]
+    fn generated_names_are_unique() {
+        let t = SessionTable::new(4, usize::MAX);
+        assert_ne!(t.generate_name(), t.generate_name());
+    }
+}

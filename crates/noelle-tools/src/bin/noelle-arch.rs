@@ -6,10 +6,7 @@ use noelle_tools::{die, read_module, write_module, Args};
 
 fn main() {
     let args = Args::parse();
-    let arch = Architecture::synthetic(
-        args.flag_usize("cores", 12),
-        args.flag_usize("numa", 1),
-    );
+    let arch = Architecture::synthetic(args.flag_usize("cores", 12), args.flag_usize("numa", 1));
     match args.positional.first() {
         Some(input) => {
             let mut m = read_module(input).unwrap_or_else(|e| die(&e));

@@ -1,69 +1,27 @@
 //! `noelle-load`: load the NOELLE layer over an IR file and run a custom
 //! tool. Prints the abstractions the tool requested (Table 4's evidence).
+//!
+//! Tool dispatch goes through [`noelle_tools::registry`], the same table
+//! the `noelle-served` daemon uses for its `run-tool` method.
 
 use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_tools::registry::{self, ToolOptions};
 use noelle_tools::{die, read_module, write_module, Args};
-use noelle_transforms as tools;
 
 fn main() {
     let args = Args::parse();
     let Some(input) = args.positional.first() else {
-        die("usage: noelle-load <in.nir> --tool <doall|helix|dswp|licm|dead|carat|coos|prvj|time|perspective|autopar> [--cores N] [--o out.nir]");
+        die(&format!(
+            "usage: noelle-load <in.nir> --tool <{}> [--cores N] [--o out.nir]",
+            registry::usage()
+        ));
     };
     let tool = args.flag_or("tool", "doall").to_string();
     let cores = args.flag_usize("cores", 4);
     let m = read_module(input).unwrap_or_else(|e| die(&e));
     let mut noelle = Noelle::new(m, AliasTier::Full);
-    let summary: String = match tool.as_str() {
-        "doall" => format!(
-            "{:?}",
-            tools::doall::run(
-                &mut noelle,
-                &tools::doall::DoallOptions { n_tasks: cores, min_hotness: 0.0 , only: None,}
-            )
-        ),
-        "helix" => format!(
-            "{:?}",
-            tools::helix::run(
-                &mut noelle,
-                &tools::helix::HelixOptions {
-                    n_tasks: cores,
-                    min_hotness: 0.0,
-                    max_sequential_fraction: 0.7
-                }
-            )
-        ),
-        "dswp" => format!(
-            "{:?}",
-            tools::dswp::run(
-                &mut noelle,
-                &tools::dswp::DswpOptions { n_stages: cores.clamp(2, 4), min_hotness: 0.0 }
-            )
-        ),
-        "licm" => format!("{:?}", tools::licm::run(&mut noelle)),
-        "dead" => format!("{:?}", tools::dead::run(&mut noelle, "main")),
-        "carat" => format!("{:?}", tools::carat::run(&mut noelle)),
-        "coos" => format!("{:?}", tools::coos::run(&mut noelle)),
-        "prvj" => format!(
-            "{:?}",
-            tools::prvj::run(&mut noelle, &tools::prvj::PrvjOptions::default())
-        ),
-        "time" => format!("{:?}", tools::time::run(&mut noelle)),
-        "perspective" => format!(
-            "{:?}",
-            tools::perspective::run(
-                &mut noelle,
-                &tools::perspective::PerspectiveOptions { n_tasks: cores }
-            )
-        ),
-        "autopar" => {
-            let (m2, report) = tools::baseline::conservative_parallelize(noelle.into_module(), cores);
-            eprintln!("{report:?}");
-            write_module(&m2, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));
-            return;
-        }
-        other => die(&format!("unknown tool '{other}'")),
-    };
+    let summary =
+        registry::run_tool(&mut noelle, &tool, &ToolOptions { cores }).unwrap_or_else(|e| die(&e));
     eprintln!("{summary}");
     let requested: Vec<&str> = noelle.requested().iter().map(|a| a.short_name()).collect();
     eprintln!("abstractions requested: {}", requested.join(", "));

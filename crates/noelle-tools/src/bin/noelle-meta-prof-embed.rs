@@ -11,10 +11,8 @@ fn main() {
     };
     let mut m = read_module(input).unwrap_or_else(|e| die(&e));
     let text = std::fs::read_to_string(prof).unwrap_or_else(|e| die(&e.to_string()));
-    let json = noelle_core::json::Json::parse(&text)
-        .unwrap_or_else(|| die("invalid profile JSON"));
-    let profiles =
-        Profiles::from_json(&json).unwrap_or_else(|| die("malformed profile JSON"));
+    let json = noelle_core::json::Json::parse(&text).unwrap_or_else(|| die("invalid profile JSON"));
+    let profiles = Profiles::from_json(&json).unwrap_or_else(|| die("malformed profile JSON"));
     profiles.embed(&mut m);
     write_module(&m, args.flag_or("o", "-")).unwrap_or_else(|e| die(&e));
 }

@@ -1,0 +1,75 @@
+//! `noelle-query`: a one-shot client for the `noelle-served` daemon.
+//!
+//! ```text
+//! noelle-query <method> [--addr 127.0.0.1:7711] [--session NAME]
+//!              [--path FILE|workload:NAME] [--tier basic|full]
+//!              [--func NAME] [--loop N] [--tool NAME] [--cores N]
+//!              [--deadline-ms N] [--compact]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! noelle-query load --path workload:blackscholes --session bs
+//! noelle-query pdg --session bs
+//! noelle-query sccdag --session bs --func main --loop 0
+//! noelle-query run-tool --session bs --tool doall --cores 8
+//! noelle-query metrics
+//! noelle-query shutdown
+//! ```
+
+use noelle_core::json::Json;
+use noelle_server::Client;
+use noelle_tools::{die, Args};
+
+fn main() {
+    let args = Args::parse();
+    let Some(method) = args.positional.first() else {
+        die(
+            "usage: noelle-query <load|pdg|sccdag|loops|induction|invariants|callgraph|run-tool|stats|metrics|ping|shutdown> [--addr HOST:PORT] [--session NAME] [--path P] [--func F] [--loop N] [--tool T] [--cores N] [--deadline-ms N] [--compact]",
+        );
+    };
+    let addr = args.flag_or("addr", "127.0.0.1:7711");
+
+    let mut params: Vec<(String, Json)> = Vec::new();
+    for key in ["session", "path", "tier", "func", "tool"] {
+        if let Some(v) = args.flag(key) {
+            params.push((key.to_string(), Json::Str(v.to_string())));
+        }
+    }
+    if let Some(v) = args.flag("loop") {
+        let n = v
+            .parse()
+            .unwrap_or_else(|_| die("--loop expects an integer"));
+        params.push(("loop".to_string(), Json::Int(n)));
+    }
+    if let Some(v) = args.flag("cores") {
+        let n = v
+            .parse()
+            .unwrap_or_else(|_| die("--cores expects an integer"));
+        params.push(("cores".to_string(), Json::Int(n)));
+    }
+    let deadline = args.flag("deadline-ms").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| die("--deadline-ms expects an integer"))
+    });
+
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| die(&format!("connect to {addr}: {e}")));
+    let reply = client
+        .request_with_deadline(method, Json::object(params), deadline)
+        .unwrap_or_else(|e| die(&format!("request failed: {e}")));
+
+    let text = if args.flag("compact").is_some() {
+        reply.to_string_compact()
+    } else {
+        reply.to_string_pretty()
+    };
+    // Tolerate a closed stdout (`noelle-query metrics | head`): a broken
+    // pipe is how the reader says "enough", not an error.
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{text}");
+    if reply.get("error").is_some() {
+        std::process::exit(2);
+    }
+}

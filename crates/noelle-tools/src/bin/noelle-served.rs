@@ -1,0 +1,49 @@
+//! `noelle-served`: the resident NOELLE analysis daemon.
+//!
+//! Keeps loaded modules' abstractions (PDG, call graph, loop structures,
+//! alias-query cache) warm across requests, so many small custom tools and
+//! editor integrations can query a module without re-analyzing it each
+//! time. Listens on localhost TCP speaking length-prefixed JSON frames, or
+//! on stdin/stdout with newline-delimited JSON under `--stdio`.
+//!
+//! ```text
+//! noelle-served [--addr 127.0.0.1:7711] [--workers N] [--max-sessions N]
+//!               [--max-bytes N] [--deadline-ms N] [--stdio]
+//! ```
+
+use noelle_server::{Server, ServerConfig, ToolRunner};
+use noelle_tools::registry::{self, ToolOptions};
+use noelle_tools::{die, Args};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = ServerConfig {
+        addr: args.flag_or("addr", "127.0.0.1:7711").to_string(),
+        workers: args.flag_usize("workers", 4),
+        max_sessions: args.flag_usize("max-sessions", 8),
+        max_bytes: args.flag_usize("max-bytes", 256 << 20),
+        default_deadline_ms: args.flag_usize("deadline-ms", 30_000) as u64,
+    };
+    // The registry lives here, not in noelle-server, so the daemon crate
+    // stays decoupled from the transforms; inject it.
+    let runner: ToolRunner =
+        Arc::new(|n, tool, cores| registry::run_tool(n, tool, &ToolOptions { cores }));
+    let server = Server::new(cfg).with_tool_runner(runner);
+
+    if args.flag("stdio").is_some() {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server
+            .serve_stdio(&mut stdin.lock(), &mut stdout.lock())
+            .unwrap_or_else(|e| die(&format!("stdio serve failed: {e}")));
+        return;
+    }
+
+    let running = server
+        .start()
+        .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    eprintln!("noelle-served listening on {}", running.addr);
+    running.join();
+    eprintln!("noelle-served stopped");
+}

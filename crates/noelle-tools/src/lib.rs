@@ -14,9 +14,13 @@
 //! | `noelle-load` | noelle-load | load the layer and run a custom tool |
 //! | `noelle-linker` | noelle-linker | link transformed IR files, preserving metadata |
 //! | `noelle-bin` | noelle-bin | produce/execute the final program (simulated) |
+//! | `noelle-served` | — | the resident analysis daemon (`noelle-server` crate) |
+//! | `noelle-query` | — | one-shot client for the daemon |
 //!
 //! This module provides file IO helpers, a tiny flag parser, and the module
 //! linker shared by `noelle-whole-ir` and `noelle-linker`.
+
+pub mod registry;
 
 use noelle_ir::inst::{Callee, Inst};
 use noelle_ir::module::{FuncId, GlobalId, Module};
@@ -63,11 +67,21 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args()` (skipping the binary name).
     pub fn parse() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list. A `--key` followed by another
+    /// `--flag` (or by nothing) is recorded as a boolean flag with an
+    /// empty value rather than swallowing the next flag.
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
         let mut out = Args::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let v = it.next().unwrap_or_default();
+                let v = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
                 out.flags.insert(key.to_string(), v);
             } else {
                 out.positional.push(a);
@@ -112,7 +126,10 @@ pub fn link_modules(mods: Vec<Module>) -> Result<Module, String> {
         for g in m.globals() {
             if let Some(&existing) = global_slot.get(&g.name) {
                 if out.global(existing) != g {
-                    return Err(format!("duplicate global '@{}' with different contents", g.name));
+                    return Err(format!(
+                        "duplicate global '@{}' with different contents",
+                        g.name
+                    ));
                 }
                 continue;
             }

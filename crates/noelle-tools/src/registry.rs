@@ -1,0 +1,219 @@
+//! The shared custom-tool registry.
+//!
+//! `noelle-load`, the daemon's `run-tool` method, and any future binary
+//! dispatch tool names through this one table, so the set of tools and the
+//! usage string cannot drift apart between entry points.
+
+use noelle_core::noelle::Noelle;
+use noelle_transforms as tools;
+
+/// Options every registered tool receives.
+#[derive(Clone, Copy, Debug)]
+pub struct ToolOptions {
+    /// Worker/task count for parallelizers.
+    pub cores: usize,
+}
+
+impl Default for ToolOptions {
+    fn default() -> ToolOptions {
+        ToolOptions { cores: 4 }
+    }
+}
+
+type Runner = fn(&mut Noelle, &ToolOptions) -> Result<String, String>;
+
+/// One registered tool.
+pub struct ToolEntry {
+    /// Name used on the command line and the wire.
+    pub name: &'static str,
+    /// The runner; returns a human-readable summary.
+    pub run: Runner,
+}
+
+fn run_doall(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    Ok(format!(
+        "{:?}",
+        tools::doall::run(
+            n,
+            &tools::doall::DoallOptions {
+                n_tasks: o.cores,
+                min_hotness: 0.0,
+                only: None,
+            },
+        )
+    ))
+}
+
+fn run_helix(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    Ok(format!(
+        "{:?}",
+        tools::helix::run(
+            n,
+            &tools::helix::HelixOptions {
+                n_tasks: o.cores,
+                min_hotness: 0.0,
+                max_sequential_fraction: 0.7,
+            },
+        )
+    ))
+}
+
+fn run_dswp(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    Ok(format!(
+        "{:?}",
+        tools::dswp::run(
+            n,
+            &tools::dswp::DswpOptions {
+                n_stages: o.cores.clamp(2, 4),
+                min_hotness: 0.0,
+            },
+        )
+    ))
+}
+
+fn run_licm(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!("{:?}", tools::licm::run(n)))
+}
+
+fn run_dead(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!("{:?}", tools::dead::run(n, "main")))
+}
+
+fn run_carat(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!("{:?}", tools::carat::run(n)))
+}
+
+fn run_coos(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!("{:?}", tools::coos::run(n)))
+}
+
+fn run_prvj(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!(
+        "{:?}",
+        tools::prvj::run(n, &tools::prvj::PrvjOptions::default())
+    ))
+}
+
+fn run_time(n: &mut Noelle, _o: &ToolOptions) -> Result<String, String> {
+    Ok(format!("{:?}", tools::time::run(n)))
+}
+
+fn run_perspective(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    Ok(format!(
+        "{:?}",
+        tools::perspective::run(
+            n,
+            &tools::perspective::PerspectiveOptions { n_tasks: o.cores },
+        )
+    ))
+}
+
+fn run_autopar(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    // The conservative baseline rebuilds the module rather than editing in
+    // place; swap the result back into the manager.
+    let m = n.module().clone();
+    let (m2, report) = tools::baseline::conservative_parallelize(m, o.cores);
+    n.replace_module(m2);
+    Ok(format!("{report:?}"))
+}
+
+/// Every registered tool, in usage-string order.
+pub fn tools() -> &'static [ToolEntry] {
+    &[
+        ToolEntry {
+            name: "doall",
+            run: run_doall,
+        },
+        ToolEntry {
+            name: "helix",
+            run: run_helix,
+        },
+        ToolEntry {
+            name: "dswp",
+            run: run_dswp,
+        },
+        ToolEntry {
+            name: "licm",
+            run: run_licm,
+        },
+        ToolEntry {
+            name: "dead",
+            run: run_dead,
+        },
+        ToolEntry {
+            name: "carat",
+            run: run_carat,
+        },
+        ToolEntry {
+            name: "coos",
+            run: run_coos,
+        },
+        ToolEntry {
+            name: "prvj",
+            run: run_prvj,
+        },
+        ToolEntry {
+            name: "time",
+            run: run_time,
+        },
+        ToolEntry {
+            name: "perspective",
+            run: run_perspective,
+        },
+        ToolEntry {
+            name: "autopar",
+            run: run_autopar,
+        },
+    ]
+}
+
+/// The `a|b|c` tool-name alternation for usage strings.
+pub fn usage() -> String {
+    tools().iter().map(|t| t.name).collect::<Vec<_>>().join("|")
+}
+
+/// Run the named tool against `n`.
+///
+/// # Errors
+/// Unknown names and tool failures return a message.
+pub fn run_tool(n: &mut Noelle, name: &str, opts: &ToolOptions) -> Result<String, String> {
+    let entry = tools()
+        .iter()
+        .find(|t| t.name == name)
+        .ok_or_else(|| format!("unknown tool '{name}' (expected one of {})", usage()))?;
+    (entry.run)(n, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noelle_core::noelle::AliasTier;
+
+    #[test]
+    fn every_registered_tool_runs_on_a_workload() {
+        let w = noelle_workloads::by_name("blackscholes").expect("workload");
+        for t in tools() {
+            let mut n = Noelle::new(w.build(), AliasTier::Full);
+            let r = run_tool(&mut n, t.name, &ToolOptions::default());
+            assert!(r.is_ok(), "tool {} failed: {r:?}", t.name);
+        }
+    }
+
+    #[test]
+    fn unknown_tool_names_error_with_usage() {
+        let w = noelle_workloads::by_name("blackscholes").expect("workload");
+        let mut n = Noelle::new(w.build(), AliasTier::Full);
+        let err = run_tool(&mut n, "nope", &ToolOptions::default()).unwrap_err();
+        assert!(err.contains("doall|helix"));
+    }
+
+    #[test]
+    fn usage_lists_all_entries_once() {
+        let u = usage();
+        let names: Vec<&str> = u.split('|').collect();
+        assert_eq!(names.len(), tools().len());
+        for t in tools() {
+            assert_eq!(names.iter().filter(|n| **n == t.name).count(), 1);
+        }
+    }
+}

@@ -106,9 +106,11 @@ pub fn conservative_parallelize(m: Module, n_tasks: usize) -> (Module, ParallelR
             continue;
         }
         if !la.env.live_outs.is_empty() {
-            report
-                .skipped
-                .push((fname, l.header, "live-out values (no reduction support)".into()));
+            report.skipped.push((
+                fname,
+                l.header,
+                "live-out values (no reduction support)".into(),
+            ));
             continue;
         }
         let task_name = format!("{fname}.autopar.{}", l.header.0);

@@ -136,7 +136,10 @@ pub fn run(noelle: &mut Noelle) -> CaratReport {
 fn guard_function(
     m: &mut Module,
     fid: FuncId,
-    loop_invariants: &[(noelle_ir::loops::LoopInfo, noelle_core::invariants::InvariantSet)],
+    loop_invariants: &[(
+        noelle_ir::loops::LoopInfo,
+        noelle_core::invariants::InvariantSet,
+    )],
     report: &mut CaratReport,
 ) {
     let guard_fn = m.get_or_declare("carat.guard", vec![Type::I64, Type::I64], Type::Void);
@@ -187,7 +190,8 @@ fn guard_function(
                     .iter()
                     .find(|(l, _)| l.header == li.header)
                     .map(|(_, inv)| inv)?;
-                inv.is_invariant_value(m.func(fid), li, ptr).then(|| li.clone())
+                inv.is_invariant_value(m.func(fid), li, ptr)
+                    .then(|| li.clone())
             });
         let (gb, gpos) = match hoist_target {
             Some(li) => {

@@ -91,11 +91,10 @@ pub fn declare_dispatch(m: &mut Module) -> FuncId {
 /// Check that every live-out of the loop is the accumulator of one of its
 /// reductions (the only live-outs the dispatcher knows how to reconstruct).
 pub fn liveouts_supported(la: &LoopAbstraction) -> bool {
-    la.env.live_outs.iter().all(|(v, _)| {
-        la.reductions
-            .iter()
-            .any(|r| Value::Inst(r.phi) == *v)
-    })
+    la.env
+        .live_outs
+        .iter()
+        .all(|(v, _)| la.reductions.iter().any(|r| Value::Inst(r.phi) == *v))
 }
 
 /// Rewire a cloned reduction accumulator to start from the operator identity
@@ -104,8 +103,7 @@ pub fn reset_reduction_initials(m: &mut Module, task: &TaskFunction, reductions:
     let entry = task.entry;
     let tf = m.func_mut(task.fid);
     for r in reductions {
-        let Some(Value::Inst(clone_phi)) = task.value_map.get(&Value::Inst(r.phi)).copied()
-        else {
+        let Some(Value::Inst(clone_phi)) = task.value_map.get(&Value::Inst(r.phi)).copied() else {
             continue;
         };
         let identity = Value::Const(r.identity());
@@ -164,14 +162,7 @@ pub fn emit_dispatcher_with_queues(
     // 1. Environment allocation + live-in stores + queue creation.
     let env_ptr = EnvironmentBuilder::alloc(f, dispatch, env.num_slots(n_tasks) + n_queues);
     for (slot, (v, ty)) in env.live_ins.iter().enumerate() {
-        EnvironmentBuilder::store_slot(
-            f,
-            dispatch,
-            env_ptr,
-            Value::const_i64(slot as i64),
-            *v,
-            ty,
-        );
+        EnvironmentBuilder::store_slot(f, dispatch, env_ptr, Value::const_i64(slot as i64), *v, ty);
     }
     for qi in 0..n_queues {
         let q = f.append_inst(
@@ -218,8 +209,13 @@ pub fn emit_dispatcher_with_queues(
         let mut acc = red.initial;
         for t in 0..n_tasks {
             let slot = env.live_out_base() + idx * n_tasks + t;
-            let part =
-                EnvironmentBuilder::load_slot(f, dispatch, env_ptr, Value::const_i64(slot as i64), ty);
+            let part = EnvironmentBuilder::load_slot(
+                f,
+                dispatch,
+                env_ptr,
+                Value::const_i64(slot as i64),
+                ty,
+            );
             let op = f.append_inst(
                 dispatch,
                 Inst::Bin {

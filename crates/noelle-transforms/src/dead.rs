@@ -95,13 +95,14 @@ pub fn run(noelle: &mut Noelle, entry: &str) -> DeadReport {
         // Keep address-taken functions: a complete CG resolved their
         // callers, so unreachable + address-taken means the taking site is
         // itself dead — but stay conservative and keep them.
-        if taken.contains(&fid) && reachable.iter().any(|r| {
-            let rf = m.func(*r);
-            rf.inst_ids().iter().any(|&i| {
-                rf.inst(i)
-                    .operands().contains(&Value::Func(fid))
+        if taken.contains(&fid)
+            && reachable.iter().any(|r| {
+                let rf = m.func(*r);
+                rf.inst_ids()
+                    .iter()
+                    .any(|&i| rf.inst(i).operands().contains(&Value::Func(fid)))
             })
-        }) {
+        {
             continue;
         }
         let name = f.name.clone();
@@ -169,7 +170,11 @@ entry:
             report.removed,
             vec!["dead_leaf".to_string(), "dead_caller".to_string()]
         );
-        assert!(report.reduction() > 0.3, "reduction = {}", report.reduction());
+        assert!(
+            report.reduction() > 0.3,
+            "reduction = {}",
+            report.reduction()
+        );
         let m2 = noelle.into_module();
         noelle_ir::verifier::verify_module(&m2).expect("verifies");
         let after = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();

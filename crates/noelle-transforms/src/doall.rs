@@ -72,17 +72,16 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
         let (fid, _) = node;
         let l = forest.loop_info(node).clone();
         // Skip loops nested in an already-parallelized loop of this run.
-        if done_funcs
-            .iter()
-            .any(|&(df, dh)| df == fid && l.header != dh && {
+        if done_funcs.iter().any(|&(df, dh)| {
+            df == fid && l.header != dh && {
                 let parent = forest.per_function[&fid]
                     .loops()
                     .iter()
                     .find(|x| x.header == dh)
                     .expect("recorded loop");
                 parent.contains(l.header)
-            })
-        {
+            }
+        }) {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
@@ -91,9 +90,7 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
                 continue;
             }
         }
-        if have_profiles
-            && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness
-        {
+        if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
             report
                 .skipped
                 .push((fname, l.header, "cold loop".to_string()));
@@ -205,10 +202,10 @@ done:
         // but the fill loop's store is provably per-iteration distinct, so
         // both should parallelize.
         assert!(report.count() >= 1, "report: {report:?}");
-        assert!(report
-            .parallelized
-            .iter()
-            .any(|(f, _)| f == "kernel"), "kernel loop must parallelize: {report:?}");
+        assert!(
+            report.parallelized.iter().any(|(f, _)| f == "kernel"),
+            "kernel loop must parallelize: {report:?}"
+        );
 
         let m2 = noelle.into_module();
         noelle_ir::verifier::verify_module(&m2)

@@ -177,7 +177,9 @@ pub fn pipeline_loop(
         if plan.replicated.contains(&i) || matches!(f.inst(i), Inst::Term(_)) {
             return None; // present everywhere
         }
-        la.sccdag.scc_of(i).and_then(|s| plan.stage_of_scc.get(&s).copied())
+        la.sccdag
+            .scc_of(i)
+            .and_then(|s| plan.stage_of_scc.get(&s).copied())
     };
     let mut value_queues: Vec<(InstId, usize)> = Vec::new(); // (def, consumer stage)
     for e in la.pdg.edges() {
@@ -234,13 +236,24 @@ pub fn pipeline_loop(
         )?;
         reset_reduction_initials(m, &task, &la.reductions);
         prune_stage(
-            m, la, &task, s, &plan, &queue_index, value_queues.len(), n_stages,
+            m,
+            la,
+            &task,
+            s,
+            &plan,
+            &queue_index,
+            value_queues.len(),
+            n_stages,
         )?;
         stage_fids.push(task.fid);
     }
 
     // Trampoline: dispatch target that forwards to the stage of task_id.
-    let tramp = build_trampoline(m, &format!("{fname}.dswp.{}.tramp", l.header.0), &stage_fids);
+    let tramp = build_trampoline(
+        m,
+        &format!("{fname}.dswp.{}.tramp", l.header.0),
+        &stage_fids,
+    );
 
     emit_dispatcher_with_queues(m, fid, la, tramp, &la.env, n_stages, n_queues)?;
     Ok(())
@@ -314,9 +327,10 @@ fn plan_stages(
         .filter(|&s| {
             let node = &la.sccdag.nodes()[s];
             !node.is_induction
-                && !node.insts.iter().all(|&i| {
-                    replicated.contains(&i) || matches!(f.inst(i), Inst::Term(_))
-                })
+                && !node
+                    .insts
+                    .iter()
+                    .all(|&i| replicated.contains(&i) || matches!(f.inst(i), Inst::Term(_)))
         })
         .collect();
     if assignable.len() < 2 {
@@ -470,11 +484,7 @@ fn prune_stage(
     n_stages: usize,
 ) -> Result<(), ParallelizeError> {
     let pop_fn = m.get_or_declare("noelle.queue.pop", vec![Type::I64], Type::I64);
-    let push_fn = m.get_or_declare(
-        "noelle.queue.push",
-        vec![Type::I64, Type::I64],
-        Type::Void,
-    );
+    let push_fn = m.get_or_declare("noelle.queue.push", vec![Type::I64, Type::I64], Type::Void);
 
     // Load all queue ids in the entry block (before its terminator).
     let env_base_slot = la.env.num_slots(n_stages) as i64;

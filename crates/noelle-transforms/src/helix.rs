@@ -190,7 +190,11 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
         // must outweigh it (AR provides the latency).
         if !segments.is_empty() {
             let f = noelle.module().func(fid);
-            let body_cost: u64 = la.pdg.internal_nodes().map(|i| approx_cost(f.inst(i))).sum();
+            let body_cost: u64 = la
+                .pdg
+                .internal_nodes()
+                .map(|i| approx_cost(f.inst(i)))
+                .sum();
             let seg_cost: u64 = segments
                 .iter()
                 .flat_map(|s| s.iter())
@@ -300,8 +304,7 @@ fn bracket_segments(
         let seg_id = seg_base + si as i64;
         let mut placed: Vec<(usize, usize, InstId)> = Vec::new();
         for &orig in seg {
-            let Some(Value::Inst(clone)) = task.value_map.get(&Value::Inst(orig)).copied()
-            else {
+            let Some(Value::Inst(clone)) = task.value_map.get(&Value::Inst(orig)).copied() else {
                 continue;
             };
             let b = tf.parent_block(clone);

@@ -47,16 +47,15 @@ pub fn safe_to_speculate(m: &Module, fid: FuncId, id: InstId) -> bool {
             ..
         } => {
             let e = noelle_analysis::modref::external_effects(&m.func(*cid).name);
-            m.func(*cid).is_declaration()
-                && !e.reads_memory
-                && !e.writes_memory
-                && !e.io
+            m.func(*cid).is_declaration() && !e.reads_memory && !e.writes_memory && !e.io
         }
         Inst::Call { .. } | Inst::Store { .. } | Inst::Term(_) | Inst::Phi { .. } => false,
         Inst::Bin { op, rhs, .. } => {
             // Division by a possibly-zero value must not be speculated.
-            !matches!(op, noelle_ir::inst::BinOp::Div | noelle_ir::inst::BinOp::Rem)
-                || matches!(rhs, Value::Const(noelle_ir::value::Constant::Int(v, _)) if *v != 0)
+            !matches!(
+                op,
+                noelle_ir::inst::BinOp::Div | noelle_ir::inst::BinOp::Rem
+            ) || matches!(rhs, Value::Const(noelle_ir::value::Constant::Int(v, _)) if *v != 0)
         }
         _ => true,
     }
@@ -68,12 +67,7 @@ pub fn safe_to_speculate(m: &Module, fid: FuncId, id: InstId) -> bool {
 /// This is the shared hoisting driver: the NOELLE tool and the LLVM-baseline
 /// tool differ only in how `inv` was computed — exactly the comparison the
 /// paper draws.
-pub fn hoist_invariants(
-    m: &mut Module,
-    fid: FuncId,
-    l: &LoopInfo,
-    inv: &InvariantSet,
-) -> usize {
+pub fn hoist_invariants(m: &mut Module, fid: FuncId, l: &LoopInfo, inv: &InvariantSet) -> usize {
     // Candidates in layout order; hoist iteratively so chains (x invariant,
     // y = x * 2) move together while respecting def-before-use in the
     // pre-header.

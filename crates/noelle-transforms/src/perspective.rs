@@ -50,9 +50,11 @@ pub fn run(noelle: &mut Noelle, opts: &PerspectiveOptions) -> ParallelReport {
         if la.is_doall() {
             // Plain DOALL territory; Perspective adds nothing here. Leave it
             // to DOALL (do not double-parallelize in combined pipelines).
-            report
-                .skipped
-                .push((fname, l.header, "plain DOALL (no privatization needed)".into()));
+            report.skipped.push((
+                fname,
+                l.header,
+                "plain DOALL (no privatization needed)".into(),
+            ));
             continue;
         }
         let Some(cell) = privatizable_scratch(noelle.module(), fid, &la) else {
@@ -272,8 +274,7 @@ done:
             "{report:?}"
         );
         let m2 = noelle.into_module();
-        noelle_ir::verifier::verify_module(&m2)
-            .unwrap_or_else(|e| panic!("verifies: {e}"));
+        noelle_ir::verifier::verify_module(&m2).unwrap_or_else(|e| panic!("verifies: {e}"));
         let par = run_module(&m2, "main", &[], &RunConfig::default()).unwrap();
         assert_eq!(par.ret_i64(), seq.ret_i64(), "semantics preserved");
         let speedup = seq.cycles as f64 / par.cycles as f64;

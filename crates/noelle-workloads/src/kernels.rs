@@ -320,7 +320,12 @@ pub fn add_bank_scratch(m: &mut Module, name: &str, banks: usize, touches: usize
     for t in 0..touches {
         for &c in &cells {
             let v = b.load(Type::I64, c);
-            let v2 = b.binop(BinOp::Mul, Type::I64, v, Value::const_i64((t % 5) as i64 + 3));
+            let v2 = b.binop(
+                BinOp::Mul,
+                Type::I64,
+                v,
+                Value::const_i64((t % 5) as i64 + 3),
+            );
             let v3 = b.binop(BinOp::Xor, Type::I64, v2, Value::const_i64(0x2D));
             b.store(Type::I64, v3, c);
         }
@@ -394,11 +399,8 @@ pub fn add_branchy(m: &mut Module, name: &str) -> FuncId {
 /// Loop whose body calls a defined leaf function (qsort/COOS shape).
 pub fn add_call_work(m: &mut Module, name: &str) -> FuncId {
     let leaf = {
-        let mut lb = FunctionBuilder::new(
-            &format!("{name}.leaf"),
-            vec![("x", Type::I64)],
-            Type::I64,
-        );
+        let mut lb =
+            FunctionBuilder::new(&format!("{name}.leaf"), vec![("x", Type::I64)], Type::I64);
         let e = lb.entry_block();
         lb.switch_to(e);
         let a = lb.binop(BinOp::Mul, Type::I64, lb.arg(0), lb.arg(0));
@@ -455,7 +457,9 @@ pub fn add_pipe(m: &mut Module, name: &str) -> FuncId {
         let p = b.index_ptr(Type::I64, b.arg(0), i);
         let v = b.load(Type::I64, p);
         let mut x = b.binop(BinOp::Mul, Type::I64, v, v);
-        for d in [7i64, 3, 5, 9, 11, 13, 2, 17, 19, 23, 4, 7, 3, 5, 9, 11, 13, 2, 17, 19, 23, 4] {
+        for d in [
+            7i64, 3, 5, 9, 11, 13, 2, 17, 19, 23, 4, 7, 3, 5, 9, 11, 13, 2, 17, 19, 23, 4,
+        ] {
             x = b.binop(BinOp::Div, Type::I64, x, Value::const_i64(d));
             x = b.binop(BinOp::Add, Type::I64, x, v);
         }

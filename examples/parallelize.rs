@@ -8,7 +8,9 @@ use noelle::runtime::{run_module, RunConfig};
 use noelle::transforms as tools;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "streamcluster".into());
     let cores: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -24,7 +26,11 @@ fn main() {
     };
     let seq = run_module(&module, "main", &[], &prof_cfg).expect("baseline runs");
     seq.profiles.embed(&mut module);
-    println!("baseline: result = {:?}, cycles = {}", seq.ret_i64(), seq.cycles);
+    println!(
+        "baseline: result = {:?}, cycles = {}",
+        seq.ret_i64(),
+        seq.cycles
+    );
 
     for technique in ["doall", "helix", "dswp", "autopar"] {
         let (m2, parallelized) = match technique {
@@ -37,7 +43,11 @@ fn main() {
                 let count = match technique {
                     "doall" => tools::doall::run(
                         &mut n,
-                        &tools::doall::DoallOptions { n_tasks: cores, min_hotness: 0.02 , only: None,},
+                        &tools::doall::DoallOptions {
+                            n_tasks: cores,
+                            min_hotness: 0.02,
+                            only: None,
+                        },
                     )
                     .count(),
                     "helix" => tools::helix::run(
@@ -51,7 +61,10 @@ fn main() {
                     .count(),
                     _ => tools::dswp::run(
                         &mut n,
-                        &tools::dswp::DswpOptions { n_stages: 2, min_hotness: 0.02 },
+                        &tools::dswp::DswpOptions {
+                            n_stages: 2,
+                            min_hotness: 0.02,
+                        },
                     )
                     .count(),
                 };

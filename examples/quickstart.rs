@@ -56,7 +56,11 @@ fn main() {
     let module = noelle::ir::parser::parse_module(PROGRAM).expect("program parses");
     noelle::ir::verifier::verify_module(&module).expect("program verifies");
     let seq = run_module(&module, "main", &[], &RunConfig::default()).expect("runs");
-    println!("sequential: result = {:?}, cycles = {}", seq.ret_i64(), seq.cycles);
+    println!(
+        "sequential: result = {:?}, cycles = {}",
+        seq.ret_i64(),
+        seq.cycles
+    );
 
     // Load the NOELLE layer and inspect the dot-product loop.
     let mut noelle = Noelle::new(module, AliasTier::Full);

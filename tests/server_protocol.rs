@@ -1,0 +1,278 @@
+//! End-to-end protocol tests for the `noelle-server` daemon: concurrent
+//! queries coalesce into one build, replies match a direct in-process
+//! build byte-for-byte, deadlines produce timeout errors instead of hung
+//! connections, shutdown drains in-flight work, and `--stdio` mode speaks
+//! newline-delimited JSON.
+
+use noelle::core::json::Json;
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::core::wire;
+use noelle_server::{Client, RunningServer, Server, ServerConfig};
+use std::io::Cursor;
+
+fn start_server(workers: usize) -> RunningServer {
+    Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .start()
+    .expect("bind ephemeral port")
+}
+
+fn load(client: &mut Client, path: &str, session: &str) {
+    let ok = client
+        .call(
+            "load",
+            Json::object([
+                ("path".to_string(), Json::Str(path.into())),
+                ("session".to_string(), Json::Str(session.into())),
+            ]),
+        )
+        .expect("load succeeds");
+    assert_eq!(ok.get("session").and_then(Json::as_str), Some(session));
+}
+
+#[test]
+fn concurrent_pdg_queries_coalesce_and_match_in_process_build() {
+    let server = start_server(4);
+    let addr = server.addr.to_string();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    load(&mut c, "workload:blackscholes", "bs");
+
+    // Fire N identical queries from concurrent clients.
+    const N: usize = 4;
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    let ok = c
+                        .call(
+                            "pdg",
+                            Json::object([("session".to_string(), Json::Str("bs".into()))]),
+                        )
+                        .expect("pdg succeeds");
+                    ok.to_string_compact()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // (a) All replies identical to each other and to a direct build.
+    let w = noelle::workloads::by_name("blackscholes").expect("workload");
+    let mut direct = Noelle::new(w.build(), AliasTier::Full);
+    let expected = wire::pdg_to_json(&direct.module().clone(), &direct.pdg()).to_string_compact();
+    for r in &replies {
+        assert_eq!(*r, expected, "daemon reply diverges from in-process build");
+    }
+
+    // (b) The session's manager built the PDG exactly once: the N racing
+    // requests coalesced behind the per-session build lock.
+    let metrics = c.call("metrics", Json::object([])).expect("metrics");
+    let builds = metrics
+        .get("sessions")
+        .and_then(|s| s.get("bs"))
+        .and_then(|s| s.get("builds"))
+        .and_then(|b| b.get("PDG"))
+        .and_then(|p| p.get("builds"))
+        .and_then(Json::as_i64);
+    assert_eq!(builds, Some(1), "exactly one PDG build for {N} queries");
+
+    // Per-method metrics saw all N queries.
+    let pdg_count = metrics
+        .get("requests")
+        .and_then(|r| r.get("pdg"))
+        .and_then(|p| p.get("count"))
+        .and_then(Json::as_i64);
+    assert_eq!(pdg_count, Some(N as i64));
+
+    let reply = c.request("shutdown", Json::object([])).expect("shutdown");
+    assert!(reply.get("ok").is_some());
+    server.join();
+}
+
+#[test]
+fn deadline_times_out_then_warm_cache_answers() {
+    let server = start_server(2);
+    let addr = server.addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    load(&mut c, "workload:pdg_stress", "hot");
+
+    // A zero deadline cannot be met: the reply must be a timeout error,
+    // not a hung connection.
+    let reply = c
+        .request_with_deadline(
+            "pdg",
+            Json::object([("session".to_string(), Json::Str("hot".into()))]),
+            Some(0),
+        )
+        .expect("a reply frame arrives");
+    let code = reply
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str);
+    assert_eq!(code, Some("timeout"));
+
+    // The abandoned build keeps running and warms the cache: a patient
+    // retry succeeds and the manager reports a single build.
+    let ok = c
+        .call(
+            "pdg",
+            Json::object([("session".to_string(), Json::Str("hot".into()))]),
+        )
+        .expect("retry succeeds");
+    assert!(ok.get("num_edges").and_then(Json::as_i64).unwrap() > 0);
+
+    let metrics = c.call("metrics", Json::object([])).expect("metrics");
+    let timeouts = metrics
+        .get("requests")
+        .and_then(|r| r.get("pdg"))
+        .and_then(|p| p.get("timeouts"))
+        .and_then(Json::as_i64);
+    assert_eq!(timeouts, Some(1));
+    let builds = metrics
+        .get("sessions")
+        .and_then(|s| s.get("hot"))
+        .and_then(|s| s.get("builds"))
+        .and_then(|b| b.get("PDG"))
+        .and_then(|p| p.get("builds"))
+        .and_then(Json::as_i64);
+    assert_eq!(builds, Some(1), "timed-out build still completed once");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    // One worker: the shutdown request queues *behind* the in-flight pdg
+    // build, so a full drain must answer both.
+    let server = start_server(1);
+    let addr = server.addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    load(&mut c, "workload:pdg_stress", "s");
+
+    let pdg_thread = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.call(
+                "pdg",
+                Json::object([("session".to_string(), Json::Str("s".into()))]),
+            )
+        })
+    };
+    // Give the pdg request a head start into the single worker.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let reply = c
+        .request("shutdown", Json::object([]))
+        .expect("shutdown reply");
+    assert!(reply.get("ok").is_some());
+
+    let pdg = pdg_thread
+        .join()
+        .expect("join")
+        .expect("pdg drained, not dropped");
+    assert!(pdg.get("num_edges").and_then(Json::as_i64).unwrap() > 0);
+    server.join();
+
+    // The daemon is gone: new connections are refused.
+    assert!(Client::connect(&addr).is_err());
+}
+
+#[test]
+fn sessions_are_isolated_and_queries_cover_every_method() {
+    let server = start_server(4);
+    let addr = server.addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    load(&mut c, "workload:blackscholes", "a");
+    load(&mut c, "workload:crc32", "b");
+
+    let sess = |name: &str| Json::object([("session".to_string(), Json::Str(name.into()))]);
+
+    let loops = c.call("loops", sess("a")).expect("loops");
+    let main_loops = loops.get("main").and_then(Json::as_array).expect("main");
+    assert!(!main_loops.is_empty());
+
+    let with_loop = |name: &str, func: &str| {
+        Json::object([
+            ("session".to_string(), Json::Str(name.into())),
+            ("func".to_string(), Json::Str(func.into())),
+            ("loop".to_string(), Json::Int(0)),
+        ])
+    };
+    let dag = c.call("sccdag", with_loop("a", "main")).expect("sccdag");
+    assert!(dag.get("nodes").and_then(Json::as_array).is_some());
+    let ivs = c.call("induction", with_loop("a", "main")).expect("ivs");
+    assert!(ivs.as_array().is_some());
+    let inv = c
+        .call("invariants", with_loop("a", "main"))
+        .expect("invariants");
+    assert!(inv.as_array().is_some());
+    let cg = c.call("callgraph", sess("a")).expect("callgraph");
+    assert!(!cg.get("edges").and_then(Json::as_array).unwrap().is_empty());
+
+    let stats = c.call("stats", Json::object([])).expect("stats");
+    assert_eq!(
+        stats
+            .get("table")
+            .and_then(|t| t.get("count"))
+            .and_then(Json::as_i64),
+        Some(2)
+    );
+
+    // Unknown method and missing session produce typed errors.
+    let err = c.request("nope", Json::object([])).expect("reply");
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+    let err = c.request("pdg", sess("ghost")).expect("reply");
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("no_session")
+    );
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn stdio_mode_answers_line_delimited_requests() {
+    let input = concat!(
+        r#"{"id":1,"method":"load","params":{"path":"workload:blackscholes","session":"s"}}"#,
+        "\n",
+        r#"{"id":2,"method":"stats","params":{}}"#,
+        "\n",
+        "not json\n",
+        r#"{"id":3,"method":"shutdown","params":{}}"#,
+        "\n",
+    );
+    let mut out = Vec::new();
+    Server::new(ServerConfig::default())
+        .serve_stdio(&mut Cursor::new(input), &mut out)
+        .expect("stdio serve");
+    let lines: Vec<Json> = String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(|l| Json::parse(l).expect("each reply line is one JSON value"))
+        .collect();
+    assert_eq!(lines.len(), 4);
+    assert_eq!(lines[0].get("id").and_then(Json::as_i64), Some(1));
+    assert!(lines[0].get("ok").is_some());
+    assert!(lines[1].get("ok").is_some());
+    assert!(
+        lines[2].get("error").is_some(),
+        "bad line gets an error reply"
+    );
+    assert!(lines[3].get("ok").is_some(), "shutdown acknowledged");
+}

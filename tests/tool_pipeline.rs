@@ -78,7 +78,10 @@ fn figure1_flow_end_to_end() {
     baseline.profiles.embed(&mut module);
     let text = noelle::ir::printer::print_module(&module);
     let mut module = noelle::ir::parser::parse_module(&text).expect("reparses");
-    assert_eq!(Profiles::from_module(&module).expect("profiles kept"), baseline.profiles);
+    assert_eq!(
+        Profiles::from_module(&module).expect("profiles kept"),
+        baseline.profiles
+    );
 
     // 4. noelle-meta-pdg-embed: deterministic IDs + PDG metadata.
     noelle::ir::ids::assign_ids(&mut module);
