@@ -1,0 +1,485 @@
+//! The differential oracle: transforms must preserve observable behavior,
+//! and the static PDG must cover every runtime-observed memory dependence.
+
+use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_ir::module::Module;
+use noelle_ir::verifier::verify_module;
+use noelle_runtime::machine::{run_module, RtError, RunConfig, RunResult};
+use noelle_runtime::memory::RtVal;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A transform under test. Injected (rather than read from the
+/// `noelle-tools` registry) to keep the dependency arrow pointing from the
+/// tools crate to this one.
+pub struct FuzzTool {
+    /// Registry name, used in reports and repro filenames.
+    pub name: String,
+    run: Box<dyn Fn(&mut Noelle) -> Result<String, String> + Sync>,
+}
+
+impl FuzzTool {
+    /// Wrap a runner under `name`.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl Fn(&mut Noelle) -> Result<String, String> + Sync + 'static,
+    ) -> FuzzTool {
+        FuzzTool {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Apply the tool.
+    pub fn run(&self, n: &mut Noelle) -> Result<String, String> {
+        (self.run)(n)
+    }
+}
+
+/// Oracle knobs.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Also run the dynamic PDG-soundness check.
+    pub trace_deps: bool,
+    /// Interpreter step budget per run.
+    pub max_steps: u64,
+    /// Entry function name.
+    pub entry: String,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            trace_deps: false,
+            max_steps: 20_000_000,
+            entry: "main".into(),
+        }
+    }
+}
+
+/// What went wrong, in increasing order of "the compiler is broken".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The input module did not verify (a generator bug, not a compiler bug).
+    GeneratorInvalid,
+    /// A tool returned `Err`.
+    ToolError,
+    /// A tool panicked.
+    ToolPanic,
+    /// The transformed module no longer verifies.
+    VerifierReject,
+    /// The transformed module errored at runtime though the original ran.
+    RunError,
+    /// The transformed module panicked the interpreter.
+    RunPanic,
+    /// Return values differ.
+    ReturnMismatch,
+    /// `print_*` output traces differ.
+    OutputMismatch,
+    /// The globals region of final memory differs.
+    MemoryMismatch,
+    /// A runtime-observed memory dependence is missing from the static PDG.
+    UnsoundPdg,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::GeneratorInvalid => "generator-invalid",
+            FailureKind::ToolError => "tool-error",
+            FailureKind::ToolPanic => "tool-panic",
+            FailureKind::VerifierReject => "verifier-reject",
+            FailureKind::RunError => "run-error",
+            FailureKind::RunPanic => "run-panic",
+            FailureKind::ReturnMismatch => "return-mismatch",
+            FailureKind::OutputMismatch => "output-mismatch",
+            FailureKind::MemoryMismatch => "memory-mismatch",
+            FailureKind::UnsoundPdg => "unsound-pdg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The tool at fault (`None` for PDG-soundness and generator failures).
+    pub tool: Option<String>,
+    /// Classification.
+    pub kind: FailureKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.tool {
+            Some(t) => write!(f, "[{t}] {}: {}", self.kind, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Oracle verdict for one module.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every tool preserved behavior and every observed dep was covered.
+    Pass {
+        /// Tools exercised.
+        tools_applied: usize,
+        /// Observed dependences checked against the PDG.
+        deps_checked: usize,
+    },
+    /// The baseline run itself errored (e.g. a checked-in repro whose very
+    /// point is a reported runtime error); nothing to differentiate against.
+    Skip {
+        /// Why the module is not differentiable.
+        reason: String,
+    },
+    /// At least one violation.
+    Fail {
+        /// All violations found.
+        failures: Vec<Failure>,
+    },
+}
+
+impl Outcome {
+    /// True when nothing failed (Skip counts as ok: a reported — not
+    /// aborting — baseline error is exactly what repros assert).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Outcome::Fail { .. })
+    }
+}
+
+/// Return-value fingerprint that compares floats by bit pattern.
+fn ret_bits(r: &RunResult) -> Option<(u8, u64)> {
+    match r.ret {
+        Some(RtVal::I(v)) => Some((0, v as u64)),
+        Some(RtVal::F(v)) => Some((1, v.to_bits())),
+        None => None,
+    }
+}
+
+fn run_caught(
+    m: &Module,
+    cfg: &RunConfig,
+    entry: &str,
+) -> Result<Result<RunResult, RtError>, String> {
+    catch_unwind(AssertUnwindSafe(|| run_module(m, entry, &[], cfg))).map_err(panic_text)
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the full oracle over `m`: baseline, optional PDG-soundness pass, then
+/// one differential round per tool.
+pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outcome {
+    if let Err(e) = verify_module(m) {
+        return Outcome::Fail {
+            failures: vec![Failure {
+                tool: None,
+                kind: FailureKind::GeneratorInvalid,
+                detail: format!("input module does not verify: {e:?}"),
+            }],
+        };
+    }
+
+    let base_cfg = RunConfig {
+        trace_deps: cfg.trace_deps,
+        max_steps: cfg.max_steps,
+        ..RunConfig::default()
+    };
+    let base = match run_caught(m, &base_cfg, &cfg.entry) {
+        Err(p) => {
+            return Outcome::Fail {
+                failures: vec![Failure {
+                    tool: None,
+                    kind: FailureKind::RunPanic,
+                    detail: format!("baseline run panicked: {p}"),
+                }],
+            }
+        }
+        Ok(Err(e)) => {
+            return Outcome::Skip {
+                reason: format!("baseline run error: {e}"),
+            }
+        }
+        Ok(Ok(r)) => r,
+    };
+
+    let mut failures = Vec::new();
+    let mut deps_checked = 0usize;
+    if cfg.trace_deps {
+        let mut n = Noelle::new(m.clone(), AliasTier::Full);
+        let pdg = n.pdg();
+        for d in &base.observed_deps {
+            deps_checked += 1;
+            if !pdg.covers_memory_dep(d.func, d.src, d.dst) {
+                let fname = &m.func(d.func).name;
+                failures.push(Failure {
+                    tool: None,
+                    kind: FailureKind::UnsoundPdg,
+                    detail: format!(
+                        "observed dependence {:?} -> {:?} in @{fname} missing from the PDG",
+                        d.src, d.dst
+                    ),
+                });
+            }
+        }
+    }
+
+    let run_cfg = RunConfig {
+        max_steps: cfg.max_steps,
+        ..RunConfig::default()
+    };
+    for tool in tools {
+        let mut n = Noelle::new(m.clone(), AliasTier::Full);
+        match catch_unwind(AssertUnwindSafe(|| tool.run(&mut n))) {
+            Err(p) => {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::ToolPanic,
+                    detail: panic_text(p),
+                });
+                continue;
+            }
+            Ok(Err(e)) => {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::ToolError,
+                    detail: e,
+                });
+                continue;
+            }
+            Ok(Ok(_report)) => {}
+        }
+        let tm = n.into_module();
+        if let Err(e) = verify_module(&tm) {
+            failures.push(Failure {
+                tool: Some(tool.name.clone()),
+                kind: FailureKind::VerifierReject,
+                detail: format!("{e:?}"),
+            });
+            continue;
+        }
+        let after = match run_caught(&tm, &run_cfg, &cfg.entry) {
+            Err(p) => {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::RunPanic,
+                    detail: p,
+                });
+                continue;
+            }
+            Ok(Err(e)) => {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::RunError,
+                    detail: e.to_string(),
+                });
+                continue;
+            }
+            Ok(Ok(r)) => r,
+        };
+        if ret_bits(&base) != ret_bits(&after) {
+            failures.push(Failure {
+                tool: Some(tool.name.clone()),
+                kind: FailureKind::ReturnMismatch,
+                detail: format!("{:?} vs {:?}", base.ret, after.ret),
+            });
+        }
+        if base.output != after.output {
+            failures.push(Failure {
+                tool: Some(tool.name.clone()),
+                kind: FailureKind::OutputMismatch,
+                detail: format!(
+                    "{} vs {} lines; first divergence: {:?}",
+                    base.output.len(),
+                    after.output.len(),
+                    base.output
+                        .iter()
+                        .zip(after.output.iter())
+                        .position(|(a, b)| a != b)
+                ),
+            });
+        }
+        if base.globals_digest != after.globals_digest {
+            failures.push(Failure {
+                tool: Some(tool.name.clone()),
+                kind: FailureKind::MemoryMismatch,
+                detail: format!(
+                    "globals digest {:#x} vs {:#x}",
+                    base.globals_digest, after.globals_digest
+                ),
+            });
+        }
+    }
+
+    if failures.is_empty() {
+        Outcome::Pass {
+            tools_applied: tools.len(),
+            deps_checked,
+        }
+    } else {
+        Outcome::Fail { failures }
+    }
+}
+
+/// Reducer predicate: does `m` still exhibit a failure matching `proto`
+/// (same tool, same kind)? Used so shrinking cannot drift onto a different
+/// bug.
+pub fn fails_like(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig, proto: &Failure) -> bool {
+    match check_module(m, tools, cfg) {
+        Outcome::Fail { failures } => failures
+            .iter()
+            .any(|f| f.tool == proto.tool && f.kind == proto.kind),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+    use noelle_ir::parser::parse_module;
+
+    fn identity_tool() -> FuzzTool {
+        FuzzTool::new("identity", |_n| Ok("did nothing".into()))
+    }
+
+    fn breaking_tool() -> FuzzTool {
+        // Miscompiler: rewrite main's ret to a constant.
+        FuzzTool::new("breaker", |n| {
+            let m = n.module_mut();
+            let fid = m.func_id_by_name("main").expect("main");
+            let f = m.func_mut(fid);
+            for b in f.block_order().to_vec() {
+                if let Some(noelle_ir::inst::Terminator::Ret(Some(_))) = f.terminator(b) {
+                    f.set_terminator(
+                        b,
+                        noelle_ir::inst::Terminator::Ret(Some(noelle_ir::value::Value::const_i64(
+                            -12345,
+                        ))),
+                    );
+                }
+            }
+            Ok("broke it".into())
+        })
+    }
+
+    fn panicking_tool() -> FuzzTool {
+        FuzzTool::new("panicker", |_n| panic!("tool exploded"))
+    }
+
+    #[test]
+    fn identity_passes_generated_modules() {
+        let cfg = OracleConfig {
+            trace_deps: true,
+            ..OracleConfig::default()
+        };
+        for seed in 0..10 {
+            let m = generate(seed, &GenConfig::default());
+            let out = check_module(&m, &[identity_tool()], &cfg);
+            match out {
+                Outcome::Pass { tools_applied, .. } => assert_eq!(tools_applied, 1),
+                other => panic!("seed {seed}: expected Pass, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn miscompile_is_reported_as_return_mismatch() {
+        let m = generate(3, &GenConfig::default());
+        let out = check_module(&m, &[breaking_tool()], &OracleConfig::default());
+        let Outcome::Fail { failures } = out else {
+            panic!("expected Fail, got {out:?}");
+        };
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.kind == FailureKind::ReturnMismatch
+                    && f.tool.as_deref() == Some("breaker"))
+        );
+    }
+
+    #[test]
+    fn tool_panic_is_caught_and_reported() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log clean
+        let m = generate(1, &GenConfig::default());
+        let out = check_module(
+            &m,
+            &[panicking_tool(), identity_tool()],
+            &OracleConfig::default(),
+        );
+        std::panic::set_hook(hook);
+        let Outcome::Fail { failures } = out else {
+            panic!("expected Fail, got {out:?}");
+        };
+        // The panicker is reported; the identity tool still ran clean.
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::ToolPanic);
+        assert!(failures[0].detail.contains("tool exploded"));
+    }
+
+    #[test]
+    fn baseline_runtime_error_skips() {
+        // Stores a float-returning function pointer, calls it as i64: the
+        // historical type-confusion panic path, now a reported Skip.
+        let m = parse_module(
+            r#"
+module "t" {
+define f64 @f() {
+entry:
+  ret f64 1.5
+}
+define i64 @main() {
+entry:
+  %slot = alloca i64, i64 1
+  %fi = ptrtoint fn f64()* @f to i64
+  store i64 %fi, %slot
+  %raw = load i64, %slot
+  %fp = inttoptr i64 %raw to fn i64()*
+  %v = call i64 %fp()
+  %r = add i64 %v, i64 1
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        let out = check_module(&m, &[identity_tool()], &OracleConfig::default());
+        let Outcome::Skip { reason } = out else {
+            panic!("expected Skip, got {out:?}");
+        };
+        assert!(reason.contains("type confusion"), "{reason}");
+    }
+
+    #[test]
+    fn fails_like_matches_tool_and_kind() {
+        let m = generate(3, &GenConfig::default());
+        let proto = Failure {
+            tool: Some("breaker".into()),
+            kind: FailureKind::ReturnMismatch,
+            detail: String::new(),
+        };
+        assert!(fails_like(
+            &m,
+            &[breaking_tool()],
+            &OracleConfig::default(),
+            &proto
+        ));
+        assert!(!fails_like(
+            &m,
+            &[identity_tool()],
+            &OracleConfig::default(),
+            &proto
+        ));
+    }
+}

@@ -209,6 +209,23 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
             .map(move |e| &self.edges[e.0 as usize])
     }
 
+    /// Edges from `src` to `dst` (there may be several, one per kind).
+    pub fn edges_between(&self, src: N, dst: N) -> impl Iterator<Item = &DepEdge<N>> + '_ {
+        self.edges_from(src).filter(move |e| e.dst == dst)
+    }
+
+    /// True if a memory dependence connects `a` and `b` in either direction.
+    ///
+    /// Membership is direction-agnostic on purpose: the builder orients
+    /// same-block pairs by position, so a loop-carried RAW whose store sits
+    /// later in the block than the load exists statically only as the
+    /// WAR-oriented edge. A runtime-observed dependence is covered as long
+    /// as the pair is connected at all.
+    pub fn has_memory_dep_between(&self, a: N, b: N) -> bool {
+        self.edges_between(a, b).any(|e| e.attrs.memory)
+            || self.edges_between(b, a).any(|e| e.attrs.memory)
+    }
+
     /// Nodes `n` depends on (edge sources into `n`), deduplicated.
     pub fn dependences_of(&self, n: N) -> BTreeSet<N> {
         self.edges_to(n).map(|e| e.src).collect()
@@ -320,6 +337,21 @@ mod tests {
         assert_eq!(g.edges_from(1).count(), 2);
         assert_eq!(g.edges_to(3).filter(|e| e.attrs.is_control()).count(), 1);
         assert_eq!(g.edges_to(3).filter(|e| e.attrs.is_data()).count(), 1);
+    }
+
+    #[test]
+    fn memory_dep_membership_is_direction_agnostic() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        g.add_edge(1, 2, EdgeAttrs::register());
+        g.add_edge(2, 3, EdgeAttrs::memory(DataDepKind::War));
+        assert_eq!(g.edges_between(1, 2).count(), 1);
+        assert_eq!(g.edges_between(2, 1).count(), 0);
+        // Register edges don't count as memory coverage.
+        assert!(!g.has_memory_dep_between(1, 2));
+        // Memory edges count regardless of orientation.
+        assert!(g.has_memory_dep_between(2, 3));
+        assert!(g.has_memory_dep_between(3, 2));
+        assert!(!g.has_memory_dep_between(1, 3));
     }
 
     #[test]

@@ -57,6 +57,19 @@ impl ProgramPdg {
     pub fn num_edges(&self) -> usize {
         self.per_function.values().map(|g| g.edges().len()).sum()
     }
+
+    /// True if the PDG of `fid` connects `src` and `dst` with a memory
+    /// dependence (in either direction; see
+    /// [`DepGraph::has_memory_dep_between`]). This is the soundness
+    /// membership query the dynamic dependence oracle asks: every
+    /// runtime-observed store→load pair must be covered, or the alias
+    /// analysis missed a dependence.
+    pub fn covers_memory_dep(&self, fid: FuncId, src: InstId, dst: InstId) -> bool {
+        self.per_function
+            .get(&fid)
+            .map(|g| g.has_memory_dep_between(src, dst))
+            .unwrap_or(false)
+    }
 }
 
 impl<'a> PdgBuilder<'a> {

@@ -8,7 +8,10 @@
 //! execution time the Figure 5 experiments report.
 
 use crate::cost::{external_cost, inst_cost};
-use crate::memory::{decode_func_ptr, encode_func_ptr, Memory, RtVal};
+use crate::memory::{
+    decode_func_ptr, encode_func_ptr, DepTracer, MemError, Memory, ObservedDep, RtVal,
+    TypeConfusion,
+};
 use noelle_core::architecture::Architecture;
 use noelle_core::profiler::Profiles;
 use noelle_ir::inst::{Callee, Inst, InstId, Terminator};
@@ -35,6 +38,10 @@ pub enum RtError {
     /// Malformed program reached at runtime (missing function, bad indirect
     /// call target, `unreachable` executed...).
     Trap(String),
+    /// A value had the wrong payload kind for the operation applied to it
+    /// (e.g. a float where an integer was required). Reported as an error so
+    /// differential testing can diagnose miscompiles instead of aborting.
+    TypeConfusion(String),
 }
 
 impl fmt::Display for RtError {
@@ -46,11 +53,18 @@ impl fmt::Display for RtError {
             RtError::StepLimit => write!(f, "step limit exceeded"),
             RtError::Deadlock => write!(f, "deadlock: all tasks blocked"),
             RtError::Trap(s) => write!(f, "trap: {s}"),
+            RtError::TypeConfusion(s) => write!(f, "type confusion: {s}"),
         }
     }
 }
 
 impl Error for RtError {}
+
+impl From<TypeConfusion> for RtError {
+    fn from(tc: TypeConfusion) -> RtError {
+        RtError::TypeConfusion(tc.to_string())
+    }
+}
 
 /// Configuration of a run.
 #[derive(Clone, Debug)]
@@ -61,6 +75,9 @@ pub struct RunConfig {
     pub collect_profiles: bool,
     /// Maximum interpreted instructions across all tasks.
     pub max_steps: u64,
+    /// Record runtime producer→consumer memory dependences (see
+    /// [`DepTracer`]); they come back in [`RunResult::observed_deps`].
+    pub trace_deps: bool,
 }
 
 impl Default for RunConfig {
@@ -69,6 +86,7 @@ impl Default for RunConfig {
             arch: Architecture::default_machine(),
             collect_profiles: false,
             max_steps: 200_000_000,
+            trace_deps: false,
         }
     }
 }
@@ -90,6 +108,12 @@ pub struct RunResult {
     /// Intrinsic counters: `"guards"`, `"callbacks"`, `"queue_ops"`,
     /// `"tasks"`, `"max_callback_gap"`, ...
     pub counters: BTreeMap<String, u64>,
+    /// Runtime-observed memory dependences, in canonical order (empty unless
+    /// [`RunConfig::trace_deps`] was set).
+    pub observed_deps: Vec<ObservedDep>,
+    /// Digest of the globals region of final memory (differential-testing
+    /// fingerprint; heap layout legitimately differs across transforms).
+    pub globals_digest: u64,
 }
 
 impl RunResult {
@@ -169,6 +193,7 @@ struct Machine<'m> {
     output: Vec<String>,
     counters: BTreeMap<String, u64>,
     steps: u64,
+    tracer: Option<DepTracer>,
 }
 
 /// Execute `entry(args)` in `m` under `config`.
@@ -200,9 +225,16 @@ pub fn run_module(
         output: Vec::new(),
         counters: BTreeMap::new(),
         steps: 0,
+        tracer: config.trace_deps.then(DepTracer::default),
     };
     machine.spawn_task(entry_fid, args.to_vec(), 0, 0);
     machine.run()?;
+    let globals_digest = machine.mem.globals_digest();
+    let observed_deps = machine
+        .tracer
+        .take()
+        .map(DepTracer::into_observed)
+        .unwrap_or_default();
     let main = &machine.tasks[0];
     let ret = match &main.state {
         TaskState::Done(v) => *v,
@@ -215,6 +247,8 @@ pub fn run_module(
         profiles: machine.profiles,
         output: machine.output,
         counters: machine.counters,
+        observed_deps,
+        globals_digest,
     })
 }
 
@@ -427,26 +461,35 @@ impl<'m> Machine<'m> {
 
         match inst {
             Inst::Alloca { ty, count } => {
-                let n = self.eval(tid, count).as_i().max(0);
+                let n = self.eval(tid, count).try_i()?.max(0);
                 let addr = self.mem.bump(ty.size_bytes() as i64 * n);
                 self.write_reg(tid, inst_id, RtVal::I(addr));
                 self.advance(tid);
             }
             Inst::Load { ty, ptr } => {
-                let addr = self.eval(tid, ptr).as_i();
+                let addr = self.eval(tid, ptr).try_i()?;
                 let v = self
                     .mem
                     .read_scalar(addr, &ty)
                     .ok_or_else(|| RtError::MemoryFault(format!("load {ty} at {addr:#x}")))?;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.record_load(func, inst_id, addr, ty.size_bytes() as i64);
+                }
                 self.write_reg(tid, inst_id, v);
                 self.advance(tid);
             }
             Inst::Store { val, ptr, ty } => {
-                let addr = self.eval(tid, ptr).as_i();
+                let addr = self.eval(tid, ptr).try_i()?;
                 let v = self.eval(tid, val);
-                self.mem
-                    .write_scalar(addr, &ty, v)
-                    .ok_or_else(|| RtError::MemoryFault(format!("store {ty} at {addr:#x}")))?;
+                self.mem.write_scalar(addr, &ty, v).map_err(|e| match e {
+                    MemError::OutOfBounds => {
+                        RtError::MemoryFault(format!("store {ty} at {addr:#x}"))
+                    }
+                    MemError::Type(tc) => RtError::from(tc),
+                })?;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.record_store(func, inst_id, addr, ty.size_bytes() as i64);
+                }
                 self.advance(tid);
             }
             Inst::Gep {
@@ -454,10 +497,10 @@ impl<'m> Machine<'m> {
                 base_ty,
                 indices,
             } => {
-                let mut addr = self.eval(tid, base).as_i();
+                let mut addr = self.eval(tid, base).try_i()?;
                 let mut ty = base_ty;
                 for (k, idx) in indices.iter().enumerate() {
-                    let iv = self.eval(tid, *idx).as_i();
+                    let iv = self.eval(tid, *idx).try_i()?;
                     if k == 0 {
                         addr += iv * ty.size_bytes() as i64;
                     } else {
@@ -492,8 +535,8 @@ impl<'m> Machine<'m> {
             }
             Inst::Icmp { pred, lhs, rhs, .. } => {
                 use noelle_ir::inst::IcmpPred as P;
-                let a = self.eval(tid, lhs).as_i();
-                let b = self.eval(tid, rhs).as_i();
+                let a = self.eval(tid, lhs).try_i()?;
+                let b = self.eval(tid, rhs).try_i()?;
                 let r = match pred {
                     P::Eq => a == b,
                     P::Ne => a != b,
@@ -511,8 +554,8 @@ impl<'m> Machine<'m> {
             }
             Inst::Fcmp { pred, lhs, rhs, .. } => {
                 use noelle_ir::inst::FcmpPred as P;
-                let a = self.eval(tid, lhs).as_f();
-                let b = self.eval(tid, rhs).as_f();
+                let a = self.eval(tid, lhs).try_f()?;
+                let b = self.eval(tid, rhs).try_f()?;
                 let r = match pred {
                     P::Oeq => a == b,
                     P::One => a != b,
@@ -538,30 +581,30 @@ impl<'m> Machine<'m> {
                         } else {
                             (1i64 << bits) - 1
                         };
-                        RtVal::I(v.as_i() & mask)
+                        RtVal::I(v.try_i()? & mask)
                     }
-                    C::Sext => RtVal::I(v.as_i()),
+                    C::Sext => RtVal::I(v.try_i()?),
                     C::Trunc => {
                         let w = match &to {
                             Type::Int(w) => *w,
                             _ => IntWidth::I64,
                         };
-                        RtVal::I(w.truncate(v.as_i()))
+                        RtVal::I(w.truncate(v.try_i()?))
                     }
                     C::Bitcast => match (&from, &to) {
                         (Type::Float(FloatWidth::F64), Type::Int(IntWidth::I64)) => {
-                            RtVal::I(v.as_f().to_bits() as i64)
+                            RtVal::I(v.try_f()?.to_bits() as i64)
                         }
                         (Type::Int(IntWidth::I64), Type::Float(FloatWidth::F64)) => {
-                            RtVal::F(f64::from_bits(v.as_i() as u64))
+                            RtVal::F(f64::from_bits(v.try_i()? as u64))
                         }
                         _ => v,
                     },
                     C::PtrToInt | C::IntToPtr => v,
-                    C::SiToFp => RtVal::F(v.as_i() as f64),
-                    C::FpToSi => RtVal::I(v.as_f() as i64),
+                    C::SiToFp => RtVal::F(v.try_i()? as f64),
+                    C::FpToSi => RtVal::I(v.try_f()? as i64),
                     C::FpExt => v,
-                    C::FpTrunc => RtVal::F(v.as_f() as f32 as f64),
+                    C::FpTrunc => RtVal::F(v.try_f()? as f32 as f64),
                 };
                 self.write_reg(tid, inst_id, r);
                 self.advance(tid);
@@ -569,7 +612,7 @@ impl<'m> Machine<'m> {
             Inst::Select {
                 cond, tval, fval, ..
             } => {
-                let c = self.eval(tid, cond).as_i() != 0;
+                let c = self.eval(tid, cond).try_i()? != 0;
                 let v = if c {
                     self.eval(tid, tval)
                 } else {
@@ -591,7 +634,7 @@ impl<'m> Machine<'m> {
                 let target = match &callee {
                     Callee::Direct(fid) => *fid,
                     Callee::Indirect(fp) => {
-                        let addr = self.eval(tid, *fp).as_i();
+                        let addr = self.eval(tid, *fp).try_i()?;
                         decode_func_ptr(addr).ok_or_else(|| {
                             RtError::Trap(format!("indirect call to non-function {addr:#x}"))
                         })?
@@ -639,7 +682,7 @@ impl<'m> Machine<'m> {
                     then_bb,
                     else_bb,
                 } => {
-                    let c = self.eval(tid, cond).as_i() != 0;
+                    let c = self.eval(tid, cond).try_i()? != 0;
                     if self.config.collect_profiles {
                         let name = self.module.func(func).name.clone();
                         self.profiles.record_branch(&name, block, c);
@@ -651,7 +694,7 @@ impl<'m> Machine<'m> {
                     default,
                     cases,
                 } => {
-                    let v = self.eval(tid, value).as_i();
+                    let v = self.eval(tid, value).try_i()?;
                     let target = cases
                         .iter()
                         .find(|(c, _)| *c == v)
@@ -680,8 +723,8 @@ impl<'m> Machine<'m> {
     ) -> Result<RtVal, RtError> {
         use noelle_ir::inst::BinOp as B;
         if op.is_float_op() {
-            let a = self.eval(tid, lhs).as_f();
-            let b = self.eval(tid, rhs).as_f();
+            let a = self.eval(tid, lhs).try_f()?;
+            let b = self.eval(tid, rhs).try_f()?;
             let r = match op {
                 B::FAdd => a + b,
                 B::FSub => a - b,
@@ -697,8 +740,8 @@ impl<'m> Machine<'m> {
                 r
             }));
         }
-        let a = self.eval(tid, lhs).as_i();
-        let b = self.eval(tid, rhs).as_i();
+        let a = self.eval(tid, lhs).try_i()?;
+        let b = self.eval(tid, rhs).try_i()?;
         let w = match ty {
             Type::Int(w) => *w,
             _ => IntWidth::I64,
@@ -767,44 +810,54 @@ impl<'m> Machine<'m> {
         _ret_ty: &Type,
     ) -> Result<(), RtError> {
         self.charge(tid, external_cost(name));
-        let arg_i = |i: usize| -> i64 { args.get(i).map(|v| v.as_i()).unwrap_or(0) };
-        let arg_f = |i: usize| -> f64 { args.get(i).map(|v| v.as_f()).unwrap_or(0.0) };
+        let arg_i = |i: usize| -> Result<i64, RtError> {
+            match args.get(i) {
+                Some(v) => v.try_i().map_err(RtError::from),
+                None => Ok(0),
+            }
+        };
+        let arg_f = |i: usize| -> Result<f64, RtError> {
+            match args.get(i) {
+                Some(v) => v.try_f().map_err(RtError::from),
+                None => Ok(0.0),
+            }
+        };
         match name {
             "malloc" => {
-                let p = self.mem.bump(arg_i(0));
+                let p = self.mem.bump(arg_i(0)?);
                 self.write_reg(tid, inst_id, RtVal::I(p));
             }
             "calloc" => {
-                let p = self.mem.bump(arg_i(0) * arg_i(1).max(1));
+                let p = self.mem.bump(arg_i(0)? * arg_i(1)?.max(1));
                 self.write_reg(tid, inst_id, RtVal::I(p));
             }
             "free" => {}
             "print_i64" => {
-                self.output.push(format!("{}", arg_i(0)));
+                self.output.push(format!("{}", arg_i(0)?));
             }
             "print_f64" => {
-                self.output.push(format!("{:.6}", arg_f(0)));
+                self.output.push(format!("{:.6}", arg_f(0)?));
             }
-            "sqrt" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).sqrt())),
-            "sin" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).sin())),
-            "cos" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).cos())),
-            "tan" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).tan())),
-            "exp" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).exp())),
-            "log" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).max(1e-300).ln())),
-            "pow" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).powf(arg_f(1)))),
-            "fabs" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).abs())),
-            "floor" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).floor())),
-            "ceil" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0).ceil())),
+            "sqrt" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.sqrt())),
+            "sin" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.sin())),
+            "cos" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.cos())),
+            "tan" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.tan())),
+            "exp" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.exp())),
+            "log" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.max(1e-300).ln())),
+            "pow" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.powf(arg_f(1)?))),
+            "fabs" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.abs())),
+            "floor" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.floor())),
+            "ceil" => self.write_reg(tid, inst_id, RtVal::F(arg_f(0)?.ceil())),
             // PRVG families: identical deterministic streams, different cost.
             "prv.mt.next" | "prv.lcg.next" | "prv.xs.next" => {
-                let v = self.xorshift(arg_i(0));
+                let v = self.xorshift(arg_i(0)?);
                 self.bump_counter("prv_calls", 1);
                 self.write_reg(tid, inst_id, RtVal::I(v));
             }
             "carat.guard" => {
                 self.bump_counter("guards", 1);
-                let addr = arg_i(0);
-                let len = arg_i(1).max(1);
+                let addr = arg_i(0)?;
+                let len = arg_i(1)?.max(1);
                 if !self.mem.in_bounds(addr, len) {
                     return Err(RtError::GuardFault(format!(
                         "guard rejected [{addr:#x}; {len})"
@@ -824,7 +877,7 @@ impl<'m> Machine<'m> {
                 self.tasks[tid].last_callback = Some(now);
             }
             "clock.set" => {
-                let pct = arg_i(0).clamp(50, 200) as f64;
+                let pct = arg_i(0)?.clamp(50, 200) as f64;
                 self.tasks[tid].clock_scale = pct / 100.0;
                 self.bump_counter("clock_sets", 1);
             }
@@ -832,15 +885,15 @@ impl<'m> Machine<'m> {
                 let qid = self.queues.len() as i64;
                 self.queues.push(QueueState {
                     items: VecDeque::new(),
-                    capacity: arg_i(0).max(1) as usize,
+                    capacity: arg_i(0)?.max(1) as usize,
                 });
                 self.bump_counter("queues", 1);
                 self.write_reg(tid, inst_id, RtVal::I(qid));
             }
             "noelle.queue.push" => {
                 self.bump_counter("queue_ops", 1);
-                let q = arg_i(0);
-                let v = arg_i(1);
+                let q = arg_i(0)?;
+                let v = arg_i(1)?;
                 let qs = self
                     .queues
                     .get(q as usize)
@@ -855,7 +908,7 @@ impl<'m> Machine<'m> {
             }
             "noelle.queue.pop" => {
                 self.bump_counter("queue_ops", 1);
-                let q = arg_i(0);
+                let q = arg_i(0)?;
                 if self
                     .queues
                     .get(q as usize)
@@ -886,8 +939,8 @@ impl<'m> Machine<'m> {
                 }
             }
             "noelle.ss.wait" => {
-                let seg = arg_i(0);
-                let iter = arg_i(1);
+                let seg = arg_i(0)?;
+                let iter = arg_i(1)?;
                 let count = self.segments.entry(seg).or_default().count;
                 if count >= iter {
                     if iter > 0 {
@@ -905,7 +958,7 @@ impl<'m> Machine<'m> {
                 }
             }
             "noelle.ss.signal" => {
-                let seg = arg_i(0);
+                let seg = arg_i(0)?;
                 let (core, clock) = (self.tasks[tid].core, self.tasks[tid].clock);
                 let s = self.segments.entry(seg).or_default();
                 s.count += 1;
@@ -917,9 +970,9 @@ impl<'m> Machine<'m> {
                 // dispatcher joins its children before returning, so a fresh
                 // region must not observe stale signal counts.
                 self.segments.clear();
-                let fp = arg_i(0);
-                let env = arg_i(1);
-                let n = arg_i(2).max(1) as usize;
+                let fp = arg_i(0)?;
+                let env = arg_i(1)?;
+                let n = arg_i(2)?.max(1) as usize;
                 let target = decode_func_ptr(fp)
                     .ok_or_else(|| RtError::Trap("dispatch of non-function".into()))?;
                 self.bump_counter("tasks", n as u64);
@@ -1361,6 +1414,72 @@ entry:
         let r4 = run_module(&m4, "main", &[], &RunConfig::default()).unwrap();
         let speedup = r1.cycles as f64 / r4.cycles as f64;
         assert!(speedup > 2.5, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn type_confusion_reports_instead_of_aborting() {
+        // An indirect call through a lying function-pointer type: @f returns
+        // f64, but the call site claims i64 and adds the result. This passes
+        // the verifier (indirect callees are unchecked) yet must surface as a
+        // reported RtError, never a process abort.
+        let m = parse_module(
+            r#"
+module "t" {
+define f64 @f() {
+entry:
+  ret f64 1.5
+}
+define i64 @main() {
+entry:
+  %slot = alloca i64, i64 1
+  %fi = ptrtoint fn f64()* @f to i64
+  store i64 %fi, %slot
+  %raw = load i64, %slot
+  %fp = inttoptr i64 %raw to fn i64()*
+  %v = call i64 %fp()
+  %r = add i64 %v, i64 1
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        noelle_ir::verifier::verify_module(&m).expect("verifier accepts the lying cast");
+        let err = run_module(&m, "main", &[], &RunConfig::default()).unwrap_err();
+        assert!(matches!(err, RtError::TypeConfusion(_)), "got {err:?}");
+        assert!(err.to_string().contains("found float"));
+    }
+
+    #[test]
+    fn dep_tracer_observes_store_load_pairs() {
+        let m = parse_module(
+            r#"
+module "t" {
+define i64 @main() {
+entry:
+  %p = alloca i64, i64 1
+  store i64 i64 41, %p
+  %v = load i64, %p
+  %r = add i64 %v, i64 1
+  ret %r
+}
+}
+"#,
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            trace_deps: true,
+            ..RunConfig::default()
+        };
+        let r = run_module(&m, "main", &[], &cfg).unwrap();
+        assert_eq!(r.ret_i64(), Some(42));
+        assert_eq!(r.observed_deps.len(), 1);
+        let d = r.observed_deps[0];
+        assert_eq!(d.func, m.func_id_by_name("main").unwrap());
+        // Without tracing the list stays empty.
+        let r2 = run_module(&m, "main", &[], &RunConfig::default()).unwrap();
+        assert!(r2.observed_deps.is_empty());
+        assert_eq!(r.globals_digest, r2.globals_digest);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Runtime values and the flat memory model.
 
+use noelle_ir::inst::InstId;
 use noelle_ir::module::{FuncId, GlobalId, Module};
 use noelle_ir::types::{FloatWidth, IntWidth, Type};
 use noelle_ir::value::Constant;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A runtime value: 64-bit integer (also used for pointers and booleans) or
 /// double-precision float (also used for f32, widened).
@@ -15,27 +16,50 @@ pub enum RtVal {
     F(f64),
 }
 
+/// A runtime value had the wrong payload kind for the operation applied to
+/// it: an integer op saw a float or vice versa. Verifier-clean programs can
+/// still hit this at runtime (e.g. via indirect calls through a pointer with
+/// a lying type), so it is a reportable error, not a process abort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TypeConfusion {
+    /// What the operation needed ("integer" or "float").
+    pub expected: &'static str,
+    /// What the value actually held.
+    pub found: RtVal,
+}
+
+impl std::fmt::Display for TypeConfusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.found {
+            RtVal::I(v) => write!(f, "expected {}, found integer {v}", self.expected),
+            RtVal::F(v) => write!(f, "expected {}, found float {v}", self.expected),
+        }
+    }
+}
+
+impl std::error::Error for TypeConfusion {}
+
 impl RtVal {
-    /// Integer payload.
-    ///
-    /// # Panics
-    /// Panics if the value is a float (a type-confusion bug in the
-    /// interpreter or input program).
-    pub fn as_i(self) -> i64 {
+    /// Integer payload, or a [`TypeConfusion`] error if the value is a float.
+    pub fn try_i(self) -> Result<i64, TypeConfusion> {
         match self {
-            RtVal::I(v) => v,
-            RtVal::F(v) => panic!("expected integer, found float {v}"),
+            RtVal::I(v) => Ok(v),
+            RtVal::F(_) => Err(TypeConfusion {
+                expected: "integer",
+                found: self,
+            }),
         }
     }
 
-    /// Float payload.
-    ///
-    /// # Panics
-    /// Panics if the value is an integer.
-    pub fn as_f(self) -> f64 {
+    /// Float payload, or a [`TypeConfusion`] error if the value is an
+    /// integer.
+    pub fn try_f(self) -> Result<f64, TypeConfusion> {
         match self {
-            RtVal::F(v) => v,
-            RtVal::I(v) => panic!("expected float, found integer {v}"),
+            RtVal::F(v) => Ok(v),
+            RtVal::I(_) => Err(TypeConfusion {
+                expected: "float",
+                found: self,
+            }),
         }
     }
 
@@ -47,6 +71,32 @@ impl RtVal {
             Constant::Null => RtVal::I(0),
             Constant::Undef => RtVal::I(0),
         }
+    }
+}
+
+/// Why a scalar store failed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MemError {
+    /// The address range is unmapped (null or past the break).
+    OutOfBounds,
+    /// The value's payload kind does not match the store type.
+    Type(TypeConfusion),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds => write!(f, "out-of-bounds access"),
+            MemError::Type(tc) => tc.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<TypeConfusion> for MemError {
+    fn from(tc: TypeConfusion) -> MemError {
+        MemError::Type(tc)
     }
 }
 
@@ -67,6 +117,62 @@ pub fn decode_func_ptr(addr: i64) -> Option<FuncId> {
     }
 }
 
+/// One runtime-observed memory dependence: instruction `src` wrote a byte
+/// that instruction `dst` later read, both inside function `func`. Ordered so
+/// collections of observed deps have a canonical, deterministic order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObservedDep {
+    /// Function both instructions belong to.
+    pub func: FuncId,
+    /// The producing store.
+    pub src: InstId,
+    /// The consuming load.
+    pub dst: InstId,
+}
+
+/// Records runtime producer→consumer memory dependences: a per-byte
+/// last-writer map plus the set of (same-function) RAW pairs observed.
+///
+/// Tracing is on physical addresses; the bump allocator never reuses an
+/// address, so two accesses to the same byte really did touch the same
+/// object and no false dependences are recorded.
+#[derive(Debug, Default)]
+pub struct DepTracer {
+    last_writer: HashMap<i64, (FuncId, InstId)>,
+    observed: BTreeSet<ObservedDep>,
+}
+
+impl DepTracer {
+    /// Note that `inst` in `func` wrote `[addr, addr+len)`.
+    pub fn record_store(&mut self, func: FuncId, inst: InstId, addr: i64, len: i64) {
+        for b in addr..addr + len.max(0) {
+            self.last_writer.insert(b, (func, inst));
+        }
+    }
+
+    /// Note that `inst` in `func` read `[addr, addr+len)`, recording a RAW
+    /// dependence on each byte's last writer when it is in the same function
+    /// (the PDG is per-function, so only those pairs are checkable).
+    pub fn record_load(&mut self, func: FuncId, inst: InstId, addr: i64, len: i64) {
+        for b in addr..addr + len.max(0) {
+            if let Some(&(wf, wi)) = self.last_writer.get(&b) {
+                if wf == func {
+                    self.observed.insert(ObservedDep {
+                        func,
+                        src: wi,
+                        dst: inst,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The observed dependences, in canonical order.
+    pub fn into_observed(self) -> Vec<ObservedDep> {
+        self.observed.into_iter().collect()
+    }
+}
+
 /// Flat byte-addressable memory: globals at the bottom, then a bump-allocated
 /// heap (mallocs and allocas). Address 0 is never mapped, so null
 /// dereferences trap.
@@ -75,6 +181,7 @@ pub struct Memory {
     data: Vec<u8>,
     global_addr: HashMap<GlobalId, i64>,
     brk: i64,
+    globals_end: i64,
 }
 
 /// Base address of the first allocation (addresses below are unmapped).
@@ -87,6 +194,7 @@ impl Memory {
             data: Vec::new(),
             global_addr: HashMap::new(),
             brk: BASE,
+            globals_end: BASE,
         };
         for gid in m.global_ids() {
             let g = m.global(gid);
@@ -96,19 +204,20 @@ impl Memory {
                 noelle_ir::module::GlobalInit::Zero => {}
                 noelle_ir::module::GlobalInit::Scalar(c) => {
                     mem.write_scalar(addr, &g.ty, RtVal::from_const(c))
-                        .expect("global init in range");
+                        .expect("global scalar init must be in range and type-correct");
                 }
                 noelle_ir::module::GlobalInit::Array(cs) => {
                     if let Type::Array(elem, _) = &g.ty {
                         let sz = elem.size_bytes() as i64;
                         for (i, c) in cs.iter().enumerate() {
                             mem.write_scalar(addr + i as i64 * sz, elem, RtVal::from_const(c))
-                                .expect("global init in range");
+                                .expect("global array init must be in range and type-correct");
                         }
                     }
                 }
             }
         }
+        mem.globals_end = mem.brk;
         mem
     }
 
@@ -184,33 +293,55 @@ impl Memory {
     }
 
     /// Store scalar `v` of type `ty` at `addr`.
-    pub fn write_scalar(&mut self, addr: i64, ty: &Type, v: RtVal) -> Option<()> {
+    pub fn write_scalar(&mut self, addr: i64, ty: &Type, v: RtVal) -> Result<(), MemError> {
         match ty {
             Type::Int(w) => {
                 let n = w.bytes() as usize;
-                let bytes = v.as_i().to_le_bytes();
-                self.slice_mut(addr, n)?.copy_from_slice(&bytes[..n]);
+                let bytes = v.try_i()?.to_le_bytes();
+                self.slice_mut(addr, n)
+                    .ok_or(MemError::OutOfBounds)?
+                    .copy_from_slice(&bytes[..n]);
             }
             Type::Float(FloatWidth::F64) => {
-                self.slice_mut(addr, 8)?
-                    .copy_from_slice(&v.as_f().to_le_bytes());
+                let bytes = v.try_f()?.to_le_bytes();
+                self.slice_mut(addr, 8)
+                    .ok_or(MemError::OutOfBounds)?
+                    .copy_from_slice(&bytes);
             }
             Type::Float(FloatWidth::F32) => {
-                self.slice_mut(addr, 4)?
-                    .copy_from_slice(&(v.as_f() as f32).to_le_bytes());
+                let bytes = (v.try_f()? as f32).to_le_bytes();
+                self.slice_mut(addr, 4)
+                    .ok_or(MemError::OutOfBounds)?
+                    .copy_from_slice(&bytes);
             }
             Type::Ptr(_) | Type::Func(_) => {
-                self.slice_mut(addr, 8)?
-                    .copy_from_slice(&v.as_i().to_le_bytes());
+                let bytes = v.try_i()?.to_le_bytes();
+                self.slice_mut(addr, 8)
+                    .ok_or(MemError::OutOfBounds)?
+                    .copy_from_slice(&bytes);
             }
-            _ => return None,
+            _ => return Err(MemError::OutOfBounds),
         }
-        Some(())
+        Ok(())
     }
 
     /// Current break (top of allocated memory).
     pub fn brk(&self) -> i64 {
         self.brk
+    }
+
+    /// FNV-1a digest of the globals region only. Transforms may legitimately
+    /// allocate extra heap (task environments, queues), so differential
+    /// comparison hashes just the bytes holding global variables — laid out
+    /// first, at identical addresses in every run of the same module.
+    pub fn globals_digest(&self) -> u64 {
+        let len = (self.globals_end - BASE) as usize;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.data[..len.min(self.data.len())] {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
     }
 }
 
@@ -286,10 +417,36 @@ mod tests {
         let m = Module::new("t");
         let mut mem = Memory::new(&m);
         assert_eq!(mem.read_scalar(0, &Type::I64), None);
-        assert_eq!(mem.write_scalar(0, &Type::I64, RtVal::I(1)), None);
+        assert_eq!(
+            mem.write_scalar(0, &Type::I64, RtVal::I(1)),
+            Err(MemError::OutOfBounds)
+        );
         let p = mem.bump(8);
         assert!(mem.read_scalar(p, &Type::I64).is_some());
         assert_eq!(mem.read_scalar(p + 8, &Type::I64), None);
+    }
+
+    #[test]
+    fn type_confusion_is_an_error_not_a_panic() {
+        assert_eq!(RtVal::I(3).try_i(), Ok(3));
+        assert_eq!(RtVal::F(2.0).try_f(), Ok(2.0));
+        let e = RtVal::F(2.0).try_i().unwrap_err();
+        assert_eq!(e.expected, "integer");
+        assert!(e.to_string().contains("found float"));
+        let e = RtVal::I(5).try_f().unwrap_err();
+        assert!(e.to_string().contains("expected float, found integer 5"));
+
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m);
+        let p = mem.bump(8);
+        assert!(matches!(
+            mem.write_scalar(p, &Type::I64, RtVal::F(1.0)),
+            Err(MemError::Type(_))
+        ));
+        assert!(matches!(
+            mem.write_scalar(p, &Type::F64, RtVal::I(1)),
+            Err(MemError::Type(_))
+        ));
     }
 
     #[test]
@@ -301,5 +458,47 @@ mod tests {
         assert_eq!(a % 8, 0);
         assert_eq!(b % 8, 0);
         assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn dep_tracer_records_same_function_raw_pairs() {
+        let f = FuncId(0);
+        let g = FuncId(1);
+        let mut t = DepTracer::default();
+        t.record_store(f, InstId(10), 0x1000, 8);
+        t.record_load(f, InstId(11), 0x1000, 8); // same function: observed
+        t.record_load(g, InstId(12), 0x1000, 8); // cross-function: ignored
+        t.record_load(f, InstId(13), 0x2000, 8); // never written: ignored
+        let obs = t.into_observed();
+        assert_eq!(
+            obs,
+            vec![ObservedDep {
+                func: f,
+                src: InstId(10),
+                dst: InstId(11),
+            }]
+        );
+    }
+
+    #[test]
+    fn globals_digest_covers_globals_only() {
+        let mut m = Module::new("t");
+        let s = m.add_global(Global {
+            name: "s".into(),
+            ty: Type::I64,
+            init: GlobalInit::Scalar(Constant::Int(7, IntWidth::I64)),
+            is_const: false,
+        });
+        let mut a = Memory::new(&m);
+        let mut b = Memory::new(&m);
+        assert_eq!(a.globals_digest(), b.globals_digest());
+        // Heap writes don't change the digest...
+        let p = b.bump(16);
+        b.write_scalar(p, &Type::I64, RtVal::I(99)).unwrap();
+        assert_eq!(a.globals_digest(), b.globals_digest());
+        // ...but global writes do.
+        let ga = a.global_addr(s);
+        a.write_scalar(ga, &Type::I64, RtVal::I(8)).unwrap();
+        assert_ne!(a.globals_digest(), b.globals_digest());
     }
 }

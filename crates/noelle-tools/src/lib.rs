@@ -16,6 +16,7 @@
 //! | `noelle-bin` | noelle-bin | produce/execute the final program (simulated) |
 //! | `noelle-served` | — | the resident analysis daemon (`noelle-server` crate) |
 //! | `noelle-query` | — | one-shot client for the daemon |
+//! | `noelle-fuzz` | — | differential fuzzing of the transform pipeline |
 //!
 //! This module provides file IO helpers, a tiny flag parser, and the module
 //! linker shared by `noelle-whole-ir` and `noelle-linker`.

@@ -79,6 +79,24 @@ pub fn task_fn_ptr_type() -> Type {
     .ptr_to()
 }
 
+/// Pull the function signature out of a task-function-pointer type,
+/// explaining exactly what is wrong when the shape is unexpected (fuzzed or
+/// malformed modules reach this through the tools registry, so the message
+/// must diagnose, not abort).
+pub fn task_fn_signature(t: &Type) -> Result<&FuncType, String> {
+    let Type::Ptr(inner) = t else {
+        return Err(format!(
+            "expected a task function pointer, found non-pointer type {t:?}"
+        ));
+    };
+    let Type::Func(ft) = &**inner else {
+        return Err(format!(
+            "expected a pointer to a task function, found pointer to {inner:?}"
+        ));
+    };
+    Ok(ft)
+}
+
 /// Declare (once) and return the `noelle.task.dispatch` intrinsic.
 pub fn declare_dispatch(m: &mut Module) -> FuncId {
     m.get_or_declare(
@@ -313,9 +331,16 @@ mod tests {
     #[test]
     fn task_fn_ptr_type_shape() {
         let t = task_fn_ptr_type();
-        let Type::Ptr(inner) = &t else { panic!() };
-        let Type::Func(ft) = &**inner else { panic!() };
+        let ft = task_fn_signature(&t).expect("task_fn_ptr_type produces a task fn pointer");
         assert_eq!(ft.params.len(), 3);
         assert_eq!(ft.ret, Type::Void);
+    }
+
+    #[test]
+    fn task_fn_signature_diagnoses_bad_shapes() {
+        let e = task_fn_signature(&Type::I64).unwrap_err();
+        assert!(e.contains("non-pointer type"), "{e}");
+        let e = task_fn_signature(&Type::I64.ptr_to()).unwrap_err();
+        assert!(e.contains("pointer to"), "{e}");
     }
 }

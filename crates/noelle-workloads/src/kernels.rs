@@ -9,7 +9,9 @@ use noelle_ir::types::Type;
 use noelle_ir::value::Value;
 
 /// Signature shared by array kernels: `i64 kernel(i64* a, i64* b, i64 n)`.
-fn kernel_params() -> Vec<(&'static str, Type)> {
+/// Public so generative tooling (the fuzzer) emits the same shapes the
+/// workload corpus does.
+pub fn kernel_params() -> Vec<(&'static str, Type)> {
     vec![
         ("a", Type::I64.ptr_to()),
         ("b", Type::I64.ptr_to()),
@@ -19,8 +21,9 @@ fn kernel_params() -> Vec<(&'static str, Type)> {
 
 /// Standard counted-loop skeleton: calls `body` with (builder, i) inside
 /// `for (i = 0; i < n; i++)`, threading an i64 accumulator. `body` returns
-/// the value to add to the accumulator.
-fn counted_loop(
+/// the value to add to the accumulator. Public for reuse by the fuzzer's
+/// program generator.
+pub fn counted_loop(
     b: &mut FunctionBuilder,
     body: impl FnOnce(&mut FunctionBuilder, Value) -> Value,
 ) -> Value {
@@ -340,7 +343,7 @@ pub fn add_bank_scratch(m: &mut Module, name: &str, banks: usize, touches: usize
 }
 
 /// Like [`counted_loop`] but continues from a pre-populated entry block.
-fn counted_loop_from(
+pub fn counted_loop_from(
     b: &mut FunctionBuilder,
     entry: noelle_ir::module::BlockId,
     body: impl FnOnce(&mut FunctionBuilder, Value) -> Value,

@@ -315,6 +315,45 @@ go:
 }
 
 #[test]
+fn fuzz_corpus_repros_report_runtime_errors_instead_of_aborting() {
+    // Every minimized repro persisted by `noelle-fuzz` under
+    // tests/corpus/fuzz/ must parse, verify, and either run cleanly or
+    // surface a *reported* RtError. The checked-in type-confusion repro is
+    // the regression test for the former process-aborting `as_i`/`as_f`
+    // panics in the interpreter's value accessors.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("fuzz");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fuzz corpus dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "nir"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "fuzz corpus should be seeded");
+    let mut confusions = 0;
+    for p in paths {
+        let src = std::fs::read_to_string(&p).expect("readable");
+        let m = noelle::ir::parser::parse_module(&src)
+            .unwrap_or_else(|e| panic!("{}: does not parse: {e}", p.display()));
+        noelle::ir::verifier::verify_module(&m)
+            .unwrap_or_else(|e| panic!("{}: does not verify: {e:?}", p.display()));
+        // A panic here (rather than Err) is exactly the regression this
+        // corpus exists to catch.
+        if let Err(e) = run_module(&m, "main", &[], &RunConfig::default()) {
+            if matches!(e, noelle::runtime::RtError::TypeConfusion(_)) {
+                confusions += 1;
+            }
+        }
+    }
+    assert!(
+        confusions >= 1,
+        "the type-confusion repro should exercise the typed-error path"
+    );
+}
+
+#[test]
 fn float_kernels_preserve_bitwise_results_under_doall() {
     // FP reductions reassociate; with identical per-task math and a
     // deterministic combine order, repeated runs must agree with each other.
