@@ -79,6 +79,29 @@ pub trait AliasAnalysis: Sync {
 /// The syntactic base(s) of a pointer value, chased through `gep`s, pointer
 /// casts, `select`s and `phi`s (bounded depth). `None` in the returned set
 /// means "unknown base".
+/// True when the address of alloca `id` escapes the direct load/store
+/// idiom in `f`: used as a stored *value*, a call argument, a `gep` base,
+/// a cast source, or any other position besides the pointer operand of a
+/// load or store. Non-escaping allocas have an exactly known access set,
+/// which flow-sensitive clients (dead-store detection, scalar promotion)
+/// require before trusting block-local reasoning.
+pub fn alloca_address_taken(f: &noelle_ir::module::Function, id: InstId) -> bool {
+    let a = Value::Inst(id);
+    for other in f.inst_ids() {
+        let uses_a = match f.inst(other) {
+            // The pointer operand of a load (its only operand) is the
+            // non-escaping use.
+            Inst::Load { .. } => false,
+            Inst::Store { val, .. } => *val == a,
+            _ => f.inst(other).operands().contains(&a),
+        };
+        if uses_a {
+            return true;
+        }
+    }
+    false
+}
+
 pub fn underlying_objects(m: &Module, fid: FuncId, v: Value) -> BTreeSet<Option<MemoryObject>> {
     let mut out = BTreeSet::new();
     let mut visited = HashSet::new();
@@ -117,14 +140,14 @@ fn collect_bases(
                 out.insert(Some(MemoryObject::Alloca(fid, id)));
             }
             Inst::Gep { base, .. } => collect_bases(m, fid, *base, out, visited, fuel - 1),
-            Inst::Cast { op, val, .. } => match op {
-                noelle_ir::inst::CastOp::Bitcast => {
-                    collect_bases(m, fid, *val, out, visited, fuel - 1)
-                }
-                _ => {
-                    out.insert(None);
-                }
-            },
+            Inst::Cast {
+                op: noelle_ir::inst::CastOp::Bitcast,
+                val,
+                ..
+            } => collect_bases(m, fid, *val, out, visited, fuel - 1),
+            Inst::Cast { .. } => {
+                out.insert(None);
+            }
             Inst::Select { tval, fval, .. } => {
                 collect_bases(m, fid, *tval, out, visited, fuel - 1);
                 collect_bases(m, fid, *fval, out, visited, fuel - 1);
@@ -896,10 +919,14 @@ impl AliasAnalysis for AliasStack<'_> {
 #[derive(Default)]
 pub struct AliasQueryCache {
     alias: std::sync::RwLock<HashMap<(FuncId, Value, Value), AliasResult>>,
-    bases: std::sync::RwLock<HashMap<(FuncId, Value), Option<BTreeSet<MemoryObject>>>>,
+    bases: std::sync::RwLock<BaseObjectCache>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
+
+/// Memoized base-object resolutions; `None` marks a pointer whose base set
+/// escaped the resolver's fuel (treated as unknown).
+type BaseObjectCache = HashMap<(FuncId, Value), Option<BTreeSet<MemoryObject>>>;
 
 impl AliasQueryCache {
     /// An empty cache.

@@ -307,6 +307,23 @@ impl Noelle {
         &self.structures[&fid]
     }
 
+    /// Solve a data-flow problem over function `fid` with the engine (DFE),
+    /// reusing the cached CFG. External callers cannot borrow the module and
+    /// the cached structures simultaneously (both hand out borrows of the
+    /// manager), so this helper runs the engine from inside, where the two
+    /// live in separate fields. Records the DFE abstraction as requested.
+    pub fn solve_dataflow(
+        &mut self,
+        fid: FuncId,
+        problem: &impl noelle_analysis::dfe::DataFlowProblem,
+    ) -> noelle_analysis::dfe::DataFlowResult {
+        self.note(Abstraction::Dfe);
+        self.structures(fid); // ensure the CFG is cached
+        let f = self.module.func(fid);
+        let cfg = &self.structures[&fid].cfg;
+        noelle_analysis::dfe::DataFlowEngine::new().solve(f, cfg, problem)
+    }
+
     /// The loop structures (LS) of function `fid`, cached.
     pub fn loop_forest(&mut self, fid: FuncId) -> &LoopForest {
         &self.structures(fid).forest

@@ -48,6 +48,8 @@ pub struct FuzzConfig {
     pub time_budget_ms: Option<u64>,
     /// Enable the dynamic PDG-soundness oracle on baseline runs.
     pub trace_deps: bool,
+    /// Run the static NL0001 race detector over every tool's output.
+    pub lint_races: bool,
     /// Directory of persisted repros to replay (and to write new ones).
     pub corpus_dir: Option<PathBuf>,
     /// Write failing seeds + minimized repros into `corpus_dir`.
@@ -67,6 +69,7 @@ impl Default for FuzzConfig {
             seed_start: 0,
             time_budget_ms: None,
             trace_deps: false,
+            lint_races: false,
             corpus_dir: None,
             persist: false,
             gen: GenConfig::default(),
@@ -171,6 +174,7 @@ impl CampaignSummary {
 fn oracle_cfg(cfg: &FuzzConfig) -> OracleConfig {
     OracleConfig {
         trace_deps: cfg.trace_deps,
+        lint_races: cfg.lint_races,
         max_steps: cfg.max_steps,
         ..OracleConfig::default()
     }

@@ -11,10 +11,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// A transform under test. Injected (rather than read from the
 /// `noelle-tools` registry) to keep the dependency arrow pointing from the
 /// tools crate to this one.
+/// Boxed tool runner: transforms the managed module, returns a summary.
+type ToolRunner = Box<dyn Fn(&mut Noelle) -> Result<String, String> + Sync>;
+
 pub struct FuzzTool {
     /// Registry name, used in reports and repro filenames.
     pub name: String,
-    run: Box<dyn Fn(&mut Noelle) -> Result<String, String> + Sync>,
+    run: ToolRunner,
 }
 
 impl FuzzTool {
@@ -40,6 +43,9 @@ impl FuzzTool {
 pub struct OracleConfig {
     /// Also run the dynamic PDG-soundness check.
     pub trace_deps: bool,
+    /// Also run the static NL0001 race detector over each tool's output
+    /// (tool-produced tasks must be race-free).
+    pub lint_races: bool,
     /// Interpreter step budget per run.
     pub max_steps: u64,
     /// Entry function name.
@@ -50,6 +56,7 @@ impl Default for OracleConfig {
     fn default() -> OracleConfig {
         OracleConfig {
             trace_deps: false,
+            lint_races: false,
             max_steps: 20_000_000,
             entry: "main".into(),
         }
@@ -79,6 +86,8 @@ pub enum FailureKind {
     MemoryMismatch,
     /// A runtime-observed memory dependence is missing from the static PDG.
     UnsoundPdg,
+    /// The static race detector flagged the tool's parallelized output.
+    RaceFinding,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -94,6 +103,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::OutputMismatch => "output-mismatch",
             FailureKind::MemoryMismatch => "memory-mismatch",
             FailureKind::UnsoundPdg => "unsound-pdg",
+            FailureKind::RaceFinding => "race-finding",
         };
         f.write_str(s)
     }
@@ -267,6 +277,18 @@ pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outco
                 detail: format!("{e:?}"),
             });
             continue;
+        }
+        if cfg.lint_races {
+            let mut ln = Noelle::new(tm.clone(), AliasTier::Full);
+            let races = noelle_lint::detect_races(&mut ln);
+            if !races.is_empty() {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::RaceFinding,
+                    detail: noelle_lint::render_text(&races),
+                });
+                continue;
+            }
         }
         let after = match run_caught(&tm, &run_cfg, &cfg.entry) {
             Err(p) => {

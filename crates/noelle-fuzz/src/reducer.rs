@@ -154,7 +154,7 @@ impl<'a> Reducer<'a> {
                 if f.position_in_block(id).is_none() || f.inst(id).is_terminator() {
                     continue;
                 }
-                let has_uses = f.compute_uses().get(&id).map_or(false, |us| !us.is_empty());
+                let has_uses = f.compute_uses().get(&id).is_some_and(|us| !us.is_empty());
                 let replacement = if has_uses {
                     match zero_of(&f.inst(id).result_type()) {
                         Some(z) => Some(z),

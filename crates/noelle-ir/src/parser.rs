@@ -385,13 +385,14 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
 
     // Function bodies are resolved after all symbols are known, so indirect
     // references to later functions work.
-    let mut pending: Vec<(
+    type PendingFn = (
         String,
         Vec<(String, Type)>,
         Type,
         Vec<PBlock>,
         Vec<(String, String)>,
-    )> = Vec::new();
+    );
+    let mut pending: Vec<PendingFn> = Vec::new();
 
     loop {
         match lx.peek() {

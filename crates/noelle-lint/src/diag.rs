@@ -1,0 +1,193 @@
+//! Diagnostics model: findings carry a stable code (`NL0001`..), a severity,
+//! and resolved IR locations, and sort deterministically so that two runs over
+//! the same module render byte-identical output in both text and JSON form.
+
+use noelle_core::json::Json;
+use noelle_ir::inst::InstId;
+use noelle_ir::module::{FuncId, Module};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How serious a finding is. Only `Error` findings make `noelle-lint` exit
+/// nonzero; warnings and hints are advisory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Hint,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Hint => "hint",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A position in the IR, resolved to stable coordinates: function name, block
+/// name plus its layout index, and the instruction's numeric id.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IrLoc {
+    pub function: String,
+    pub block_index: usize,
+    pub block: String,
+    pub inst: u32,
+}
+
+impl IrLoc {
+    pub fn of(m: &Module, fid: FuncId, id: InstId) -> IrLoc {
+        let f = m.func(fid);
+        let b = f.parent_block(id);
+        let block_index = f
+            .block_order()
+            .iter()
+            .position(|&x| x == b)
+            .unwrap_or(usize::MAX);
+        IrLoc {
+            function: f.name.clone(),
+            block_index,
+            block: f.block(b).name.clone(),
+            inst: id.0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("function".to_string(), Json::Str(self.function.clone())),
+            ("block".to_string(), Json::Str(self.block.clone())),
+            ("inst".to_string(), Json::Int(i64::from(self.inst))),
+        ])
+    }
+}
+
+impl fmt::Display for IrLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}:{}:%v{}", self.function, self.block, self.inst)
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub loc: IrLoc,
+    pub message: String,
+    /// Secondary locations (e.g. the other half of a racing access pair).
+    pub related: Vec<IrLoc>,
+}
+
+impl Finding {
+    /// The deterministic ordering key required by the renderers:
+    /// (function, block, instruction, code).
+    fn key(&self) -> (&str, usize, u32, &'static str) {
+        (
+            &self.loc.function,
+            self.loc.block_index,
+            self.loc.inst,
+            self.code,
+        )
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("code".to_string(), Json::Str(self.code.to_string())),
+            (
+                "severity".to_string(),
+                Json::Str(self.severity.as_str().to_string()),
+            ),
+            ("location".to_string(), self.loc.to_json()),
+            ("message".to_string(), Json::Str(self.message.clone())),
+            (
+                "related".to_string(),
+                Json::Array(self.related.iter().map(|l| l.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Sort findings into the canonical order and drop exact duplicates.
+pub fn sort_findings(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        a.key()
+            .cmp(&b.key())
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    findings.dedup();
+}
+
+/// Render findings for a terminal, one line per finding plus related notes.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}[{}] {}: {}\n",
+            f.severity.as_str(),
+            f.code,
+            f.loc,
+            f.message
+        ));
+        for r in &f.related {
+            out.push_str(&format!("  note: see also {r}\n"));
+        }
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .count();
+    let hints = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Hint)
+        .count();
+    out.push_str(&format!(
+        "{} finding(s): {errors} error(s), {warnings} warning(s), {hints} hint(s)\n",
+        findings.len()
+    ));
+    out
+}
+
+/// Render findings as a JSON document. Findings must already be sorted; the
+/// output is then byte-identical across runs (object keys are BTreeMap-ordered
+/// and the findings array preserves the canonical order).
+pub fn render_json(findings: &[Finding]) -> Json {
+    let mut by_severity: BTreeMap<&str, i64> = BTreeMap::new();
+    for f in findings {
+        *by_severity.entry(f.severity.as_str()).or_insert(0) += 1;
+    }
+    Json::object(vec![
+        (
+            "findings".to_string(),
+            Json::Array(findings.iter().map(|f| f.to_json()).collect()),
+        ),
+        (
+            "summary".to_string(),
+            Json::object(vec![
+                ("total".to_string(), Json::Int(findings.len() as i64)),
+                (
+                    "errors".to_string(),
+                    Json::Int(by_severity.get("error").copied().unwrap_or(0)),
+                ),
+                (
+                    "warnings".to_string(),
+                    Json::Int(by_severity.get("warning").copied().unwrap_or(0)),
+                ),
+                (
+                    "hints".to_string(),
+                    Json::Int(by_severity.get("hint").copied().unwrap_or(0)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// True if any finding should make a checking tool exit nonzero.
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}

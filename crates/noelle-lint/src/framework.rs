@@ -1,0 +1,59 @@
+//! The lint driver: a registry of named passes, each of which runs over the
+//! `Noelle` manager (so analyses are computed once and cached) and returns a
+//! list of findings in canonical order.
+
+use crate::diag::{sort_findings, Finding};
+use noelle_core::noelle::Noelle;
+
+/// A single lint pass. Passes pull whatever abstractions they need (PDG, DFE,
+/// loop forest, ...) from the shared `Noelle` manager so repeated checks reuse
+/// cached analyses.
+pub trait LintPass {
+    /// Stable CLI name, e.g. `races`.
+    fn name(&self) -> &'static str;
+    /// Primary diagnostic code emitted, e.g. `NL0001`.
+    fn code(&self) -> &'static str;
+    /// One-line human description.
+    fn description(&self) -> &'static str;
+    fn run(&self, n: &mut Noelle) -> Vec<Finding>;
+}
+
+/// All registered passes, in the order they run under `--check all`.
+pub fn passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(crate::races::RaceDetector),
+        Box::new(crate::passes::DeadStores),
+        Box::new(crate::passes::EnvSlots),
+        Box::new(crate::passes::HoistableCalls),
+        Box::new(crate::passes::Hygiene),
+    ]
+}
+
+/// The `--check` grammar accepted by `run_checks`.
+pub fn check_usage() -> String {
+    let names: Vec<&str> = passes().iter().map(|p| p.name()).collect();
+    format!("all|{}", names.join("|"))
+}
+
+/// Run the named check (or `all`), returning findings in canonical order.
+pub fn run_checks(n: &mut Noelle, check: &str) -> Result<Vec<Finding>, String> {
+    let registry = passes();
+    let selected: Vec<&Box<dyn LintPass>> = if check == "all" {
+        registry.iter().collect()
+    } else {
+        let found: Vec<_> = registry.iter().filter(|p| p.name() == check).collect();
+        if found.is_empty() {
+            return Err(format!(
+                "unknown check '{check}' (expected {})",
+                check_usage()
+            ));
+        }
+        found
+    };
+    let mut findings = Vec::new();
+    for pass in selected {
+        findings.extend(pass.run(n));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}

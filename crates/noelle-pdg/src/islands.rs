@@ -14,7 +14,7 @@ pub fn islands_of<N: Copy + Eq + Ord + Hash>(nodes: &[N], edges: &[(N, N)]) -> V
     // Union-find over node indices.
     let index: HashMap<N, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut parent: Vec<usize> = (0..nodes.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

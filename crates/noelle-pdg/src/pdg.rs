@@ -10,7 +10,7 @@
 //! analyses to refine the dependences included in the PDG for the specific
 //! loop in-question").
 
-use crate::depgraph::{DataDepKind, DepGraph, EdgeAttrs};
+use crate::depgraph::{DataDepKind, DepEdge, DepGraph, EdgeAttrs};
 use noelle_analysis::alias::{AliasAnalysis, AliasResult, MemoryObject};
 use noelle_analysis::modref::ModRefSummaries;
 use noelle_analysis::scev::{affine_recurrences, trivially_loop_invariant, AddRec};
@@ -376,6 +376,77 @@ impl<'a> PdgBuilder<'a> {
             }
         }
         g
+    }
+
+    /// Memory dependences that cross a function boundary: every ordered pair
+    /// of memory-touching instructions `(a in caller, b in callee)` whose
+    /// accesses base-object bucketing cannot prove disjoint, as
+    /// [`DepEdge`]s over `(FuncId, InstId)` nodes.
+    ///
+    /// Pointers live in different functions here, so the pairwise
+    /// `alias(p, q)` disambiguation of the intra-procedural build does not
+    /// apply; disambiguation is purely by [`AliasAnalysis::base_objects`]
+    /// (accesses with an unbounded base set conflict with everything).
+    /// Callers that previously re-filtered whole-graph edge lists by hand —
+    /// environment-slot auditing, cross-task race detection — get the
+    /// candidate pairs directly. Edges are deterministic: ascending by
+    /// `(caller inst, callee inst)`.
+    pub fn cross_function_memory_edges(
+        &self,
+        caller: FuncId,
+        callee: FuncId,
+    ) -> Vec<DepEdge<(FuncId, InstId)>> {
+        let collect = |fid: FuncId| -> Vec<(InstId, MemEffect, Option<BTreeSet<MemoryObject>>)> {
+            let f = self.module.func(fid);
+            f.inst_ids()
+                .into_iter()
+                .filter_map(|id| self.mem_effect(fid, f, id).map(|e| (id, e)))
+                .map(|(id, e)| {
+                    let objs = e.ptr.and_then(|p| self.alias.base_objects(fid, p));
+                    (id, e, objs)
+                })
+                .collect()
+        };
+        let caller_mem = collect(caller);
+        let callee_mem = collect(callee);
+        let overlap =
+            |a: &Option<BTreeSet<MemoryObject>>, b: &Option<BTreeSet<MemoryObject>>| match (a, b) {
+                (Some(x), Some(y)) => x.intersection(y).next().is_some(),
+                // An unbounded base set may address anything.
+                _ => true,
+            };
+        let mut out = Vec::new();
+        for (ia, ea, oa) in &caller_mem {
+            for (ib, eb, ob) in &callee_mem {
+                if !overlap(oa, ob) {
+                    continue;
+                }
+                if let Some((kind, _)) = self.conflict_kind_unordered(ea, eb) {
+                    out.push(DepEdge {
+                        src: (caller, *ia),
+                        dst: (callee, *ib),
+                        attrs: EdgeAttrs::memory(kind),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// [`PdgBuilder::conflict_kind`] without the pointer-pair alias query —
+    /// for accesses in different functions, where the two pointers are not
+    /// comparable values.
+    fn conflict_kind_unordered(&self, a: &MemEffect, b: &MemEffect) -> Option<(DataDepKind, bool)> {
+        let kind = if a.writes && b.reads {
+            DataDepKind::Raw
+        } else if a.reads && b.writes {
+            DataDepKind::War
+        } else if (a.writes && b.writes) || (a.io && b.io) {
+            DataDepKind::Waw
+        } else {
+            return None;
+        };
+        Some((kind, false))
     }
 
     /// Build the *loop dependence graph* of `l` in function `fid`: internal

@@ -207,18 +207,19 @@ fn tarjan(nodes: &[InstId], g: &DepGraph<InstId>) -> Vec<Vec<InstId>> {
                 let w = succs[*pos];
                 *pos += 1;
                 let wstate = &state[&w];
-                if wstate.index.is_none() {
+                if let Some(wi) = wstate.index {
+                    if wstate.on_stack {
+                        let node = *node;
+                        let st = state.get_mut(&node).unwrap();
+                        st.lowlink = st.lowlink.min(wi);
+                    }
+                } else {
                     state.get_mut(&w).unwrap().index = Some(counter);
                     state.get_mut(&w).unwrap().lowlink = counter;
                     counter += 1;
                     stack.push(w);
                     state.get_mut(&w).unwrap().on_stack = true;
                     call_stack.push((w, succs_of(w), 0));
-                } else if wstate.on_stack {
-                    let wi = wstate.index.unwrap();
-                    let node = *node;
-                    let st = state.get_mut(&node).unwrap();
-                    st.lowlink = st.lowlink.min(wi);
                 }
             } else {
                 let node = *node;

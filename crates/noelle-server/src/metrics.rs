@@ -66,12 +66,10 @@ impl LatencyHistogram {
 
     /// Mean latency in microseconds.
     pub fn mean_us(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) / n
-        }
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
     }
 }
 

@@ -525,6 +525,15 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 ("requested".to_string(), Json::Array(requested)),
             ]))
         }
+        "lint" => {
+            let s = session_of(state, req)?;
+            let check = param_str(req, "check").unwrap_or("all");
+            let mut n = s.noelle.lock().expect("session build lock");
+            n.reset_requests();
+            let findings =
+                noelle_lint::run_checks(&mut n, check).map_err(|e| (ErrorCode::BadRequest, e))?;
+            Ok(noelle_lint::render_json(&findings))
+        }
         "stats" => Ok(Json::object([
             (
                 "uptime_ms".to_string(),

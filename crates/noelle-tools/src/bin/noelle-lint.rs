@@ -1,0 +1,35 @@
+//! `noelle-lint`: run the static diagnostics suite over an IR file.
+//!
+//! The headline check is the NL0001 race detector: it audits the tasks
+//! produced by the parallelization enablers and reports every cross-task
+//! memory dependence that is not mediated by the environment, queue, or
+//! sequential-segment protocol. Exit status is nonzero iff an error-severity
+//! finding (a race) is reported, so the tool doubles as a CI gate over the
+//! parallelizers' output.
+
+use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_lint::{has_errors, render_json, render_text, run_checks};
+use noelle_tools::{die, read_module, Args};
+
+fn main() {
+    let args = Args::parse();
+    let Some(input) = args.positional.first() else {
+        die(&format!(
+            "usage: noelle-lint <in.nir> [--check <{}>] [--format text|json]",
+            noelle_lint::check_usage()
+        ));
+    };
+    let check = args.flag_or("check", "all").to_string();
+    let format = args.flag_or("format", "text").to_string();
+    let m = read_module(input).unwrap_or_else(|e| die(&e));
+    let mut noelle = Noelle::new(m, AliasTier::Full);
+    let findings = run_checks(&mut noelle, &check).unwrap_or_else(|e| die(&e));
+    match format.as_str() {
+        "text" => print!("{}", render_text(&findings)),
+        "json" => println!("{}", render_json(&findings).to_string_pretty()),
+        other => die(&format!("unknown format '{other}' (expected text|json)")),
+    }
+    if has_errors(&findings) {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! | `noelle-served` | — | the resident analysis daemon (`noelle-server` crate) |
 //! | `noelle-query` | — | one-shot client for the daemon |
 //! | `noelle-fuzz` | — | differential fuzzing of the transform pipeline |
+//! | `noelle-lint` | — | static diagnostics (race detector and lint suite) |
 //!
 //! This module provides file IO helpers, a tiny flag parser, and the module
 //! linker shared by `noelle-whole-ir` and `noelle-linker`.
@@ -68,13 +69,13 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args()` (skipping the binary name).
     pub fn parse() -> Args {
-        Args::from_iter(std::env::args().skip(1))
+        Args::parse_from(std::env::args().skip(1))
     }
 
     /// Parse an explicit argument list. A `--key` followed by another
     /// `--flag` (or by nothing) is recorded as a boolean flag with an
     /// empty value rather than swallowing the next flag.
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Args {
         let mut out = Args::default();
         let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {

@@ -15,6 +15,20 @@ use noelle_ir::types::{FuncType, Type};
 use noelle_ir::value::Value;
 use std::sync::Arc;
 
+/// Name of the task-dispatch runtime intrinsic: runs `n_tasks` instances of
+/// a task function against a shared environment and joins them.
+pub const DISPATCH_INTRINSIC: &str = "noelle.task.dispatch";
+/// Name of the queue-creation runtime intrinsic (DSWP).
+pub const QUEUE_CREATE_INTRINSIC: &str = "noelle.queue.create";
+/// Name of the queue-push runtime intrinsic (DSWP).
+pub const QUEUE_PUSH_INTRINSIC: &str = "noelle.queue.push";
+/// Name of the queue-pop runtime intrinsic (DSWP).
+pub const QUEUE_POP_INTRINSIC: &str = "noelle.queue.pop";
+/// Name of the sequential-segment wait intrinsic (HELIX).
+pub const SS_WAIT_INTRINSIC: &str = "noelle.ss.wait";
+/// Name of the sequential-segment signal intrinsic (HELIX).
+pub const SS_SIGNAL_INTRINSIC: &str = "noelle.ss.signal";
+
 /// Why a loop could not be parallelized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParallelizeError {
@@ -100,7 +114,7 @@ pub fn task_fn_signature(t: &Type) -> Result<&FuncType, String> {
 /// Declare (once) and return the `noelle.task.dispatch` intrinsic.
 pub fn declare_dispatch(m: &mut Module) -> FuncId {
     m.get_or_declare(
-        "noelle.task.dispatch",
+        DISPATCH_INTRINSIC,
         vec![task_fn_ptr_type(), Type::I64.ptr_to(), Type::I64],
         Type::Void,
     )
@@ -166,7 +180,7 @@ pub fn emit_dispatcher_with_queues(
     n_queues: usize,
 ) -> Result<(), ParallelizeError> {
     let dispatch_fn = declare_dispatch(m);
-    let queue_create = m.get_or_declare("noelle.queue.create", vec![Type::I64], Type::I64);
+    let queue_create = m.get_or_declare(QUEUE_CREATE_INTRINSIC, vec![Type::I64], Type::I64);
     let l = &la.structure;
     let exits = l.exit_blocks();
     let &[exit_block] = exits.as_slice() else {

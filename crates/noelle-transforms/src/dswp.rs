@@ -13,7 +13,7 @@
 
 use crate::common::{
     emit_dispatcher_with_queues, liveouts_supported, reset_reduction_initials, task_fn_ptr_type,
-    task_loop, ParallelReport, ParallelizeError,
+    task_loop, ParallelReport, ParallelizeError, QUEUE_POP_INTRINSIC, QUEUE_PUSH_INTRINSIC,
 };
 use noelle_core::loop_abs::LoopAbstraction;
 use noelle_core::noelle::{Abstraction, Noelle};
@@ -483,8 +483,8 @@ fn prune_stage(
     n_value_queues: usize,
     n_stages: usize,
 ) -> Result<(), ParallelizeError> {
-    let pop_fn = m.get_or_declare("noelle.queue.pop", vec![Type::I64], Type::I64);
-    let push_fn = m.get_or_declare("noelle.queue.push", vec![Type::I64, Type::I64], Type::Void);
+    let pop_fn = m.get_or_declare(QUEUE_POP_INTRINSIC, vec![Type::I64], Type::I64);
+    let push_fn = m.get_or_declare(QUEUE_PUSH_INTRINSIC, vec![Type::I64, Type::I64], Type::Void);
 
     // Load all queue ids in the entry block (before its terminator).
     let env_base_slot = la.env.num_slots(n_stages) as i64;
@@ -545,10 +545,9 @@ fn prune_stage(
             if stage_of(orig) == Some(stage) && !consumer_stages.is_empty() {
                 let ty = tf.inst(clone).result_type();
                 let b = tf.parent_block(clone);
-                let mut pos = tf.position_in_block(clone).expect("attached") + 1;
+                let pos = tf.position_in_block(clone).expect("attached") + 1;
                 let (payload, npos) = cast_to_i64(tf, b, pos, Value::Inst(clone), &ty);
-                pos = npos;
-                for t in consumer_stages {
+                for (pos, t) in (npos..).zip(consumer_stages) {
                     let qi = queue_index[&(orig, t)];
                     tf.insert_inst(
                         b,
@@ -559,7 +558,6 @@ fn prune_stage(
                             ret_ty: Type::Void,
                         },
                     );
-                    pos += 1;
                 }
             }
             continue;

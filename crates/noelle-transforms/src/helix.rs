@@ -12,7 +12,10 @@
 //! dynamic instances execute in iteration order across cores, with the
 //! core-to-core signal latency charged from the AR abstraction.
 
-use crate::common::{parallelize_with, task_loop, ParallelReport, ParallelizeError};
+use crate::common::{
+    parallelize_with, task_loop, ParallelReport, ParallelizeError, SS_SIGNAL_INTRINSIC,
+    SS_WAIT_INTRINSIC,
+};
 use crate::doall::distribute_cyclically;
 use noelle_core::loop_abs::LoopAbstraction;
 use noelle_core::noelle::{Abstraction, Noelle};
@@ -266,8 +269,8 @@ fn bracket_segments(
     if segments.is_empty() {
         return Ok(());
     }
-    let wait = m.get_or_declare("noelle.ss.wait", vec![Type::I64, Type::I64], Type::Void);
-    let signal = m.get_or_declare("noelle.ss.signal", vec![Type::I64], Type::Void);
+    let wait = m.get_or_declare(SS_WAIT_INTRINSIC, vec![Type::I64, Type::I64], Type::Void);
+    let signal = m.get_or_declare(SS_SIGNAL_INTRINSIC, vec![Type::I64], Type::Void);
 
     let l = task_loop(m, task.fid);
     let latch = l

@@ -276,3 +276,64 @@ fn stdio_mode_answers_line_delimited_requests() {
     );
     assert!(lines[3].get("ok").is_some(), "shutdown acknowledged");
 }
+
+#[test]
+fn lint_method_reports_races_from_a_cached_session() {
+    let server = start_server(2);
+    let addr = server.addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let racy = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("lint")
+        .join("racy_task.nir");
+    load(&mut c, racy.to_str().expect("utf8 path"), "racy");
+
+    let report = c
+        .call(
+            "lint",
+            Json::object([
+                ("session".to_string(), Json::Str("racy".into())),
+                ("check".to_string(), Json::Str("races".into())),
+            ]),
+        )
+        .expect("lint succeeds");
+    let errors = report
+        .get("summary")
+        .and_then(|s| s.get("errors"))
+        .and_then(Json::as_i64);
+    assert_eq!(
+        errors,
+        Some(1),
+        "racy corpus has exactly one race: {report:?}"
+    );
+    let findings = report
+        .get("findings")
+        .and_then(Json::as_array)
+        .expect("findings");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("code").and_then(Json::as_str),
+        Some("NL0001")
+    );
+
+    // Unknown check names come back as a typed bad_request, not a hang.
+    let err = c
+        .request(
+            "lint",
+            Json::object([
+                ("session".to_string(), Json::Str("racy".into())),
+                ("check".to_string(), Json::Str("bogus".into())),
+            ]),
+        )
+        .expect("reply");
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    server.shutdown_and_join();
+}
