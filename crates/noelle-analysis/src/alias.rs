@@ -20,7 +20,7 @@ use noelle_ir::inst::{Callee, Inst, InstId};
 use noelle_ir::module::{FuncId, GlobalId, Module};
 use noelle_ir::types::Type;
 use noelle_ir::value::{Constant, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Outcome of an alias query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -808,6 +808,36 @@ impl AndersenAlias {
         }
     }
 
+    /// The query-observable points-to rows of every function, keyed by
+    /// function: for each instruction-produced or argument pointer value,
+    /// the set of abstract objects it may address.
+    ///
+    /// Rows that answer [`AliasAnalysis::alias`] and
+    /// [`AliasAnalysis::base_objects`] identically are canonicalized away:
+    /// an empty set, a set containing [`MemoryObject::Unknown`], and an
+    /// untracked variable all behave as "may address anything", so none of
+    /// them appears in the map. Two solves whose rows compare equal for a
+    /// function therefore answer every alias query on that function
+    /// identically — the comparison the incremental invalidation engine
+    /// uses to decide which cached per-function results survive an edit.
+    pub fn rows_by_function(&self) -> HashMap<FuncId, BTreeMap<(u8, u32), BTreeSet<MemoryObject>>> {
+        let mut out: HashMap<FuncId, BTreeMap<(u8, u32), BTreeSet<MemoryObject>>> = HashMap::new();
+        for (key, &v) in &self.vars {
+            let (fid, row) = match key {
+                VarKey::Local(fid, id) => (*fid, (0u8, id.0)),
+                VarKey::Arg(fid, i) => (*fid, (1u8, *i)),
+                VarKey::Ret(_) | VarKey::Content(_) | VarKey::UnknownSrc => continue,
+            };
+            let set: BTreeSet<MemoryObject> =
+                self.pts[v].iter().map(|&o| self.objects[o]).collect();
+            if set.is_empty() || set.contains(&MemoryObject::Unknown) {
+                continue; // canonically "unbounded", same as an absent row
+            }
+            out.entry(fid).or_default().insert(row, set);
+        }
+        out
+    }
+
     /// Possible callees of the indirect call `id` in `fid`, as resolved by
     /// the points-to solution. Used by the complete call graph abstraction.
     pub fn indirect_callees(&self, fid: FuncId, id: InstId) -> Vec<FuncId> {
@@ -957,6 +987,31 @@ impl AliasQueryCache {
     pub fn clear(&self) {
         self.alias.write().unwrap().clear();
         self.bases.write().unwrap().clear();
+    }
+
+    /// Drop only the entries belonging to the given functions — both query
+    /// kinds key on the owning `FuncId`, so a per-function edit can shed
+    /// exactly the answers it may have changed while every other function's
+    /// memoized results keep serving.
+    pub fn invalidate_funcs(&self, fids: &BTreeSet<FuncId>) {
+        self.alias
+            .write()
+            .unwrap()
+            .retain(|k, _| !fids.contains(&k.0));
+        self.bases
+            .write()
+            .unwrap()
+            .retain(|k, _| !fids.contains(&k.0));
+    }
+
+    /// Number of memoized entries across both query kinds.
+    pub fn len(&self) -> usize {
+        self.alias.read().unwrap().len() + self.bases.read().unwrap().len()
+    }
+
+    /// True when no results are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     fn hit(&self) {

@@ -20,8 +20,9 @@ use noelle_analysis::alias::{
 use noelle_analysis::modref::ModRefSummaries;
 use noelle_ir::cfg::Cfg;
 use noelle_ir::dom::{DomTree, PostDomTree};
+use noelle_ir::inst::{Callee, Inst};
 use noelle_ir::loops::{LoopForest, LoopInfo};
-use noelle_ir::module::{FuncId, Module};
+use noelle_ir::module::{FuncId, Function, Module};
 use noelle_pdg::callgraph::CallGraph;
 use noelle_pdg::pdg::{PdgBuilder, ProgramPdg};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -110,6 +111,90 @@ pub struct BuildStat {
     pub nanos: u128,
 }
 
+/// Counters over the manager's per-function cache slots (PDG partitions and
+/// control-flow structures). A "hit" is a function whose cached result was
+/// reused across an edit or repeated request; a "miss" is a function that had
+/// to be (re)analyzed; an "invalidation" is a function slot dropped by the
+/// damage-propagation rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuncCacheCounters {
+    /// PDG partitions reused from a previous snapshot.
+    pub pdg_hits: u64,
+    /// PDG partitions (re)built from scratch.
+    pub pdg_misses: u64,
+    /// [`FuncStructures`] requests served from the cache.
+    pub struct_hits: u64,
+    /// [`FuncStructures`] requests that had to build.
+    pub struct_misses: u64,
+    /// Function cache slots invalidated (by edits or full invalidation).
+    pub invalidations: u64,
+}
+
+/// An open edit transaction over the managed module.
+///
+/// Created by [`Noelle::edit`]. The transaction hands out module access and
+/// records which functions the edit touches; at commit the manager
+/// invalidates exactly the touched functions plus the functions the damage
+/// rule says can observe them, instead of dropping every cached abstraction.
+///
+/// Functions *added* during the transaction (e.g. via
+/// `Module::get_or_declare` or `Module::add_function` on a scoped borrow)
+/// are detected by a function-count watermark and touched automatically;
+/// adding a *global* escalates to a full invalidation, since a new global
+/// can alias memory in any function.
+pub struct EditTx<'a> {
+    module: &'a mut Module,
+    touched: BTreeSet<FuncId>,
+    all: bool,
+}
+
+impl EditTx<'_> {
+    /// Read-only view of the module being edited.
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Record `fid` as touched without borrowing it.
+    pub fn touch(&mut self, fid: FuncId) {
+        self.touched.insert(fid);
+    }
+
+    /// Escalate to a conservative whole-module invalidation (structural
+    /// edits whose blast radius the caller cannot bound).
+    pub fn touch_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Mutable access to one function, recording it as touched.
+    pub fn func_mut(&mut self, fid: FuncId) -> &mut Function {
+        self.touched.insert(fid);
+        self.module.func_mut(fid)
+    }
+
+    /// Mutable access to the whole module, with the caller declaring up
+    /// front which existing functions the edit may touch. Functions added
+    /// during the borrow are picked up by the watermark; metadata-only
+    /// edits may pass an empty list.
+    pub fn module_touching(&mut self, touched: impl IntoIterator<Item = FuncId>) -> &mut Module {
+        self.touched.extend(touched);
+        self.module
+    }
+
+    /// Mutable access to the whole module with no scoping promise:
+    /// equivalent to [`EditTx::touch_all`]. Escape hatch for edits whose
+    /// footprint genuinely cannot be described.
+    pub fn module_mut(&mut self) -> &mut Module {
+        self.all = true;
+        self.module
+    }
+
+    /// The functions recorded as touched so far (not including the
+    /// watermark-detected additions, which are resolved at commit).
+    pub fn touched(&self) -> &BTreeSet<FuncId> {
+        &self.touched
+    }
+}
+
 /// The NOELLE compilation layer over one module.
 pub struct Noelle {
     module: Module,
@@ -119,10 +204,18 @@ pub struct Noelle {
     call_graph: Option<CallGraph>,
     structures: HashMap<FuncId, FuncStructures>,
     pdg: Option<Arc<ProgramPdg>>,
+    /// The last complete PDG snapshot, kept across edits so undamaged
+    /// partitions can be reused by the next [`Noelle::pdg`] call.
+    prev_pdg: Option<Arc<ProgramPdg>>,
+    /// Functions whose partitions in `prev_pdg` are untrusted (damaged by
+    /// edits since that snapshot was built).
+    stale: BTreeSet<FuncId>,
     alias_cache: Arc<AliasQueryCache>,
     profiles: Option<Profiles>,
     requested: BTreeSet<Abstraction>,
     build_stats: BTreeMap<Abstraction, BuildStat>,
+    revisions: HashMap<FuncId, u64>,
+    counters: FuncCacheCounters,
 }
 
 impl Noelle {
@@ -137,10 +230,14 @@ impl Noelle {
             call_graph: None,
             structures: HashMap::new(),
             pdg: None,
+            prev_pdg: None,
+            stale: BTreeSet::new(),
             alias_cache: Arc::new(AliasQueryCache::new()),
             profiles: None,
             requested: BTreeSet::new(),
             build_stats: BTreeMap::new(),
+            revisions: HashMap::new(),
+            counters: FuncCacheCounters::default(),
         }
     }
 
@@ -149,11 +246,150 @@ impl Noelle {
         &self.module
     }
 
-    /// Mutable access to the module. Invalidate caches: any transformation
-    /// may change dependences, loops, and profiles.
+    /// Mutable access to the module. Invalidates *every* cache: without a
+    /// touched-function record the manager must assume any dependence,
+    /// loop, or profile changed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Noelle::edit, which records touched functions so caches \
+                can be invalidated incrementally"
+    )]
     pub fn module_mut(&mut self) -> &mut Module {
         self.invalidate();
         &mut self.module
+    }
+
+    /// Run an edit transaction over the module. The closure receives an
+    /// [`EditTx`] that hands out module access while recording which
+    /// functions the edit touches; on return the manager invalidates only
+    /// the touched functions plus the damage the edit can propagate:
+    ///
+    /// * per-function structures and local PDG partitions of touched
+    ///   functions;
+    /// * PDG partitions of functions whose view of the program could have
+    ///   shifted — direct callers of any function whose mod/ref summary
+    ///   changed (reached through the cached call graph when present), and
+    ///   functions whose points-to rows differ under a fresh Andersen
+    ///   solution;
+    /// * per-function alias-cache entries of exactly that damage set.
+    ///
+    /// Everything else — structures, alias answers, and PDG partitions of
+    /// undamaged functions — is reused, and the next [`Noelle::pdg`] call
+    /// repairs the snapshot instead of rebuilding it. The repaired graph is
+    /// edge-identical to a from-scratch build.
+    pub fn edit<R>(&mut self, k: impl FnOnce(&mut EditTx<'_>) -> R) -> R {
+        let baseline_funcs = self.module.functions().len();
+        let baseline_globals = self.module.globals().len();
+        let (r, mut touched, mut all) = {
+            let mut tx = EditTx {
+                module: &mut self.module,
+                touched: BTreeSet::new(),
+                all: false,
+            };
+            let r = k(&mut tx);
+            (r, std::mem::take(&mut tx.touched), tx.all)
+        };
+        // Functions appended during the edit are new by construction.
+        for i in baseline_funcs..self.module.functions().len() {
+            touched.insert(FuncId(i as u32));
+        }
+        // A new global can be aliased from any function: escalate.
+        if self.module.globals().len() != baseline_globals {
+            all = true;
+        }
+        self.commit(touched, all);
+        r
+    }
+
+    /// Apply the damage-propagation rule for a committed edit transaction.
+    fn commit(&mut self, touched: BTreeSet<FuncId>, all: bool) {
+        if all {
+            self.invalidate();
+            return;
+        }
+        if touched.is_empty() {
+            return; // read-only transaction
+        }
+        for &fid in &touched {
+            *self.revisions.entry(fid).or_insert(0) += 1;
+            self.structures.remove(&fid);
+        }
+        // Profiles live in module metadata, which a scoped borrow may have
+        // rewritten; they are cheap to re-parse on demand.
+        self.profiles = None;
+        let Some(old_modref) = self.modref.take() else {
+            // No mod/ref summaries means no PDG, no alias-cache entries and
+            // no previous snapshot are cached (they all force mod/ref
+            // first). Whole-program state that *can* exist without them —
+            // the points-to solution and the call graph — is simply
+            // dropped; there is no per-function reuse at stake.
+            debug_assert!(self.pdg.is_none() && self.prev_pdg.is_none());
+            self.andersen = None;
+            self.call_graph = None;
+            self.counters.invalidations += touched.len() as u64;
+            return;
+        };
+        let new_modref = Arc::new(ModRefSummaries::compute(&self.module));
+        // A function's PDG reads the mod/ref summaries of its *direct*
+        // callees (indirect calls are handled conservatively), so summary
+        // changes damage direct callers.
+        let mut changed: BTreeSet<FuncId> = touched.clone();
+        for fid in self.module.func_ids() {
+            if old_modref.may_read(fid) != new_modref.may_read(fid)
+                || old_modref.may_write(fid) != new_modref.may_write(fid)
+                || old_modref.has_io(fid) != new_modref.has_io(fid)
+            {
+                changed.insert(fid);
+            }
+        }
+        let mut damage = touched.clone();
+        match &self.call_graph {
+            // Untouched functions' call sites are unchanged, so the cached
+            // (pre-edit) call graph resolves their direct calls exactly;
+            // touched callers are already in the damage set.
+            Some(cg) => {
+                for &c in &changed {
+                    damage.extend(cg.callers_of(c).filter(|e| e.is_must).map(|e| e.caller));
+                }
+            }
+            None => {
+                for fid in self.module.func_ids() {
+                    let f = self.module.func(fid);
+                    for id in f.inst_ids() {
+                        if let Inst::Call {
+                            callee: Callee::Direct(cid),
+                            ..
+                        } = f.inst(id)
+                        {
+                            if changed.contains(cid) {
+                                damage.insert(fid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Under the full tier the PDG also consults the points-to solution:
+        // re-solve it and damage every function whose rows moved.
+        if self.andersen.is_some() {
+            let new_andersen = AndersenAlias::new(&self.module);
+            let old_rows = self.andersen.as_ref().expect("checked").rows_by_function();
+            let new_rows = new_andersen.rows_by_function();
+            for fid in self.module.func_ids() {
+                if old_rows.get(&fid) != new_rows.get(&fid) {
+                    damage.insert(fid);
+                }
+            }
+            self.andersen = Some(new_andersen);
+        }
+        self.alias_cache.invalidate_funcs(&damage);
+        self.call_graph = None;
+        self.modref = Some(new_modref);
+        if let Some(p) = self.pdg.take() {
+            self.prev_pdg = Some(p);
+        }
+        self.stale.extend(damage.iter().copied());
+        self.counters.invalidations += damage.len() as u64;
     }
 
     /// Consume the manager, returning the (possibly transformed) module.
@@ -178,8 +414,14 @@ impl Noelle {
         self.call_graph = None;
         self.structures.clear();
         self.pdg = None;
+        self.prev_pdg = None;
+        self.stale.clear();
         self.alias_cache.clear();
         self.profiles = None;
+        for fid in self.module.func_ids() {
+            *self.revisions.entry(fid).or_insert(0) += 1;
+        }
+        self.counters.invalidations += self.module.functions().len() as u64;
     }
 
     /// Record that a custom tool used abstraction `a` (tools call this for
@@ -223,6 +465,18 @@ impl Noelle {
         &self.build_stats
     }
 
+    /// Hit/miss/invalidation counters over the per-function cache slots.
+    pub fn func_cache_counters(&self) -> FuncCacheCounters {
+        self.counters
+    }
+
+    /// How many times function `fid` has been invalidated (0 = never edited
+    /// since load). Bumped per touched function by [`Noelle::edit`] and for
+    /// every function by a full invalidation.
+    pub fn revision(&self, fid: FuncId) -> u64 {
+        self.revisions.get(&fid).copied().unwrap_or(0)
+    }
+
     /// The persistent alias-query cache (for hit-rate reporting).
     pub fn alias_cache(&self) -> &AliasQueryCache {
         &self.alias_cache
@@ -262,9 +516,11 @@ impl Noelle {
     }
 
     /// The whole-program PDG, built once (in parallel, demand-driven) and
-    /// shared through a cheap `Arc` handle. Mutating the module through
-    /// [`Noelle::module_mut`] invalidates the cached graph; holders of old
-    /// handles keep a consistent pre-mutation snapshot.
+    /// shared through a cheap `Arc` handle. After an [`Noelle::edit`], the
+    /// next call *repairs* the previous snapshot: only partitions the edit
+    /// damaged are re-derived, everything else is shared with the old graph
+    /// by pointer. Holders of old handles keep a consistent pre-mutation
+    /// snapshot.
     pub fn pdg(&mut self) -> Arc<ProgramPdg> {
         self.note(Abstraction::Pdg);
         if self.pdg.is_none() {
@@ -273,7 +529,41 @@ impl Noelle {
             }
             let modref = self.ensure_modref();
             let t = Instant::now();
-            let built = self.with_cached_stack(modref, |_, b| b.program_pdg());
+            let built = match self.prev_pdg.take() {
+                Some(prev) => {
+                    let stale = std::mem::take(&mut self.stale);
+                    let defined: Vec<FuncId> = self
+                        .module
+                        .func_ids()
+                        .filter(|&fid| !self.module.func(fid).is_declaration())
+                        .collect();
+                    let rebuild: Vec<FuncId> = defined
+                        .iter()
+                        .copied()
+                        .filter(|fid| stale.contains(fid) || !prev.per_function.contains_key(fid))
+                        .collect();
+                    let fresh = self.with_cached_stack(modref, |_, b| b.pdg_partitions(&rebuild));
+                    let mut per_function = HashMap::with_capacity(defined.len());
+                    for fid in defined {
+                        match fresh.get(&fid) {
+                            Some(g) => {
+                                per_function.insert(fid, Arc::clone(g));
+                            }
+                            None => {
+                                per_function.insert(fid, Arc::clone(&prev.per_function[&fid]));
+                                self.counters.pdg_hits += 1;
+                            }
+                        }
+                    }
+                    self.counters.pdg_misses += rebuild.len() as u64;
+                    ProgramPdg { per_function }
+                }
+                None => {
+                    let built = self.with_cached_stack(modref, |_, b| b.program_pdg());
+                    self.counters.pdg_misses += built.per_function.len() as u64;
+                    built
+                }
+            };
             self.record_build(Abstraction::Pdg, t.elapsed());
             self.pdg = Some(Arc::new(built));
         }
@@ -285,7 +575,10 @@ impl Noelle {
     /// request.
     pub fn structures(&mut self, fid: FuncId) -> &FuncStructures {
         self.note(Abstraction::Ls);
-        if !self.structures.contains_key(&fid) {
+        if self.structures.contains_key(&fid) {
+            self.counters.struct_hits += 1;
+        } else {
+            self.counters.struct_misses += 1;
             let t = Instant::now();
             let f = self.module.func(fid);
             let cfg = Cfg::new(f);
@@ -471,7 +764,10 @@ mod tests {
         assert!(n.requested().is_empty());
     }
 
+    /// Compatibility test for the deprecated raw-mutation shim: it must
+    /// keep conservatively clearing every cache.
     #[test]
+    #[allow(deprecated)]
     fn caches_cleared_on_mutation() {
         let mut n = Noelle::new(loop_module(), AliasTier::Full);
         let fid = n.module().func_ids().next().unwrap();
@@ -484,6 +780,8 @@ mod tests {
         assert!(n.call_graph.is_none());
         assert!(n.pdg.is_none());
         assert!(n.modref.is_none());
+        assert!(n.prev_pdg.is_none());
+        assert!(n.revision(fid) > 0);
         // Re-requests still work.
         assert_eq!(n.loops_of(fid).len(), 1);
     }
@@ -491,17 +789,90 @@ mod tests {
     #[test]
     fn pdg_handle_is_cached_and_cheap() {
         let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let fid = n.module().func_ids().next().unwrap();
         let p1 = n.pdg();
         let p2 = n.pdg();
         // Same underlying graph, no rebuild.
         assert!(Arc::ptr_eq(&p1, &p2));
         assert_eq!(n.build_stats()[&Abstraction::Pdg].builds, 1);
-        // Invalidation forces a rebuild; the old handle stays readable.
-        n.module_mut().metadata.insert("x".into(), "y".into());
+        // An edit touching the function forces a repair; the old handle
+        // stays readable.
+        let r1 = n.revision(fid);
+        n.edit(|tx| tx.touch(fid));
+        assert_eq!(n.revision(fid), r1 + 1);
         let p3 = n.pdg();
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(n.build_stats()[&Abstraction::Pdg].builds, 2);
         assert_eq!(p1.num_edges(), p3.num_edges());
+    }
+
+    /// A second, independent function next to the loop kernel.
+    fn two_func_module() -> Module {
+        let mut m = loop_module();
+        let mut b = FunctionBuilder::new("leaf", vec![("x", Type::I64)], Type::I64);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let y = b.binop(BinOp::Add, Type::I64, b.arg(0), Value::const_i64(7));
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn edit_reuses_untouched_partitions() {
+        let mut n = Noelle::new(two_func_module(), AliasTier::Full);
+        let k = n.module().func_id_by_name("k").unwrap();
+        let leaf = n.module().func_id_by_name("leaf").unwrap();
+        let p1 = n.pdg();
+        // Edit only the leaf: the kernel's partition must be reused by
+        // pointer, and the counters must record exactly that split.
+        n.edit(|tx| {
+            let _ = tx.func_mut(leaf);
+        });
+        let before = n.func_cache_counters();
+        let p2 = n.pdg();
+        let after = n.func_cache_counters();
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert!(Arc::ptr_eq(&p1.per_function[&k], &p2.per_function[&k]));
+        assert!(!Arc::ptr_eq(
+            &p1.per_function[&leaf],
+            &p2.per_function[&leaf]
+        ));
+        assert_eq!(after.pdg_hits - before.pdg_hits, 1);
+        assert_eq!(after.pdg_misses - before.pdg_misses, 1);
+        // The kernel's structures survived the edit; the leaf's were
+        // dropped.
+        assert!(n.revision(leaf) == 1 && n.revision(k) == 0);
+    }
+
+    #[test]
+    fn read_only_edit_keeps_caches() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let p1 = n.pdg();
+        let name = n.edit(|tx| tx.module().name.clone());
+        assert!(!name.is_empty());
+        let p2 = n.pdg();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(n.build_stats()[&Abstraction::Pdg].builds, 1);
+    }
+
+    #[test]
+    fn adding_a_function_is_auto_touched() {
+        let mut n = Noelle::new(loop_module(), AliasTier::Full);
+        let p1 = n.pdg();
+        n.edit(|tx| {
+            let m = tx.module_touching([]);
+            let mut b = FunctionBuilder::new("fresh", vec![("x", Type::I64)], Type::I64);
+            let entry = b.entry_block();
+            b.switch_to(entry);
+            b.ret(Some(Value::const_i64(1)));
+            m.add_function(b.finish());
+        });
+        let p2 = n.pdg();
+        let fresh = n.module().func_id_by_name("fresh").unwrap();
+        assert!(p2.per_function.contains_key(&fresh));
+        assert!(!p1.per_function.contains_key(&fresh));
+        assert_eq!(n.revision(fresh), 1);
     }
 
     #[test]

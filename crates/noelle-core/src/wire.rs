@@ -248,6 +248,7 @@ pub fn manager_stats_to_json(n: &Noelle) -> Json {
         .map(|(a, s)| (a.short_name().to_string(), build_stat_to_json(s)))
         .collect::<Vec<_>>();
     let (hits, misses) = n.alias_cache().stats();
+    let c = n.func_cache_counters();
     Json::object([
         ("builds".to_string(), Json::object(builds)),
         (
@@ -255,6 +256,22 @@ pub fn manager_stats_to_json(n: &Noelle) -> Json {
             Json::object([
                 ("hits".to_string(), Json::Int(hits as i64)),
                 ("misses".to_string(), Json::Int(misses as i64)),
+            ]),
+        ),
+        (
+            "func_cache".to_string(),
+            Json::object([
+                ("pdg_hits".to_string(), Json::Int(c.pdg_hits as i64)),
+                ("pdg_misses".to_string(), Json::Int(c.pdg_misses as i64)),
+                ("struct_hits".to_string(), Json::Int(c.struct_hits as i64)),
+                (
+                    "struct_misses".to_string(),
+                    Json::Int(c.struct_misses as i64),
+                ),
+                (
+                    "invalidations".to_string(),
+                    Json::Int(c.invalidations as i64),
+                ),
             ]),
         ),
     ])

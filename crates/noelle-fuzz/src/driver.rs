@@ -50,6 +50,9 @@ pub struct FuzzConfig {
     pub trace_deps: bool,
     /// Run the static NL0001 race detector over every tool's output.
     pub lint_races: bool,
+    /// Check that each tool's incrementally repaired PDG matches a
+    /// from-scratch build of its output module.
+    pub check_incremental: bool,
     /// Directory of persisted repros to replay (and to write new ones).
     pub corpus_dir: Option<PathBuf>,
     /// Write failing seeds + minimized repros into `corpus_dir`.
@@ -70,6 +73,7 @@ impl Default for FuzzConfig {
             time_budget_ms: None,
             trace_deps: false,
             lint_races: false,
+            check_incremental: true,
             corpus_dir: None,
             persist: false,
             gen: GenConfig::default(),
@@ -175,6 +179,7 @@ fn oracle_cfg(cfg: &FuzzConfig) -> OracleConfig {
     OracleConfig {
         trace_deps: cfg.trace_deps,
         lint_races: cfg.lint_races,
+        check_incremental: cfg.check_incremental,
         max_steps: cfg.max_steps,
         ..OracleConfig::default()
     }
@@ -341,14 +346,15 @@ mod tests {
 
     fn breaker() -> FuzzTool {
         FuzzTool::new("breaker", |n: &mut Noelle| {
-            let m = n.module_mut();
-            let fid = m.func_id_by_name("main").expect("main exists");
-            let f = m.func_mut(fid);
-            for b in f.block_order().to_vec() {
-                if let Some(Terminator::Ret(Some(_))) = f.terminator(b) {
-                    f.set_terminator(b, Terminator::Ret(Some(Value::const_i64(-12345))));
+            let fid = n.module().func_id_by_name("main").expect("main exists");
+            n.edit(|tx| {
+                let f = tx.func_mut(fid);
+                for b in f.block_order().to_vec() {
+                    if let Some(Terminator::Ret(Some(_))) = f.terminator(b) {
+                        f.set_terminator(b, Terminator::Ret(Some(Value::const_i64(-12345))));
+                    }
                 }
-            }
+            });
             Ok("broke main".into())
         })
     }

@@ -46,6 +46,10 @@ pub struct OracleConfig {
     /// Also run the static NL0001 race detector over each tool's output
     /// (tool-produced tasks must be race-free).
     pub lint_races: bool,
+    /// After each tool edits through `Noelle::edit`, check that the warm
+    /// manager's incrementally repaired PDG is wire-identical to a
+    /// from-scratch build of the transformed module.
+    pub check_incremental: bool,
     /// Interpreter step budget per run.
     pub max_steps: u64,
     /// Entry function name.
@@ -57,6 +61,7 @@ impl Default for OracleConfig {
         OracleConfig {
             trace_deps: false,
             lint_races: false,
+            check_incremental: true,
             max_steps: 20_000_000,
             entry: "main".into(),
         }
@@ -88,6 +93,9 @@ pub enum FailureKind {
     UnsoundPdg,
     /// The static race detector flagged the tool's parallelized output.
     RaceFinding,
+    /// The incrementally repaired PDG diverged from a from-scratch build
+    /// of the transformed module (an invalidation-engine bug).
+    IncrementalMismatch,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -104,6 +112,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::MemoryMismatch => "memory-mismatch",
             FailureKind::UnsoundPdg => "unsound-pdg",
             FailureKind::RaceFinding => "race-finding",
+            FailureKind::IncrementalMismatch => "incremental-mismatch",
         };
         f.write_str(s)
     }
@@ -269,6 +278,31 @@ pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outco
             }
             Ok(Ok(_report)) => {}
         }
+        // Incremental-vs-fresh equivalence: the transform edited through
+        // `Noelle::edit`, so the warm manager repairs its PDG from the
+        // touched set only. The repaired graph must be wire-identical to
+        // a from-scratch build of the transformed module.
+        if cfg.check_incremental {
+            let inc_pdg = n.pdg();
+            let inc = noelle_core::wire::pdg_to_json(n.module(), &inc_pdg).to_string_compact();
+            let mut fresh = Noelle::new(n.module().clone(), AliasTier::Full);
+            let fresh_pdg = fresh.pdg();
+            let scratch =
+                noelle_core::wire::pdg_to_json(fresh.module(), &fresh_pdg).to_string_compact();
+            if inc != scratch {
+                failures.push(Failure {
+                    tool: Some(tool.name.clone()),
+                    kind: FailureKind::IncrementalMismatch,
+                    detail: format!(
+                        "incrementally repaired PDG differs from a from-scratch build \
+                         ({} vs {} bytes of wire encoding)",
+                        inc.len(),
+                        scratch.len()
+                    ),
+                });
+                continue;
+            }
+        }
         let tm = n.into_module();
         if let Err(e) = verify_module(&tm) {
             failures.push(Failure {
@@ -378,19 +412,20 @@ mod tests {
     fn breaking_tool() -> FuzzTool {
         // Miscompiler: rewrite main's ret to a constant.
         FuzzTool::new("breaker", |n| {
-            let m = n.module_mut();
-            let fid = m.func_id_by_name("main").expect("main");
-            let f = m.func_mut(fid);
-            for b in f.block_order().to_vec() {
-                if let Some(noelle_ir::inst::Terminator::Ret(Some(_))) = f.terminator(b) {
-                    f.set_terminator(
-                        b,
-                        noelle_ir::inst::Terminator::Ret(Some(noelle_ir::value::Value::const_i64(
-                            -12345,
-                        ))),
-                    );
+            let fid = n.module().func_id_by_name("main").expect("main");
+            n.edit(|tx| {
+                let f = tx.func_mut(fid);
+                for b in f.block_order().to_vec() {
+                    if let Some(noelle_ir::inst::Terminator::Ret(Some(_))) = f.terminator(b) {
+                        f.set_terminator(
+                            b,
+                            noelle_ir::inst::Terminator::Ret(Some(
+                                noelle_ir::value::Value::const_i64(-12345),
+                            )),
+                        );
+                    }
                 }
-            }
+            });
             Ok("broke it".into())
         })
     }
@@ -481,6 +516,38 @@ entry:
             panic!("expected Skip, got {out:?}");
         };
         assert!(reason.contains("type confusion"), "{reason}");
+    }
+
+    #[test]
+    fn incremental_repair_matches_fresh_build_after_edits() {
+        // A behavior-preserving editing tool: warm the PDG, then touch
+        // `main` through `edit`, so the oracle's incremental check
+        // exercises real damage propagation and partition reuse.
+        let cfg = OracleConfig {
+            check_incremental: true,
+            ..OracleConfig::default()
+        };
+        for seed in 0..5 {
+            let warm_then_touch = FuzzTool::new("nop-edit", |n| {
+                let _ = n.pdg(); // build, so the edit repairs instead of rebuilding
+                let fid = n.module().func_id_by_name("main").expect("main");
+                n.edit(|tx| {
+                    tx.touch(fid);
+                });
+                Ok("touched main".into())
+            });
+            let m = generate(seed, &GenConfig::default());
+            let out = check_module(&m, &[warm_then_touch], &cfg);
+            assert!(
+                !matches!(
+                    &out,
+                    Outcome::Fail { failures } if failures
+                        .iter()
+                        .any(|f| f.kind == FailureKind::IncrementalMismatch)
+                ),
+                "seed {seed}: incremental mismatch: {out:?}"
+            );
+        }
     }
 
     #[test]

@@ -392,14 +392,15 @@ mod tests {
     /// A transform that miscompiles every module: main returns -12345.
     fn breaker() -> FuzzTool {
         FuzzTool::new("breaker", |n: &mut Noelle| {
-            let m = n.module_mut();
-            let fid = m.func_id_by_name("main").expect("main exists");
-            let f = m.func_mut(fid);
-            for b in f.block_order().to_vec() {
-                if let Some(Terminator::Ret(Some(_))) = f.terminator(b) {
-                    f.set_terminator(b, Terminator::Ret(Some(Value::const_i64(-12345))));
+            let fid = n.module().func_id_by_name("main").expect("main exists");
+            n.edit(|tx| {
+                let f = tx.func_mut(fid);
+                for b in f.block_order().to_vec() {
+                    if let Some(Terminator::Ret(Some(_))) = f.terminator(b) {
+                        f.set_terminator(b, Terminator::Ret(Some(Value::const_i64(-12345))));
+                    }
                 }
-            }
+            });
             Ok("broke main".into())
         })
     }

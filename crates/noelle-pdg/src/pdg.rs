@@ -46,10 +46,14 @@ pub struct PdgBuilder<'a> {
 
 /// The whole-program PDG: one dependence graph per defined function (linked
 /// by the complete call graph for interprocedural reasoning).
+///
+/// Each partition sits behind its own `Arc` so an incremental rebuild can
+/// assemble a new program PDG that shares every undamaged function's graph
+/// with the previous snapshot — reuse is a pointer copy, not a re-analysis.
 #[derive(Debug)]
 pub struct ProgramPdg {
     /// Dependence graph of each defined function.
-    pub per_function: HashMap<FuncId, DepGraph<InstId>>,
+    pub per_function: HashMap<FuncId, Arc<DepGraph<InstId>>>,
 }
 
 impl ProgramPdg {
@@ -121,29 +125,37 @@ impl<'a> PdgBuilder<'a> {
             .func_ids()
             .filter(|&fid| !self.module.func(fid).is_declaration())
             .collect();
+        ProgramPdg {
+            per_function: self.pdg_partitions(&fids),
+        }
+    }
+
+    /// Build the per-function PDG partitions of exactly the given functions,
+    /// fanning construction out across threads. This is the work-list core
+    /// of [`PdgBuilder::program_pdg`], exposed so the incremental engine can
+    /// re-derive only the partitions an edit damaged.
+    pub fn pdg_partitions(&self, fids: &[FuncId]) -> HashMap<FuncId, Arc<DepGraph<InstId>>> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(fids.len().max(1));
         if workers <= 1 {
-            let per_function = fids
-                .into_iter()
-                .map(|fid| (fid, self.function_pdg(fid)))
+            return fids
+                .iter()
+                .map(|&fid| (fid, Arc::new(self.function_pdg(fid))))
                 .collect();
-            return ProgramPdg { per_function };
         }
         let mut per_function = HashMap::with_capacity(fids.len());
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    let fids = &fids;
                     s.spawn(move || {
                         // Round-robin chunking keeps per-thread work balanced
                         // without coordination.
                         fids.iter()
                             .skip(w)
                             .step_by(workers)
-                            .map(|&fid| (fid, self.function_pdg(fid)))
+                            .map(|&fid| (fid, Arc::new(self.function_pdg(fid))))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -152,7 +164,7 @@ impl<'a> PdgBuilder<'a> {
                 per_function.extend(h.join().expect("PDG worker panicked"));
             }
         });
-        ProgramPdg { per_function }
+        per_function
     }
 
     /// Sequential all-pairs reference build of the whole-program PDG: the
@@ -163,7 +175,7 @@ impl<'a> PdgBuilder<'a> {
             .module
             .func_ids()
             .filter(|&fid| !self.module.func(fid).is_declaration())
-            .map(|fid| (fid, self.function_pdg_allpairs(fid)))
+            .map(|fid| (fid, Arc::new(self.function_pdg_allpairs(fid))))
             .collect();
         ProgramPdg { per_function }
     }

@@ -1,7 +1,7 @@
 //! A blocking client for the daemon's framed TCP protocol, shared by
 //! `noelle-query`, the protocol tests, and the throughput benchmark.
 
-use crate::protocol::{read_frame, write_frame, Request};
+use crate::protocol::{read_frame, write_frame, Request, PROTOCOL_VERSION};
 use noelle_core::json::Json;
 use std::io;
 use std::net::TcpStream;
@@ -49,6 +49,7 @@ impl Client {
             method: method.to_string(),
             params,
             deadline_ms,
+            v: Some(PROTOCOL_VERSION),
         };
         write_frame(&mut self.stream, &req.to_json())?;
         read_frame(&mut self.stream)?.ok_or_else(|| {

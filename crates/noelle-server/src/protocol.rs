@@ -8,11 +8,21 @@
 //! drive it without binary framing.
 //!
 //! Requests are objects `{"id": <int>, "method": <str>, "params": <obj>}`
-//! with an optional `"deadline_ms"`. Replies echo the id and carry either
-//! `"ok"` (the result value) or `"error"` (`{"code", "message"}`).
+//! with an optional `"deadline_ms"` and an optional protocol version `"v"`.
+//! A request carrying a `"v"` other than [`PROTOCOL_VERSION`] is rejected
+//! with a structured `version_mismatch` error (not a parse failure), so old
+//! clients get a debuggable reply instead of a dropped connection; requests
+//! without `"v"` are accepted for compatibility with version-1 clients.
+//! Replies echo the id, carry `"v"`, and hold either `"ok"` (the result
+//! value) or `"error"` (`{"code", "message"}`).
 
 use noelle_core::json::Json;
 use std::io::{self, Read, Write};
+
+/// Current protocol version. Version 1 is the original unversioned wire
+/// format; version 2 added the `"v"` field itself, per-function cache
+/// counters in `stats`/`metrics`, and registry-parsed `run-tool` params.
+pub const PROTOCOL_VERSION: i64 = 2;
 
 /// Upper bound on a frame payload; anything larger is a protocol error
 /// rather than an allocation request.
@@ -74,6 +84,9 @@ pub struct Request {
     pub params: Json,
     /// Per-request deadline override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Protocol version the client speaks (`None` for version-1 clients,
+    /// which predate the field).
+    pub v: Option<i64>,
 }
 
 impl Request {
@@ -101,11 +114,13 @@ impl Request {
             return Err("'params' must be an object".into());
         }
         let deadline_ms = obj.get("deadline_ms").and_then(Json::as_u64);
+        let v = obj.get("v").and_then(Json::as_i64);
         Ok(Request {
             id,
             method,
             params,
             deadline_ms,
+            v,
         })
     }
 
@@ -118,6 +133,9 @@ impl Request {
         ];
         if let Some(d) = self.deadline_ms {
             fields.push(("deadline_ms".to_string(), Json::Int(d as i64)));
+        }
+        if let Some(v) = self.v {
+            fields.push(("v".to_string(), Json::Int(v)));
         }
         Json::object(fields)
     }
@@ -136,6 +154,8 @@ pub enum ErrorCode {
     Shutdown,
     /// Analysis or tool failure.
     Internal,
+    /// The client speaks a different protocol version.
+    VersionMismatch,
 }
 
 impl ErrorCode {
@@ -147,6 +167,7 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Internal => "internal",
+            ErrorCode::VersionMismatch => "version_mismatch",
         }
     }
 }
@@ -156,6 +177,7 @@ pub fn response_ok(id: i64, result: Json) -> Json {
     Json::object([
         ("id".to_string(), Json::Int(id)),
         ("ok".to_string(), result),
+        ("v".to_string(), Json::Int(PROTOCOL_VERSION)),
     ])
 }
 
@@ -170,6 +192,7 @@ pub fn response_err(id: i64, code: ErrorCode, message: &str) -> Json {
                 ("message".to_string(), Json::Str(message.into())),
             ]),
         ),
+        ("v".to_string(), Json::Int(PROTOCOL_VERSION)),
     ])
 }
 

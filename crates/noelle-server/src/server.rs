@@ -13,7 +13,9 @@
 //! unanswered (modulo its own deadline).
 
 use crate::metrics::{Metrics, Outcome};
-use crate::protocol::{read_frame, response_err, response_ok, write_frame, ErrorCode, Request};
+use crate::protocol::{
+    read_frame, response_err, response_ok, write_frame, ErrorCode, Request, PROTOCOL_VERSION,
+};
 use crate::session::{Session, SessionTable};
 use noelle_core::json::Json;
 use noelle_core::noelle::{Abstraction, AliasTier, Noelle};
@@ -29,8 +31,10 @@ use std::time::{Duration, Instant};
 
 /// A tool dispatcher injected by the binary that owns the tool registry
 /// (`noelle-served` wires in `noelle_tools::registry`), keeping this crate
-/// free of a dependency cycle on the transforms.
-pub type ToolRunner = Arc<dyn Fn(&mut Noelle, &str, usize) -> Result<String, String> + Send + Sync>;
+/// free of a dependency cycle on the transforms. Receives the raw request
+/// params; the registry parses them into its own typed invocation so tool
+/// options are interpreted identically across every entry point.
+pub type ToolRunner = Arc<dyn Fn(&mut Noelle, &Json) -> Result<String, String> + Send + Sync>;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -400,6 +404,14 @@ fn func_by_name(m: &Module, name: &str) -> Option<FuncId> {
 }
 
 fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
+    if let Some(v) = req.v {
+        if v != PROTOCOL_VERSION {
+            return Err((
+                ErrorCode::VersionMismatch,
+                format!("client speaks protocol v{v}, daemon speaks v{PROTOCOL_VERSION}"),
+            ));
+        }
+    }
     if state.is_shutting_down() && req.method != "shutdown" {
         return Err((ErrorCode::Shutdown, "daemon is shutting down".into()));
     }
@@ -510,10 +522,9 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 .ok_or_else(|| bad("this daemon was started without a tool registry"))?;
             let s = session_of(state, req)?;
             let tool = param_str(req, "tool").ok_or_else(|| bad("missing 'tool' param"))?;
-            let cores = req.params.get("cores").and_then(Json::as_u64).unwrap_or(4) as usize;
             let mut n = s.noelle.lock().expect("session build lock");
             n.reset_requests();
-            let summary = runner(&mut n, tool, cores).map_err(|e| (ErrorCode::Internal, e))?;
+            let summary = runner(&mut n, &req.params).map_err(|e| (ErrorCode::Internal, e))?;
             let requested = n
                 .requested()
                 .iter()
@@ -539,6 +550,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 "uptime_ms".to_string(),
                 Json::Int(state.started.elapsed().as_millis() as i64),
             ),
+            ("protocol_version".to_string(), Json::Int(PROTOCOL_VERSION)),
             ("table".to_string(), state.sessions.stats_json()),
         ])),
         "metrics" => {

@@ -172,11 +172,29 @@ impl SessionTable {
         let rows = sessions
             .iter()
             .map(|(name, s)| {
-                let funcs = s
+                let (funcs, func_cache) = s
                     .noelle
                     .lock()
-                    .map(|n| n.module().functions().len() as i64)
-                    .unwrap_or(-1);
+                    .map(|n| {
+                        let c = n.func_cache_counters();
+                        (
+                            n.module().functions().len() as i64,
+                            Json::object([
+                                ("pdg_hits".to_string(), Json::Int(c.pdg_hits as i64)),
+                                ("pdg_misses".to_string(), Json::Int(c.pdg_misses as i64)),
+                                ("struct_hits".to_string(), Json::Int(c.struct_hits as i64)),
+                                (
+                                    "struct_misses".to_string(),
+                                    Json::Int(c.struct_misses as i64),
+                                ),
+                                (
+                                    "invalidations".to_string(),
+                                    Json::Int(c.invalidations as i64),
+                                ),
+                            ]),
+                        )
+                    })
+                    .unwrap_or((-1, Json::Null));
                 (
                     name.clone(),
                     Json::object([
@@ -185,6 +203,7 @@ impl SessionTable {
                             Json::Int(s.approx_bytes() as i64),
                         ),
                         ("functions".to_string(), Json::Int(funcs)),
+                        ("func_cache".to_string(), func_cache),
                     ]),
                 )
             })

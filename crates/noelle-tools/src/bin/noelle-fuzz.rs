@@ -27,7 +27,8 @@ const DEFAULT_TOOLS: &[&str] = &["licm", "dead", "doall", "dswp", "helix", "pers
 fn usage() -> ! {
     die(&format!(
         "usage: noelle-fuzz [--seeds N] [--seed-start N] [--time-budget-ms MS] \
-         [--tool all|{}] [--trace-deps] [--lint-races] [--corpus-dir DIR] [--no-persist] [--cores N]",
+         [--tool all|{}] [--trace-deps] [--lint-races] [--no-incremental-check] \
+         [--corpus-dir DIR] [--no-persist] [--cores N]",
         registry::usage()
     ));
 }
@@ -74,6 +75,7 @@ fn main() {
             .map(|s| s.parse().unwrap_or_else(|_| usage())),
         trace_deps: args.flag("trace-deps").is_some(),
         lint_races: args.flag("lint-races").is_some(),
+        check_incremental: args.flag("no-incremental-check").is_none(),
         persist: corpus_dir.is_some() && args.flag("no-persist").is_none(),
         corpus_dir,
         ..FuzzConfig::default()

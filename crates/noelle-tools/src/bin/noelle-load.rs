@@ -5,7 +5,7 @@
 //! the `noelle-served` daemon uses for its `run-tool` method.
 
 use noelle_core::noelle::{AliasTier, Noelle};
-use noelle_tools::registry::{self, ToolOptions};
+use noelle_tools::registry::{self, ToolInvocation};
 use noelle_tools::{die, read_module, write_module, Args};
 
 fn main() {
@@ -16,12 +16,10 @@ fn main() {
             registry::usage()
         ));
     };
-    let tool = args.flag_or("tool", "doall").to_string();
-    let cores = args.flag_usize("cores", 4);
+    let inv = ToolInvocation::from_args(&args);
     let m = read_module(input).unwrap_or_else(|e| die(&e));
     let mut noelle = Noelle::new(m, AliasTier::Full);
-    let summary =
-        registry::run_tool(&mut noelle, &tool, &ToolOptions { cores }).unwrap_or_else(|e| die(&e));
+    let summary = inv.run(&mut noelle).unwrap_or_else(|e| die(&e));
     eprintln!("{summary}");
     let requested: Vec<&str> = noelle.requested().iter().map(|a| a.short_name()).collect();
     eprintln!("abstractions requested: {}", requested.join(", "));

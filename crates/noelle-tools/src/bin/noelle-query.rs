@@ -20,6 +20,7 @@
 
 use noelle_core::json::Json;
 use noelle_server::Client;
+use noelle_tools::registry::ToolInvocation;
 use noelle_tools::{die, Args};
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
     let addr = args.flag_or("addr", "127.0.0.1:7711");
 
     let mut params: Vec<(String, Json)> = Vec::new();
-    for key in ["session", "path", "tier", "func", "tool"] {
+    for key in ["session", "path", "tier", "func"] {
         if let Some(v) = args.flag(key) {
             params.push((key.to_string(), Json::Str(v.to_string())));
         }
@@ -43,11 +44,15 @@ fn main() {
             .unwrap_or_else(|_| die("--loop expects an integer"));
         params.push(("loop".to_string(), Json::Int(n)));
     }
-    if let Some(v) = args.flag("cores") {
-        let n = v
-            .parse()
-            .unwrap_or_else(|_| die("--cores expects an integer"));
-        params.push(("cores".to_string(), Json::Int(n)));
+    // Tool flags parse through the registry's own ToolInvocation, so
+    // `noelle-query run-tool` and `noelle-load` accept identical options.
+    if method == "run-tool" || args.flag("tool").is_some() {
+        if let Some(v) = args.flag("cores") {
+            if v.parse::<usize>().is_err() {
+                die("--cores expects an integer");
+            }
+        }
+        params.extend(ToolInvocation::from_args(&args).to_params());
     }
     let deadline = args.flag("deadline-ms").map(|v| {
         v.parse()

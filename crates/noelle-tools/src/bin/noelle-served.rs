@@ -12,7 +12,7 @@
 //! ```
 
 use noelle_server::{Server, ServerConfig, ToolRunner};
-use noelle_tools::registry::{self, ToolOptions};
+use noelle_tools::registry::ToolInvocation;
 use noelle_tools::{die, Args};
 use std::sync::Arc;
 
@@ -26,9 +26,11 @@ fn main() {
         default_deadline_ms: args.flag_usize("deadline-ms", 30_000) as u64,
     };
     // The registry lives here, not in noelle-server, so the daemon crate
-    // stays decoupled from the transforms; inject it.
+    // stays decoupled from the transforms; inject it. The server hands the
+    // raw request params through; parsing them is the registry's job, so
+    // every entry point accepts identical options.
     let runner: ToolRunner =
-        Arc::new(|n, tool, cores| registry::run_tool(n, tool, &ToolOptions { cores }));
+        Arc::new(|n, params| ToolInvocation::from_json(params).and_then(|inv| inv.run(n)));
     let server = Server::new(cfg).with_tool_runner(runner);
 
     if args.flag("stdio").is_some() {

@@ -4,11 +4,12 @@
 //! dispatch tool names through this one table, so the set of tools and the
 //! usage string cannot drift apart between entry points.
 
+use noelle_core::json::Json;
 use noelle_core::noelle::Noelle;
 use noelle_transforms as tools;
 
 /// Options every registered tool receives.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ToolOptions {
     /// Worker/task count for parallelizers.
     pub cores: usize,
@@ -17,6 +18,68 @@ pub struct ToolOptions {
 impl Default for ToolOptions {
     fn default() -> ToolOptions {
         ToolOptions { cores: 4 }
+    }
+}
+
+/// One fully parsed request to run a registered tool: the single currency
+/// all three entry points (`noelle-load` flags, `noelle-query` flags, the
+/// daemon's `run-tool` params) convert into, so option handling cannot
+/// drift between them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ToolInvocation {
+    /// Registered tool name.
+    pub name: String,
+    /// Parsed options.
+    pub options: ToolOptions,
+}
+
+impl ToolInvocation {
+    /// Parse from command-line flags: `--tool <name>` (default `doall`) and
+    /// `--cores <n>` (default [`ToolOptions::default`]).
+    pub fn from_args(args: &crate::Args) -> ToolInvocation {
+        ToolInvocation {
+            name: args.flag_or("tool", "doall").to_string(),
+            options: ToolOptions {
+                cores: args.flag_usize("cores", ToolOptions::default().cores),
+            },
+        }
+    }
+
+    /// Parse from wire params: `{"tool": <name>, "cores": <n>?}`.
+    ///
+    /// # Errors
+    /// A missing or non-string `tool` field is an error; `cores` defaults.
+    pub fn from_json(params: &Json) -> Result<ToolInvocation, String> {
+        let name = params
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing 'tool' param")?
+            .to_string();
+        let cores = params
+            .get("cores")
+            .and_then(Json::as_i64)
+            .map(|c| c as usize)
+            .unwrap_or(ToolOptions::default().cores);
+        Ok(ToolInvocation {
+            name,
+            options: ToolOptions { cores },
+        })
+    }
+
+    /// Encode as wire params (the inverse of [`ToolInvocation::from_json`]).
+    pub fn to_params(&self) -> Vec<(String, Json)> {
+        vec![
+            ("tool".to_string(), Json::Str(self.name.clone())),
+            ("cores".to_string(), Json::Int(self.options.cores as i64)),
+        ]
+    }
+
+    /// Dispatch through the registry.
+    ///
+    /// # Errors
+    /// Unknown names and tool failures return a message.
+    pub fn run(&self, n: &mut Noelle) -> Result<String, String> {
+        run_tool(n, &self.name, &self.options)
     }
 }
 

@@ -114,14 +114,16 @@ pub fn conservative_parallelize(m: Module, n_tasks: usize) -> (Module, ParallelR
             continue;
         }
         let task_name = format!("{fname}.autopar.{}", l.header.0);
-        match parallelize_with(
-            noelle.module_mut(),
-            fid,
-            &la,
-            n_tasks,
-            &task_name,
-            distribute_cyclically,
-        ) {
+        match noelle.edit(|tx| {
+            parallelize_with(
+                tx.module_touching([fid]),
+                fid,
+                &la,
+                n_tasks,
+                &task_name,
+                distribute_cyclically,
+            )
+        }) {
             Ok(()) => report.parallelized.push((fname, l.header)),
             Err(e) => report.skipped.push((fname, l.header, e.to_string())),
         }

@@ -128,7 +128,7 @@ pub fn run(noelle: &mut Noelle) -> CaratReport {
             let la = noelle.loop_abstraction(fid, l.clone());
             invariants.push((l.clone(), la.invariants));
         }
-        guard_function(noelle.module_mut(), fid, &invariants, &mut report);
+        noelle.edit(|tx| guard_function(tx.module_touching([fid]), fid, &invariants, &mut report));
     }
     report
 }

@@ -60,68 +60,70 @@ pub fn run(noelle: &mut Noelle) -> CoosReport {
             continue;
         }
         let loops = noelle.loops_of(fid);
-        let m = noelle.module_mut();
-        let cb = m.get_or_declare("coos.callback", vec![], Type::Void);
-        // Entry callback.
-        {
-            let f = m.func_mut(fid);
-            let entry = f.entry();
-            f.insert_inst(
-                entry,
-                0,
-                Inst::Call {
-                    callee: Callee::Direct(cb),
-                    args: vec![],
-                    ret_ty: Type::Void,
-                },
-            );
-            report.entry_sites += 1;
-        }
-        // Latch callbacks (bounding gaps across iterations, including
-        // endless loops).
-        for l in &loops {
-            // CG refinement: a direct call inside the loop to a defined
-            // function means that function's entry callback already fires
-            // every iteration that executes the call — only skip when the
-            // call is on every iteration path (its block dominates the
-            // latch). Keep the analysis simple: require the call in a block
-            // of the loop and a single-latch loop dominated by it.
-            let f = m.func(fid);
-            let covered = l.single_latch().is_some_and(|latch| {
-                let cfg = noelle_ir::cfg::Cfg::new(f);
-                let dt = noelle_ir::dom::DomTree::new(f, &cfg);
-                l.blocks.iter().any(|&b| {
-                    dt.dominates(b, latch)
-                        && f.block(b).insts.iter().any(|&i| {
-                            matches!(
-                                f.inst(i),
-                                Inst::Call {
-                                    callee: Callee::Direct(c),
-                                    ..
-                                } if guaranteed_callback(m, *c, &defined)
-                            )
-                        })
-                })
-            });
-            if covered {
-                report.covered_by_callee += 1;
-                continue;
-            }
-            let f = m.func_mut(fid);
-            for &latch in &l.latches {
-                let pos = f.block(latch).insts.len().saturating_sub(1);
+        noelle.edit(|tx| {
+            let m = tx.module_touching([fid]);
+            let cb = m.get_or_declare("coos.callback", vec![], Type::Void);
+            // Entry callback.
+            {
+                let f = m.func_mut(fid);
+                let entry = f.entry();
                 f.insert_inst(
-                    latch,
-                    pos,
+                    entry,
+                    0,
                     Inst::Call {
                         callee: Callee::Direct(cb),
                         args: vec![],
                         ret_ty: Type::Void,
                     },
                 );
-                report.latch_sites += 1;
+                report.entry_sites += 1;
             }
-        }
+            // Latch callbacks (bounding gaps across iterations, including
+            // endless loops).
+            for l in &loops {
+                // CG refinement: a direct call inside the loop to a defined
+                // function means that function's entry callback already fires
+                // every iteration that executes the call — only skip when the
+                // call is on every iteration path (its block dominates the
+                // latch). Keep the analysis simple: require the call in a block
+                // of the loop and a single-latch loop dominated by it.
+                let f = m.func(fid);
+                let covered = l.single_latch().is_some_and(|latch| {
+                    let cfg = noelle_ir::cfg::Cfg::new(f);
+                    let dt = noelle_ir::dom::DomTree::new(f, &cfg);
+                    l.blocks.iter().any(|&b| {
+                        dt.dominates(b, latch)
+                            && f.block(b).insts.iter().any(|&i| {
+                                matches!(
+                                    f.inst(i),
+                                    Inst::Call {
+                                        callee: Callee::Direct(c),
+                                        ..
+                                    } if guaranteed_callback(m, *c, &defined)
+                                )
+                            })
+                    })
+                });
+                if covered {
+                    report.covered_by_callee += 1;
+                    continue;
+                }
+                let f = m.func_mut(fid);
+                for &latch in &l.latches {
+                    let pos = f.block(latch).insts.len().saturating_sub(1);
+                    f.insert_inst(
+                        latch,
+                        pos,
+                        Inst::Call {
+                            callee: Callee::Direct(cb),
+                            args: vec![],
+                            ret_ty: Type::Void,
+                        },
+                    );
+                    report.latch_sites += 1;
+                }
+            }
+        });
     }
     report
 }

@@ -86,31 +86,33 @@ pub fn run(noelle: &mut Noelle, entry: &str) -> DeadReport {
     let reachable = cg.reachable_from(&roots);
 
     let all: Vec<FuncId> = noelle.module().func_ids().collect();
-    let m = noelle.module_mut();
-    for fid in all {
-        let f = m.func(fid);
-        if f.is_declaration() || reachable.contains(&fid) {
-            continue;
+    noelle.edit(|tx| {
+        for fid in all {
+            let m = tx.module();
+            let f = m.func(fid);
+            if f.is_declaration() || reachable.contains(&fid) {
+                continue;
+            }
+            // Keep address-taken functions: a complete CG resolved their
+            // callers, so unreachable + address-taken means the taking site
+            // is itself dead — but stay conservative and keep them.
+            if taken.contains(&fid)
+                && reachable.iter().any(|r| {
+                    let rf = m.func(*r);
+                    rf.inst_ids()
+                        .iter()
+                        .any(|&i| rf.inst(i).operands().contains(&Value::Func(fid)))
+                })
+            {
+                continue;
+            }
+            let name = f.name.clone();
+            let params = f.params.clone();
+            let ret = f.ret_ty.clone();
+            *tx.func_mut(fid) = Function::new(name.clone(), params, ret);
+            report.removed.push(name);
         }
-        // Keep address-taken functions: a complete CG resolved their
-        // callers, so unreachable + address-taken means the taking site is
-        // itself dead — but stay conservative and keep them.
-        if taken.contains(&fid)
-            && reachable.iter().any(|r| {
-                let rf = m.func(*r);
-                rf.inst_ids()
-                    .iter()
-                    .any(|&i| rf.inst(i).operands().contains(&Value::Func(fid)))
-            })
-        {
-            continue;
-        }
-        let name = f.name.clone();
-        let params = f.params.clone();
-        let ret = f.ret_ty.clone();
-        *m.func_mut(fid) = Function::new(name.clone(), params, ret);
-        report.removed.push(name);
-    }
+    });
     report.insts_after = noelle.module().total_insts();
     report
 }

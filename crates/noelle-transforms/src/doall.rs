@@ -103,10 +103,16 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
                 .push((fname, l.header, "loop-carried dependences".to_string()));
             continue;
         }
-        let m = noelle.module_mut();
         let task_name = format!("{fname}.doall.{}", l.header.0);
-        match parallelize_with(m, fid, &la, opts.n_tasks, &task_name, |m, task| {
-            distribute_cyclically(m, task)
+        match noelle.edit(|tx| {
+            parallelize_with(
+                tx.module_touching([fid]),
+                fid,
+                &la,
+                opts.n_tasks,
+                &task_name,
+                distribute_cyclically,
+            )
         }) {
             Ok(()) => {
                 report.parallelized.push((fname, l.header));

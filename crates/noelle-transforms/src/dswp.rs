@@ -94,7 +94,7 @@ pub fn run(noelle: &mut Noelle, opts: &DswpOptions) -> ParallelReport {
             continue;
         }
         let la = noelle.loop_abstraction(fid, l.clone());
-        match pipeline_loop(noelle.module_mut(), fid, &la, opts.n_stages) {
+        match noelle.edit(|tx| pipeline_loop(tx.module_touching([fid]), fid, &la, opts.n_stages)) {
             Ok(()) => {
                 report.parallelized.push((fname, l.header));
                 done.push((fid, l.header));

@@ -211,14 +211,22 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
                 continue;
             }
         }
-        let m = noelle.module_mut();
         let task_name = format!("{fname}.helix.{}", l.header.0);
         let seg_base = seg_counter;
         seg_counter += segments.len() as i64;
         let segments_ref = &segments;
-        match parallelize_with(m, fid, &la, opts.n_tasks, &task_name, |m, task| {
-            distribute_cyclically(m, task)?;
-            bracket_segments(m, task, segments_ref, seg_base)
+        match noelle.edit(|tx| {
+            parallelize_with(
+                tx.module_touching([fid]),
+                fid,
+                &la,
+                opts.n_tasks,
+                &task_name,
+                |m, task| {
+                    distribute_cyclically(m, task)?;
+                    bracket_segments(m, task, segments_ref, seg_base)
+                },
+            )
         }) {
             Ok(()) => {
                 report.parallelized.push((fname, l.header));
@@ -227,7 +235,8 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
             Err(e) => report.skipped.push((fname, l.header, e.to_string())),
         }
     }
-    set_segment_base(noelle.module_mut(), seg_counter);
+    // Metadata-only edit: no function bodies change.
+    noelle.edit(|tx| set_segment_base(tx.module_touching([]), seg_counter));
     report
 }
 

@@ -127,7 +127,7 @@ pub fn run(noelle: &mut Noelle) -> LicmReport {
         let la = noelle.loop_abstraction(fid, l.clone());
         let inv = la.invariants.clone();
         let fname = noelle.module().func(fid).name.clone();
-        let n = hoist_invariants(noelle.module_mut(), fid, &l, &inv);
+        let n = noelle.edit(|tx| hoist_invariants(tx.module_touching([fid]), fid, &l, &inv));
         if n > 0 {
             report.hoisted += n;
             report.per_loop.push((fname, l.header, n));

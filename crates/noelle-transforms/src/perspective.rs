@@ -63,11 +63,19 @@ pub fn run(noelle: &mut Noelle, opts: &PerspectiveOptions) -> ParallelReport {
                 .push((fname, l.header, "no privatizable object".into()));
             continue;
         };
-        let m = noelle.module_mut();
         let task_name = format!("{fname}.pers.{}", l.header.0);
-        match parallelize_with(m, fid, &la, opts.n_tasks, &task_name, |m, task| {
-            privatize(m, task, cell)?;
-            distribute_cyclically(m, task)
+        match noelle.edit(|tx| {
+            parallelize_with(
+                tx.module_touching([fid]),
+                fid,
+                &la,
+                opts.n_tasks,
+                &task_name,
+                |m, task| {
+                    privatize(m, task, cell)?;
+                    distribute_cyclically(m, task)
+                },
+            )
         }) {
             Ok(()) => report.parallelized.push((fname, l.header)),
             Err(e) => report.skipped.push((fname, l.header, e.to_string())),

@@ -102,20 +102,23 @@ pub fn run(noelle: &mut Noelle, opts: &PrvjOptions) -> PrvjReport {
         .map(|(_, _, g, _)| *g)
         .collect();
 
-    let m = noelle.module_mut();
-    let fast = m.get_or_declare("prv.xs.next", vec![Type::I64], Type::I64);
+    let site_fids: Vec<FuncId> = sites.iter().map(|(fid, ..)| *fid).collect();
     let mut touched_gens: BTreeSet<Option<i64>> = BTreeSet::new();
-    for (fid, id, gen_id, _) in sites {
-        if hot_gens.contains(&gen_id) {
-            if let Inst::Call { callee, .. } = m.func_mut(fid).inst_mut(id) {
-                *callee = Callee::Direct(fast);
+    noelle.edit(|tx| {
+        let m = tx.module_touching(site_fids);
+        let fast = m.get_or_declare("prv.xs.next", vec![Type::I64], Type::I64);
+        for (fid, id, gen_id, _) in sites {
+            if hot_gens.contains(&gen_id) {
+                if let Inst::Call { callee, .. } = m.func_mut(fid).inst_mut(id) {
+                    *callee = Callee::Direct(fast);
+                }
+                report.replaced += 1;
+                touched_gens.insert(gen_id);
+            } else {
+                report.kept += 1;
             }
-            report.replaced += 1;
-            touched_gens.insert(gen_id);
-        } else {
-            report.kept += 1;
         }
-    }
+    });
     report.generators = touched_gens.len();
     report
 }

@@ -89,56 +89,58 @@ pub fn run(noelle: &mut Noelle) -> TimeReport {
         }
         report.islands += islands_of(&compares, &edges).len();
 
-        let m = noelle.module_mut();
-        let mut function_swapped = 0usize;
-        for id in compares {
-            let f = m.func_mut(fid);
-            if let Inst::Icmp { pred, lhs, rhs, .. } = f.inst(id).clone() {
-                let lhs_const = lhs.is_const();
-                let rhs_const = rhs.is_const();
-                match (lhs_const, rhs_const) {
-                    (true, false) => {
-                        // Swap into canonical var-vs-const form.
-                        if let Inst::Icmp {
-                            pred: p,
-                            lhs: l,
-                            rhs: r,
-                            ..
-                        } = f.inst_mut(id)
-                        {
-                            *p = pred.swapped();
-                            std::mem::swap(l, r);
+        noelle.edit(|tx| {
+            let m = tx.module_touching([fid]);
+            let mut function_swapped = 0usize;
+            for id in compares {
+                let f = m.func_mut(fid);
+                if let Inst::Icmp { pred, lhs, rhs, .. } = f.inst(id).clone() {
+                    let lhs_const = lhs.is_const();
+                    let rhs_const = rhs.is_const();
+                    match (lhs_const, rhs_const) {
+                        (true, false) => {
+                            // Swap into canonical var-vs-const form.
+                            if let Inst::Icmp {
+                                pred: p,
+                                lhs: l,
+                                rhs: r,
+                                ..
+                            } = f.inst_mut(id)
+                            {
+                                *p = pred.swapped();
+                                std::mem::swap(l, r);
+                            }
+                            f.set_inst_metadata(id, "time.optimized", "1");
+                            function_swapped += 1;
+                            report.swapped += 1;
                         }
-                        f.set_inst_metadata(id, "time.optimized", "1");
-                        function_swapped += 1;
-                        report.swapped += 1;
-                    }
-                    _ => {
-                        f.set_inst_metadata(id, "time.optimized", "1");
-                        report.already_canonical += 1;
+                        _ => {
+                            f.set_inst_metadata(id, "time.optimized", "1");
+                            report.already_canonical += 1;
+                        }
                     }
                 }
             }
-        }
-        // After canonicalization every compare is canonical, so any
-        // compare-bearing function can run with a tightened clock.
-        if function_swapped > 0 || has_compares(m, fid) {
-            // Every compare in the function is canonical now: the region can
-            // run with a tightened clock.
-            let clock = m.get_or_declare("clock.set", vec![Type::I64], Type::Void);
-            let f = m.func_mut(fid);
-            let entry = f.entry();
-            f.insert_inst(
-                entry,
-                0,
-                Inst::Call {
-                    callee: Callee::Direct(clock),
-                    args: vec![Value::const_i64(92)],
-                    ret_ty: Type::Void,
-                },
-            );
-            report.clocked_functions += 1;
-        }
+            // After canonicalization every compare is canonical, so any
+            // compare-bearing function can run with a tightened clock.
+            if function_swapped > 0 || has_compares(m, fid) {
+                // Every compare in the function is canonical now: the region can
+                // run with a tightened clock.
+                let clock = m.get_or_declare("clock.set", vec![Type::I64], Type::Void);
+                let f = m.func_mut(fid);
+                let entry = f.entry();
+                f.insert_inst(
+                    entry,
+                    0,
+                    Inst::Call {
+                        callee: Callee::Direct(clock),
+                        args: vec![Value::const_i64(92)],
+                        ret_ty: Type::Void,
+                    },
+                );
+                report.clocked_functions += 1;
+            }
+        });
     }
     report
 }

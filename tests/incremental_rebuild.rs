@@ -1,0 +1,176 @@
+//! Incremental invalidation equivalence: transforms edit the module
+//! through `Noelle::edit`, so the warm manager repairs only the damaged
+//! per-function PDG partitions. These tests pin the engine's contract:
+//!
+//! 1. For every transform and every bundled workload, the incrementally
+//!    repaired PDG, loop forest, and per-loop aSCCDAG must be
+//!    **byte-identical on the wire** to a from-scratch `Noelle::new`
+//!    build of the same (transformed) module.
+//! 2. Editing one function must **not rebuild** the others: untouched
+//!    partitions are reused by `Arc` handle, and the per-function cache
+//!    counters record hits, not misses.
+
+use std::sync::Arc;
+
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::core::wire;
+use noelle::transforms as tools;
+use noelle::workloads::{all, pdg_stress, Workload};
+
+fn workloads() -> Vec<Workload> {
+    let mut ws = all();
+    ws.push(pdg_stress());
+    ws
+}
+
+/// One deterministic string covering the PDG, every function's loop
+/// forest, and every loop's aSCCDAG — the abstractions the server serves.
+fn encode_all(n: &mut Noelle) -> String {
+    let pdg = n.pdg();
+    let mut s = wire::pdg_to_json(n.module(), &pdg).to_string_compact();
+    let fids: Vec<_> = n
+        .module()
+        .func_ids()
+        .filter(|fid| !n.module().func(*fid).is_declaration())
+        .collect();
+    for fid in fids {
+        let name = n.module().func(fid).name.clone();
+        for l in n.loops_of(fid) {
+            s.push('\n');
+            s.push_str(&name);
+            s.push(' ');
+            s.push_str(&wire::loop_to_json(&l).to_string_compact());
+            let la = n.loop_abstraction(fid, l);
+            s.push(' ');
+            s.push_str(&wire::sccdag_to_json(&la.sccdag).to_string_compact());
+        }
+    }
+    s
+}
+
+/// Warm the manager, apply the transform (which edits through
+/// `Noelle::edit`), and demand the repaired abstractions match a
+/// from-scratch build byte for byte.
+fn check_incremental_identity(name: &str, apply: impl Fn(&mut Noelle)) {
+    for w in workloads() {
+        let mut warm = Noelle::new(w.build(), AliasTier::Full);
+        let _ = warm.pdg(); // build once, so the edit repairs instead of rebuilding
+        apply(&mut warm);
+        let incremental = encode_all(&mut warm);
+        let mut fresh = Noelle::new(warm.module().clone(), AliasTier::Full);
+        let scratch = encode_all(&mut fresh);
+        assert_eq!(
+            incremental, scratch,
+            "{name} on {}: incrementally repaired abstractions differ from a from-scratch build",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn licm_repairs_match_fresh_build() {
+    check_incremental_identity("licm", |n| {
+        tools::licm::run(n);
+    });
+}
+
+#[test]
+fn dead_repairs_match_fresh_build() {
+    check_incremental_identity("dead", |n| {
+        tools::dead::run(n, "main");
+    });
+}
+
+#[test]
+fn doall_repairs_match_fresh_build() {
+    check_incremental_identity("doall", |n| {
+        tools::doall::run(
+            n,
+            &tools::doall::DoallOptions {
+                n_tasks: 4,
+                min_hotness: 0.0,
+                only: None,
+            },
+        );
+    });
+}
+
+#[test]
+fn dswp_repairs_match_fresh_build() {
+    check_incremental_identity("dswp", |n| {
+        tools::dswp::run(
+            n,
+            &tools::dswp::DswpOptions {
+                n_stages: 2,
+                min_hotness: 0.0,
+            },
+        );
+    });
+}
+
+#[test]
+fn helix_repairs_match_fresh_build() {
+    check_incremental_identity("helix", |n| {
+        tools::helix::run(
+            n,
+            &tools::helix::HelixOptions {
+                n_tasks: 4,
+                min_hotness: 0.0,
+                max_sequential_fraction: 0.7,
+            },
+        );
+    });
+}
+
+#[test]
+fn untouched_functions_are_not_rebuilt() {
+    // Edit exactly one function of the many-function stress workload and
+    // prove the rest were reused: their partitions are the same `Arc`
+    // allocations, and the counters record one miss (the edited function)
+    // against a pile of hits.
+    let w = pdg_stress();
+    let mut n = Noelle::new(w.build(), AliasTier::Full);
+    let p1 = n.pdg();
+    let total_funcs = p1.per_function.len();
+    assert!(
+        total_funcs > 4,
+        "stress workload should have many functions"
+    );
+
+    let before = n.func_cache_counters();
+    let fid = n
+        .module()
+        .func_id_by_name("main")
+        .expect("stress workload has main");
+    n.edit(|tx| {
+        tx.touch(fid);
+    });
+    let p2 = n.pdg();
+    let after = n.func_cache_counters();
+
+    // `main` calls every kernel, so its callees' summaries are unchanged
+    // and only `main` itself is damaged.
+    let mut reused = 0usize;
+    for (other, g) in &p1.per_function {
+        if *other == fid {
+            continue;
+        }
+        assert!(
+            Arc::ptr_eq(g, &p2.per_function[other]),
+            "untouched function {other:?} was rebuilt"
+        );
+        reused += 1;
+    }
+    assert_eq!(reused, total_funcs - 1);
+    assert_eq!(
+        after.pdg_misses - before.pdg_misses,
+        1,
+        "exactly the edited function should be re-analyzed"
+    );
+    assert_eq!(
+        after.pdg_hits - before.pdg_hits,
+        (total_funcs - 1) as u64,
+        "every untouched function should be a cache hit"
+    );
+    assert!(after.invalidations > before.invalidations);
+}

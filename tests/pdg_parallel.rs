@@ -245,7 +245,7 @@ fn manager_drops_stale_pdg_after_loop_builder_mutation() {
 
     // Hoist the load out of the loop: it no longer executes under the loop
     // condition, so the control dependence above is stale.
-    loop_builder::hoist_to_preheader(n.module_mut().func_mut(fid), &l, load).expect("hoists");
+    n.edit(|tx| loop_builder::hoist_to_preheader(tx.func_mut(fid), &l, load).expect("hoists"));
     noelle::ir::verifier::verify_module(n.module()).expect("still verifies");
 
     let p2 = n.pdg();

@@ -20,6 +20,22 @@ fn start_server(workers: usize) -> RunningServer {
     .expect("bind ephemeral port")
 }
 
+/// A server wired to the real `noelle-tools` registry, as `noelle-served`
+/// builds it.
+fn start_server_with_tools(workers: usize) -> RunningServer {
+    let runner: noelle_server::ToolRunner = std::sync::Arc::new(|n, params| {
+        noelle_tools::registry::ToolInvocation::from_json(params).and_then(|inv| inv.run(n))
+    });
+    Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .with_tool_runner(runner)
+    .start()
+    .expect("bind ephemeral port")
+}
+
 fn load(client: &mut Client, path: &str, session: &str) {
     let ok = client
         .call(
@@ -275,6 +291,107 @@ fn stdio_mode_answers_line_delimited_requests() {
         "bad line gets an error reply"
     );
     assert!(lines[3].get("ok").is_some(), "shutdown acknowledged");
+}
+
+#[test]
+fn protocol_version_mismatch_is_a_typed_error() {
+    use noelle_server::protocol::PROTOCOL_VERSION;
+    // A client speaking a wrong protocol version gets a structured
+    // `version_mismatch` error; a version-1 client (no "v" field) and a
+    // current client are both served. Every reply carries the daemon's
+    // own version.
+    let input = concat!(
+        r#"{"id":1,"method":"ping","params":{},"v":99}"#,
+        "\n",
+        r#"{"id":2,"method":"ping","params":{}}"#,
+        "\n",
+        r#"{"id":3,"method":"ping","params":{},"v":2}"#,
+        "\n",
+        r#"{"id":4,"method":"shutdown","params":{}}"#,
+        "\n",
+    );
+    let mut out = Vec::new();
+    Server::new(ServerConfig::default())
+        .serve_stdio(&mut Cursor::new(input), &mut out)
+        .expect("stdio serve");
+    let lines: Vec<Json> = String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(|l| Json::parse(l).expect("reply line"))
+        .collect();
+    assert_eq!(lines.len(), 4);
+    assert_eq!(
+        lines[0]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("version_mismatch"),
+        "wrong version is rejected with a typed error: {:?}",
+        lines[0]
+    );
+    assert!(
+        lines[0]
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("v99")),
+        "the error names the offending version"
+    );
+    assert!(lines[1].get("ok").is_some(), "unversioned (v1) accepted");
+    assert!(lines[2].get("ok").is_some(), "current version accepted");
+    for l in &lines {
+        assert_eq!(
+            l.get("v").and_then(Json::as_i64),
+            Some(PROTOCOL_VERSION),
+            "every reply carries the daemon's protocol version"
+        );
+    }
+}
+
+#[test]
+fn run_tool_reuses_function_cache_across_queries() {
+    let server = start_server_with_tools(2);
+    let addr = server.addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    load(&mut c, "workload:blackscholes", "warm");
+
+    let sess = Json::object([("session".to_string(), Json::Str("warm".into()))]);
+    // Build the PDG, run a transform (which edits through `Noelle::edit`),
+    // then query the PDG again: the session's warm manager must repair
+    // incrementally, reusing every untouched function's partition.
+    let ok = c.call("pdg", sess.clone()).expect("first pdg");
+    assert!(ok.get("num_edges").and_then(Json::as_i64).unwrap() > 0);
+    let ran = c
+        .call(
+            "run-tool",
+            Json::object([
+                ("session".to_string(), Json::Str("warm".into())),
+                ("tool".to_string(), Json::Str("licm".into())),
+            ]),
+        )
+        .expect("run-tool licm");
+    assert_eq!(ran.get("tool").and_then(Json::as_str), Some("licm"));
+    let ok = c.call("pdg", sess).expect("second pdg");
+    assert!(ok.get("num_edges").and_then(Json::as_i64).unwrap() > 0);
+
+    let metrics = c.call("metrics", Json::object([])).expect("metrics");
+    let cache = metrics
+        .get("sessions")
+        .and_then(|s| s.get("warm"))
+        .and_then(|s| s.get("func_cache"))
+        .expect("per-session func_cache counters");
+    let hits = cache.get("pdg_hits").and_then(Json::as_i64).unwrap();
+    let invalidations = cache.get("invalidations").and_then(Json::as_i64).unwrap();
+    assert!(
+        hits > 0,
+        "run-tool then pdg must reuse untouched partitions: {metrics:?}"
+    );
+    assert!(
+        invalidations > 0,
+        "the tool's edit must have invalidated its touched functions"
+    );
+
+    server.shutdown_and_join();
 }
 
 #[test]
