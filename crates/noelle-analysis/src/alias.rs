@@ -16,6 +16,7 @@
 //! tier disproves; `noelle-bench` reproduces that comparison with these two
 //! implementations.
 
+use crate::bitset::BitSet;
 use noelle_ir::inst::{Callee, Inst, InstId};
 use noelle_ir::module::{FuncId, GlobalId, Module};
 use noelle_ir::types::Type;
@@ -103,9 +104,20 @@ pub fn alloca_address_taken(f: &noelle_ir::module::Function, id: InstId) -> bool
 }
 
 pub fn underlying_objects(m: &Module, fid: FuncId, v: Value) -> BTreeSet<Option<MemoryObject>> {
-    let mut out = BTreeSet::new();
-    let mut visited = HashSet::new();
+    underlying_objects_vec(m, fid, v).into_iter().collect()
+}
+
+/// Small-vec form of [`underlying_objects`]: the same base set as a sorted,
+/// deduplicated `Vec`. This is what the hot query paths use — a `Vec` of a
+/// few elements beats a `BTreeSet` allocation per query; consumers that need
+/// a set (the `base_objects` trait boundary, external callers) canonicalize
+/// once at their own boundary.
+pub fn underlying_objects_vec(m: &Module, fid: FuncId, v: Value) -> Vec<Option<MemoryObject>> {
+    let mut out = Vec::new();
+    let mut visited = Vec::new();
     collect_bases(m, fid, v, &mut out, &mut visited, 32);
+    out.sort_unstable();
+    out.dedup();
     out
 }
 
@@ -113,31 +125,34 @@ fn collect_bases(
     m: &Module,
     fid: FuncId,
     v: Value,
-    out: &mut BTreeSet<Option<MemoryObject>>,
-    visited: &mut HashSet<Value>,
+    out: &mut Vec<Option<MemoryObject>>,
+    visited: &mut Vec<Value>,
     fuel: u32,
 ) {
-    if fuel == 0 || !visited.insert(v) {
-        out.insert(None);
+    // The walk is fuel-bounded, so the visited list stays small and a linear
+    // scan beats hashing.
+    if fuel == 0 || visited.contains(&v) {
+        out.push(None);
         return;
     }
+    visited.push(v);
     let f = m.func(fid);
     match v {
         Value::Global(g) => {
-            out.insert(Some(MemoryObject::Global(g)));
+            out.push(Some(MemoryObject::Global(g)));
         }
         Value::Func(callee) => {
-            out.insert(Some(MemoryObject::Function(callee)));
+            out.push(Some(MemoryObject::Function(callee)));
         }
         Value::Const(_) => {
             // Null / undef / integer constants: no object.
         }
         Value::Arg(_) => {
-            out.insert(None);
+            out.push(None);
         }
         Value::Inst(id) => match f.inst(id) {
             Inst::Alloca { .. } => {
-                out.insert(Some(MemoryObject::Alloca(fid, id)));
+                out.push(Some(MemoryObject::Alloca(fid, id)));
             }
             Inst::Gep { base, .. } => collect_bases(m, fid, *base, out, visited, fuel - 1),
             Inst::Cast {
@@ -146,7 +161,7 @@ fn collect_bases(
                 ..
             } => collect_bases(m, fid, *val, out, visited, fuel - 1),
             Inst::Cast { .. } => {
-                out.insert(None);
+                out.push(None);
             }
             Inst::Select { tval, fval, .. } => {
                 collect_bases(m, fid, *tval, out, visited, fuel - 1);
@@ -159,18 +174,31 @@ fn collect_bases(
             }
             Inst::Call { callee, .. } => {
                 if let Callee::Direct(cid) = callee {
-                    if crate::modref::is_allocator(&m.func(*cid).name) {
-                        out.insert(Some(MemoryObject::Heap(fid, id)));
+                    if crate::modref::is_allocator_sym(m.func(*cid).name_sym()) {
+                        out.push(Some(MemoryObject::Heap(fid, id)));
                         return;
                     }
                 }
-                out.insert(None);
+                out.push(None);
             }
             _ => {
-                out.insert(None);
+                out.push(None);
             }
         },
     }
+}
+
+/// True when two sorted, deduplicated slices share no element.
+fn sorted_disjoint<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -278,14 +306,15 @@ impl AliasAnalysis for BasicAlias<'_> {
             _ => {}
         }
 
-        // Underlying-object rules.
-        let oa = underlying_objects(self.module, fid, a);
-        let ob = underlying_objects(self.module, fid, b);
-        let a_known = !oa.contains(&None) && !oa.is_empty();
-        let b_known = !ob.contains(&None) && !ob.is_empty();
+        // Underlying-object rules. The sorted-vec form avoids a `BTreeSet`
+        // allocation per query; `None` sorts first, so "contains unknown" is
+        // a first-element check.
+        let oa = underlying_objects_vec(self.module, fid, a);
+        let ob = underlying_objects_vec(self.module, fid, b);
+        let a_known = oa.first().is_some_and(Option::is_some);
+        let b_known = ob.first().is_some_and(Option::is_some);
         if a_known && b_known {
-            let inter: Vec<_> = oa.intersection(&ob).collect();
-            if inter.is_empty() {
+            if sorted_disjoint(&oa, &ob) {
                 return AliasResult::No;
             }
         } else if a_known || b_known {
@@ -330,9 +359,11 @@ impl AliasAnalysis for BasicAlias<'_> {
         // Sound for bucketing because the underlying-object rule in `alias`
         // answers `No` on any pair of fully-known disjoint base sets, and the
         // earlier const-gep rules only produce `Must`/`May` for pointers
-        // sharing a base (hence sharing base objects).
-        let objs = underlying_objects(self.module, fid, ptr);
-        if objs.is_empty() || objs.contains(&None) {
+        // sharing a base (hence sharing base objects). The set is
+        // canonicalized from the sorted-vec form only here, at the trait
+        // boundary (memoized by `CachedAlias`, so once per distinct query).
+        let objs = underlying_objects_vec(self.module, fid, ptr);
+        if !objs.first().is_some_and(Option::is_some) {
             return None;
         }
         Some(objs.into_iter().flatten().collect())
@@ -407,10 +438,30 @@ enum VarKey {
     UnknownSrc,
 }
 
+/// External-callee classification, precomputed per function so call-site
+/// generation never re-examines a name string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ExternClass {
+    /// Defined in the module.
+    Defined,
+    /// Known allocation routine.
+    Alloc,
+    /// External with escaping pointer arguments.
+    Opaque,
+    /// External that neither allocates nor captures pointers.
+    Inert,
+}
+
 /// Whole-program Andersen points-to analysis and the alias interface on top.
+///
+/// Points-to rows are sparse bitsets over object ids ([`BitSet`]); the
+/// solver is a worklist over the copy-edge constraint graph, sharded by SCC
+/// (see [`Solver::copy_fixpoint`]). The inclusion system has a unique least
+/// fixpoint, so the sharded/parallel schedule yields byte-identical rows to
+/// the sequential one.
 pub struct AndersenAlias {
     vars: HashMap<VarKey, usize>,
-    pts: Vec<BTreeSet<usize>>,
+    pts: Vec<BitSet>,
     objects: Vec<MemoryObject>,
     obj_ids: HashMap<MemoryObject, usize>,
     /// Resolved callees of each indirect call site.
@@ -420,28 +471,253 @@ pub struct AndersenAlias {
 struct Solver<'m> {
     m: &'m Module,
     vars: HashMap<VarKey, usize>,
-    pts: Vec<BTreeSet<usize>>,
-    succs: Vec<Vec<usize>>,  // copy edges: pts(to) ⊇ pts(from)
-    loads: Vec<Vec<usize>>,  // loads[p] = dst vars of `dst = load p`
-    stores: Vec<Vec<usize>>, // stores[p] = src vars of `store src, p`
+    pts: Vec<BitSet>,
+    succs: Vec<Vec<u32>>,  // copy edges: pts(to) ⊇ pts(from)
+    loads: Vec<Vec<u32>>,  // loads[p] = dst vars of `dst = load p`
+    stores: Vec<Vec<u32>>, // stores[p] = src vars of `store src, p`
+    edge_seen: HashSet<(u32, u32)>,
     objects: Vec<MemoryObject>,
     obj_ids: HashMap<MemoryObject, usize>,
+    /// Content var of each object, filled eagerly by `prepare` so no var is
+    /// created while the solver propagates.
+    content_of: Vec<u32>,
+    extern_class: Vec<ExternClass>,
     indirect_sites: Vec<(FuncId, InstId)>,
     resolved: HashMap<(FuncId, InstId), BTreeSet<FuncId>>,
+    /// Dense lazy mirror of `vars` for the function `cache_fid`:
+    /// `inst_var_cache[inst.index()]` / `arg_var_cache[i]` hold the var of
+    /// `Local(cache_fid, inst)` / `Arg(cache_fid, i)`, `u32::MAX` = unknown.
+    cache_fid: FuncId,
+    inst_var_cache: Vec<u32>,
+    arg_var_cache: Vec<u32>,
+    /// Shared synthetic vars for address-constant operands. These vars only
+    /// ever grow *out*-edges (load/store lists, copy edges to call results),
+    /// so their rows stay exactly the seeded singleton — one var per global
+    /// or function is equivalent to a fresh var per use.
+    global_addr_vars: HashMap<GlobalId, usize>,
+    func_addr_vars: HashMap<FuncId, usize>,
+    /// One permanently-empty var shared by every integer-constant operand.
+    const_var: Option<usize>,
 }
 
-impl<'m> Solver<'m> {
-    fn var(&mut self, key: VarKey) -> usize {
-        if let Some(&v) = self.vars.get(&key) {
-            return v;
+/// Run the worklist of one SCC shard to its local fixpoint. `rows` holds the
+/// shard's points-to rows (extracted from the global table); predecessors
+/// outside the shard live at strictly lower condensation levels, already
+/// settled, and are read through `settled`. `shard` is sorted, so in-shard
+/// membership is a binary search.
+fn solve_shard(
+    shard: &[u32],
+    rows: &mut [BitSet],
+    pred_off: &[u32],
+    pred_dat: &[u32],
+    succs: &[Vec<u32>],
+    settled: &[BitSet],
+) {
+    let preds_of = |v: usize| &pred_dat[pred_off[v] as usize..pred_off[v + 1] as usize];
+    let k = shard.len();
+    if k == 1 {
+        // Singleton SCC: every predecessor is settled (self-edges are never
+        // created), so one union pass reaches the fixpoint — no worklist,
+        // no queue allocation. The overwhelmingly common case.
+        let v = shard[0] as usize;
+        let row = &mut rows[0];
+        for &p in preds_of(v) {
+            row.union_with(&settled[p as usize]);
         }
+        return;
+    }
+    let mut in_q = vec![true; k];
+    let mut queue: std::collections::VecDeque<u32> = (0..k as u32).collect();
+    while let Some(li) = queue.pop_front() {
+        let li = li as usize;
+        in_q[li] = false;
+        let v = shard[li] as usize;
+        // Take the row out so in-shard predecessor rows stay borrowable.
+        let mut row = std::mem::take(&mut rows[li]);
+        let mut changed = false;
+        for &p in preds_of(v) {
+            if p as usize == v {
+                continue;
+            }
+            let src = match shard.binary_search(&p) {
+                Ok(pj) => &rows[pj],
+                Err(_) => &settled[p as usize],
+            };
+            changed |= row.union_with(src);
+        }
+        rows[li] = row;
+        if changed {
+            for &s in &succs[v] {
+                if let Ok(sj) = shard.binary_search(&s) {
+                    if !in_q[sj] {
+                        in_q[sj] = true;
+                        queue.push_back(sj as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flattened SCC partition of the copy graph: SCC `i`'s members are
+/// `members[off[i]..off[i+1]]`, sorted ascending. Emission order is
+/// reverse topological (successors before predecessors). Two flat arrays
+/// instead of a `Vec` per SCC: almost every SCC is a singleton, and the
+/// partition is rebuilt every fixpoint round.
+struct SccSet {
+    off: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl SccSet {
+    fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    fn scc(&self, i: usize) -> &[u32] {
+        &self.members[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+}
+
+/// Tarjan's SCCs of the copy graph, flattened.
+fn copy_sccs(succs: &[Vec<u32>]) -> SccSet {
+    let n = succs.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut counter = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut out = SccSet {
+        off: vec![0u32],
+        members: Vec::with_capacity(n),
+    };
+    let mut call_stack: Vec<(u32, u32)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = counter;
+        lowlink[root] = counter;
+        counter += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        call_stack.push((root as u32, 0));
+        while let Some(&mut (node, ref mut pos)) = call_stack.last_mut() {
+            let v = node as usize;
+            if (*pos as usize) < succs[v].len() {
+                let w = succs[v][*pos as usize] as usize;
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    lowlink[w] = counter;
+                    counter += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call_stack.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let start = out.members.len();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        out.members.push(w);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    out.members[start..].sort_unstable();
+                    out.off.push(out.members.len() as u32);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Below this many vars in a condensation level, shard solving stays
+/// sequential — thread spawn overhead dwarfs the work on small modules.
+const PARALLEL_MIN_VARS: usize = 2048;
+
+impl<'m> Solver<'m> {
+    fn fresh_var(&mut self) -> usize {
         let v = self.pts.len();
-        self.vars.insert(key, v);
-        self.pts.push(BTreeSet::new());
+        self.pts.push(BitSet::new());
         self.succs.push(Vec::new());
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
         v
+    }
+
+    fn var(&mut self, key: VarKey) -> usize {
+        // Fast path: dense per-function memo for the two hot key shapes.
+        // Constraint generation asks for `Local(fid, inst)` and
+        // `Arg(fid, i)` once per operand use — a hash probe per use is the
+        // bulk of `generate`'s cost on large modules. The memo lazily
+        // mirrors `vars` for the function named by `cache_fid`; misses fall
+        // through to the map, so it is never a second source of truth.
+        match key {
+            VarKey::Local(fid, id) if fid == self.cache_fid => {
+                let i = id.index();
+                if let Some(&c) = self.inst_var_cache.get(i) {
+                    if c != u32::MAX {
+                        return c as usize;
+                    }
+                }
+                let v = self.var_uncached(key);
+                if let Some(slot) = self.inst_var_cache.get_mut(i) {
+                    *slot = v as u32;
+                }
+                v
+            }
+            VarKey::Arg(fid, k) if fid == self.cache_fid => {
+                let i = k as usize;
+                if let Some(&c) = self.arg_var_cache.get(i) {
+                    if c != u32::MAX {
+                        return c as usize;
+                    }
+                }
+                let v = self.var_uncached(key);
+                if let Some(slot) = self.arg_var_cache.get_mut(i) {
+                    *slot = v as u32;
+                }
+                v
+            }
+            _ => self.var_uncached(key),
+        }
+    }
+
+    fn var_uncached(&mut self, key: VarKey) -> usize {
+        if let Some(&v) = self.vars.get(&key) {
+            return v;
+        }
+        let v = self.fresh_var();
+        self.vars.insert(key, v);
+        v
+    }
+
+    /// Point the per-function var memo at `fid`.
+    fn set_cache_fn(&mut self, fid: FuncId) {
+        self.cache_fid = fid;
+        let f = self.m.func(fid);
+        let n = f
+            .inst_ids()
+            .iter()
+            .map(|i| i.index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.inst_var_cache.clear();
+        self.inst_var_cache.resize(n, u32::MAX);
+        self.arg_var_cache.clear();
+        self.arg_var_cache.resize(f.params.len(), u32::MAX);
     }
 
     fn object(&mut self, o: MemoryObject) -> usize {
@@ -454,9 +730,12 @@ impl<'m> Solver<'m> {
         i
     }
 
-    fn add_edge(&mut self, from: usize, to: usize) {
-        if from != to && !self.succs[from].contains(&to) {
-            self.succs[from].push(to);
+    fn add_edge(&mut self, from: usize, to: usize) -> bool {
+        if from != to && self.edge_seen.insert((from as u32, to as u32)) {
+            self.succs[from].push(to as u32);
+            true
+        } else {
+            false
         }
     }
 
@@ -505,18 +784,19 @@ impl<'m> Solver<'m> {
         for fid in self.m.func_ids() {
             let f = self.m.func(fid);
             for id in f.inst_ids() {
+                let inst = f.inst(id);
                 if let Inst::Call {
                     callee: Callee::Direct(cid),
                     ..
-                } = f.inst(id)
+                } = inst
                 {
                     referenced.insert(*cid);
                 }
-                for op in f.inst(id).operands() {
+                inst.for_each_operand(|op| {
                     if let Value::Func(cid) = op {
                         referenced.insert(cid);
                     }
-                }
+                });
             }
         }
         for fid in self.m.func_ids().collect::<Vec<_>>() {
@@ -524,6 +804,7 @@ impl<'m> Solver<'m> {
             if f.is_declaration() {
                 continue;
             }
+            self.set_cache_fn(fid);
             if !referenced.contains(&fid) {
                 for (i, (_, ty)) in f.params.iter().enumerate() {
                     if ty.is_ptr() {
@@ -539,9 +820,12 @@ impl<'m> Solver<'m> {
     }
 
     fn gen_inst(&mut self, fid: FuncId, id: InstId) {
-        let f = self.m.func(fid);
-        let inst = f.inst(id).clone();
-        match inst {
+        // Reborrow the module through `'m` so the instruction is matched in
+        // place while `&mut self` constraint methods run — the alternative,
+        // cloning each instruction, allocates for every phi/call in the
+        // module and dominates `generate` on large inputs.
+        let m: &'m Module = self.m;
+        match m.func(fid).inst(id) {
             Inst::Alloca { .. } => {
                 let o = self.object(MemoryObject::Alloca(fid, id));
                 let dst = self.var(VarKey::Local(fid, id));
@@ -552,12 +836,22 @@ impl<'m> Solver<'m> {
             Inst::Gep { base, .. } => {
                 // Field-insensitive: a gep is a copy of its base.
                 let dst = self.var(VarKey::Local(fid, id));
-                self.flow_value_into(fid, base, dst);
+                self.flow_value_into(fid, *base, dst);
             }
-            Inst::Cast { op, val, .. } => {
+            // Values that cannot hold an address generate no constraints at
+            // all: no var, no row, no copy edge. A pointer smuggled through
+            // an integer already degrades to `Unknown` at the `IntToPtr`
+            // reintroduction point, so skipping integer-typed flows loses no
+            // precision — while int-heavy kernels stop paying rows and edges
+            // for every scalar load, store, and phi (the bulk of the
+            // constraint system on numeric code).
+            Inst::Cast { op, val, to, .. } => {
+                if !to.is_ptr() {
+                    return;
+                }
                 let dst = self.var(VarKey::Local(fid, id));
                 match op {
-                    noelle_ir::inst::CastOp::Bitcast => self.flow_value_into(fid, val, dst),
+                    noelle_ir::inst::CastOp::Bitcast => self.flow_value_into(fid, *val, dst),
                     noelle_ir::inst::CastOp::IntToPtr => {
                         let uo = self.object(MemoryObject::Unknown);
                         self.pts[dst].insert(uo);
@@ -565,34 +859,46 @@ impl<'m> Solver<'m> {
                     _ => {}
                 }
             }
-            Inst::Select { tval, fval, .. } => {
+            Inst::Select { ty, tval, fval, .. } => {
+                if !ty.is_ptr() {
+                    return;
+                }
                 let dst = self.var(VarKey::Local(fid, id));
-                self.flow_value_into(fid, tval, dst);
-                self.flow_value_into(fid, fval, dst);
+                self.flow_value_into(fid, *tval, dst);
+                self.flow_value_into(fid, *fval, dst);
             }
-            Inst::Phi { incomings, .. } => {
+            Inst::Phi { ty, incomings } => {
+                if !ty.is_ptr() {
+                    return;
+                }
                 let dst = self.var(VarKey::Local(fid, id));
-                for (_, v) in incomings {
+                for &(_, v) in incomings {
                     self.flow_value_into(fid, v, dst);
                 }
             }
-            Inst::Load { ptr, .. } => {
+            Inst::Load { ty, ptr } => {
+                if !ty.is_ptr() {
+                    return;
+                }
                 let dst = self.var(VarKey::Local(fid, id));
-                let p = self.value_var(fid, ptr);
-                self.loads[p].push(dst);
+                let p = self.value_var(fid, *ptr);
+                self.loads[p].push(dst as u32);
             }
-            Inst::Store { val, ptr, .. } => {
+            Inst::Store { val, ptr, ty } => {
+                if !ty.is_ptr() {
+                    return;
+                }
                 // Route the stored value through a dedicated var so constants
                 // and args are handled uniformly.
                 let src = self.var(VarKey::Local(fid, id));
-                self.flow_value_into(fid, val, src);
-                let p = self.value_var(fid, ptr);
-                self.stores[p].push(src);
+                self.flow_value_into(fid, *val, src);
+                let p = self.value_var(fid, *ptr);
+                self.stores[p].push(src as u32);
             }
             Inst::Call { callee, args, .. } => match callee {
-                Callee::Direct(cid) => self.gen_direct_call(fid, id, cid, &args),
+                Callee::Direct(cid) => self.gen_direct_call(fid, id, *cid, args),
                 Callee::Indirect(fp) => {
-                    let _pvar = self.value_var(fid, fp);
+                    let _pvar = self.value_var(fid, *fp);
                     self.indirect_sites.push((fid, id));
                 }
             },
@@ -606,18 +912,41 @@ impl<'m> Solver<'m> {
         match v {
             Value::Inst(id) => self.var(VarKey::Local(fid, id)),
             Value::Arg(i) => self.var(VarKey::Arg(fid, i)),
-            other => {
-                // Globals/functions/constants: a fresh var seeded with the
-                // address object. Keyed by a Local on the *using* function is
-                // not possible (no inst id), so use a content-free trick:
-                // allocate an anonymous var.
-                let dst = self.pts.len();
-                self.pts.push(BTreeSet::new());
-                self.succs.push(Vec::new());
-                self.loads.push(Vec::new());
-                self.stores.push(Vec::new());
-                self.flow_value_into(fid, other, dst);
+            Value::Global(g) => {
+                // An address constant's var never gains an in-edge (use
+                // sites only append to its load/store lists or copy *out*
+                // of it), so its row stays the seeded `{Global(g)}` for the
+                // whole solve and one var can serve every use of `@g`.
+                if let Some(&dst) = self.global_addr_vars.get(&g) {
+                    return dst;
+                }
+                let dst = self.fresh_var();
+                let o = self.object(MemoryObject::Global(g));
+                self.pts[dst].insert(o);
+                self.global_addr_vars.insert(g, dst);
                 dst
+            }
+            Value::Func(f2) => {
+                if let Some(&dst) = self.func_addr_vars.get(&f2) {
+                    return dst;
+                }
+                let dst = self.fresh_var();
+                let o = self.object(MemoryObject::Function(f2));
+                self.pts[dst].insert(o);
+                self.func_addr_vars.insert(f2, dst);
+                dst
+            }
+            Value::Const(_) => {
+                // Integer constants carry no address: their var is
+                // permanently empty, so every constant shares one row.
+                match self.const_var {
+                    Some(dst) => dst,
+                    None => {
+                        let dst = self.fresh_var();
+                        self.const_var = Some(dst);
+                        dst
+                    }
+                }
             }
         }
     }
@@ -625,23 +954,28 @@ impl<'m> Solver<'m> {
     fn gen_direct_call(&mut self, fid: FuncId, id: InstId, cid: FuncId, args: &[Value]) {
         let callee = self.m.func(cid);
         if callee.is_declaration() {
-            let name = callee.name.clone();
+            // Classified once per function in `extern_class` — no name
+            // string examined per call site.
             let dst = self.var(VarKey::Local(fid, id));
-            if crate::modref::is_allocator(&name) {
-                let o = self.object(MemoryObject::Heap(fid, id));
-                self.pts[dst].insert(o);
-                self.var(VarKey::Content(o));
-            } else if crate::modref::external_effects(&name).opaque_pointers {
-                // Unknown external: pointer args escape; the result may be
-                // anything reachable from them or fresh unknown memory.
-                let usrc = self.var(VarKey::UnknownSrc);
-                let uo = self.object(MemoryObject::Unknown);
-                self.pts[dst].insert(uo);
-                for &a in args {
-                    let av = self.value_var(fid, a);
-                    self.stores[av].push(usrc);
-                    self.add_edge(av, dst);
+            match self.extern_class[cid.index()] {
+                ExternClass::Alloc => {
+                    let o = self.object(MemoryObject::Heap(fid, id));
+                    self.pts[dst].insert(o);
+                    self.var(VarKey::Content(o));
                 }
+                ExternClass::Opaque => {
+                    // Unknown external: pointer args escape; the result may be
+                    // anything reachable from them or fresh unknown memory.
+                    let usrc = self.var(VarKey::UnknownSrc);
+                    let uo = self.object(MemoryObject::Unknown);
+                    self.pts[dst].insert(uo);
+                    for &a in args {
+                        let av = self.value_var(fid, a);
+                        self.stores[av].push(usrc as u32);
+                        self.add_edge(av, dst);
+                    }
+                }
+                ExternClass::Inert | ExternClass::Defined => {}
             }
             return;
         }
@@ -653,6 +987,11 @@ impl<'m> Solver<'m> {
                 // Non-pointer params can still smuggle pointers via casts;
                 // ignored (matches field-insensitive precision).
             }
+        }
+        // Return-value flow only matters when the callee can return an
+        // address (same type gate as `gen_inst`: int returns carry none).
+        if !callee.ret_ty.is_ptr() {
+            return;
         }
         let rv = self.var(VarKey::Ret(cid));
         let dst = self.var(VarKey::Local(fid, id));
@@ -668,48 +1007,168 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn propagate(&mut self) {
-        let mut work: Vec<usize> = (0..self.pts.len()).collect();
-        while let Some(v) = work.pop() {
-            let objs: Vec<usize> = self.pts[v].iter().copied().collect();
-            // Complex constraints: materialize load/store edges for each
-            // pointed-to object.
-            let mut new_edges: Vec<(usize, usize)> = Vec::new();
-            for &o in &objs {
-                let content = self.var(VarKey::Content(o));
-                for &dst in &self.loads[v] {
-                    new_edges.push((content, dst));
-                }
-                for &src in &self.stores[v] {
-                    new_edges.push((src, content));
-                }
+    /// Eagerly materialize the content var of every object created so far,
+    /// so propagation never allocates vars. Called once per `solve` round;
+    /// `resolve_indirect` can mint new objects, covered by the next round.
+    fn prepare(&mut self) {
+        while self.content_of.len() < self.objects.len() {
+            let o = self.content_of.len();
+            let c = self.var(VarKey::Content(o));
+            self.content_of.push(c as u32);
+        }
+    }
+
+    /// Solve the current constraint system to its least fixpoint:
+    /// alternate copy-edge closure with load/store edge materialization
+    /// until no new edge appears.
+    fn solve(&mut self) {
+        self.prepare();
+        loop {
+            self.copy_fixpoint();
+            if !self.materialize() {
+                break;
             }
-            let mut touched = false;
-            for (a, b) in new_edges {
-                if !self.succs[a].contains(&b) {
-                    self.succs[a].push(b);
-                    touched = true;
-                    // Flow immediately.
-                    let add: Vec<usize> = self.pts[a].iter().copied().collect();
-                    let before = self.pts[b].len();
-                    self.pts[b].extend(add);
-                    if self.pts[b].len() != before && !work.contains(&b) {
-                        work.push(b);
+        }
+    }
+
+    /// Close the points-to rows under the current copy edges.
+    ///
+    /// The copy graph is condensed into SCCs (Tarjan, reverse-topological
+    /// emission) and the SCCs are level-scheduled: `level(scc) = 1 + max
+    /// level of predecessors`. All predecessors of a level-k SCC are settled
+    /// before level k runs, and SCCs within one level share no edges, so the
+    /// level's shards solve independently — in parallel across
+    /// `std::thread::scope` when the level is big enough. One topologically
+    /// ordered sweep reaches the exact least fixpoint for the current edge
+    /// set, and since that fixpoint is unique, the sharded schedule is
+    /// byte-identical to a sequential solve.
+    fn copy_fixpoint(&mut self) {
+        let n = self.pts.len();
+        if n == 0 {
+            return;
+        }
+        let sccs = copy_sccs(&self.succs);
+        let nsccs = sccs.len();
+        let mut scc_of = vec![0u32; n];
+        for i in 0..nsccs {
+            for &v in sccs.scc(i) {
+                scc_of[v as usize] = i as u32;
+            }
+        }
+        // Levels over the condensation; iterate in topological order
+        // (reverse of Tarjan's emission).
+        let mut level = vec![0u32; nsccs];
+        for i in (0..nsccs).rev() {
+            for &v in sccs.scc(i) {
+                for &s in &self.succs[v as usize] {
+                    let t = scc_of[s as usize] as usize;
+                    if t != i && level[t] < level[i] + 1 {
+                        level[t] = level[i] + 1;
                     }
                 }
             }
-            let _ = touched;
-            // Copy edges.
-            let succs = self.succs[v].clone();
-            for s in succs {
-                let add: Vec<usize> = self.pts[v].iter().copied().collect();
-                let before = self.pts[s].len();
-                self.pts[s].extend(add);
-                if self.pts[s].len() != before && !work.contains(&s) {
-                    work.push(s);
+        }
+        let nlevels = level.iter().max().copied().unwrap_or(0) as usize + 1;
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); nlevels];
+        for i in (0..nsccs).rev() {
+            by_level[level[i] as usize].push(i as u32);
+        }
+        // Pull-direction adjacency, packed CSR (counting sort) — rebuilt
+        // each round, so no per-node Vec allocations.
+        let nedges: usize = self.succs.iter().map(Vec::len).sum();
+        let mut pred_off = vec![0u32; n + 1];
+        for ss in &self.succs {
+            for &s in ss {
+                pred_off[s as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut pred_dat = vec![0u32; nedges];
+        let mut cur = pred_off.clone();
+        for (v, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                pred_dat[cur[s as usize] as usize] = v as u32;
+                cur[s as usize] += 1;
+            }
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1);
+        for shard_ids in &by_level {
+            let shards: Vec<&[u32]> = shard_ids.iter().map(|&i| sccs.scc(i as usize)).collect();
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            // Extract the level's rows so workers may mutate them while
+            // reading settled lower-level rows through a shared borrow of
+            // the global table. (Rows of *this* level read through the
+            // global table would be empty takes, but same-level SCCs have
+            // no cross edges, so they are never read.)
+            let mut rows: Vec<Vec<BitSet>> = shards
+                .iter()
+                .map(|sh| {
+                    sh.iter()
+                        .map(|&v| std::mem::take(&mut self.pts[v as usize]))
+                        .collect()
+                })
+                .collect();
+            if workers > 1 && shards.len() > 1 && total >= PARALLEL_MIN_VARS {
+                let settled = &self.pts;
+                let succs = &self.succs;
+                let pred_off = &pred_off;
+                let pred_dat = &pred_dat;
+                let mut buckets: Vec<Vec<(&[u32], &mut Vec<BitSet>)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, job) in shards.iter().copied().zip(rows.iter_mut()).enumerate() {
+                    buckets[i % workers].push(job);
+                }
+                std::thread::scope(|sc| {
+                    for bucket in buckets {
+                        sc.spawn(move || {
+                            for (shard, rows) in bucket {
+                                solve_shard(shard, rows, pred_off, pred_dat, succs, settled);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (shard, rows) in shards.iter().zip(rows.iter_mut()) {
+                    solve_shard(shard, rows, &pred_off, &pred_dat, &self.succs, &self.pts);
+                }
+            }
+            for (shard, rows) in shards.iter().zip(rows) {
+                for (&v, row) in shard.iter().zip(rows) {
+                    self.pts[v as usize] = row;
                 }
             }
         }
+    }
+
+    /// Materialize copy edges for the complex (load/store) constraints
+    /// against the current rows: `dst ⊇ content(o)` for every `dst = load p`
+    /// with `o ∈ pts(p)`, and `content(o) ⊇ src` for every `store src, p`.
+    /// Returns true if any new edge appeared.
+    fn materialize(&mut self) -> bool {
+        let mut pending: Vec<(u32, u32)> = Vec::new();
+        for v in 0..self.pts.len() {
+            if self.loads[v].is_empty() && self.stores[v].is_empty() {
+                continue;
+            }
+            for o in self.pts[v].iter() {
+                let c = self.content_of[o];
+                for &dst in &self.loads[v] {
+                    pending.push((c, dst));
+                }
+                for &src in &self.stores[v] {
+                    pending.push((src, c));
+                }
+            }
+        }
+        let mut changed = false;
+        for (a, b) in pending {
+            changed |= self.add_edge(a as usize, b as usize);
+        }
+        changed
     }
 
     /// Resolve indirect calls against the current solution; returns true if
@@ -730,7 +1189,7 @@ impl<'m> Solver<'m> {
             let pvar = self.value_var(fid, fp);
             let targets: Vec<FuncId> = self.pts[pvar]
                 .iter()
-                .filter_map(|&o| match self.objects[o] {
+                .filter_map(|o| match self.objects[o] {
                     MemoryObject::Function(cid) => Some(cid),
                     _ => None,
                 })
@@ -750,6 +1209,21 @@ impl<'m> Solver<'m> {
 impl AndersenAlias {
     /// Run the whole-program points-to analysis over `m`.
     pub fn new(m: &Module) -> AndersenAlias {
+        let extern_class = m
+            .functions()
+            .iter()
+            .map(|f| {
+                if !f.is_declaration() {
+                    ExternClass::Defined
+                } else if crate::modref::is_allocator_sym(f.name_sym()) {
+                    ExternClass::Alloc
+                } else if crate::modref::external_effects_sym(f.name_sym()).opaque_pointers {
+                    ExternClass::Opaque
+                } else {
+                    ExternClass::Inert
+                }
+            })
+            .collect();
         let mut s = Solver {
             m,
             vars: HashMap::new(),
@@ -757,14 +1231,23 @@ impl AndersenAlias {
             succs: Vec::new(),
             loads: Vec::new(),
             stores: Vec::new(),
+            edge_seen: HashSet::new(),
             objects: Vec::new(),
             obj_ids: HashMap::new(),
+            content_of: Vec::new(),
+            extern_class,
             indirect_sites: Vec::new(),
             resolved: HashMap::new(),
+            cache_fid: FuncId(u32::MAX),
+            inst_var_cache: Vec::new(),
+            arg_var_cache: Vec::new(),
+            global_addr_vars: HashMap::new(),
+            func_addr_vars: HashMap::new(),
+            const_var: None,
         };
         s.generate();
         loop {
-            s.propagate();
+            s.solve();
             if !s.resolve_indirect() {
                 break;
             }
@@ -776,6 +1259,17 @@ impl AndersenAlias {
             obj_ids: s.obj_ids,
             indirect_targets: s.resolved,
         }
+    }
+
+    /// Approximate heap footprint of the points-to state, in bytes: bitset
+    /// rows plus the var and object tables.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pts.iter().map(BitSet::heap_bytes).sum::<usize>()
+            + self.pts.capacity() * size_of::<BitSet>()
+            + self.vars.len() * (size_of::<VarKey>() + size_of::<usize>() + 16)
+            + self.objects.capacity() * size_of::<MemoryObject>()
+            + self.obj_ids.len() * (size_of::<MemoryObject>() + size_of::<usize>() + 16)
     }
 
     /// Points-to set of a pointer value in function `fid`.
@@ -799,7 +1293,7 @@ impl AndersenAlias {
 
     fn var_pts(&self, key: &VarKey) -> BTreeSet<MemoryObject> {
         match self.vars.get(key) {
-            Some(&v) => self.pts[v].iter().map(|&o| self.objects[o]).collect(),
+            Some(&v) => self.pts[v].iter().map(|o| self.objects[o]).collect(),
             None => {
                 let mut s = BTreeSet::new();
                 s.insert(MemoryObject::Unknown);
@@ -828,8 +1322,7 @@ impl AndersenAlias {
                 VarKey::Arg(fid, i) => (*fid, (1u8, *i)),
                 VarKey::Ret(_) | VarKey::Content(_) | VarKey::UnknownSrc => continue,
             };
-            let set: BTreeSet<MemoryObject> =
-                self.pts[v].iter().map(|&o| self.objects[o]).collect();
+            let set: BTreeSet<MemoryObject> = self.pts[v].iter().map(|o| self.objects[o]).collect();
             if set.is_empty() || set.contains(&MemoryObject::Unknown) {
                 continue; // canonically "unbounded", same as an absent row
             }

@@ -17,6 +17,7 @@
 
 pub mod alias;
 pub mod analyses;
+pub mod bitset;
 pub mod dfe;
 pub mod modref;
 pub mod scev;

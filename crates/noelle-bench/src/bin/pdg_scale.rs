@@ -1,0 +1,241 @@
+//! Raw-speed scaling: PDG + Andersen build cost on synthetic modules of
+//! thousands of functions, written as JSON to `results/BENCH_scale.json`.
+//!
+//! The 41-benchmark corpus mirrors the paper and tops out at tens of
+//! functions; this bench exists for the other regime — the 10k+-function
+//! modules the CSR adjacency, interned symbols, and SCC-sharded worklist
+//! solver were built for. The baseline is the seed data layout preserved
+//! verbatim in `program_pdg_seed_layout` (sequential all-pairs over
+//! adjacency-map graphs, two alias queries per pair, no alias cache),
+//! measured on a small module and extrapolated linearly per function — a
+//! floor on its true cost, since all-pairs grows superlinearly. The
+//! production path (parallel bucketed build over the frozen CSR form,
+//! cached alias stack, sharded Andersen) must beat that extrapolation by
+//! >= 3x on the largest size run.
+//!
+//! Usage: `pdg_scale [--funcs N[,N..]] [--baseline-funcs N] [--time-budget-ms N]`
+
+use noelle_analysis::alias::{
+    AliasAnalysis, AliasQueryCache, AliasStack, AndersenAlias, BasicAlias, CachedAlias,
+};
+use noelle_core::json::Json;
+use noelle_pdg::pdg::PdgBuilder;
+use noelle_workloads::scale_module;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+struct SizeReport {
+    funcs: usize,
+    insts: usize,
+    build_module_us: i64,
+    andersen_us: i64,
+    modref_us: i64,
+    pdg_us: i64,
+    edges: usize,
+    pdg_bytes: usize,
+    andersen_bytes: usize,
+    bytes_per_function: i64,
+    extrapolated_allpairs_us: i64,
+    speedup_extrapolated: f64,
+}
+
+fn us(t: Instant) -> i64 {
+    t.elapsed().as_micros() as i64
+}
+
+/// Sequential seed-path cost per function, measured on a small module.
+fn baseline_us_per_func(funcs: usize) -> f64 {
+    let m = scale_module(funcs, SEED);
+    let t = Instant::now();
+    let basic = BasicAlias::new(&m);
+    let andersen = AndersenAlias::new(&m);
+    let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+    let builder = PdgBuilder::new(&m, &stack);
+    let _ = builder.program_pdg_seed_layout();
+    us(t) as f64 / funcs as f64
+}
+
+fn measure(funcs: usize, us_per_func: f64) -> SizeReport {
+    let t = Instant::now();
+    let m = scale_module(funcs, SEED);
+    let build_module_us = us(t);
+    let insts: usize = m.func_ids().map(|fid| m.func(fid).inst_ids().len()).sum();
+
+    let basic = BasicAlias::new(&m);
+    let t = Instant::now();
+    let andersen = AndersenAlias::new(&m);
+    let andersen_us = us(t);
+    let andersen_bytes = andersen.approx_heap_bytes();
+    let stack = AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+
+    let t = Instant::now();
+    let builder = PdgBuilder::new(&m, &stack);
+    let modref_us = us(t);
+
+    let cache = AliasQueryCache::new();
+    let cached = CachedAlias::new(&stack, &cache);
+    let cached_builder = PdgBuilder::new_with_modref(&m, &cached, builder.modref_arc());
+    let t = Instant::now();
+    let pdg = cached_builder.program_pdg();
+    let pdg_us = us(t);
+
+    let pdg_bytes = pdg.approx_heap_bytes();
+    let bytes_per_function = ((pdg_bytes + andersen_bytes) / funcs) as i64;
+    let extrapolated_allpairs_us = (us_per_func * funcs as f64) as i64;
+    let speedup_extrapolated =
+        extrapolated_allpairs_us as f64 / (andersen_us + pdg_us).max(1) as f64;
+
+    SizeReport {
+        funcs,
+        insts,
+        build_module_us,
+        andersen_us,
+        modref_us,
+        pdg_us,
+        edges: pdg.num_edges(),
+        pdg_bytes,
+        andersen_bytes,
+        bytes_per_function,
+        extrapolated_allpairs_us,
+        speedup_extrapolated,
+    }
+}
+
+fn main() {
+    let mut sizes = vec![1000, 5000, 10_000];
+    let mut baseline_funcs = 500usize;
+    let mut budget_ms: Option<u128> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--funcs" => {
+                sizes = val(i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--funcs takes integers"))
+                    .collect();
+                i += 2;
+            }
+            "--baseline-funcs" => {
+                baseline_funcs = val(i).parse().expect("--baseline-funcs takes an integer");
+                i += 2;
+            }
+            "--time-budget-ms" => {
+                budget_ms = Some(val(i).parse().expect("--time-budget-ms takes an integer"));
+                i += 2;
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    sizes.sort_unstable();
+
+    let started = Instant::now();
+    let us_per_func = baseline_us_per_func(baseline_funcs);
+    eprintln!(
+        "baseline: sequential all-pairs on {baseline_funcs} functions = {:.1} us/function",
+        us_per_func
+    );
+
+    let mut reports = Vec::new();
+    let mut skipped = Vec::new();
+    for &n in &sizes {
+        if let Some(budget) = budget_ms {
+            if started.elapsed().as_millis() > budget {
+                skipped.push(n);
+                continue;
+            }
+        }
+        let r = measure(n, us_per_func);
+        eprintln!(
+            "{} functions: module {}us, andersen {}us, modref {}us, pdg {}us, {} edges, \
+             {} B/function, {:.1}x vs extrapolated all-pairs",
+            r.funcs,
+            r.build_module_us,
+            r.andersen_us,
+            r.modref_us,
+            r.pdg_us,
+            r.edges,
+            r.bytes_per_function,
+            r.speedup_extrapolated
+        );
+        reports.push(r);
+    }
+    if !skipped.is_empty() {
+        eprintln!("time budget exhausted; skipped sizes: {skipped:?}");
+    }
+    assert!(!reports.is_empty(), "time budget too small to run any size");
+
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("pdg_scale".into())),
+        ("seed".to_string(), Json::Int(SEED as i64)),
+        (
+            "baseline".to_string(),
+            Json::object([
+                ("funcs".to_string(), Json::Int(baseline_funcs as i64)),
+                (
+                    "path".to_string(),
+                    Json::Str("program_pdg_seed_layout".into()),
+                ),
+                ("us_per_func".to_string(), Json::Float(us_per_func)),
+            ]),
+        ),
+        (
+            "sizes".to_string(),
+            Json::Array(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::object([
+                            ("funcs".to_string(), Json::Int(r.funcs as i64)),
+                            ("insts".to_string(), Json::Int(r.insts as i64)),
+                            ("build_module_us".to_string(), Json::Int(r.build_module_us)),
+                            ("andersen_us".to_string(), Json::Int(r.andersen_us)),
+                            ("modref_us".to_string(), Json::Int(r.modref_us)),
+                            ("pdg_us".to_string(), Json::Int(r.pdg_us)),
+                            ("edges".to_string(), Json::Int(r.edges as i64)),
+                            ("pdg_bytes".to_string(), Json::Int(r.pdg_bytes as i64)),
+                            (
+                                "andersen_bytes".to_string(),
+                                Json::Int(r.andersen_bytes as i64),
+                            ),
+                            (
+                                "bytes_per_function".to_string(),
+                                Json::Int(r.bytes_per_function),
+                            ),
+                            (
+                                "extrapolated_allpairs_us".to_string(),
+                                Json::Int(r.extrapolated_allpairs_us),
+                            ),
+                            (
+                                "speedup_extrapolated".to_string(),
+                                Json::Float(r.speedup_extrapolated),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let text = report.to_string_pretty();
+    println!("{text}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_scale.json", text + "\n").expect("write report");
+
+    let largest = reports.last().expect("at least one size ran");
+    eprintln!(
+        "largest size {} functions: {:.1}x vs extrapolated all-pairs -> results/BENCH_scale.json",
+        largest.funcs, largest.speedup_extrapolated
+    );
+    assert!(
+        largest.speedup_extrapolated >= 3.0,
+        "CSR + sharded-solver path must be >= 3x the extrapolated all-pairs seed cost \
+         (got {:.1}x on {} functions)",
+        largest.speedup_extrapolated,
+        largest.funcs
+    );
+}

@@ -3,17 +3,31 @@
 //!
 //! Prints one row per workload (sorted by size) with the three median build
 //! times, the speedups over the sequential seed path, and the alias-cache
-//! hit rate of the cached run. The acceptance bar for the pipeline is a
-//! >= 2x speedup on the largest bundled workload on a multi-core host.
+//! hit rate of the cached run, and writes the same rows as machine-readable
+//! JSON to `results/BENCH_pdg.json`. The acceptance bar for the pipeline is
+//! a >= 2x speedup on the largest bundled workload on a multi-core host.
 
 use noelle_analysis::alias::{
     AliasAnalysis, AliasQueryCache, AliasStack, AndersenAlias, BasicAlias, CachedAlias,
 };
+use noelle_core::json::Json;
 use noelle_pdg::pdg::PdgBuilder;
 use noelle_workloads::{all, pdg_stress};
 use std::time::Instant;
 
 const SAMPLES: usize = 5;
+
+struct Row {
+    name: String,
+    insts: usize,
+    edges: usize,
+    seq_us: f64,
+    par_us: f64,
+    par_cached_us: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
 
 fn median_micros(mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..SAMPLES)
@@ -28,7 +42,7 @@ fn median_micros(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     let mut workloads = all();
     workloads.push(pdg_stress());
     workloads.sort_by_key(|w| {
@@ -58,26 +72,24 @@ fn main() {
         let cached_builder = PdgBuilder::new_with_modref(&m, &cached_alias, builder.modref_arc());
         // Warm once so the steady-state (hot-cache) cost is what's measured,
         // matching the Noelle manager's repeated-request pattern.
-        let _ = cached_builder.program_pdg();
+        let warm = cached_builder.program_pdg();
+        let edges = warm.num_edges();
         let par_cached = median_micros(|| {
             let _ = cached_builder.program_pdg();
         });
-        let (hits, misses) = cache.stats();
+        let (cache_hits, cache_misses) = cache.stats();
 
-        rows.push(vec![
-            w.name.to_string(),
-            insts.to_string(),
-            format!("{seq:.1}"),
-            format!("{par:.1}"),
-            format!("{par_cached:.1}"),
-            format!("{:.2}x", seq / par),
-            format!("{:.2}x", seq / par_cached),
-            format!(
-                "{:.1}% ({hits}/{})",
-                cache.hit_rate() * 100.0,
-                hits + misses
-            ),
-        ]);
+        rows.push(Row {
+            name: w.name.to_string(),
+            insts,
+            edges,
+            seq_us: seq,
+            par_us: par,
+            par_cached_us: par_cached,
+            cache_hits,
+            cache_misses,
+            hit_rate: cache.hit_rate(),
+        });
     }
 
     let table = noelle_bench::render_table(
@@ -91,15 +103,68 @@ fn main() {
             "cached speedup",
             "cache hit rate",
         ],
-        &rows,
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.insts.to_string(),
+                    format!("{:.1}", r.seq_us),
+                    format!("{:.1}", r.par_us),
+                    format!("{:.1}", r.par_cached_us),
+                    format!("{:.2}x", r.seq_us / r.par_us),
+                    format!("{:.2}x", r.seq_us / r.par_cached_us),
+                    format!(
+                        "{:.1}% ({}/{})",
+                        r.hit_rate * 100.0,
+                        r.cache_hits,
+                        r.cache_hits + r.cache_misses
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     println!("{table}");
 
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("pdg_scaling".into())),
+        ("samples".to_string(), Json::Int(SAMPLES as i64)),
+        (
+            "workloads".to_string(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object([
+                            ("name".to_string(), Json::Str(r.name.clone())),
+                            ("insts".to_string(), Json::Int(r.insts as i64)),
+                            ("edges".to_string(), Json::Int(r.edges as i64)),
+                            ("seq_us".to_string(), Json::Float(r.seq_us)),
+                            ("par_us".to_string(), Json::Float(r.par_us)),
+                            ("par_cached_us".to_string(), Json::Float(r.par_cached_us)),
+                            ("par_speedup".to_string(), Json::Float(r.seq_us / r.par_us)),
+                            (
+                                "cached_speedup".to_string(),
+                                Json::Float(r.seq_us / r.par_cached_us),
+                            ),
+                            ("cache_hits".to_string(), Json::Int(r.cache_hits as i64)),
+                            ("cache_misses".to_string(), Json::Int(r.cache_misses as i64)),
+                            ("cache_hit_rate".to_string(), Json::Float(r.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_pdg.json", report.to_string_pretty() + "\n")
+        .expect("write results/BENCH_pdg.json");
+
     if let Some(last) = rows.last() {
-        let speedup: f64 = last[6].trim_end_matches('x').parse().unwrap_or(0.0);
         println!(
-            "largest workload: {} — parallel+cached speedup {:.2}x over sequential all-pairs",
-            last[0], speedup
+            "largest workload: {} — parallel+cached speedup {:.2}x over sequential all-pairs \
+             -> results/BENCH_pdg.json",
+            last.name,
+            last.seq_us / last.par_cached_us
         );
     }
 }

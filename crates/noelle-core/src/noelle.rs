@@ -111,6 +111,21 @@ pub struct BuildStat {
     pub nanos: u128,
 }
 
+/// Approximate heap footprint of a manager's cached analysis state
+/// (see [`Noelle::memory_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes held by the cached per-function dependence graphs.
+    pub pdg_bytes: usize,
+    /// Bytes held by the Andersen points-to rows and tables.
+    pub andersen_bytes: usize,
+    /// Defined functions in the module.
+    pub functions: usize,
+    /// `(pdg_bytes + andersen_bytes) / functions`, 0 when there are no
+    /// defined functions.
+    pub bytes_per_function: u64,
+}
+
 /// Counters over the manager's per-function cache slots (PDG partitions and
 /// control-flow structures). A "hit" is a function whose cached result was
 /// reused across an edit or repeated request; a "miss" is a function that had
@@ -128,6 +143,20 @@ pub struct FuncCacheCounters {
     pub struct_misses: u64,
     /// Function cache slots invalidated (by edits or full invalidation).
     pub invalidations: u64,
+    /// Edits that kept the whole-module points-to solution because every
+    /// touched function's content fingerprint (and the globals') was
+    /// unchanged — the re-solve was skipped entirely.
+    pub andersen_reuses: u64,
+}
+
+/// Fingerprints of the inputs the cached points-to solution was computed
+/// from: one per function plus the globals. An edit whose touched functions
+/// all hash the same (e.g. a `touch` that turned out not to change the
+/// function) provably cannot move any points-to row, so commit skips the
+/// whole-module re-solve.
+struct AndersenInputs {
+    globals: u64,
+    funcs: HashMap<FuncId, u64>,
 }
 
 /// An open edit transaction over the managed module.
@@ -200,6 +229,9 @@ pub struct Noelle {
     module: Module,
     tier: AliasTier,
     andersen: Option<AndersenAlias>,
+    /// Fingerprints of the module content `andersen` was solved from;
+    /// `Some` exactly when `andersen` is.
+    andersen_inputs: Option<AndersenInputs>,
     modref: Option<Arc<ModRefSummaries>>,
     call_graph: Option<CallGraph>,
     structures: HashMap<FuncId, FuncStructures>,
@@ -226,6 +258,7 @@ impl Noelle {
             module,
             tier,
             andersen: None,
+            andersen_inputs: None,
             modref: None,
             call_graph: None,
             structures: HashMap::new(),
@@ -325,6 +358,7 @@ impl Noelle {
             // dropped; there is no per-function reuse at stake.
             debug_assert!(self.pdg.is_none() && self.prev_pdg.is_none());
             self.andersen = None;
+            self.andersen_inputs = None;
             self.call_graph = None;
             self.counters.invalidations += touched.len() as u64;
             return;
@@ -369,18 +403,27 @@ impl Noelle {
                 }
             }
         }
-        // Under the full tier the PDG also consults the points-to solution:
-        // re-solve it and damage every function whose rows moved.
+        // Under the full tier the PDG also consults the points-to solution.
+        // The solution is a pure function of the function bodies and the
+        // globals, so if every touched function's content fingerprint (and
+        // the globals') is unchanged, the cached solution is still exact and
+        // the whole-module re-solve is skipped. Otherwise re-solve and
+        // damage every function whose rows moved.
         if self.andersen.is_some() {
-            let new_andersen = AndersenAlias::new(&self.module);
-            let old_rows = self.andersen.as_ref().expect("checked").rows_by_function();
-            let new_rows = new_andersen.rows_by_function();
-            for fid in self.module.func_ids() {
-                if old_rows.get(&fid) != new_rows.get(&fid) {
-                    damage.insert(fid);
+            if self.andersen_inputs_unchanged(&touched) {
+                self.counters.andersen_reuses += 1;
+            } else {
+                let new_andersen = AndersenAlias::new(&self.module);
+                let old_rows = self.andersen.as_ref().expect("checked").rows_by_function();
+                let new_rows = new_andersen.rows_by_function();
+                for fid in self.module.func_ids() {
+                    if old_rows.get(&fid) != new_rows.get(&fid) {
+                        damage.insert(fid);
+                    }
                 }
+                self.andersen = Some(new_andersen);
+                self.record_andersen_inputs();
             }
-            self.andersen = Some(new_andersen);
         }
         self.alias_cache.invalidate_funcs(&damage);
         self.call_graph = None;
@@ -410,6 +453,7 @@ impl Noelle {
     /// survive so reports cover the whole compilation.
     pub fn invalidate(&mut self) {
         self.andersen = None;
+        self.andersen_inputs = None;
         self.modref = None;
         self.call_graph = None;
         self.structures.clear();
@@ -444,7 +488,41 @@ impl Noelle {
     fn ensure_andersen(&mut self) {
         if self.andersen.is_none() {
             self.andersen = Some(AndersenAlias::new(&self.module));
+            self.record_andersen_inputs();
         }
+    }
+
+    /// Snapshot the fingerprints of everything the points-to solution reads.
+    fn record_andersen_inputs(&mut self) {
+        let funcs = self
+            .module
+            .func_ids()
+            .map(|fid| (fid, self.module.func(fid).content_fingerprint()))
+            .collect();
+        self.andersen_inputs = Some(AndersenInputs {
+            globals: self.module.globals_fingerprint(),
+            funcs,
+        });
+    }
+
+    /// True when the cached points-to solution is still exact after an edit
+    /// that touched `touched`: the globals and every touched function hash
+    /// to what the solution was computed from. Functions appended by the
+    /// edit are in `touched` (watermark) and have no recorded fingerprint,
+    /// so any growth forces a re-solve.
+    fn andersen_inputs_unchanged(&self, touched: &BTreeSet<FuncId>) -> bool {
+        let Some(inputs) = &self.andersen_inputs else {
+            return false;
+        };
+        if inputs.globals != self.module.globals_fingerprint() {
+            return false;
+        }
+        touched.iter().all(|fid| {
+            inputs
+                .funcs
+                .get(fid)
+                .is_some_and(|&fp| self.module.func(*fid).content_fingerprint() == fp)
+        })
     }
 
     fn ensure_modref(&mut self) -> Arc<ModRefSummaries> {
@@ -468,6 +546,31 @@ impl Noelle {
     /// Hit/miss/invalidation counters over the per-function cache slots.
     pub fn func_cache_counters(&self) -> FuncCacheCounters {
         self.counters
+    }
+
+    /// Approximate heap footprint of the cached analysis state: the
+    /// per-function PDGs (frozen CSR form) and the Andersen points-to rows.
+    /// Only what is currently built is counted — a manager that never built
+    /// its PDG reports zero PDG bytes.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let pdg_bytes = self.pdg.as_ref().map_or(0, |p| p.approx_heap_bytes());
+        let andersen_bytes = self
+            .andersen
+            .as_ref()
+            .map_or(0, AndersenAlias::approx_heap_bytes);
+        let functions = self
+            .module
+            .functions()
+            .iter()
+            .filter(|f| !f.is_declaration())
+            .count();
+        let total = pdg_bytes + andersen_bytes;
+        MemoryStats {
+            pdg_bytes,
+            andersen_bytes,
+            functions,
+            bytes_per_function: total.checked_div(functions).unwrap_or(0) as u64,
+        }
     }
 
     /// How many times function `fid` has been invalidated (0 = never edited
@@ -843,6 +946,27 @@ mod tests {
         // The kernel's structures survived the edit; the leaf's were
         // dropped.
         assert!(n.revision(leaf) == 1 && n.revision(k) == 0);
+    }
+
+    #[test]
+    fn unchanged_touch_skips_points_to_resolve() {
+        let mut n = Noelle::new(two_func_module(), AliasTier::Full);
+        let leaf = n.module().func_id_by_name("leaf").unwrap();
+        let _ = n.pdg();
+        // A touch that turns out not to change the function: every
+        // fingerprint matches, so the points-to solution is reused as-is
+        // (the touched partition still rebuilds).
+        n.edit(|tx| tx.touch(leaf));
+        let _ = n.pdg();
+        assert_eq!(n.func_cache_counters().andersen_reuses, 1);
+        // An edit that really changes the function must re-solve.
+        n.edit(|tx| {
+            tx.func_mut(leaf)
+                .metadata
+                .insert("note".into(), "edited".into());
+        });
+        let _ = n.pdg();
+        assert_eq!(n.func_cache_counters().andersen_reuses, 1);
     }
 
     #[test]

@@ -238,9 +238,10 @@ fn build_stat_to_json(s: &BuildStat) -> Json {
     ])
 }
 
-/// One manager's cache-health report: per-abstraction build counts/time and
-/// the alias-query cache counters. This is what lets a client verify that a
-/// repeated query did *not* rebuild.
+/// One manager's cache-health report: per-abstraction build counts/time,
+/// the alias-query cache counters, and the approximate heap held by the
+/// cached analysis state. This is what lets a client verify that a repeated
+/// query did *not* rebuild.
 pub fn manager_stats_to_json(n: &Noelle) -> Json {
     let builds = n
         .build_stats()
@@ -249,8 +250,24 @@ pub fn manager_stats_to_json(n: &Noelle) -> Json {
         .collect::<Vec<_>>();
     let (hits, misses) = n.alias_cache().stats();
     let c = n.func_cache_counters();
+    let mem = n.memory_stats();
     Json::object([
         ("builds".to_string(), Json::object(builds)),
+        (
+            "memory".to_string(),
+            Json::object([
+                ("pdg_bytes".to_string(), Json::Int(mem.pdg_bytes as i64)),
+                (
+                    "andersen_bytes".to_string(),
+                    Json::Int(mem.andersen_bytes as i64),
+                ),
+                ("functions".to_string(), Json::Int(mem.functions as i64)),
+                (
+                    "bytes_per_function".to_string(),
+                    Json::Int(mem.bytes_per_function as i64),
+                ),
+            ]),
+        ),
         (
             "alias_cache".to_string(),
             Json::object([
@@ -271,6 +288,10 @@ pub fn manager_stats_to_json(n: &Noelle) -> Json {
                 (
                     "invalidations".to_string(),
                     Json::Int(c.invalidations as i64),
+                ),
+                (
+                    "andersen_reuses".to_string(),
+                    Json::Int(c.andersen_reuses as i64),
                 ),
             ]),
         ),

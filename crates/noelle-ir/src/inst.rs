@@ -371,7 +371,7 @@ impl Terminator {
 /// Terminators are instructions too (as in LLVM): they appear as the final
 /// instruction of each block and participate in the PDG as sources of control
 /// dependences.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Inst {
     /// Stack allocation of `count` elements of `ty`; yields `ty*`.
     Alloca {
@@ -536,6 +536,59 @@ impl Inst {
         }
     }
 
+    /// Visit every value operand in the same fixed order as [`Inst::operands`]
+    /// without materializing a `Vec` — the per-instruction allocation in
+    /// `operands` dominates whole-module scans on large modules.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match self {
+            Inst::Alloca { count, .. } => f(*count),
+            Inst::Load { ptr, .. } => f(*ptr),
+            Inst::Store { val, ptr, .. } => {
+                f(*val);
+                f(*ptr);
+            }
+            Inst::Gep { base, indices, .. } => {
+                f(*base);
+                for i in indices {
+                    f(*i);
+                }
+            }
+            Inst::Bin { lhs, rhs, .. }
+            | Inst::Icmp { lhs, rhs, .. }
+            | Inst::Fcmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Cast { val, .. } => f(*val),
+            Inst::Select {
+                cond, tval, fval, ..
+            } => {
+                f(*cond);
+                f(*tval);
+                f(*fval);
+            }
+            Inst::Phi { incomings, .. } => {
+                for (_, v) in incomings {
+                    f(*v);
+                }
+            }
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(v) = callee {
+                    f(*v);
+                }
+                for a in args {
+                    f(*a);
+                }
+            }
+            Inst::Term(t) => match t {
+                Terminator::Ret(Some(v)) => f(*v),
+                Terminator::Ret(None) | Terminator::Br(_) | Terminator::Unreachable => {}
+                Terminator::CondBr { cond, .. } => f(*cond),
+                Terminator::Switch { value, .. } => f(*value),
+            },
+        }
+    }
+
     /// Apply `f` to every value operand in place (replace-all-uses support).
     pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
         match self {
@@ -656,7 +709,7 @@ pub fn gep_result_type(base_ty: &Type, indices: &[Value]) -> Type {
 }
 
 /// An instruction with its book-keeping: parent block and SSA name.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct InstData {
     /// The instruction itself.
     pub inst: Inst,

@@ -1,0 +1,111 @@
+//! Global string interner.
+//!
+//! Symbol names (function names above all) are compared on hot analysis
+//! paths: alias analysis classifies every call-site callee, mod/ref walks
+//! external names, and `Module::func_id_by_name` resolves tool and fuzz
+//! lookups. Interning turns those `str` comparisons into `u32` equality.
+//!
+//! The interner is process-global and append-only: strings are leaked into
+//! `'static` storage the first time they are seen, so [`Symbol::as_str`]
+//! hands back a plain `&'static str` with no lock held by the caller. For a
+//! compiler-shaped workload the set of distinct names is bounded by the
+//! input program, so the leak is the arena.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Equality and hashing are `u32` operations.
+///
+/// Ordering follows interning order, not lexicographic order — use
+/// [`Symbol::as_str`] when a textual sort is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its stable symbol. Idempotent: the same string
+    /// always maps to the same symbol for the lifetime of the process.
+    pub fn intern(s: &str) -> Symbol {
+        let mut it = interner().lock().unwrap();
+        if let Some(&i) = it.map.get(s) {
+            return Symbol(i);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let i = u32::try_from(it.strings.len()).expect("interner overflow");
+        it.strings.push(leaked);
+        it.map.insert(leaked, i);
+        Symbol(i)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().unwrap().strings[self.0 as usize]
+    }
+
+    /// The raw id (stable within the process).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_cheap_to_compare() {
+        let a = Symbol::intern("malloc");
+        let b = Symbol::intern("malloc");
+        let c = Symbol::intern("free");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_u32(), b.as_u32());
+        assert_eq!(a.as_str(), "malloc");
+        assert_eq!(c.as_str(), "free");
+    }
+
+    #[test]
+    fn symbols_round_trip_through_display() {
+        let s = Symbol::intern("noelle.alloc");
+        assert_eq!(format!("{s}"), "noelle.alloc");
+        assert!(format!("{s:?}").contains("noelle.alloc"));
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let ids: Vec<u32> = ["x1", "x2", "x3", "x1"]
+            .iter()
+            .map(|s| Symbol::intern(s).as_u32())
+            .collect();
+        assert_eq!(ids[0], ids[3]);
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+    }
+}

@@ -40,6 +40,7 @@ pub mod cfg;
 pub mod dom;
 pub mod ids;
 pub mod inst;
+pub mod intern;
 pub mod loops;
 pub mod module;
 pub mod parser;

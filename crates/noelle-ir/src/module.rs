@@ -1,6 +1,7 @@
 //! Modules, functions, blocks, and globals.
 
 use crate::inst::{Inst, InstData, InstId, Terminator};
+use crate::intern::Symbol;
 use crate::types::{FuncType, Type};
 use crate::value::{Constant, Value};
 use std::collections::BTreeMap;
@@ -54,7 +55,7 @@ impl GlobalId {
 }
 
 /// Initializer of a global variable.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum GlobalInit {
     /// Zero-initialized storage.
     Zero,
@@ -66,7 +67,7 @@ pub enum GlobalInit {
 
 /// A module-level global variable. Its [`Value::Global`] is a pointer to the
 /// storage of type `ty`.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Global {
     /// Symbol name.
     pub name: String,
@@ -80,7 +81,7 @@ pub struct Global {
 }
 
 /// A basic block: an ordered list of instructions ending in a terminator.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct BasicBlock {
     /// Label of the block for printing.
     pub name: String,
@@ -110,13 +111,19 @@ pub struct Function {
     pub metadata: BTreeMap<String, String>,
     /// Per-instruction metadata.
     pub inst_metadata: HashMap<InstId, BTreeMap<String, String>>,
+    /// Interned symbol of `name`, cached at construction. Every constructor
+    /// funnels through [`Function::new`] and nothing renames functions after
+    /// the fact, so the cache cannot go stale.
+    pub(crate) name_sym: Symbol,
 }
 
 impl Function {
     /// Create an empty function (a declaration until blocks are added).
     pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret_ty: Type) -> Function {
+        let name = name.into();
+        let name_sym = Symbol::intern(&name);
         Function {
-            name: name.into(),
+            name,
             params,
             ret_ty,
             blocks: Vec::new(),
@@ -124,7 +131,13 @@ impl Function {
             insts: Vec::new(),
             metadata: BTreeMap::new(),
             inst_metadata: HashMap::new(),
+            name_sym,
         }
+    }
+
+    /// The function name as an interned symbol (`u32` comparisons).
+    pub fn name_sym(&self) -> Symbol {
+        self.name_sym
     }
 
     /// True if the function has no body.
@@ -375,6 +388,33 @@ impl Function {
             .map(String::as_str)
     }
 
+    /// A 64-bit fingerprint of everything that defines this function's
+    /// behavior: name, signature, block structure and layout, every
+    /// instruction, and all metadata. Two functions with equal content hash
+    /// equal; analyses may treat an unchanged fingerprint across an edit as
+    /// "this function did not change" (the hash is SipHash over the full
+    /// content, so a collision that also survives the damage rule is
+    /// vanishingly unlikely).
+    pub fn content_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.params.hash(&mut h);
+        self.ret_ty.hash(&mut h);
+        self.layout.hash(&mut h);
+        self.blocks.hash(&mut h);
+        self.insts.hash(&mut h);
+        self.metadata.hash(&mut h);
+        // `inst_metadata` is a HashMap; hash it in a stable order.
+        let mut keys: Vec<InstId> = self.inst_metadata.keys().copied().collect();
+        keys.sort_unstable();
+        for id in keys {
+            id.hash(&mut h);
+            self.inst_metadata[&id].hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The type of `v` in the context of this function and `module`.
     pub fn value_type(&self, module: &Module, v: Value) -> Type {
         match v {
@@ -490,17 +530,21 @@ impl Module {
         &self.globals
     }
 
-    /// Look up a function id by symbol name.
+    /// Look up a function id by symbol name. Compares cached interned
+    /// symbols — one hash of `name`, then `u32` equality per function —
+    /// instead of a string comparison per function.
     pub fn func_id_by_name(&self, name: &str) -> Option<FuncId> {
+        let sym = Symbol::intern(name);
         self.functions
             .iter()
-            .position(|f| f.name == name)
+            .position(|f| f.name_sym == sym)
             .map(|i| FuncId(i as u32))
     }
 
     /// Look up a function by symbol name.
     pub fn func_by_name(&self, name: &str) -> Option<&Function> {
-        self.functions.iter().find(|f| f.name == name)
+        let sym = Symbol::intern(name);
+        self.functions.iter().find(|f| f.name_sym == sym)
     }
 
     /// Look up a global id by symbol name.
@@ -515,6 +559,18 @@ impl Module {
     /// "binary size" proxy used by the dead-function-elimination evaluation).
     pub fn total_insts(&self) -> usize {
         self.functions.iter().map(Function::num_insts).sum()
+    }
+
+    /// A 64-bit fingerprint of the module's globals (names, types,
+    /// initializers, constness) and module-level metadata. Companion to
+    /// [`Function::content_fingerprint`] for whole-module analyses whose
+    /// inputs are "every function body plus the globals".
+    pub fn globals_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.globals.hash(&mut h);
+        self.metadata.hash(&mut h);
+        h.finish()
     }
 }
 

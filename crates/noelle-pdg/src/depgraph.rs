@@ -120,7 +120,86 @@ pub struct DepEdge<N> {
     pub attrs: EdgeAttrs,
 }
 
+/// Frozen compressed-sparse-row adjacency: node ids sorted for binary
+/// search, per-node edge-id ranges packed into two flat arrays (one per
+/// direction). Within a node's range, edge ids appear in insertion order —
+/// exactly the order the mutable `HashMap<N, Vec<EdgeId>>` adjacency yields —
+/// so freezing is observationally invisible to every query.
+#[derive(Clone, Debug)]
+struct Csr<N> {
+    nodes: Vec<N>,
+    out_off: Vec<u32>,
+    out_ids: Vec<EdgeId>,
+    in_off: Vec<u32>,
+    in_ids: Vec<EdgeId>,
+}
+
+impl<N: Copy + Ord> Csr<N> {
+    fn build(nodes: Vec<N>, edges: &[DepEdge<N>]) -> Csr<N> {
+        let n = nodes.len();
+        let idx = |x: N| {
+            nodes
+                .binary_search(&x)
+                .expect("edge endpoint not in node set")
+        };
+        // Counting sort by endpoint: count, prefix-sum, then replay the edge
+        // list in insertion order so each per-node range stays insertion
+        // ordered.
+        let mut out_off = vec![0u32; n + 1];
+        let mut in_off = vec![0u32; n + 1];
+        for e in edges {
+            out_off[idx(e.src) + 1] += 1;
+            in_off[idx(e.dst) + 1] += 1;
+        }
+        for i in 0..n {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let mut out_ids = vec![EdgeId(0); edges.len()];
+        let mut in_ids = vec![EdgeId(0); edges.len()];
+        let mut out_cur = out_off.clone();
+        let mut in_cur = in_off.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let s = idx(e.src);
+            out_ids[out_cur[s] as usize] = id;
+            out_cur[s] += 1;
+            let d = idx(e.dst);
+            in_ids[in_cur[d] as usize] = id;
+            in_cur[d] += 1;
+        }
+        Csr {
+            nodes,
+            out_off,
+            out_ids,
+            in_off,
+            in_ids,
+        }
+    }
+
+    fn range<'a>(&self, n: N, off: &[u32], ids: &'a [EdgeId]) -> &'a [EdgeId] {
+        match self.nodes.binary_search(&n) {
+            Ok(i) => &ids[off[i] as usize..off[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<N>()
+            + (self.out_off.capacity() + self.in_off.capacity()) * 4
+            + (self.out_ids.capacity() + self.in_ids.capacity()) * 4
+    }
+}
+
 /// The generic dependence graph.
+///
+/// The graph has two adjacency representations: a mutable one
+/// (`HashMap<N, Vec<EdgeId>>`, populated by [`DepGraph::add_edge`]) and a
+/// frozen CSR form built by [`DepGraph::freeze`]. Builders freeze a graph
+/// once construction is done; freezing drops the hash maps, packing the
+/// adjacency into four flat arrays. All queries answer identically in both
+/// states, and a mutation after freezing transparently thaws the graph back
+/// to the map form.
 #[derive(Clone, Debug)]
 pub struct DepGraph<N> {
     internal: BTreeSet<N>,
@@ -128,6 +207,7 @@ pub struct DepGraph<N> {
     edges: Vec<DepEdge<N>>,
     out_adj: HashMap<N, Vec<EdgeId>>,
     in_adj: HashMap<N, Vec<EdgeId>>,
+    csr: Option<Csr<N>>,
 }
 
 impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
@@ -139,7 +219,116 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
             edges: Vec::new(),
             out_adj: HashMap::new(),
             in_adj: HashMap::new(),
+            csr: None,
         }
+    }
+
+    /// Build a graph directly in its frozen CSR form from an internal node
+    /// set and a complete edge list — the fast path for builders that know
+    /// the whole graph up front. Observationally identical to calling
+    /// `add_internal` for each node, `add_edge` for each edge in order, and
+    /// then [`DepGraph::freeze`], but never materializes the intermediate
+    /// hash-map adjacency. Edge endpoints not in `internal` become external
+    /// nodes, exactly as `add_edge` would make them.
+    pub fn from_edges(
+        internal: impl IntoIterator<Item = N>,
+        edges: Vec<DepEdge<N>>,
+    ) -> DepGraph<N> {
+        let internal: BTreeSet<N> = internal.into_iter().collect();
+        let mut external: BTreeSet<N> = BTreeSet::new();
+        for e in &edges {
+            if !internal.contains(&e.src) {
+                external.insert(e.src);
+            }
+            if !internal.contains(&e.dst) {
+                external.insert(e.dst);
+            }
+        }
+        let mut nodes: Vec<N> = Vec::with_capacity(internal.len() + external.len());
+        nodes.extend(internal.iter().copied());
+        nodes.extend(external.iter().copied());
+        nodes.sort_unstable();
+        let csr = Csr::build(nodes, &edges);
+        DepGraph {
+            internal,
+            external,
+            edges,
+            out_adj: HashMap::new(),
+            in_adj: HashMap::new(),
+            csr: Some(csr),
+        }
+    }
+
+    /// Pack the adjacency into the frozen CSR form and free the hash maps.
+    /// Idempotent. Queries are unaffected; the next `add_edge` thaws.
+    pub fn freeze(&mut self) {
+        if self.csr.is_some() {
+            return;
+        }
+        // internal and external are disjoint sorted sets; merge-collect keeps
+        // the union sorted for binary search.
+        let mut nodes: Vec<N> = Vec::with_capacity(self.internal.len() + self.external.len());
+        nodes.extend(self.internal.iter().copied());
+        nodes.extend(self.external.iter().copied());
+        nodes.sort_unstable();
+        self.csr = Some(Csr::build(nodes, &self.edges));
+        self.out_adj = HashMap::new();
+        self.in_adj = HashMap::new();
+    }
+
+    /// True when the graph is in its frozen CSR form.
+    pub fn is_frozen(&self) -> bool {
+        self.csr.is_some()
+    }
+
+    /// Rebuild the mutable adjacency maps from the edge list and drop the
+    /// CSR view. Replaying the edge list in order reproduces the per-node
+    /// insertion order exactly.
+    fn thaw(&mut self) {
+        if self.csr.take().is_none() {
+            return;
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            self.out_adj.entry(e.src).or_default().push(id);
+            self.in_adj.entry(e.dst).or_default().push(id);
+        }
+    }
+
+    /// Edge ids whose source is `n`, in insertion order.
+    fn out_ids(&self, n: N) -> &[EdgeId] {
+        match &self.csr {
+            Some(csr) => csr.range(n, &csr.out_off, &csr.out_ids),
+            None => self.out_adj.get(&n).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Edge ids whose destination is `n`, in insertion order.
+    fn in_ids(&self, n: N) -> &[EdgeId] {
+        match &self.csr {
+            Some(csr) => csr.range(n, &csr.in_off, &csr.in_ids),
+            None => self.in_adj.get(&n).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (edge list + node sets + whichever
+    /// adjacency form is live). Used for the `bytes_per_function` estimate.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // BTreeSet nodes carry per-element overhead beyond the key itself;
+        // 16 bytes is a rough amortized figure.
+        let mut b = self.edges.capacity() * size_of::<DepEdge<N>>()
+            + (self.internal.len() + self.external.len()) * (size_of::<N>() + 16);
+        match &self.csr {
+            Some(csr) => b += csr.heap_bytes(),
+            None => {
+                for v in self.out_adj.values().chain(self.in_adj.values()) {
+                    // Vec storage plus an approximate hash-map slot.
+                    b += v.capacity() * 4 + size_of::<N>() + 24;
+                }
+            }
+        }
+        b
     }
 
     /// Add an internal node (idempotent; promotes an external node).
@@ -157,6 +346,7 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
 
     /// Add an edge; nodes not yet present are added as external.
     pub fn add_edge(&mut self, src: N, dst: N, attrs: EdgeAttrs) -> EdgeId {
+        self.thaw();
         self.add_external(src);
         self.add_external(dst);
         let id = EdgeId(self.edges.len() as u32);
@@ -193,19 +383,15 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
 
     /// Edges whose source is `n`.
     pub fn edges_from(&self, n: N) -> impl Iterator<Item = &DepEdge<N>> + '_ {
-        self.out_adj
-            .get(&n)
-            .into_iter()
-            .flatten()
+        self.out_ids(n)
+            .iter()
             .map(move |e| &self.edges[e.0 as usize])
     }
 
     /// Edges whose destination is `n` (i.e. the dependences of `n`).
     pub fn edges_to(&self, n: N) -> impl Iterator<Item = &DepEdge<N>> + '_ {
-        self.in_adj
-            .get(&n)
-            .into_iter()
-            .flatten()
+        self.in_ids(n)
+            .iter()
             .map(move |e| &self.edges[e.0 as usize])
     }
 
@@ -246,13 +432,15 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
         }
         // Gather the touching edges through the adjacency index —
         // O(|keep| · degree) instead of a scan of every edge. Edge ids are
-        // insertion-ordered, so the sorted set replays them in the same
-        // order the full scan would.
-        let mut touching: BTreeSet<EdgeId> = BTreeSet::new();
+        // insertion-ordered, so sorting replays them in the same order the
+        // full scan would.
+        let mut touching: Vec<EdgeId> = Vec::new();
         for &n in keep {
-            touching.extend(self.out_adj.get(&n).into_iter().flatten());
-            touching.extend(self.in_adj.get(&n).into_iter().flatten());
+            touching.extend_from_slice(self.out_ids(n));
+            touching.extend_from_slice(self.in_ids(n));
         }
+        touching.sort_unstable();
+        touching.dedup();
         for id in touching {
             let e = &self.edges[id.0 as usize];
             g.add_edge(e.src, e.dst, e.attrs);
@@ -401,6 +589,100 @@ mod tests {
             .collect();
         let got: Vec<(u32, u32)> = sub.edges().iter().map(|e| (e.src, e.dst)).collect();
         assert_eq!(got, expect);
+    }
+
+    fn query_fingerprint(g: &DepGraph<u32>) -> String {
+        let mut s = String::new();
+        let nodes: Vec<u32> = g.internal_nodes().chain(g.external_nodes()).collect();
+        for &n in &nodes {
+            s.push_str(&format!(
+                "{n}: out={:?} in={:?}\n",
+                g.edges_from(n).map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+                g.edges_to(n).map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            ));
+        }
+        s.push_str(&format!(
+            "ext_in={:?} ext_out={:?}\n",
+            g.incoming_externals(),
+            g.outgoing_externals()
+        ));
+        s
+    }
+
+    fn build_sample() -> DepGraph<u32> {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        for n in 0..4 {
+            g.add_internal(n);
+        }
+        g.add_edge(9, 0, EdgeAttrs::control());
+        g.add_edge(0, 1, EdgeAttrs::register());
+        g.add_edge(0, 2, EdgeAttrs::memory(DataDepKind::Raw));
+        g.add_edge(2, 1, EdgeAttrs::register());
+        g.add_edge(1, 3, EdgeAttrs::register());
+        g.add_edge(3, 8, EdgeAttrs::memory(DataDepKind::Waw));
+        g
+    }
+
+    #[test]
+    fn frozen_csr_answers_identically() {
+        let g = build_sample();
+        let before = query_fingerprint(&g);
+        let mut f = g.clone();
+        f.freeze();
+        assert!(f.is_frozen());
+        assert_eq!(query_fingerprint(&f), before);
+        // Subgraph carving is identical too, including edge order.
+        let keep = BTreeSet::from([0, 1]);
+        let a: Vec<_> = g
+            .subgraph(&keep)
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let b: Vec<_> = f
+            .subgraph(&keep)
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert_eq!(a, b);
+        // Freezing twice is a no-op.
+        f.freeze();
+        assert_eq!(query_fingerprint(&f), before);
+    }
+
+    #[test]
+    fn mutation_after_freeze_thaws() {
+        let mut g = build_sample();
+        g.freeze();
+        g.add_edge(3, 0, EdgeAttrs::register());
+        assert!(!g.is_frozen());
+        assert_eq!(g.edges_from(3).count(), 2);
+        assert_eq!(g.edges_to(0).count(), 2);
+        // Re-freeze and verify the new edge is in the CSR view.
+        let before = query_fingerprint(&g);
+        g.freeze();
+        assert_eq!(query_fingerprint(&g), before);
+    }
+
+    #[test]
+    fn map_edges_works_while_frozen() {
+        let mut g = build_sample();
+        g.freeze();
+        g.map_edges(|e| e.attrs.loop_carried = true);
+        assert!(g.is_frozen());
+        assert!(g.edges().iter().all(|e| e.attrs.loop_carried));
+    }
+
+    #[test]
+    fn freeze_reports_heap_bytes() {
+        let mut g = build_sample();
+        let unfrozen = g.approx_heap_bytes();
+        g.freeze();
+        let frozen = g.approx_heap_bytes();
+        assert!(unfrozen > 0 && frozen > 0);
+        // The packed form should not be larger than the map form.
+        assert!(frozen <= unfrozen, "frozen {frozen} > unfrozen {unfrozen}");
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl ProgramPdg {
             .map(|g| g.has_memory_dep_between(src, dst))
             .unwrap_or(false)
     }
+
+    /// Approximate heap footprint of all per-function graphs, in bytes.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.per_function
+            .values()
+            .map(|g| g.approx_heap_bytes() + 32)
+            .sum()
+    }
 }
 
 impl<'a> PdgBuilder<'a> {
@@ -180,6 +188,101 @@ impl<'a> PdgBuilder<'a> {
         ProgramPdg { per_function }
     }
 
+    /// Sequential whole-program build through [`PdgBuilder::function_pdg_seed_layout`]:
+    /// the measured "old layout" baseline of the scaling benches.
+    pub fn program_pdg_seed_layout(&self) -> ProgramPdg {
+        let per_function = self
+            .module
+            .func_ids()
+            .filter(|&fid| !self.module.func(fid).is_declaration())
+            .map(|fid| (fid, Arc::new(self.function_pdg_seed_layout(fid))))
+            .collect();
+        ProgramPdg { per_function }
+    }
+
+    /// Pre-CSR reference build, preserved verbatim as the baseline the
+    /// data-layout benches extrapolate from. Every cost the layout work
+    /// removed is deliberately still here: adjacency-map graph construction
+    /// (`add_internal`/`add_edge` into hash maps, never frozen), a `Vec`
+    /// allocated per instruction for its operands, `HashMap`-keyed block
+    /// positions with a linear `position_in_block` scan per entry, a
+    /// `BTreeSet`-accumulated pair list, and two independent alias queries
+    /// per memory pair. Edge sets are identical to the bucketed/CSR path
+    /// (pinned by `seed_layout_matches_fast_path`); only the layout differs.
+    pub fn function_pdg_seed_layout(&self, fid: FuncId) -> DepGraph<InstId> {
+        let f = self.module.func(fid);
+        let cfg = Cfg::new(f);
+        let mut g: DepGraph<InstId> = DepGraph::new();
+        let inst_ids = f.inst_ids();
+        for &id in &inst_ids {
+            g.add_internal(id);
+        }
+
+        // Register (SSA) dependences.
+        for &id in &inst_ids {
+            for op in f.inst(id).operands() {
+                if let Value::Inst(def) = op {
+                    g.add_edge(def, id, EdgeAttrs::register());
+                }
+            }
+        }
+
+        // Control dependences, in the same deterministic block order as the
+        // CSR path so the two layouts emit identical edge streams.
+        let pdt = PostDomTree::new(f, &cfg);
+        for (dep_block, ctrls) in sorted_control_deps(&pdt, &cfg) {
+            for ctrl in ctrls {
+                if let Some(term) = f.terminator_id(ctrl) {
+                    for &id in &f.block(dep_block).insts {
+                        g.add_edge(term, id, EdgeAttrs::control());
+                    }
+                }
+            }
+        }
+
+        // Memory dependences over every ordered pair, each direction paying
+        // its own alias query — the pre-layout-work cost model.
+        let mem: Vec<(InstId, MemEffect)> = inst_ids
+            .iter()
+            .filter_map(|&id| self.mem_effect(fid, f, id).map(|e| (id, e)))
+            .collect();
+        let pos: HashMap<InstId, (noelle_ir::module::BlockId, usize)> = inst_ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    (f.parent_block(id), f.position_in_block(id).unwrap_or(0)),
+                )
+            })
+            .collect();
+        let pairs: BTreeSet<(usize, usize)> =
+            PdgBuilder::all_pairs(mem.len()).into_iter().collect();
+        for (i, j) in pairs {
+            let (ia, ea) = &mem[i];
+            let (ib, eb) = &mem[j];
+            let (ba, pa) = pos[ia];
+            let (bb, pb) = pos[ib];
+            let same_block = ba == bb;
+            let fwd = PdgBuilder::conflict_kind_of(ea, eb, self.pair_aliasing(fid, ea, eb));
+            if let Some((kind, must)) = fwd {
+                if !same_block || pa < pb {
+                    let mut attrs = EdgeAttrs::memory(kind);
+                    attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
+                    g.add_edge(*ia, *ib, attrs);
+                }
+            }
+            let bwd = PdgBuilder::conflict_kind_of(eb, ea, self.pair_aliasing(fid, eb, ea));
+            if let Some((kind, must)) = bwd {
+                if !same_block || pb < pa {
+                    let mut attrs = EdgeAttrs::memory(kind);
+                    attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
+                    g.add_edge(*ib, *ia, attrs);
+                }
+            }
+        }
+        g
+    }
+
     fn mem_effect(&self, fid: FuncId, f: &Function, id: InstId) -> Option<MemEffect> {
         match f.inst(id) {
             Inst::Load { ptr, .. } => Some(MemEffect {
@@ -219,22 +322,31 @@ impl<'a> PdgBuilder<'a> {
         }
     }
 
+    /// One symmetric alias query for an unordered access pair: `Some`
+    /// when both sides are plain pointer accesses (pointer-based
+    /// disambiguation applies), `None` when either side has no pointer
+    /// (calls, I/O).
+    fn pair_aliasing(&self, fid: FuncId, a: &MemEffect, b: &MemEffect) -> Option<AliasResult> {
+        match (a.ptr, b.ptr) {
+            (Some(pa), Some(pb)) => Some(self.alias.alias(fid, pa, pb)),
+            _ => None,
+        }
+    }
+
     /// Can accesses `a` and `b` conflict, and with which data-dependence kind
-    /// for the ordered pair `a -> b`?
-    fn conflict_kind(
-        &self,
-        fid: FuncId,
+    /// for the ordered pair `a -> b`? `aliasing` is the pair's symmetric
+    /// alias verdict from [`PdgBuilder::pair_aliasing`] — shared by both
+    /// orientations of the pair.
+    fn conflict_kind_of(
         a: &MemEffect,
         b: &MemEffect,
+        aliasing: Option<AliasResult>,
     ) -> Option<(DataDepKind, bool)> {
-        // Pointer-based disambiguation when both are plain accesses.
         let mut must = false;
-        if let (Some(pa), Some(pb)) = (a.ptr, b.ptr) {
-            match self.alias.alias(fid, pa, pb) {
-                AliasResult::No => return None,
-                AliasResult::Must => must = true,
-                AliasResult::May => {}
-            }
+        match aliasing {
+            Some(AliasResult::No) => return None,
+            Some(AliasResult::Must) => must = true,
+            Some(AliasResult::May) | None => {}
         }
         let kind = if a.writes && b.reads {
             DataDepKind::Raw
@@ -275,22 +387,26 @@ impl<'a> PdgBuilder<'a> {
                 _ => catch_all.push(i),
             }
         }
-        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        // Flat collect + sort + dedup: same ascending pair list a
+        // `BTreeSet` would yield, without a tree insert per candidate.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for idxs in buckets.values() {
             for (k, &i) in idxs.iter().enumerate() {
                 for &j in &idxs[k + 1..] {
-                    pairs.insert((i, j));
+                    pairs.push((i, j));
                 }
             }
         }
         for &i in &catch_all {
             for j in 0..mem.len() {
                 if i != j {
-                    pairs.insert((i.min(j), i.max(j)));
+                    pairs.push((i.min(j), i.max(j)));
                 }
             }
         }
-        pairs.into_iter().collect()
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
     }
 
     /// All unordered index pairs — the pre-bucketing reference enumeration.
@@ -315,29 +431,34 @@ impl<'a> PdgBuilder<'a> {
     fn function_pdg_impl(&self, fid: FuncId, all_pairs: bool) -> DepGraph<InstId> {
         let f = self.module.func(fid);
         let cfg = Cfg::new(f);
-        let mut g: DepGraph<InstId> = DepGraph::new();
         let inst_ids = f.inst_ids();
-        for &id in &inst_ids {
-            g.add_internal(id);
-        }
+        // Edges accumulate into a flat list — in exactly the order the
+        // incremental `add_edge` path would create them — and the graph is
+        // born directly in its frozen CSR form.
+        let mut edges: Vec<DepEdge<InstId>> = Vec::new();
+        let push = |edges: &mut Vec<DepEdge<InstId>>, src, dst, attrs| {
+            edges.push(DepEdge { src, dst, attrs });
+        };
 
         // Register (SSA) dependences.
         for &id in &inst_ids {
             for op in f.inst(id).operands() {
                 if let Value::Inst(def) = op {
-                    g.add_edge(def, id, EdgeAttrs::register());
+                    push(&mut edges, def, id, EdgeAttrs::register());
                 }
             }
         }
 
         // Control dependences: dependent block's instructions depend on the
-        // controlling block's terminator.
+        // controlling block's terminator. `control_dependences` hands back
+        // hash maps, so impose block order — the frozen CSR form assigns
+        // `EdgeId`s from the edge stream, which must be reproducible.
         let pdt = PostDomTree::new(f, &cfg);
-        for (dep_block, ctrls) in pdt.control_dependences(&cfg) {
+        for (dep_block, ctrls) in sorted_control_deps(&pdt, &cfg) {
             for ctrl in ctrls {
                 if let Some(term) = f.terminator_id(ctrl) {
                     for &id in &f.block(dep_block).insts {
-                        g.add_edge(term, id, EdgeAttrs::control());
+                        push(&mut edges, term, id, EdgeAttrs::control());
                     }
                 }
             }
@@ -350,15 +471,12 @@ impl<'a> PdgBuilder<'a> {
             .iter()
             .filter_map(|&id| self.mem_effect(fid, f, id).map(|e| (id, e)))
             .collect();
-        let pos: HashMap<InstId, (noelle_ir::module::BlockId, usize)> = inst_ids
-            .iter()
-            .map(|&id| {
-                (
-                    id,
-                    (f.parent_block(id), f.position_in_block(id).unwrap_or(0)),
-                )
-            })
-            .collect();
+        // Dense per-instruction position table (InstId is an arena index).
+        let max_idx = inst_ids.iter().map(|id| id.index()).max().unwrap_or(0);
+        let mut pos = vec![(noelle_ir::module::BlockId(0), 0usize); max_idx + 1];
+        for &id in &inst_ids {
+            pos[id.index()] = (f.parent_block(id), f.position_in_block(id).unwrap_or(0));
+        }
         let pairs = if all_pairs {
             PdgBuilder::all_pairs(mem.len())
         } else {
@@ -367,27 +485,31 @@ impl<'a> PdgBuilder<'a> {
         for (i, j) in pairs {
             let (ia, ea) = &mem[i];
             let (ib, eb) = &mem[j];
-            let (ba, pa) = pos[ia];
-            let (bb, pb) = pos[ib];
+            let (ba, pa) = pos[ia.index()];
+            let (bb, pb) = pos[ib.index()];
             let same_block = ba == bb;
+            // One alias query answers both directions: `alias` is symmetric,
+            // so querying each ordered pair separately just doubled the hot
+            // path's cost.
+            let aliasing = self.pair_aliasing(fid, ea, eb);
             // a -> b direction.
-            if let Some((kind, must)) = self.conflict_kind(fid, ea, eb) {
+            if let Some((kind, must)) = PdgBuilder::conflict_kind_of(ea, eb, aliasing) {
                 if !same_block || pa < pb {
                     let mut attrs = EdgeAttrs::memory(kind);
                     attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
-                    g.add_edge(*ia, *ib, attrs);
+                    push(&mut edges, *ia, *ib, attrs);
                 }
             }
             // b -> a direction.
-            if let Some((kind, must)) = self.conflict_kind(fid, eb, ea) {
+            if let Some((kind, must)) = PdgBuilder::conflict_kind_of(eb, ea, aliasing) {
                 if !same_block || pb < pa {
                     let mut attrs = EdgeAttrs::memory(kind);
                     attrs.must = must && ea.ptr.is_some() && eb.ptr.is_some();
-                    g.add_edge(*ib, *ia, attrs);
+                    push(&mut edges, *ib, *ia, attrs);
                 }
             }
         }
-        g
+        DepGraph::from_edges(inst_ids, edges)
     }
 
     /// Memory dependences that cross a function boundary: every ordered pair
@@ -547,8 +669,9 @@ impl<'a> PdgBuilder<'a> {
                 if !candidates.contains(&(i, j)) {
                     continue;
                 }
-                let fwd = self.conflict_kind(fid, ea, eb);
-                let bwd = self.conflict_kind(fid, eb, ea);
+                let aliasing = self.pair_aliasing(fid, ea, eb);
+                let fwd = PdgBuilder::conflict_kind_of(ea, eb, aliasing);
+                let bwd = PdgBuilder::conflict_kind_of(eb, ea, aliasing);
                 if fwd.is_none() && bwd.is_none() {
                     continue;
                 }
@@ -586,6 +709,7 @@ impl<'a> PdgBuilder<'a> {
                 }
             }
         }
+        g.freeze();
         g
     }
 
@@ -611,6 +735,27 @@ impl<'a> PdgBuilder<'a> {
 
 /// Deterministic intra-body order key (block layout position, then position
 /// within block).
+/// Control dependences of every block, in ascending block order with each
+/// controller list ascending too. [`PostDomTree::control_dependences`]
+/// returns hash maps whose iteration order varies per call; both PDG build
+/// paths route through this so their edge streams stay reproducible.
+fn sorted_control_deps(
+    pdt: &PostDomTree,
+    cfg: &Cfg,
+) -> Vec<(noelle_ir::module::BlockId, Vec<noelle_ir::module::BlockId>)> {
+    let mut out: Vec<_> = pdt
+        .control_dependences(cfg)
+        .into_iter()
+        .map(|(dep, ctrls)| {
+            let mut ctrls: Vec<_> = ctrls.into_iter().collect();
+            ctrls.sort_unstable_by_key(|b| b.0);
+            (dep, ctrls)
+        })
+        .collect();
+    out.sort_unstable_by_key(|(dep, _)| dep.0);
+    out
+}
+
 fn order_key(f: &Function, _l: &LoopInfo, id: InstId) -> (usize, usize) {
     let b = f.parent_block(id);
     let bi = f
@@ -1007,6 +1152,39 @@ mod tests {
                     alias.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn seed_layout_matches_fast_path() {
+        // The benches extrapolate from `function_pdg_seed_layout`; it must
+        // stay a pure layout change — same nodes and edge set as the
+        // bucketed/CSR path, never a semantic fork.
+        let m = mixed_module();
+        let basic = BasicAlias::new(&m);
+        let andersen = AndersenAlias::new(&m);
+        let stack =
+            noelle_analysis::alias::AliasStack::new(vec![&basic as &dyn AliasAnalysis, &andersen]);
+        let builder = PdgBuilder::new(&m, &stack);
+        for fid in m.func_ids() {
+            if m.func(fid).is_declaration() {
+                continue;
+            }
+            let fast = builder.function_pdg(fid);
+            let seed = builder.function_pdg_seed_layout(fid);
+            assert!(!seed.is_frozen(), "seed layout must stay adjacency-map");
+            assert_eq!(
+                fast.internal_nodes().collect::<BTreeSet<_>>(),
+                seed.internal_nodes().collect::<BTreeSet<_>>(),
+                "node sets diverged on {}",
+                m.func(fid).name
+            );
+            assert_eq!(
+                edge_set(&fast),
+                edge_set(&seed),
+                "seed layout diverged on {}",
+                m.func(fid).name
+            );
         }
     }
 

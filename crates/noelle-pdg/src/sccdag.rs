@@ -166,76 +166,91 @@ impl SccDag {
 }
 
 /// Tarjan's algorithm over the internal nodes of `g` (iterative).
+///
+/// Works entirely on dense `0..n` indices: `nodes` is sorted (it comes from
+/// the graph's internal `BTreeSet`), so node→index is a binary search and all
+/// per-node state lives in flat `Vec`s instead of a `HashMap<InstId, _>`.
+/// Successor lists are packed once up front into a CSR array, sorted and
+/// deduplicated exactly as the map-based version sorted its neighbor vectors
+/// — roots and successors are visited in the same order, so the SCC output
+/// (contents and emission order) is identical.
 fn tarjan(nodes: &[InstId], g: &DepGraph<InstId>) -> Vec<Vec<InstId>> {
-    #[derive(Default, Clone)]
-    struct NodeState {
-        index: Option<u32>,
-        lowlink: u32,
-        on_stack: bool,
+    let n = nodes.len();
+    let idx = |x: InstId| {
+        nodes
+            .binary_search(&x)
+            .expect("successor not an internal node")
+    };
+    // CSR successor packing. InstId sorting and dense-index sorting agree
+    // because `nodes` is sorted and the mapping is monotone.
+    let mut succ_off = Vec::with_capacity(n + 1);
+    let mut succ: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    succ_off.push(0u32);
+    for &node in nodes {
+        scratch.clear();
+        scratch.extend(
+            g.edges_from(node)
+                .filter(|e| g.is_internal(e.dst))
+                .map(|e| idx(e.dst) as u32),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+        succ.extend_from_slice(&scratch);
+        succ_off.push(succ.len() as u32);
     }
-    let mut state: HashMap<InstId, NodeState> =
-        nodes.iter().map(|&n| (n, NodeState::default())).collect();
-    let mut counter = 0u32;
-    let mut stack: Vec<InstId> = Vec::new();
-    let mut sccs: Vec<Vec<InstId>> = Vec::new();
+    let succs_of = |v: usize| -> &[u32] { &succ[succ_off[v] as usize..succ_off[v + 1] as usize] };
 
-    for &root in nodes {
-        if state[&root].index.is_some() {
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut counter = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut sccs: Vec<Vec<InstId>> = Vec::new();
+    // Iterative DFS: (node, next successor position).
+    let mut call_stack: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
             continue;
         }
-        // Iterative DFS: (node, neighbor iterator position).
-        let mut call_stack: Vec<(InstId, Vec<InstId>, usize)> = Vec::new();
-        let succs_of = |n: InstId| -> Vec<InstId> {
-            let mut out: Vec<InstId> = g
-                .edges_from(n)
-                .filter(|e| g.is_internal(e.dst))
-                .map(|e| e.dst)
-                .collect();
-            out.sort();
-            out.dedup();
-            out
-        };
-        state.get_mut(&root).unwrap().index = Some(counter);
-        state.get_mut(&root).unwrap().lowlink = counter;
+        index[root] = counter;
+        lowlink[root] = counter;
         counter += 1;
-        stack.push(root);
-        state.get_mut(&root).unwrap().on_stack = true;
-        call_stack.push((root, succs_of(root), 0));
+        stack.push(root as u32);
+        on_stack[root] = true;
+        call_stack.push((root as u32, 0));
 
-        while let Some((node, succs, pos)) = call_stack.last_mut() {
-            if *pos < succs.len() {
-                let w = succs[*pos];
+        while let Some(&mut (node, ref mut pos)) = call_stack.last_mut() {
+            let v = node as usize;
+            let succs = succs_of(v);
+            if (*pos as usize) < succs.len() {
+                let w = succs[*pos as usize] as usize;
                 *pos += 1;
-                let wstate = &state[&w];
-                if let Some(wi) = wstate.index {
-                    if wstate.on_stack {
-                        let node = *node;
-                        let st = state.get_mut(&node).unwrap();
-                        st.lowlink = st.lowlink.min(wi);
-                    }
-                } else {
-                    state.get_mut(&w).unwrap().index = Some(counter);
-                    state.get_mut(&w).unwrap().lowlink = counter;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    lowlink[w] = counter;
                     counter += 1;
-                    stack.push(w);
-                    state.get_mut(&w).unwrap().on_stack = true;
-                    call_stack.push((w, succs_of(w), 0));
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call_stack.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
                 }
             } else {
-                let node = *node;
                 call_stack.pop();
-                if let Some((parent, _, _)) = call_stack.last() {
-                    let low = state[&node].lowlink;
-                    let pst = state.get_mut(parent).unwrap();
-                    pst.lowlink = pst.lowlink.min(low);
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
                 }
-                if state[&node].lowlink == state[&node].index.unwrap() {
+                if lowlink[v] == index[v] {
                     let mut scc = Vec::new();
                     loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        state.get_mut(&w).unwrap().on_stack = false;
-                        scc.push(w);
-                        if w == node {
+                        let w = stack.pop().expect("tarjan stack underflow") as usize;
+                        on_stack[w] = false;
+                        scc.push(nodes[w]);
+                        if w == v {
                             break;
                         }
                     }

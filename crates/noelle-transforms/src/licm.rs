@@ -46,7 +46,7 @@ pub fn safe_to_speculate(m: &Module, fid: FuncId, id: InstId) -> bool {
             callee: Callee::Direct(cid),
             ..
         } => {
-            let e = noelle_analysis::modref::external_effects(&m.func(*cid).name);
+            let e = noelle_analysis::modref::external_effects_sym(m.func(*cid).name_sym());
             m.func(*cid).is_declaration() && !e.reads_memory && !e.writes_memory && !e.io
         }
         Inst::Call { .. } | Inst::Store { .. } | Inst::Term(_) | Inst::Phi { .. } => false,
