@@ -54,10 +54,12 @@ fn main() {
                 for i in 0..REQUESTS_PER_CLIENT {
                     let w = WORKLOADS[(client_id + i) % WORKLOADS.len()];
                     let sess = Json::object([("session".to_string(), Json::Str(w.to_string()))]);
+                    // Raw-text calls: the bench measures the daemon, so the
+                    // client checks the envelope without parsing payloads.
                     let r = match i % 4 {
-                        0 | 1 => c.call("pdg", sess),
-                        2 => c.call("loops", sess),
-                        _ => c.call("stats", Json::object([])),
+                        0 | 1 => c.call_text("pdg", sess),
+                        2 => c.call_text("loops", sess),
+                        _ => c.call_text("stats", Json::object([])),
                     };
                     r.expect("warm request succeeds");
                 }

@@ -1,0 +1,99 @@
+//! Daemon warm restart: time from connect to first `pdg` reply for a fresh
+//! daemon over an empty store directory vs a restarted daemon over the
+//! store the first one populated. Written as JSON to
+//! `results/BENCH_warmstart.json`.
+//!
+//! The restarted daemon re-fingerprints each module, finds every PDG
+//! partition and loop forest already in the content-addressed store, and
+//! decodes instead of recomputing — so readiness should be dominated by
+//! module construction plus byte decode, not dependence analysis.
+
+use noelle_core::json::Json;
+use noelle_server::{Client, Server, ServerConfig};
+use std::time::Instant;
+
+/// A compilation-scale module: dependence analysis dominates readiness, so
+/// the restart ratio measures the store, not module construction.
+const WORKLOAD: &str = "workload:scale:3000";
+
+/// Start a daemon over `store_dir`, load the scale module, and pay one
+/// `sccdag` query — a small reply that forces the whole-program PDG, so
+/// readiness is analysis (cold) or store decode (warm), not serialization.
+/// Then shut down. Returns (seconds to readiness, store hits).
+fn run_once(store_dir: &str) -> (f64, i64) {
+    let server = Server::new(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: Some(store_dir.to_string()),
+        ..ServerConfig::default()
+    })
+    .start()
+    .expect("bind ephemeral port");
+    let addr = server.addr.to_string();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let t = Instant::now();
+    c.call(
+        "load",
+        Json::object([
+            ("path".to_string(), Json::Str(WORKLOAD.to_string())),
+            ("session".to_string(), Json::Str("scale".to_string())),
+        ]),
+    )
+    .expect("load");
+    c.call(
+        "sccdag",
+        Json::object([
+            ("session".to_string(), Json::Str("scale".to_string())),
+            ("func".to_string(), Json::Str("k0".to_string())),
+        ]),
+    )
+    .expect("first sccdag");
+    let ready_s = t.elapsed().as_secs_f64();
+
+    let stats = c.call("stats", Json::object([])).expect("stats");
+    let hits = stats
+        .get("store")
+        .and_then(|s| s.get("hits"))
+        .and_then(Json::as_i64)
+        .expect("store counters present when --store-dir is set");
+    c.call("shutdown", Json::object([])).expect("shutdown");
+    server.join();
+    (ready_s, hits)
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("noelle-warmstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("store dir");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+
+    // Generation 1: empty store, every artifact computed and published.
+    let (cold_s, cold_hits) = run_once(dir_s);
+    assert_eq!(cold_hits, 0, "first generation must start cold");
+
+    // Generation 2: same directory, same module content -> same keys.
+    let (warm_s, warm_hits) = run_once(dir_s);
+    assert!(
+        warm_hits > 0,
+        "restarted daemon answered without touching the store"
+    );
+
+    let speedup = cold_s / warm_s;
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("warm_restart".into())),
+        ("workload".to_string(), Json::Str(WORKLOAD.to_string())),
+        ("cold_ready_s".to_string(), Json::Float(cold_s)),
+        ("warm_ready_s".to_string(), Json::Float(warm_s)),
+        ("store_hits".to_string(), Json::Int(warm_hits)),
+        ("speedup".to_string(), Json::Float(speedup)),
+    ]);
+    let text = report.to_string_pretty();
+    println!("{text}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_warmstart.json", text + "\n").expect("write report");
+    eprintln!(
+        "cold {:.3}s -> warm {:.3}s = {:.1}x faster to first reply -> results/BENCH_warmstart.json",
+        cold_s, warm_s, speedup
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -106,7 +106,10 @@ impl Json {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => {
+                use fmt::Write;
+                let _ = write!(out, "{v}");
+            }
             Json::Float(v) => {
                 if v.is_finite() {
                     let s = format!("{v}");
@@ -192,17 +195,23 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
+    // Copy maximal runs needing no escape in one shot; most strings are
+    // entirely plain.
+    let mut rest = s;
+    while let Some(i) = rest.find(|c: char| matches!(c, '"' | '\\') || (c as u32) < 0x20) {
+        out.push_str(&rest[..i]);
+        let c = rest[i..].chars().next().expect("found above");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            c => out.push_str(&format!("\\u{:04x}", c as u32)),
         }
+        rest = &rest[i + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -292,7 +301,24 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
         return None;
     }
     *pos += 1;
-    let mut out = String::new();
+    // Fast path: scan the leading escape-free run and copy it in one shot;
+    // most strings close without any escape at all.
+    let start = *pos;
+    let mut i = *pos;
+    loop {
+        match *b.get(i)? {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..i]).ok()?;
+                *pos = i + 1;
+                return Some(s.to_string());
+            }
+            b'\\' => break,
+            _ => i += 1,
+        }
+    }
+    let mut out = String::with_capacity(i - start + 16);
+    out.push_str(std::str::from_utf8(&b[start..i]).ok()?);
+    *pos = i;
     loop {
         let c = *b.get(*pos)?;
         *pos += 1;

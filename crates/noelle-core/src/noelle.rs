@@ -20,11 +20,13 @@ use noelle_analysis::alias::{
 use noelle_analysis::modref::ModRefSummaries;
 use noelle_ir::cfg::Cfg;
 use noelle_ir::dom::{DomTree, PostDomTree};
-use noelle_ir::inst::{Callee, Inst};
+use noelle_ir::inst::{Callee, Inst, InstId};
 use noelle_ir::loops::{LoopForest, LoopInfo};
 use noelle_ir::module::{FuncId, Function, Module};
 use noelle_pdg::callgraph::CallGraph;
+use noelle_pdg::depgraph::DepGraph;
 use noelle_pdg::pdg::{PdgBuilder, ProgramPdg};
+use noelle_store::{artifact, ArtifactKind, KeyCtx, Store};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -147,6 +149,11 @@ pub struct FuncCacheCounters {
     /// touched function's content fingerprint (and the globals') was
     /// unchanged — the re-solve was skipped entirely.
     pub andersen_reuses: u64,
+    /// Artifacts loaded from the durable store instead of recomputed.
+    pub store_hits: u64,
+    /// Store lookups that found nothing (or found a payload that failed
+    /// its CRC or codec) and fell back to recomputation.
+    pub store_misses: u64,
 }
 
 /// Fingerprints of the inputs the cached points-to solution was computed
@@ -248,6 +255,9 @@ pub struct Noelle {
     build_stats: BTreeMap<Abstraction, BuildStat>,
     revisions: HashMap<FuncId, u64>,
     counters: FuncCacheCounters,
+    /// Durable artifact store, when attached. Misses consult it before
+    /// recomputing; rebuilt artifacts are written back asynchronously.
+    store: Option<Arc<Store>>,
 }
 
 impl Noelle {
@@ -271,25 +281,45 @@ impl Noelle {
             build_stats: BTreeMap::new(),
             revisions: HashMap::new(),
             counters: FuncCacheCounters::default(),
+            store: None,
+        }
+    }
+
+    /// Attach a durable artifact store: from now on, PDG-partition and
+    /// loop-forest misses consult it before recomputing, and freshly built
+    /// artifacts (including Andersen rows) are queued for asynchronous
+    /// write-back. Content addressing makes attachment safe at any point —
+    /// a stale entry is simply never addressed.
+    pub fn set_store(&mut self, store: Arc<Store>) {
+        self.store = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// The store-key context for the module's *current* content. Partition
+    /// and rows keys bake in a module-wide code fingerprint (their inputs
+    /// are interprocedural); forest keys use only the owning function.
+    fn store_key_ctx(&self) -> KeyCtx {
+        KeyCtx {
+            globals_fp: self.module.globals_fingerprint(),
+            module_code_fp: KeyCtx::module_code_fp(
+                self.module
+                    .func_ids()
+                    .map(|fid| self.module.func(fid).content_fingerprint()),
+            ),
+            tier: match self.tier {
+                AliasTier::Basic => 0,
+                AliasTier::Full => 1,
+            },
         }
     }
 
     /// The module under compilation.
     pub fn module(&self) -> &Module {
         &self.module
-    }
-
-    /// Mutable access to the module. Invalidates *every* cache: without a
-    /// touched-function record the manager must assume any dependence,
-    /// loop, or profile changed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Noelle::edit, which records touched functions so caches \
-                can be invalidated incrementally"
-    )]
-    pub fn module_mut(&mut self) -> &mut Module {
-        self.invalidate();
-        &mut self.module
     }
 
     /// Run an edit transaction over the module. The closure receives an
@@ -487,7 +517,24 @@ impl Noelle {
 
     fn ensure_andersen(&mut self) {
         if self.andersen.is_none() {
-            self.andersen = Some(AndersenAlias::new(&self.module));
+            let andersen = AndersenAlias::new(&self.module);
+            // Queue the observable rows for asynchronous write-back. Rows
+            // are a write-only artifact from this process's point of view
+            // (the full solver state cannot be reconstructed from them);
+            // they exist so fsck and replicas can audit the solve, and so
+            // the fuzz oracle can round-trip them.
+            if let Some(store) = &self.store {
+                let ctx = self.store_key_ctx();
+                for (fid, rows) in andersen.rows_by_function() {
+                    let key = ctx.rows_key(self.module.func(fid).content_fingerprint());
+                    store.put(
+                        key,
+                        ArtifactKind::PointsToRows,
+                        artifact::encode_points_to(&rows),
+                    );
+                }
+            }
+            self.andersen = Some(andersen);
             self.record_andersen_inputs();
         }
     }
@@ -523,6 +570,24 @@ impl Noelle {
                 .get(fid)
                 .is_some_and(|&fp| self.module.func(*fid).content_fingerprint() == fp)
         })
+    }
+
+    /// One function's PDG partition from the durable store, if present.
+    ///
+    /// Content addressing makes this safe at any point: the key covers the
+    /// whole module's current content, so a hit was computed from inputs
+    /// byte-identical to what a full build would see right now. Misses are
+    /// not counted here — the fall-back full build accounts for them.
+    fn store_partition(&mut self, fid: FuncId) -> Option<Arc<DepGraph<InstId>>> {
+        self.store.as_ref()?;
+        let ctx = self.store_key_ctx();
+        let store = self.store.as_ref().expect("checked above");
+        let key = ctx.partition_key(self.module.func(fid).content_fingerprint());
+        let g = store
+            .get(key)
+            .and_then(|b| artifact::decode_partition(&b).ok())?;
+        self.counters.store_hits += 1;
+        Some(Arc::new(g))
     }
 
     fn ensure_modref(&mut self) -> Arc<ModRefSummaries> {
@@ -627,48 +692,67 @@ impl Noelle {
     pub fn pdg(&mut self) -> Arc<ProgramPdg> {
         self.note(Abstraction::Pdg);
         if self.pdg.is_none() {
-            if self.tier == AliasTier::Full {
-                self.ensure_andersen();
-            }
-            let modref = self.ensure_modref();
             let t = Instant::now();
-            let built = match self.prev_pdg.take() {
-                Some(prev) => {
-                    let stale = std::mem::take(&mut self.stale);
-                    let defined: Vec<FuncId> = self
-                        .module
-                        .func_ids()
-                        .filter(|&fid| !self.module.func(fid).is_declaration())
-                        .collect();
-                    let rebuild: Vec<FuncId> = defined
-                        .iter()
-                        .copied()
-                        .filter(|fid| stale.contains(fid) || !prev.per_function.contains_key(fid))
-                        .collect();
-                    let fresh = self.with_cached_stack(modref, |_, b| b.pdg_partitions(&rebuild));
-                    let mut per_function = HashMap::with_capacity(defined.len());
-                    for fid in defined {
-                        match fresh.get(&fid) {
-                            Some(g) => {
-                                per_function.insert(fid, Arc::clone(g));
-                            }
-                            None => {
-                                per_function.insert(fid, Arc::clone(&prev.per_function[&fid]));
-                                self.counters.pdg_hits += 1;
-                            }
-                        }
+            let defined: Vec<FuncId> = self
+                .module
+                .func_ids()
+                .filter(|&fid| !self.module.func(fid).is_declaration())
+                .collect();
+            let prev = self.prev_pdg.take();
+            let stale = std::mem::take(&mut self.stale);
+            let ctx = self.store.as_ref().map(|_| self.store_key_ctx());
+            let mut per_function = HashMap::with_capacity(defined.len());
+            let mut rebuild: Vec<FuncId> = Vec::new();
+            for &fid in &defined {
+                // Undamaged partition from the previous in-memory snapshot.
+                if !stale.contains(&fid) {
+                    if let Some(g) = prev.as_ref().and_then(|p| p.per_function.get(&fid)) {
+                        per_function.insert(fid, Arc::clone(g));
+                        self.counters.pdg_hits += 1;
+                        continue;
                     }
-                    self.counters.pdg_misses += rebuild.len() as u64;
-                    ProgramPdg { per_function }
                 }
-                None => {
-                    let built = self.with_cached_stack(modref, |_, b| b.program_pdg());
-                    self.counters.pdg_misses += built.per_function.len() as u64;
-                    built
+                // Durable store next: content addressing guarantees a hit
+                // was computed from byte-identical inputs, so a warm
+                // restart (or a replica on the same store) skips the
+                // analysis stack entirely. Decode failures are misses.
+                if let (Some(store), Some(ctx)) = (&self.store, &ctx) {
+                    let key = ctx.partition_key(self.module.func(fid).content_fingerprint());
+                    let decoded = store
+                        .get(key)
+                        .and_then(|b| artifact::decode_partition(&b).ok());
+                    if let Some(g) = decoded {
+                        per_function.insert(fid, Arc::new(g));
+                        self.counters.store_hits += 1;
+                        continue;
+                    }
+                    self.counters.store_misses += 1;
                 }
-            };
+                rebuild.push(fid);
+            }
+            // Only partitions that survived neither cache pay for the
+            // alias stack; a fully warm start never solves points-to.
+            if !rebuild.is_empty() {
+                if self.tier == AliasTier::Full {
+                    self.ensure_andersen();
+                }
+                let modref = self.ensure_modref();
+                let fresh = self.with_cached_stack(modref, |_, b| b.pdg_partitions(&rebuild));
+                self.counters.pdg_misses += rebuild.len() as u64;
+                if let (Some(store), Some(ctx)) = (&self.store, &ctx) {
+                    for (&fid, g) in &fresh {
+                        let key = ctx.partition_key(self.module.func(fid).content_fingerprint());
+                        store.put(
+                            key,
+                            ArtifactKind::PdgPartition,
+                            artifact::encode_partition(g),
+                        );
+                    }
+                }
+                per_function.extend(fresh);
+            }
             self.record_build(Abstraction::Pdg, t.elapsed());
-            self.pdg = Some(Arc::new(built));
+            self.pdg = Some(Arc::new(ProgramPdg { per_function }));
         }
         Arc::clone(self.pdg.as_ref().expect("just set"))
     }
@@ -687,7 +771,41 @@ impl Noelle {
             let cfg = Cfg::new(f);
             let dom = DomTree::new(f, &cfg);
             let postdom = PostDomTree::new(f, &cfg);
-            let forest = LoopForest::new(f, &cfg, &dom);
+            // The forest is function-local, so its store key depends only
+            // on this function's content — it survives edits elsewhere and
+            // warm restarts alike.
+            let mut from_store = false;
+            let forest = match &self.store {
+                Some(store) => {
+                    let key = KeyCtx::forest_key(f.content_fingerprint());
+                    match store
+                        .get(key)
+                        .and_then(|b| artifact::decode_forest(&b).ok())
+                    {
+                        Some(forest) => {
+                            from_store = true;
+                            forest
+                        }
+                        None => {
+                            let forest = LoopForest::new(f, &cfg, &dom);
+                            store.put(
+                                key,
+                                ArtifactKind::LoopForest,
+                                artifact::encode_forest(&forest),
+                            );
+                            forest
+                        }
+                    }
+                }
+                None => LoopForest::new(f, &cfg, &dom),
+            };
+            if self.store.is_some() {
+                if from_store {
+                    self.counters.store_hits += 1;
+                } else {
+                    self.counters.store_misses += 1;
+                }
+            }
             self.structures.insert(
                 fid,
                 FuncStructures {
@@ -752,11 +870,23 @@ impl Noelle {
             self.note(a);
         }
         // Carve from the cached whole-program PDG: requesting several loops
-        // of one function analyzes the function once.
-        let pdg = self.pdg();
+        // of one function analyzes the function once. When no PDG is
+        // materialized yet, a durable-store hit for just this function's
+        // partition answers the query demand-driven — a restarted daemon
+        // replies without re-deriving (or even decoding) the rest of the
+        // program.
+        let fg = if self.pdg.is_none() {
+            self.store_partition(fid)
+        } else {
+            None
+        };
+        let fg = match fg {
+            Some(g) => Some(g),
+            None => self.pdg().per_function.get(&fid).cloned(),
+        };
         let modref = self.ensure_modref();
         let t = Instant::now();
-        let la = self.with_cached_stack(modref, |_, b| match pdg.per_function.get(&fid) {
+        let la = self.with_cached_stack(modref, |_, b| match &fg {
             Some(fg) => LoopAbstraction::build_with(b, fid, l, fg),
             None => LoopAbstraction::build(b, fid, l),
         });
@@ -849,6 +979,45 @@ mod tests {
         m
     }
 
+    /// A warm start over a populated store must produce an identical PDG
+    /// without ever touching the alias stack: the whole point of durable
+    /// content addressing.
+    #[test]
+    fn store_warm_start_matches_cold_build() {
+        let dir = std::env::temp_dir().join(format!("noelle-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let fid;
+        let cold_edges;
+        {
+            let mut n = Noelle::new(loop_module(), AliasTier::Full);
+            n.set_store(Arc::clone(&store));
+            fid = n.module().func_ids().next().unwrap();
+            cold_edges = n.pdg().num_edges();
+            let _ = n.loop_forest(fid);
+            let c = n.func_cache_counters();
+            assert!(c.store_misses > 0 && c.store_hits == 0);
+            assert!(n.andersen.is_some(), "cold build solves points-to");
+        }
+        store.flush();
+        {
+            let mut n = Noelle::new(loop_module(), AliasTier::Full);
+            n.set_store(Arc::clone(&store));
+            assert_eq!(n.pdg().num_edges(), cold_edges);
+            let warm_loops = n.loops_of(fid).len();
+            assert_eq!(warm_loops, 1);
+            let c = n.func_cache_counters();
+            assert!(c.store_hits >= 2, "partition + forest: {c:?}");
+            assert_eq!(c.pdg_misses, 0);
+            assert!(
+                n.andersen.is_none(),
+                "fully warm start must skip the points-to solve"
+            );
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn demand_driven_requests_recorded() {
         let mut n = Noelle::new(loop_module(), AliasTier::Full);
@@ -867,18 +1036,16 @@ mod tests {
         assert!(n.requested().is_empty());
     }
 
-    /// Compatibility test for the deprecated raw-mutation shim: it must
-    /// keep conservatively clearing every cache.
+    /// Full invalidation must conservatively clear every cache (the
+    /// behavior the removed raw-mutation shim used to route through).
     #[test]
-    #[allow(deprecated)]
-    fn caches_cleared_on_mutation() {
+    fn caches_cleared_on_invalidate() {
         let mut n = Noelle::new(loop_module(), AliasTier::Full);
         let fid = n.module().func_ids().next().unwrap();
         let _ = n.loop_forest(fid);
         let _ = n.call_graph();
         let _ = n.pdg();
-        // Touch the module mutably: caches must reset.
-        n.module_mut().metadata.insert("x".into(), "y".into());
+        n.invalidate();
         assert!(n.structures.is_empty());
         assert!(n.call_graph.is_none());
         assert!(n.pdg.is_none());

@@ -53,6 +53,9 @@ pub struct FuzzConfig {
     /// Check that each tool's incrementally repaired PDG matches a
     /// from-scratch build of its output module.
     pub check_incremental: bool,
+    /// Round-trip analysis artifacts through the `noelle-store` byte
+    /// codecs and require byte-identical re-encoding.
+    pub check_store: bool,
     /// Directory of persisted repros to replay (and to write new ones).
     pub corpus_dir: Option<PathBuf>,
     /// Write failing seeds + minimized repros into `corpus_dir`.
@@ -74,6 +77,7 @@ impl Default for FuzzConfig {
             trace_deps: false,
             lint_races: false,
             check_incremental: true,
+            check_store: true,
             corpus_dir: None,
             persist: false,
             gen: GenConfig::default(),
@@ -180,6 +184,7 @@ fn oracle_cfg(cfg: &FuzzConfig) -> OracleConfig {
         trace_deps: cfg.trace_deps,
         lint_races: cfg.lint_races,
         check_incremental: cfg.check_incremental,
+        check_store: cfg.check_store,
         max_steps: cfg.max_steps,
         ..OracleConfig::default()
     }

@@ -50,6 +50,10 @@ pub struct OracleConfig {
     /// manager's incrementally repaired PDG is wire-identical to a
     /// from-scratch build of the transformed module.
     pub check_incremental: bool,
+    /// Round-trip every durable-store artifact codec over the input
+    /// module's analyses: encode, decode, re-encode must be byte-identical
+    /// (the invariant a warm restart from `noelle-store` rests on).
+    pub check_store: bool,
     /// Interpreter step budget per run.
     pub max_steps: u64,
     /// Entry function name.
@@ -62,6 +66,7 @@ impl Default for OracleConfig {
             trace_deps: false,
             lint_races: false,
             check_incremental: true,
+            check_store: true,
             max_steps: 20_000_000,
             entry: "main".into(),
         }
@@ -96,6 +101,9 @@ pub enum FailureKind {
     /// The incrementally repaired PDG diverged from a from-scratch build
     /// of the transformed module (an invalidation-engine bug).
     IncrementalMismatch,
+    /// A durable-store artifact codec failed the encode/decode/re-encode
+    /// byte-identity round trip (a `noelle-store` codec bug).
+    StoreRoundTrip,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -113,6 +121,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::UnsoundPdg => "unsound-pdg",
             FailureKind::RaceFinding => "race-finding",
             FailureKind::IncrementalMismatch => "incremental-mismatch",
+            FailureKind::StoreRoundTrip => "store-round-trip",
         };
         f.write_str(s)
     }
@@ -196,6 +205,80 @@ fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Round-trip every durable-store artifact codec over `m`'s analyses.
+/// For each defined function: PDG partition, Andersen points-to rows, and
+/// loop forest must each encode, decode, and re-encode to identical bytes.
+/// Byte-identity (not just structural equality) is what content addressing
+/// needs: the same analysis state must always persist as the same payload.
+fn store_round_trip_failures(m: &Module) -> Vec<Failure> {
+    use noelle_store::artifact;
+    let fail = |what: String| Failure {
+        tool: None,
+        kind: FailureKind::StoreRoundTrip,
+        detail: what,
+    };
+    let mut failures = Vec::new();
+    let mut check =
+        |fname: &str, artifact_name: &str, bytes: &[u8], reencoded: Result<Vec<u8>, String>| {
+            match reencoded {
+                Err(e) => failures.push(fail(format!(
+                    "@{fname} {artifact_name}: decode failed: {e}"
+                ))),
+                Ok(re) if re != bytes => failures.push(fail(format!(
+                    "@{fname} {artifact_name}: re-encode diverges ({} vs {} bytes)",
+                    bytes.len(),
+                    re.len()
+                ))),
+                Ok(_) => {}
+            }
+        };
+
+    let mut n = Noelle::new(m.clone(), AliasTier::Full);
+    let pdg = n.pdg();
+    let mut fids: Vec<_> = pdg.per_function.keys().copied().collect();
+    fids.sort();
+    for fid in fids {
+        let fname = &m.func(fid).name;
+        let g = &pdg.per_function[&fid];
+        let bytes = artifact::encode_partition(g);
+        let re = artifact::decode_partition(&bytes)
+            .map(|d| artifact::encode_partition(&d))
+            .map_err(|e| e.to_string());
+        check(fname, "pdg partition", &bytes, re);
+    }
+
+    let andersen = noelle_analysis::alias::AndersenAlias::new(m);
+    let mut by_fn: Vec<_> = andersen.rows_by_function().into_iter().collect();
+    by_fn.sort_by_key(|(fid, _)| *fid);
+    for (fid, rows) in by_fn {
+        let fname = &m.func(fid).name;
+        let bytes = artifact::encode_points_to(&rows);
+        let re = artifact::decode_points_to(&bytes)
+            .map(|d| {
+                if d != rows {
+                    return Err("decoded rows differ structurally".to_string());
+                }
+                Ok(artifact::encode_points_to(&d))
+            })
+            .map_err(|e| e.to_string())
+            .and_then(|r| r);
+        check(fname, "points-to rows", &bytes, re);
+    }
+
+    for fid in m.func_ids().filter(|&f| !m.func(f).is_declaration()) {
+        let f = m.func(fid);
+        let cfg = noelle_ir::cfg::Cfg::new(f);
+        let dom = noelle_ir::dom::DomTree::new(f, &cfg);
+        let forest = noelle_ir::loops::LoopForest::new(f, &cfg, &dom);
+        let bytes = artifact::encode_forest(&forest);
+        let re = artifact::decode_forest(&bytes)
+            .map(|d| artifact::encode_forest(&d))
+            .map_err(|e| e.to_string());
+        check(&f.name, "loop forest", &bytes, re);
+    }
+    failures
+}
+
 /// Run the full oracle over `m`: baseline, optional PDG-soundness pass, then
 /// one differential round per tool.
 pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outcome {
@@ -251,6 +334,10 @@ pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outco
                 });
             }
         }
+    }
+
+    if cfg.check_store {
+        failures.extend(store_round_trip_failures(m));
     }
 
     let run_cfg = RunConfig {
@@ -516,6 +603,37 @@ entry:
             panic!("expected Skip, got {out:?}");
         };
         assert!(reason.contains("type confusion"), "{reason}");
+    }
+
+    #[test]
+    fn store_codecs_round_trip_generated_modules() {
+        // The store oracle runs directly: every artifact the daemon would
+        // persist (PDG partitions, points-to rows, loop forests) must
+        // re-encode byte-identically after a decode.
+        for seed in 0..10 {
+            let m = generate(seed, &GenConfig::default());
+            let failures = store_round_trip_failures(&m);
+            assert!(failures.is_empty(), "seed {seed}: {failures:?}");
+        }
+    }
+
+    #[test]
+    fn store_check_can_be_disabled() {
+        let cfg = OracleConfig {
+            check_store: false,
+            ..OracleConfig::default()
+        };
+        let m = generate(2, &GenConfig::default());
+        let out = check_module(&m, &[identity_tool()], &cfg);
+        assert!(
+            !matches!(
+                &out,
+                Outcome::Fail { failures } if failures
+                    .iter()
+                    .any(|f| f.kind == FailureKind::StoreRoundTrip)
+            ),
+            "store check ran while disabled: {out:?}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod builder;
+pub mod bytes;
 pub mod cfg;
 pub mod dom;
 pub mod ids;

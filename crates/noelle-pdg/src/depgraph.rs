@@ -11,6 +11,7 @@
 //! are the sources/sinks of dependences crossing the boundary — the live-ins
 //! and live-outs of the region.
 
+use noelle_ir::bytes::{ByteReader, ByteWriter, DecodeError};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::Hash;
@@ -476,6 +477,127 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> DepGraph<N> {
             .copied()
             .collect()
     }
+
+    /// Stable binary encoding of the graph, with nodes written through
+    /// `node` (see `noelle_ir::bytes`). Two graphs with equal node sets and
+    /// equal edge lists (in insertion order) encode to identical bytes,
+    /// regardless of frozen/thawed state — the property the durable store's
+    /// round-trip oracle asserts.
+    pub fn encode_with(&self, mut node: impl FnMut(N) -> u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.varint(self.internal.len() as u64);
+        for &n in &self.internal {
+            w.varint(node(n));
+        }
+        w.varint(self.external.len() as u64);
+        for &n in &self.external {
+            w.varint(node(n));
+        }
+        w.varint(self.edges.len() as u64);
+        for e in &self.edges {
+            w.varint(node(e.src));
+            w.varint(node(e.dst));
+            let kind = match e.attrs.kind {
+                DepKind::Control => 0u8,
+                DepKind::Data(DataDepKind::Raw) => 1,
+                DepKind::Data(DataDepKind::War) => 2,
+                DepKind::Data(DataDepKind::Waw) => 3,
+            };
+            let flags = kind
+                | (u8::from(e.attrs.memory) << 2)
+                | (u8::from(e.attrs.must) << 3)
+                | (u8::from(e.attrs.loop_carried) << 4)
+                | (u8::from(e.attrs.distance.is_some()) << 5);
+            w.u8(flags);
+            if let Some(d) = e.attrs.distance {
+                w.ivarint(d);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a graph encoded by [`DepGraph::encode_with`], mapping node
+    /// codes back through `node`. The decoded graph is returned frozen
+    /// (CSR form) and answers every query identically to the original.
+    ///
+    /// # Errors
+    /// Truncated input, trailing bytes, out-of-domain attribute flags, edge
+    /// endpoints outside the node sets, and overlapping internal/external
+    /// sets all surface as [`DecodeError`] — never a panic.
+    pub fn decode_with(
+        bytes: &[u8],
+        mut node: impl FnMut(u64) -> Result<N, DecodeError>,
+    ) -> Result<DepGraph<N>, DecodeError> {
+        const MAX: usize = 1 << 28;
+        let mut r = ByteReader::new(bytes);
+        let n_int = r.count(MAX, "depgraph: internal count")?;
+        let mut internal = BTreeSet::new();
+        for _ in 0..n_int {
+            internal.insert(node(r.varint("depgraph: internal node")?)?);
+        }
+        if internal.len() != n_int {
+            return Err(DecodeError::new("depgraph: duplicate internal node"));
+        }
+        let n_ext = r.count(MAX, "depgraph: external count")?;
+        let mut external = BTreeSet::new();
+        for _ in 0..n_ext {
+            let x = node(r.varint("depgraph: external node")?)?;
+            if internal.contains(&x) || !external.insert(x) {
+                return Err(DecodeError::new("depgraph: external overlaps"));
+            }
+        }
+        let n_edges = r.count(MAX, "depgraph: edge count")?;
+        let mut edges = Vec::with_capacity(n_edges.min(1 << 20));
+        for _ in 0..n_edges {
+            let src = node(r.varint("depgraph: edge src")?)?;
+            let dst = node(r.varint("depgraph: edge dst")?)?;
+            if !(internal.contains(&src) || external.contains(&src))
+                || !(internal.contains(&dst) || external.contains(&dst))
+            {
+                return Err(DecodeError::new("depgraph: edge endpoint unknown"));
+            }
+            let flags = r.u8("depgraph: edge flags")?;
+            if flags & !0x3f != 0 {
+                return Err(DecodeError::new("depgraph: edge flags"));
+            }
+            let kind = match flags & 0x3 {
+                0 => DepKind::Control,
+                1 => DepKind::Data(DataDepKind::Raw),
+                2 => DepKind::Data(DataDepKind::War),
+                _ => DepKind::Data(DataDepKind::Waw),
+            };
+            let distance = if flags & 0x20 != 0 {
+                Some(r.ivarint("depgraph: edge distance")?)
+            } else {
+                None
+            };
+            edges.push(DepEdge {
+                src,
+                dst,
+                attrs: EdgeAttrs {
+                    kind,
+                    memory: flags & 0x4 != 0,
+                    must: flags & 0x8 != 0,
+                    loop_carried: flags & 0x10 != 0,
+                    distance,
+                },
+            });
+        }
+        r.finish("depgraph: trailing bytes")?;
+        let mut nodes: Vec<N> = Vec::with_capacity(internal.len() + external.len());
+        nodes.extend(internal.iter().copied());
+        nodes.extend(external.iter().copied());
+        nodes.sort_unstable();
+        let csr = Csr::build(nodes, &edges);
+        Ok(DepGraph {
+            internal,
+            external,
+            edges,
+            out_adj: HashMap::new(),
+            in_adj: HashMap::new(),
+            csr: Some(csr),
+        })
+    }
 }
 
 impl<N: Copy + Eq + Ord + Hash + fmt::Debug> Default for DepGraph<N> {
@@ -693,5 +815,82 @@ mod tests {
         assert!(m.memory && m.loop_carried && !m.must);
         let c = EdgeAttrs::control();
         assert!(c.is_control() && !c.is_data());
+    }
+
+    fn decode_u32(bytes: &[u8]) -> Result<DepGraph<u32>, DecodeError> {
+        DepGraph::decode_with(bytes, |v| {
+            u32::try_from(v).map_err(|_| DecodeError::new("test: node"))
+        })
+    }
+
+    #[test]
+    fn codec_round_trips_and_is_stable() {
+        let mut g = build_sample();
+        let mut carried = EdgeAttrs::memory(DataDepKind::War).carried();
+        carried.distance = Some(-3);
+        g.add_edge(1, 2, carried);
+        let bytes = g.encode_with(u64::from);
+        let d = decode_u32(&bytes).unwrap();
+        assert!(d.is_frozen());
+        assert_eq!(query_fingerprint(&d), query_fingerprint(&g));
+        assert_eq!(d.edges(), g.edges());
+        // Frozen/thawed state does not leak into the encoding, and
+        // re-encoding the decoded graph is byte-identical.
+        let mut f = g.clone();
+        f.freeze();
+        assert_eq!(f.encode_with(u64::from), bytes);
+        assert_eq!(d.encode_with(u64::from), bytes);
+    }
+
+    #[test]
+    fn codec_empty_graph() {
+        let g: DepGraph<u32> = DepGraph::new();
+        let bytes = g.encode_with(u64::from);
+        let d = decode_u32(&bytes).unwrap();
+        assert_eq!(d.num_internal(), 0);
+        assert_eq!(d.edges().len(), 0);
+    }
+
+    #[test]
+    fn codec_rejects_malformed() {
+        let g = build_sample();
+        let bytes = g.encode_with(u64::from);
+        // Truncation at every cut is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_u32(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_u32(&long).is_err());
+        // An edge endpoint outside the node sets must be a decode error,
+        // not a CSR-build panic.
+        let mut w = ByteWriter::new();
+        w.varint(1); // one internal node: 0
+        w.varint(0);
+        w.varint(0); // no externals
+        w.varint(1); // one edge 0 -> 7 (unknown)
+        w.varint(0);
+        w.varint(7);
+        w.u8(1);
+        assert!(decode_u32(&w.into_bytes()).is_err());
+        // Reserved flag bits rejected.
+        let mut w = ByteWriter::new();
+        w.varint(1);
+        w.varint(0);
+        w.varint(0);
+        w.varint(1);
+        w.varint(0);
+        w.varint(0);
+        w.u8(0x40);
+        assert!(decode_u32(&w.into_bytes()).is_err());
+        // Internal/external overlap rejected.
+        let mut w = ByteWriter::new();
+        w.varint(1);
+        w.varint(0);
+        w.varint(1);
+        w.varint(0);
+        w.varint(0);
+        assert!(decode_u32(&w.into_bytes()).is_err());
     }
 }

@@ -1,14 +1,15 @@
 //! A blocking client for the daemon's framed TCP protocol, shared by
 //! `noelle-query`, the protocol tests, and the throughput benchmark.
 
-use crate::protocol::{read_frame, write_frame, Request, PROTOCOL_VERSION};
+use crate::protocol::{read_frame, read_frame_text, write_frame, Request, PROTOCOL_VERSION};
 use noelle_core::json::Json;
-use std::io;
+use std::io::{self, BufReader};
 use std::net::TcpStream;
 
 /// One connection to a running daemon.
 pub struct Client {
     stream: TcpStream,
+    reader: BufReader<TcpStream>,
     next_id: i64,
 }
 
@@ -20,7 +21,12 @@ impl Client {
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, next_id: 0 })
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            next_id: 0,
+        })
     }
 
     /// Send one request and wait for its reply (the full reply object,
@@ -52,12 +58,48 @@ impl Client {
             v: Some(PROTOCOL_VERSION),
         };
         write_frame(&mut self.stream, &req.to_json())?;
-        read_frame(&mut self.stream)?.ok_or_else(|| {
+        read_frame(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed before reply",
             )
         })
+    }
+
+    /// Send a request and return the raw reply frame text, verifying only
+    /// that it is an `ok` reply. No `Json` tree is built — the choice of a
+    /// throughput-sensitive caller that doesn't need the payload, where
+    /// parsing a multi-kilobyte reply costs more than the server spent
+    /// producing it.
+    ///
+    /// # Errors
+    /// IO/framing failures, premature close, and non-`ok` replies surface
+    /// as `io::Error`.
+    pub fn call_text(&mut self, method: &str, params: Json) -> io::Result<String> {
+        self.next_id += 1;
+        let req = Request {
+            id: self.next_id,
+            method: method.to_string(),
+            params,
+            deadline_ms: None,
+            v: Some(PROTOCOL_VERSION),
+        };
+        write_frame(&mut self.stream, &req.to_json())?;
+        let text = read_frame_text(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )
+        })?;
+        // Replies serialize object keys in order, so an `ok` reply is
+        // exactly `{"id":<id>,"ok":...` and an error starts `{"error":...`.
+        let body = text.strip_prefix("{\"id\":").unwrap_or("");
+        let body = body.trim_start_matches(|c: char| c.is_ascii_digit() || c == '-');
+        if body.starts_with(",\"ok\":") {
+            Ok(text)
+        } else {
+            Err(io::Error::other(text))
+        }
     }
 
     /// Send a request and return just the `ok` payload, turning protocol
@@ -67,15 +109,18 @@ impl Client {
     /// Error replies map to `io::ErrorKind::Other` with the wire message.
     pub fn call(&mut self, method: &str, params: Json) -> io::Result<Json> {
         let reply = self.request(method, params)?;
-        match reply.get("ok") {
-            Some(v) => Ok(v.clone()),
-            None => {
-                let msg = reply
-                    .get("error")
-                    .map(|e| e.to_string_compact())
-                    .unwrap_or_else(|| "malformed reply".to_string());
-                Err(io::Error::other(msg))
-            }
+        match reply {
+            Json::Object(mut o) => match o.remove("ok") {
+                Some(v) => Ok(v),
+                None => {
+                    let msg = o
+                        .get("error")
+                        .map(Json::to_string_compact)
+                        .unwrap_or_else(|| "malformed reply".to_string());
+                    Err(io::Error::other(msg))
+                }
+            },
+            _ => Err(io::Error::other("malformed reply")),
         }
     }
 }

@@ -14,16 +14,25 @@
 //!
 //! - **Framed wire protocol** ([`protocol`]): 4-byte length-prefixed JSON,
 //!   hardened against trailing garbage and oversized frames.
-//! - **Fixed worker pool** ([`server`]): analysis runs on a bounded pool;
-//!   connections are cheap readers.
+//! - **Session sharding** ([`server`]): sessions hash-route across shards,
+//!   each owning a table slice, a bounded request queue, and its share of
+//!   the worker pool; connections are cheap readers.
+//! - **Admission control** ([`server`]): a full shard queue sheds new
+//!   requests with a structured `overloaded` error instead of growing the
+//!   tail, keeping latency bounded for admitted work.
+//! - **Durable warm starts** ([`server`]): with `--store-dir`, analysis
+//!   artifacts persist in a content-addressed on-disk store
+//!   (`noelle-store`), so a restarted daemon skips recomputation.
 //! - **In-flight coalescing** ([`session`]): concurrent identical builds
-//!   share one execution via the per-session build lock.
+//!   share one execution via the per-session build lock; warm `pdg`
+//!   replies are served from a serialized-reply cache.
 //! - **LRU eviction** ([`session`]): entry and byte budgets bound resident
 //!   memory.
 //! - **Deadlines**: every request gets a timeout error instead of a hung
 //!   connection.
 //! - **Observability** ([`metrics`]): per-method counters and latency
-//!   quantiles, plus per-session build/cache counters.
+//!   quantiles, per-shard queue depth and shed counts, store hit/miss
+//!   counters, plus per-session build/cache counters.
 //! - **Graceful shutdown**: queued requests drain before workers exit.
 
 pub mod client;

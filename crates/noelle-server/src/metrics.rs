@@ -82,6 +82,8 @@ pub struct MethodMetrics {
     pub errors: AtomicU64,
     /// Requests that missed their deadline.
     pub timeouts: AtomicU64,
+    /// Requests shed at admission (full shard queue); no work ran.
+    pub sheds: AtomicU64,
     /// Latency of completed requests.
     pub latency: LatencyHistogram,
 }
@@ -95,6 +97,8 @@ pub enum Outcome {
     Error,
     /// Replied with a timeout error.
     Timeout,
+    /// Shed at admission with an `overloaded` error before any work ran.
+    Shed,
 }
 
 /// The daemon-wide metric registry.
@@ -130,6 +134,10 @@ impl Metrics {
             Outcome::Timeout => {
                 m.timeouts.fetch_add(1, Ordering::Relaxed);
             }
+            // Shed requests never ran, so they have no latency to record.
+            Outcome::Shed => {
+                m.sheds.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -153,6 +161,10 @@ impl Metrics {
                         (
                             "timeouts".to_string(),
                             Json::Int(m.timeouts.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "sheds".to_string(),
+                            Json::Int(m.sheds.load(Ordering::Relaxed) as i64),
                         ),
                         ("mean_us".to_string(), Json::Int(m.latency.mean_us() as i64)),
                         (
@@ -199,10 +211,12 @@ mod tests {
         m.observe("pdg", Duration::from_micros(10), Outcome::Ok);
         m.observe("pdg", Duration::from_micros(10), Outcome::Error);
         m.observe("pdg", Duration::from_micros(10), Outcome::Timeout);
+        m.observe("pdg", Duration::from_micros(10), Outcome::Shed);
         let j = m.to_json();
         let pdg = j.get("pdg").unwrap();
         assert_eq!(pdg.get("count").and_then(Json::as_i64), Some(2));
         assert_eq!(pdg.get("errors").and_then(Json::as_i64), Some(1));
         assert_eq!(pdg.get("timeouts").and_then(Json::as_i64), Some(1));
+        assert_eq!(pdg.get("sheds").and_then(Json::as_i64), Some(1));
     }
 }

@@ -33,15 +33,28 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// # Errors
 /// Propagates IO failures; rejects payloads over [`MAX_FRAME_BYTES`].
 pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
-    let payload = v.to_string_compact();
+    write_frame_text(w, &v.to_string_compact())
+}
+
+/// Write one length-prefixed frame from already-serialized compact JSON.
+/// The hot path for cached replies: no value tree is rebuilt or re-printed
+/// per request.
+///
+/// # Errors
+/// Propagates IO failures; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame_text(w: &mut impl Write, payload: &str) -> io::Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame exceeds MAX_FRAME_BYTES",
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload.as_bytes())?;
+    // One assembled buffer -> one write syscall -> one TCP segment under
+    // nodelay; a split header/payload write costs a second packet per frame.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    w.write_all(&buf)?;
     w.flush()
 }
 
@@ -52,6 +65,22 @@ pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
 /// IO failures, oversized frames, invalid UTF-8, and JSON syntax errors
 /// (including trailing garbage) all surface as `InvalidData`.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    match read_frame_text(r)? {
+        None => Ok(None),
+        Some(text) => Json::parse(&text)
+            .map(Some)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame is not valid JSON")),
+    }
+}
+
+/// Read one length-prefixed frame as raw text, skipping the JSON parse.
+/// The throughput-sensitive twin of [`read_frame`] for callers that only
+/// inspect the envelope. `Ok(None)` on clean EOF before any prefix byte.
+///
+/// # Errors
+/// IO failures, oversized frames, and invalid UTF-8 surface as
+/// `InvalidData`.
+pub fn read_frame_text(r: &mut impl Read) -> io::Result<Option<String>> {
     let mut len_buf = [0u8; 4];
     match r.read(&mut len_buf[..1])? {
         0 => return Ok(None),
@@ -66,11 +95,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    let text = String::from_utf8(payload)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
-    Json::parse(&text)
+    String::from_utf8(payload)
         .map(Some)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame is not valid JSON"))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
 /// A decoded request.
@@ -156,6 +183,9 @@ pub enum ErrorCode {
     Internal,
     /// The client speaks a different protocol version.
     VersionMismatch,
+    /// The target shard's request queue is full; the request was shed
+    /// before any work ran. Retrying after a backoff is safe.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -168,6 +198,7 @@ impl ErrorCode {
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Internal => "internal",
             ErrorCode::VersionMismatch => "version_mismatch",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }
@@ -179,6 +210,14 @@ pub fn response_ok(id: i64, result: Json) -> Json {
         ("ok".to_string(), result),
         ("v".to_string(), Json::Int(PROTOCOL_VERSION)),
     ])
+}
+
+/// A successful reply spliced around an already-compact `ok` payload.
+/// Byte-identical to `response_ok(id, v).to_string_compact()` when
+/// `ok_compact == v.to_string_compact()` — objects serialize their keys in
+/// `BTreeMap` order, and `"id" < "ok" < "v"`.
+pub fn response_ok_text(id: i64, ok_compact: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":{ok_compact},\"v\":{PROTOCOL_VERSION}}}")
 }
 
 /// An error reply.
@@ -223,6 +262,19 @@ mod tests {
         bad.extend_from_slice(&5u32.to_be_bytes());
         bad.extend_from_slice(b"{} {}"); // trailing garbage inside the frame
         assert!(read_frame(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn spliced_ok_reply_matches_tree_serialization() {
+        let ok = Json::object([
+            ("num_edges".to_string(), Json::Int(41)),
+            (
+                "nodes".to_string(),
+                Json::Array(vec![Json::Str("a".into())]),
+            ),
+        ]);
+        let spliced = response_ok_text(7, &ok.to_string_compact());
+        assert_eq!(spliced, response_ok(7, ok).to_string_compact());
     }
 
     #[test]

@@ -1,30 +1,47 @@
-//! The daemon: request dispatch, worker pool, deadlines, shutdown.
+//! The daemon: sharded dispatch, admission control, deadlines, shutdown.
 //!
-//! Connections are cheap reader threads; the analysis work runs on a
-//! **fixed worker pool** so a flood of clients cannot oversubscribe the
-//! machine. A connection thread frames one request, enqueues it, and waits
-//! for the reply with a deadline — if the deadline passes, the client gets
-//! a `timeout` error immediately and the (still running) build finishes in
-//! the background and warms the cache for the next attempt.
+//! Sessions are **hash-routed across shards**: each shard owns a slice of
+//! the session table, a bounded request queue, and its own worker threads,
+//! so one module's expensive builds can back up only its own shard's queue
+//! while other shards keep answering. Connections are cheap reader
+//! threads; a connection thread frames one request, routes it by session
+//! name, and enqueues it with `try_send` — a full shard queue **sheds**
+//! the request immediately with a structured `overloaded` error instead of
+//! letting latency grow without bound. Cheap control-plane methods
+//! (`ping`, `stats`, `metrics`, `shutdown`) run inline on the connection
+//! thread and never queue behind analysis work.
+//!
+//! The admitted path keeps its deadline: if the reply does not arrive in
+//! time, the client gets a `timeout` error and the (still running) build
+//! finishes in the background and warms the cache for the next attempt.
+//! When the daemon is configured with a store directory, every loaded
+//! session writes its analysis artifacts through the content-addressed
+//! durable store, so a restarted daemon warm-starts from disk.
 //!
 //! Shutdown is graceful: the `shutdown` method flips a flag; the accept
-//! loop stops, connection readers wind down, and the workers drain every
-//! queued request before exiting, so no accepted request is dropped
+//! loop stops, connection readers wind down, and each shard's workers
+//! drain their queue before exiting, so no admitted request is dropped
 //! unanswered (modulo its own deadline).
 
 use crate::metrics::{Metrics, Outcome};
 use crate::protocol::{
-    read_frame, response_err, response_ok, write_frame, ErrorCode, Request, PROTOCOL_VERSION,
+    read_frame, response_err, response_ok, response_ok_text, write_frame_text, ErrorCode, Request,
+    PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionTable};
 use noelle_core::json::Json;
 use noelle_core::noelle::{Abstraction, AliasTier, Noelle};
 use noelle_core::wire;
 use noelle_ir::module::{FuncId, Module};
+use noelle_store::Store;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,14 +58,24 @@ pub type ToolRunner = Arc<dyn Fn(&mut Noelle, &Json) -> Result<String, String> +
 pub struct ServerConfig {
     /// Listen address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Fixed worker pool size.
+    /// Total worker pool size, divided across shards (at least one worker
+    /// per shard).
     pub workers: usize,
-    /// Session-table entry budget.
+    /// Number of session shards; each owns a table slice, a bounded
+    /// request queue, and its share of the workers.
+    pub shards: usize,
+    /// Bounded per-shard queue depth; a full queue sheds new requests with
+    /// an `overloaded` error.
+    pub queue_capacity: usize,
+    /// Session-table entry budget (split evenly across shards).
     pub max_sessions: usize,
-    /// Session-table approximate byte budget.
+    /// Session-table approximate byte budget (split evenly across shards).
     pub max_bytes: usize,
     /// Default per-request deadline (ms) when the request carries none.
     pub default_deadline_ms: u64,
+    /// Directory of the durable content-addressed artifact store. `None`
+    /// runs fully in-memory (the pre-store behavior).
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -56,35 +83,116 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            shards: 2,
+            queue_capacity: 64,
             max_sessions: 8,
             max_bytes: 256 << 20,
             default_deadline_ms: 30_000,
+            store_dir: None,
         }
+    }
+}
+
+/// One session shard: a slice of the session table plus the bounded queue
+/// feeding this shard's workers.
+pub struct Shard {
+    /// The sessions this shard owns (all names hashing to its index).
+    pub sessions: SessionTable,
+    queue: SyncSender<Job>,
+    depth: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl Shard {
+    /// Requests currently queued (admitted but not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at admission because the queue was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 }
 
 /// Shared daemon state.
 pub struct ServerState {
     cfg: ServerConfig,
-    /// Loaded sessions.
-    pub sessions: SessionTable,
+    shards: Vec<Shard>,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// The durable artifact store, when configured.
+    pub store: Option<Arc<Store>>,
     tool_runner: Option<ToolRunner>,
     shutdown: AtomicBool,
+    auto_name: AtomicU64,
     started: Instant,
 }
 
 impl ServerState {
-    fn new(cfg: ServerConfig, tool_runner: Option<ToolRunner>) -> ServerState {
-        ServerState {
-            sessions: SessionTable::new(cfg.max_sessions, cfg.max_bytes),
+    fn new(
+        cfg: ServerConfig,
+        tool_runner: Option<ToolRunner>,
+        store: Option<Arc<Store>>,
+    ) -> (ServerState, Vec<Receiver<Job>>) {
+        let num_shards = cfg.shards.max(1);
+        let per_entries = (cfg.max_sessions / num_shards).max(1);
+        let per_bytes = (cfg.max_bytes / num_shards).max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut receivers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = sync_channel::<Job>(capacity);
+            shards.push(Shard {
+                sessions: SessionTable::new(per_entries, per_bytes),
+                queue: tx,
+                depth: AtomicUsize::new(0),
+                shed: AtomicU64::new(0),
+            });
+            receivers.push(rx);
+        }
+        let state = ServerState {
+            shards,
             metrics: Metrics::new(),
+            store,
             tool_runner,
             shutdown: AtomicBool::new(false),
+            auto_name: AtomicU64::new(0),
             started: Instant::now(),
             cfg,
-        }
+        };
+        (state, receivers)
+    }
+
+    /// The shards (for in-process harnesses reading queue stats).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Which shard owns session `name`.
+    pub fn shard_index(&self, name: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, name: &str) -> &Shard {
+        &self.shards[self.shard_index(name)]
+    }
+
+    /// Look up a session by name in its owning shard.
+    pub fn find_session(&self, name: &str) -> Option<Arc<Session>> {
+        self.shard_of(name).sessions.get(name)
+    }
+
+    /// A fresh generated session name, unique daemon-wide (`s1`, `s2`, ...).
+    pub fn generate_name(&self) -> String {
+        format!("s{}", self.auto_name.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Sessions evicted so far, across every shard.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions.evictions()).sum()
     }
 
     /// Whether shutdown has been requested.
@@ -95,6 +203,17 @@ impl ServerState {
     /// Request shutdown (what the `shutdown` method does).
     pub fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Open the configured store directory, if any.
+fn open_store(cfg: &ServerConfig) -> io::Result<Option<Arc<Store>>> {
+    match &cfg.store_dir {
+        None => Ok(None),
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            Ok(Some(Arc::new(Store::open(dir)?)))
+        }
     }
 }
 
@@ -120,40 +239,43 @@ impl Server {
         self
     }
 
-    /// Bind the TCP listener and spawn the accept loop plus the worker
-    /// pool. Returns a handle carrying the bound address.
+    /// Bind the TCP listener, open the store (when configured), and spawn
+    /// the accept loop plus each shard's workers. Returns a handle carrying
+    /// the bound address.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind failures and store-open failures.
     pub fn start(self) -> io::Result<RunningServer> {
         let listener = TcpListener::bind(&self.cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let workers = self.cfg.workers.max(1);
-        let state = Arc::new(ServerState::new(self.cfg, self.tool_runner));
+        let store = open_store(&self.cfg)?;
+        let num_shards = self.cfg.shards.max(1);
+        let per_shard_workers = (self.cfg.workers / num_shards).max(1);
+        let (state, receivers) = ServerState::new(self.cfg, self.tool_runner, store);
+        let state = Arc::new(state);
 
-        let (job_tx, job_rx) = channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let rx = Arc::clone(&job_rx);
-                std::thread::Builder::new()
-                    .name(format!("noelle-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::new();
+        for (shard_idx, rx) in receivers.into_iter().enumerate() {
+            let rx = Arc::new(Mutex::new(rx));
+            for w in 0..per_shard_workers {
+                let rx = Arc::clone(&rx);
+                let st = Arc::clone(&state);
+                worker_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("noelle-worker-{shard_idx}-{w}"))
+                        .spawn(move || worker_loop(&st, shard_idx, &rx))
+                        .expect("spawn worker"),
+                );
+            }
+        }
 
         let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_state = Arc::clone(&state);
         let accept_conns = Arc::clone(&conn_handles);
         let accept_handle = std::thread::Builder::new()
             .name("noelle-accept".to_string())
-            .spawn(move || {
-                accept_loop(&listener, &accept_state, &job_tx, &accept_conns);
-                // job_tx drops here; once connection threads finish, the
-                // workers see a closed queue and drain out.
-            })
+            .spawn(move || accept_loop(&listener, &accept_state, &accept_conns))
             .expect("spawn accept loop");
 
         Ok(RunningServer {
@@ -170,22 +292,27 @@ impl Server {
     /// synchronous, until EOF or `shutdown`.
     ///
     /// # Errors
-    /// Propagates stdout write failures.
+    /// Propagates stdout write failures and store-open failures.
     pub fn serve_stdio(self, input: &mut impl BufRead, output: &mut impl Write) -> io::Result<()> {
-        let state = Arc::new(ServerState::new(self.cfg, self.tool_runner));
+        let store = open_store(&self.cfg)?;
+        // The stdio server is synchronous: the shard queues and their
+        // receivers are never used, only the sharded session tables.
+        let (state, _receivers) = ServerState::new(self.cfg, self.tool_runner, store);
+        let state = Arc::new(state);
         for line in input.lines() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
             let reply = match Json::parse(&line) {
-                None => response_err(0, ErrorCode::BadRequest, "line is not valid JSON"),
+                None => response_err(0, ErrorCode::BadRequest, "line is not valid JSON")
+                    .to_string_compact(),
                 Some(v) => match Request::from_json(&v) {
-                    Err(e) => response_err(0, ErrorCode::BadRequest, &e),
-                    Ok(req) => run_request(&state, &req),
+                    Err(e) => response_err(0, ErrorCode::BadRequest, &e).to_string_compact(),
+                    Ok(req) => run_request_text(&state, &req),
                 },
             };
-            writeln!(output, "{}", reply.to_string_compact())?;
+            writeln!(output, "{reply}")?;
             output.flush()?;
             if state.is_shutting_down() {
                 break;
@@ -232,56 +359,73 @@ impl RunningServer {
     }
 }
 
-/// One queued request: compute, then send the reply back to the
-/// connection thread (which may have given up on its deadline).
+/// One admitted request: compute on a shard worker, then send the
+/// serialized reply back to the connection thread (which may have given up
+/// on its deadline).
 struct Job {
-    state: Arc<ServerState>,
     req: Request,
-    reply: Sender<Json>,
-}
-
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
-    loop {
-        let job = match rx.lock().expect("job queue lock").recv() {
-            Ok(j) => j,
-            Err(_) => return, // queue closed and drained
-        };
-        let reply = run_request(&job.state, &job.req);
-        let _ = job.reply.send(reply); // receiver may have timed out
-    }
+    reply: Sender<String>,
 }
 
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 const READ_POLL: Duration = Duration::from_millis(50);
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+fn worker_loop(state: &Arc<ServerState>, shard_idx: usize, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = { rx.lock().expect("job queue lock").recv_timeout(WORKER_POLL) };
+        match job {
+            Ok(job) => {
+                state.shards[shard_idx]
+                    .depth
+                    .fetch_sub(1, Ordering::Relaxed);
+                let reply = run_request_text(state, &job.req);
+                let _ = job.reply.send(reply); // receiver may have timed out
+            }
+            // The queue senders live in `ServerState`, so disconnect never
+            // fires in practice; the poll lets the worker notice shutdown
+            // once its queue is drained.
+            Err(RecvTimeoutError::Timeout) => {
+                if state.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
 
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServerState>,
-    job_tx: &Sender<Job>,
     conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     while !state.is_shutting_down() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let st = Arc::clone(state);
-                let tx = job_tx.clone();
                 let h = std::thread::Builder::new()
                     .name("noelle-conn".to_string())
-                    .spawn(move || connection_loop(stream, &st, &tx))
+                    .spawn(move || connection_loop(stream, &st))
                     .expect("spawn connection");
                 conn_handles.lock().expect("conn lock").push(h);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => return,
+            Err(_) => {
+                // A fatal accept error is indistinguishable from shutdown
+                // for every other thread; flip the flag so workers exit.
+                state.trigger_shutdown();
+                return;
+            }
         }
     }
 }
 
 /// Read one frame, tolerating read-timeout polls so the thread can notice
 /// shutdown between frames. Returns `None` on EOF, error, or shutdown.
-fn read_frame_polling(stream: &mut TcpStream, state: &ServerState) -> Option<Json> {
+fn read_frame_polling(stream: &mut impl io::Read, state: &ServerState) -> Option<Json> {
     loop {
         match read_frame(stream) {
             Ok(v) => return v,
@@ -300,76 +444,179 @@ fn read_frame_polling(stream: &mut TcpStream, state: &ServerState) -> Option<Jso
     }
 }
 
-fn connection_loop(mut stream: TcpStream, state: &Arc<ServerState>, job_tx: &Sender<Job>) {
+/// Clone `req` with `session` forced into its params (anonymous `load`
+/// requests get their generated name *before* routing, so the session is
+/// owned by the shard its name hashes to).
+fn with_session(req: &Request, name: &str) -> Request {
+    let mut params = req.params.as_object().cloned().unwrap_or_default();
+    params.insert("session".to_string(), Json::Str(name.to_string()));
+    Request {
+        params: Json::Object(params),
+        ..req.clone()
+    }
+}
+
+/// Which shard queue `req` belongs on, or `None` for inline methods
+/// (control-plane queries and requests that will fail fast without a
+/// session).
+fn routed_shard(state: &ServerState, req: &Request) -> Option<usize> {
+    match req.method.as_str() {
+        "ping" | "stats" | "metrics" | "shutdown" => None,
+        _ => param_str(req, "session").map(|name| state.shard_index(name)),
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Reads go through a buffer (one syscall pulls a whole frame, header
+    // included); writes stay on the raw socket.
+    let mut reader = match stream.try_clone() {
+        Ok(s) => io::BufReader::new(s),
+        Err(_) => return,
+    };
     while !state.is_shutting_down() {
-        let Some(frame) = read_frame_polling(&mut stream, state) else {
+        let Some(frame) = read_frame_polling(&mut reader, state) else {
             return;
         };
         let req = match Request::from_json(&frame) {
             Ok(r) => r,
             Err(e) => {
-                let _ = write_frame(&mut stream, &response_err(0, ErrorCode::BadRequest, &e));
+                let reply = response_err(0, ErrorCode::BadRequest, &e).to_string_compact();
+                let _ = write_frame_text(&mut stream, &reply);
                 continue;
             }
         };
-        let deadline =
-            Duration::from_millis(req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms));
-        let (reply_tx, reply_rx) = channel();
-        let job = Job {
-            state: Arc::clone(state),
-            req: req.clone(),
-            reply: reply_tx,
+        let req = if req.method == "load" && param_str(&req, "session").is_none() {
+            with_session(&req, &state.generate_name())
+        } else {
+            req
         };
-        if job_tx.send(job).is_err() {
-            let _ = write_frame(
-                &mut stream,
-                &response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down"),
-            );
-            return;
-        }
-        let reply = match reply_rx.recv_timeout(deadline) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => {
-                state
-                    .metrics
-                    .observe(&req.method, deadline, Outcome::Timeout);
-                response_err(
-                    req.id,
-                    ErrorCode::Timeout,
-                    &format!("deadline of {}ms exceeded", deadline.as_millis()),
-                )
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down")
+        let reply = match routed_shard(state, &req) {
+            // Control-plane methods (and fast-failing session-less
+            // requests) never queue behind analysis work.
+            None => run_request_text(state, &req),
+            Some(shard_idx) => {
+                fast_reply(state, shard_idx, &req).unwrap_or_else(|| admit(state, shard_idx, &req))
             }
         };
-        if write_frame(&mut stream, &reply).is_err() {
+        if write_frame_text(&mut stream, &reply).is_err() {
             return;
         }
     }
 }
 
-/// Execute `req` against `state`, recording metrics. This is the single
-/// dispatch point shared by the worker pool and `--stdio` mode.
-pub fn run_request(state: &Arc<ServerState>, req: &Request) -> Json {
+/// Serve a warm `pdg`/`loops` reply straight from the session's
+/// serialized-reply cache, skipping the shard queue and its two thread
+/// hops — without taking the build lock (the epoch check makes a stale
+/// text unservable). Anything cold or stale falls back to `admit`, which
+/// is what enforces deadlines and admission control.
+fn fast_reply(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> Option<String> {
+    let cacheable =
+        req.method == "pdg" || (req.method == "loops" && param_str(req, "func").is_none());
+    if !cacheable {
+        return None;
+    }
+    let name = param_str(req, "session")?;
+    let s = state.shards[shard_idx].sessions.get(name)?;
+    let t = Instant::now();
+    let text = s.cached_reply(&req.method, s.epoch())?;
+    state.metrics.observe(&req.method, t.elapsed(), Outcome::Ok);
+    Some(response_ok_text(req.id, &text))
+}
+
+/// Enqueue `req` on shard `shard_idx` and wait for its reply under the
+/// request deadline. A full queue sheds immediately with `overloaded`.
+fn admit(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> String {
+    let shard = &state.shards[shard_idx];
+    let deadline = Duration::from_millis(req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms));
+    let (reply_tx, reply_rx) = channel();
+    let job = Job {
+        req: req.clone(),
+        reply: reply_tx,
+    };
+    // Count the slot before offering it so a racing worker's decrement
+    // cannot underflow the gauge; undo on shed.
+    shard.depth.fetch_add(1, Ordering::Relaxed);
+    match shard.queue.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            shard.shed.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .observe(&req.method, Duration::ZERO, Outcome::Shed);
+            return response_err(
+                req.id,
+                ErrorCode::Overloaded,
+                &format!(
+                    "shard {shard_idx} queue is full ({} pending); retry after backoff",
+                    state.cfg.queue_capacity.max(1)
+                ),
+            )
+            .to_string_compact();
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            return response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down")
+                .to_string_compact();
+        }
+    }
+    match reply_rx.recv_timeout(deadline) {
+        Ok(r) => r,
+        Err(RecvTimeoutError::Timeout) => {
+            state
+                .metrics
+                .observe(&req.method, deadline, Outcome::Timeout);
+            response_err(
+                req.id,
+                ErrorCode::Timeout,
+                &format!("deadline of {}ms exceeded", deadline.as_millis()),
+            )
+            .to_string_compact()
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down").to_string_compact()
+        }
+    }
+}
+
+/// The `ok` payload of a reply: either a value tree, or compact text
+/// cached from an earlier serialization (the warm `pdg` fast path).
+enum Body {
+    Value(Json),
+    Text(Arc<String>),
+}
+
+/// Execute `req` against `state` and serialize the reply, recording
+/// metrics. This is the single dispatch point shared by the shard workers,
+/// the inline control-plane path, and `--stdio` mode.
+pub fn run_request_text(state: &Arc<ServerState>, req: &Request) -> String {
     let t = Instant::now();
     let result = dispatch(state, req);
     let latency = t.elapsed();
     match result {
-        Ok(v) => {
+        Ok(body) => {
             state.metrics.observe(&req.method, latency, Outcome::Ok);
-            response_ok(req.id, v)
+            match body {
+                Body::Value(v) => response_ok(req.id, v).to_string_compact(),
+                Body::Text(text) => response_ok_text(req.id, &text),
+            }
         }
         Err((code, msg)) => {
             state.metrics.observe(&req.method, latency, Outcome::Error);
-            response_err(req.id, code, &msg)
+            response_err(req.id, code, &msg).to_string_compact()
         }
     }
 }
 
-type MethodResult = Result<Json, (ErrorCode, String)>;
+/// [`run_request_text`] returning the parsed reply value (for embedders
+/// and tests that inspect replies structurally).
+pub fn run_request(state: &Arc<ServerState>, req: &Request) -> Json {
+    Json::parse(&run_request_text(state, req)).expect("replies are valid JSON")
+}
+
+type MethodResult = Result<Body, (ErrorCode, String)>;
 
 fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
     (ErrorCode::BadRequest, msg.into())
@@ -380,6 +627,15 @@ fn param_str<'a>(req: &'a Request, key: &str) -> Option<&'a str> {
 }
 
 fn load_module(path: &str) -> Result<Module, String> {
+    // `workload:scale:N` builds the synthetic compilation-scale module with
+    // N defined functions (deterministic), so benches and smoke tests can
+    // exercise daemon behavior at sizes the bundled corpus does not reach.
+    if let Some(n) = path.strip_prefix("workload:scale:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad scale size '{n}' (expected a function count)"))?;
+        return Ok(noelle_workloads::scale_module(n, 42));
+    }
     if let Some(name) = path.strip_prefix("workload:") {
         return noelle_workloads::by_name(name)
             .map(|w| w.build())
@@ -391,7 +647,7 @@ fn load_module(path: &str) -> Result<Module, String> {
 
 fn session_of(state: &ServerState, req: &Request) -> Result<Arc<Session>, (ErrorCode, String)> {
     let name = param_str(req, "session").ok_or_else(|| bad("missing 'session' param"))?;
-    state.sessions.get(name).ok_or_else(|| {
+    state.find_session(name).ok_or_else(|| {
         (
             ErrorCode::NoSession,
             format!("no session '{name}' (evicted or never loaded)"),
@@ -401,6 +657,78 @@ fn session_of(state: &ServerState, req: &Request) -> Result<Arc<Session>, (Error
 
 fn func_by_name(m: &Module, name: &str) -> Option<FuncId> {
     m.func_ids().find(|&fid| m.func(fid).name == name)
+}
+
+/// Store counters as a JSON object (`null` when no store is configured).
+fn store_json(state: &ServerState) -> Json {
+    match &state.store {
+        None => Json::Null,
+        Some(store) => {
+            let s = store.stats();
+            Json::object([
+                ("entries".to_string(), Json::Int(s.entries as i64)),
+                (
+                    "bytes_on_disk".to_string(),
+                    Json::Int(s.bytes_on_disk as i64),
+                ),
+                ("hits".to_string(), Json::Int(s.hits as i64)),
+                ("misses".to_string(), Json::Int(s.misses as i64)),
+                ("writes".to_string(), Json::Int(s.writes as i64)),
+                ("corrupt".to_string(), Json::Int(s.corrupt as i64)),
+            ])
+        }
+    }
+}
+
+/// One stats row per shard: queue health and table occupancy.
+fn shards_json(state: &ServerState) -> Json {
+    Json::Array(
+        state
+            .shards
+            .iter()
+            .map(|sh| {
+                Json::object([
+                    ("sessions".to_string(), Json::Int(sh.sessions.len() as i64)),
+                    (
+                        "queue_depth".to_string(),
+                        Json::Int(sh.queue_depth() as i64),
+                    ),
+                    (
+                        "queue_capacity".to_string(),
+                        Json::Int(state.cfg.queue_capacity.max(1) as i64),
+                    ),
+                    ("shed".to_string(), Json::Int(sh.shed_count() as i64)),
+                    (
+                        "evictions".to_string(),
+                        Json::Int(sh.sessions.evictions() as i64),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The cross-shard session table view: every shard's rows merged and
+/// sorted, with the daemon-wide budgets.
+fn table_json(state: &ServerState) -> Json {
+    let mut rows: Vec<(String, Json)> = Vec::new();
+    for sh in &state.shards {
+        rows.extend(sh.sessions.session_rows());
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::object([
+        ("count".to_string(), Json::Int(rows.len() as i64)),
+        ("sessions".to_string(), Json::object(rows)),
+        (
+            "max_entries".to_string(),
+            Json::Int(state.cfg.max_sessions as i64),
+        ),
+        (
+            "max_bytes".to_string(),
+            Json::Int(state.cfg.max_bytes as i64),
+        ),
+        ("evictions".to_string(), Json::Int(state.evictions() as i64)),
+    ])
 }
 
 fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
@@ -416,13 +744,13 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
         return Err((ErrorCode::Shutdown, "daemon is shutting down".into()));
     }
     match req.method.as_str() {
-        "ping" => Ok(Json::object([
+        "ping" => Ok(Body::Value(Json::object([
             ("pong".to_string(), Json::Bool(true)),
             (
                 "uptime_ms".to_string(),
                 Json::Int(state.started.elapsed().as_millis() as i64),
             ),
-        ])),
+        ]))),
         "load" => {
             let path = param_str(req, "path").ok_or_else(|| bad("missing 'path' param"))?;
             let tier = match param_str(req, "tier").unwrap_or("full") {
@@ -431,42 +759,70 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 other => return Err(bad(format!("unknown tier '{other}'"))),
             };
             let m = load_module(path).map_err(|e| (ErrorCode::Internal, e))?;
+            // TCP connections inject a generated name before routing; the
+            // fallback covers stdio mode and direct embedders.
             let name = match param_str(req, "session") {
                 Some(s) => s.to_string(),
-                None => state.sessions.generate_name(),
+                None => state.generate_name(),
             };
             let functions = m.functions().len();
-            let s = state.sessions.insert(&name, Noelle::new(m, tier));
-            Ok(Json::object([
+            let mut noelle = Noelle::new(m, tier);
+            if let Some(store) = &state.store {
+                noelle.set_store(Arc::clone(store));
+            }
+            let s = state.shard_of(&name).sessions.insert(&name, noelle);
+            Ok(Body::Value(Json::object([
                 ("session".to_string(), Json::Str(name)),
                 ("functions".to_string(), Json::Int(functions as i64)),
                 (
                     "approx_bytes".to_string(),
                     Json::Int(s.approx_bytes() as i64),
                 ),
-            ]))
+            ])))
         }
         "pdg" => {
             let s = session_of(state, req)?;
-            let out = {
+            let text = {
                 let mut n = s.noelle.lock().expect("session build lock");
                 let before = n
                     .build_stats()
                     .get(&Abstraction::Pdg)
                     .map_or(0, |st| st.builds);
                 let pdg = n.pdg();
-                if n.build_stats()[&Abstraction::Pdg].builds > before {
+                let builds = n.build_stats()[&Abstraction::Pdg].builds;
+                if builds > before {
                     s.note_pdg_built(pdg.num_edges());
                 }
-                wire::pdg_to_json(n.module(), &pdg)
+                // The serialized reply is versioned by the session epoch,
+                // read under the build lock: any mutating request bumps it
+                // there, so a stale payload is never served. A rebuild
+                // without a content change (store-warm reconstruction,
+                // first build) yields identical text, so reuse is safe.
+                let epoch = s.epoch();
+                match s.cached_reply("pdg", epoch) {
+                    Some(text) => text,
+                    None => {
+                        let text =
+                            Arc::new(wire::pdg_to_json(n.module(), &pdg).to_string_compact());
+                        s.store_reply("pdg", epoch, Arc::clone(&text));
+                        text
+                    }
+                }
             };
             // The graph may have grown the session's footprint past budget.
-            state.sessions.evict_over_budget();
-            Ok(out)
+            state.shard_of(&s.name).sessions.evict_over_budget();
+            Ok(Body::Text(text))
         }
         "loops" => {
             let s = session_of(state, req)?;
             let mut n = s.noelle.lock().expect("session build lock");
+            let whole_module = param_str(req, "func").is_none();
+            let epoch = s.epoch();
+            if whole_module {
+                if let Some(text) = s.cached_reply("loops", epoch) {
+                    return Ok(Body::Text(text));
+                }
+            }
             let fids: Vec<FuncId> = match param_str(req, "func") {
                 Some(name) => vec![func_by_name(n.module(), name)
                     .ok_or_else(|| bad(format!("no function '{name}'")))?],
@@ -485,7 +841,12 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                     Json::Array(loops.iter().map(wire::loop_to_json).collect()),
                 ));
             }
-            Ok(Json::object(per_fn))
+            if whole_module {
+                let text = Arc::new(Json::object(per_fn).to_string_compact());
+                s.store_reply("loops", epoch, Arc::clone(&text));
+                return Ok(Body::Text(text));
+            }
+            Ok(Body::Value(Json::object(per_fn)))
         }
         "sccdag" | "induction" | "invariants" => {
             let s = session_of(state, req)?;
@@ -502,18 +863,18 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 .ok_or_else(|| bad(format!("function '{fname}' has {} loops", loops.len())))?
                 .clone();
             let la = n.loop_abstraction(fid, l);
-            Ok(match req.method.as_str() {
+            Ok(Body::Value(match req.method.as_str() {
                 "sccdag" => wire::sccdag_to_json(&la.sccdag),
                 "induction" => wire::ivs_to_json(&la.ivs),
                 _ => wire::invariants_to_json(&la.invariants),
-            })
+            }))
         }
         "callgraph" => {
             let s = session_of(state, req)?;
             let mut n = s.noelle.lock().expect("session build lock");
             let _ = n.call_graph();
             let cg = n.cached_call_graph().expect("just built");
-            Ok(wire::callgraph_to_json(n.module(), cg))
+            Ok(Body::Value(wire::callgraph_to_json(n.module(), cg)))
         }
         "run-tool" => {
             let runner = state
@@ -524,17 +885,22 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             let tool = param_str(req, "tool").ok_or_else(|| bad("missing 'tool' param"))?;
             let mut n = s.noelle.lock().expect("session build lock");
             n.reset_requests();
-            let summary = runner(&mut n, &req.params).map_err(|e| (ErrorCode::Internal, e))?;
+            let summary = runner(&mut n, &req.params);
+            // The tool may have edited the module even on failure: advance
+            // the epoch under the build lock so no stale cached reply text
+            // survives the mutation.
+            s.bump_epoch();
+            let summary = summary.map_err(|e| (ErrorCode::Internal, e))?;
             let requested = n
                 .requested()
                 .iter()
                 .map(|a| Json::Str(a.short_name().to_string()))
                 .collect();
-            Ok(Json::object([
+            Ok(Body::Value(Json::object([
                 ("tool".to_string(), Json::Str(tool.to_string())),
                 ("summary".to_string(), Json::Str(summary)),
                 ("requested".to_string(), Json::Array(requested)),
-            ]))
+            ])))
         }
         "lint" => {
             let s = session_of(state, req)?;
@@ -543,42 +909,45 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             n.reset_requests();
             let findings =
                 noelle_lint::run_checks(&mut n, check).map_err(|e| (ErrorCode::BadRequest, e))?;
-            Ok(noelle_lint::render_json(&findings))
+            Ok(Body::Value(noelle_lint::render_json(&findings)))
         }
-        "stats" => Ok(Json::object([
+        "stats" => Ok(Body::Value(Json::object([
             (
                 "uptime_ms".to_string(),
                 Json::Int(state.started.elapsed().as_millis() as i64),
             ),
             ("protocol_version".to_string(), Json::Int(PROTOCOL_VERSION)),
-            ("table".to_string(), state.sessions.stats_json()),
-        ])),
+            ("table".to_string(), table_json(state)),
+            ("shards".to_string(), shards_json(state)),
+            ("store".to_string(), store_json(state)),
+        ]))),
         "metrics" => {
-            let managers = state
-                .sessions
-                .snapshot()
-                .into_iter()
-                .map(|s| {
+            let mut managers: Vec<(String, Json)> = Vec::new();
+            for sh in &state.shards {
+                for s in sh.sessions.snapshot() {
                     let stats = s
                         .noelle
                         .lock()
                         .map(|n| wire::manager_stats_to_json(&n))
                         .unwrap_or(Json::Null);
-                    (s.name.clone(), stats)
-                })
-                .collect::<Vec<_>>();
-            Ok(Json::object([
+                    managers.push((s.name.clone(), stats));
+                }
+            }
+            managers.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(Body::Value(Json::object([
                 ("requests".to_string(), state.metrics.to_json()),
                 ("sessions".to_string(), Json::object(managers)),
-                (
-                    "evictions".to_string(),
-                    Json::Int(state.sessions.evictions() as i64),
-                ),
-            ]))
+                ("evictions".to_string(), Json::Int(state.evictions() as i64)),
+                ("shards".to_string(), shards_json(state)),
+                ("store".to_string(), store_json(state)),
+            ])))
         }
         "shutdown" => {
             state.trigger_shutdown();
-            Ok(Json::object([("stopping".to_string(), Json::Bool(true))]))
+            Ok(Body::Value(Json::object([(
+                "stopping".to_string(),
+                Json::Bool(true),
+            )])))
         }
         other => Err(bad(format!("unknown method '{other}'"))),
     }

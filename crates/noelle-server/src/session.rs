@@ -42,6 +42,16 @@ pub struct Session {
     touched: AtomicU64,
     /// Approximate resident bytes (grows once the PDG is built).
     approx_bytes: AtomicUsize,
+    /// Module-content epoch: bumped (under the `noelle` build lock) every
+    /// time a request mutates the module, i.e. on `run-tool`. Cached reply
+    /// texts are versioned by the epoch they were serialized under.
+    epoch: AtomicU64,
+    /// Serialized ok-payload texts by method, each tagged with the epoch it
+    /// was built under. Serializing a whole-program reply to JSON dominates
+    /// a warm request, so the daemon pays it once per module version and
+    /// splices the cached text into each reply frame — without even taking
+    /// the build lock on the fast path.
+    replies: Mutex<HashMap<&'static str, (u64, Arc<String>)>>,
 }
 
 impl Session {
@@ -55,6 +65,38 @@ impl Session {
     pub fn note_pdg_built(&self, num_edges: usize) {
         self.approx_bytes
             .fetch_add(num_edges * BYTES_PER_EDGE, Ordering::Relaxed);
+    }
+
+    /// The current module-content epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the epoch after a mutating request. Call while holding the
+    /// `noelle` lock so cached texts stay in step with module content.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The cached serialized ok-payload for `method`, if one was built
+    /// under epoch `epoch`.
+    pub fn cached_reply(&self, method: &str, epoch: u64) -> Option<Arc<String>> {
+        let cache = self.replies.lock().expect("reply cache lock");
+        match cache.get(method) {
+            Some((v, text)) if *v == epoch => Some(Arc::clone(text)),
+            _ => None,
+        }
+    }
+
+    /// Cache the serialized ok-payload for `method` as of epoch `epoch`.
+    /// Call while holding the `noelle` lock (with the epoch read under that
+    /// same hold), so a concurrent mutator cannot tag stale text with a
+    /// fresh epoch.
+    pub fn store_reply(&self, method: &'static str, epoch: u64, text: Arc<String>) {
+        self.replies
+            .lock()
+            .expect("reply cache lock")
+            .insert(method, (epoch, text));
     }
 }
 
@@ -101,6 +143,8 @@ impl SessionTable {
             noelle: Mutex::new(noelle),
             touched: AtomicU64::new(self.tick()),
             approx_bytes: AtomicUsize::new(bytes),
+            epoch: AtomicU64::new(0),
+            replies: Mutex::new(HashMap::new()),
         });
         {
             let mut map = self.inner.lock().expect("session lock");
@@ -160,8 +204,11 @@ impl SessionTable {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Table-level stats: budgets, usage, and one line per session.
-    pub fn stats_json(&self) -> Json {
+    /// One stats row per session, sorted by name: footprint, function
+    /// count, and the manager's per-function cache counters (in-memory and
+    /// durable-store). The building block of `stats_json` and of the
+    /// server's cross-shard aggregation.
+    pub fn session_rows(&self) -> Vec<(String, Json)> {
         let map = self.inner.lock().expect("session lock");
         let mut sessions: Vec<(String, Arc<Session>)> = map
             .iter()
@@ -169,7 +216,7 @@ impl SessionTable {
             .collect();
         sessions.sort_by(|a, b| a.0.cmp(&b.0));
         drop(map);
-        let rows = sessions
+        sessions
             .iter()
             .map(|(name, s)| {
                 let (funcs, func_cache) = s
@@ -187,6 +234,8 @@ impl SessionTable {
                                     "struct_misses".to_string(),
                                     Json::Int(c.struct_misses as i64),
                                 ),
+                                ("store_hits".to_string(), Json::Int(c.store_hits as i64)),
+                                ("store_misses".to_string(), Json::Int(c.store_misses as i64)),
                                 (
                                     "invalidations".to_string(),
                                     Json::Int(c.invalidations as i64),
@@ -207,10 +256,15 @@ impl SessionTable {
                     ]),
                 )
             })
-            .collect::<Vec<_>>();
+            .collect()
+    }
+
+    /// Table-level stats: budgets, usage, and one line per session.
+    pub fn stats_json(&self) -> Json {
+        let rows = self.session_rows();
         Json::object([
+            ("count".to_string(), Json::Int(rows.len() as i64)),
             ("sessions".to_string(), Json::object(rows)),
-            ("count".to_string(), Json::Int(sessions.len() as i64)),
             (
                 "max_entries".to_string(),
                 Json::Int(self.max_entries as i64),

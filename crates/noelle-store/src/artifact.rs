@@ -1,0 +1,66 @@
+//! Typed encode/decode for each artifact kind.
+//!
+//! Thin shims over the codecs that live next to each data structure
+//! (`DepGraph` in noelle-pdg, points-to rows in noelle-analysis, loop
+//! forests in noelle-ir): this module only fixes the node numbering and
+//! gives the store one `validate` entry point per kind for fsck/compact.
+
+use crate::key::ArtifactKind;
+use noelle_analysis::alias::{decode_rows, encode_rows, PointsToRows};
+use noelle_ir::bytes::DecodeError;
+use noelle_ir::inst::InstId;
+use noelle_ir::loops::LoopForest;
+use noelle_pdg::depgraph::DepGraph;
+
+/// Encode one function's PDG partition.
+pub fn encode_partition(g: &DepGraph<InstId>) -> Vec<u8> {
+    g.encode_with(|i| u64::from(i.0))
+}
+
+/// Decode a PDG partition; returns it frozen (CSR form).
+///
+/// # Errors
+/// Any malformed input is a [`DecodeError`] — the store treats it as a miss.
+pub fn decode_partition(bytes: &[u8]) -> Result<DepGraph<InstId>, DecodeError> {
+    DepGraph::decode_with(bytes, |v| {
+        u32::try_from(v)
+            .map(InstId)
+            .map_err(|_| DecodeError::new("pdg partition: inst id"))
+    })
+}
+
+/// Encode one function's points-to rows.
+pub fn encode_points_to(rows: &PointsToRows) -> Vec<u8> {
+    encode_rows(rows)
+}
+
+/// Decode points-to rows.
+///
+/// # Errors
+/// Any malformed input is a [`DecodeError`] — the store treats it as a miss.
+pub fn decode_points_to(bytes: &[u8]) -> Result<PointsToRows, DecodeError> {
+    decode_rows(bytes)
+}
+
+/// Encode one function's loop forest.
+pub fn encode_forest(forest: &LoopForest) -> Vec<u8> {
+    forest.encode()
+}
+
+/// Decode a loop forest.
+///
+/// # Errors
+/// Any malformed input is a [`DecodeError`] — the store treats it as a miss.
+pub fn decode_forest(bytes: &[u8]) -> Result<LoopForest, DecodeError> {
+    LoopForest::decode(bytes)
+}
+
+/// True when `payload` decodes cleanly as `kind` — the deep check fsck and
+/// compact apply on top of the CRC.
+pub fn validate(kind: ArtifactKind, payload: &[u8]) -> bool {
+    match kind {
+        ArtifactKind::PdgPartition => decode_partition(payload).is_ok(),
+        ArtifactKind::PointsToRows => decode_points_to(payload).is_ok(),
+        ArtifactKind::LoopForest => decode_forest(payload).is_ok(),
+    }
+}

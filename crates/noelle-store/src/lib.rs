@@ -1,0 +1,49 @@
+//! # noelle-store
+//!
+//! A durable, content-addressed store of per-function analysis artifacts —
+//! the on-disk half of the NOELLE proposition (Matni et al., CGO 2022) that
+//! expensive whole-program abstractions are computed *once* and shared by
+//! many tools. The in-process `Noelle` manager already shares PDG
+//! partitions, points-to rows, and loop forests across requests; this crate
+//! makes that cache survive the process, so a restarted daemon (or a second
+//! replica pointed at the same directory) warm-starts instead of
+//! recomputing.
+//!
+//! ## Addressing
+//!
+//! Artifacts are addressed by *content*, never by name: a [`StoreKey`] is a
+//! 128-bit hash over the store format revision, the artifact kind, the
+//! alias-analysis tier, the module's globals fingerprint, a module-wide
+//! code fingerprint, and the owning function's
+//! `Function::content_fingerprint`. PDG partitions and points-to rows are
+//! interprocedural — a partition embeds callee mod/ref summaries and global
+//! points-to facts — so their keys include the module-wide code
+//! fingerprint: any edit anywhere misses (falling back to the in-memory
+//! incremental engine), while an identical module always hits. Loop forests
+//! are function-local and are keyed by the function fingerprint alone, so
+//! they survive edits to *other* functions even across a restart.
+//!
+//! ## Durability
+//!
+//! The store is a directory of append-only segment files (`seg-N.nsg`).
+//! Writes are batched by a background thread and each batch is published
+//! atomically: written to a temp file, fsynced, then renamed into place —
+//! a reader (or a crashed writer) never observes a half-written segment.
+//! Every entry carries a CRC-32 over its header and payload; a truncated or
+//! bit-flipped entry is detected on open (or read) and treated exactly like
+//! a miss. Corruption can cost a recompute, never a wrong answer: the
+//! payload codecs ([`noelle_ir::bytes`]) are total, and anything that fails
+//! to decode is recomputed and overwritten.
+//!
+//! [`Store::fsck`] reports per-segment health (live, superseded, corrupt)
+//! and [`Store::compact`] rewrites the live entries into a single fresh
+//! segment, dropping garbage.
+
+pub mod artifact;
+pub mod crc;
+pub mod key;
+pub mod segment;
+pub mod store;
+
+pub use key::{ArtifactKind, KeyCtx, StoreKey, STORE_REVISION};
+pub use store::{FsckReport, SegmentReport, Store, StoreStats};

@@ -1,0 +1,303 @@
+//! Append-only segment files.
+//!
+//! A segment (`seg-N.nsg`) is a batch of store entries published
+//! atomically: the writer composes the whole file under a dot-prefixed temp
+//! name, fsyncs it, then renames it into place and fsyncs the directory.
+//! A reader therefore only ever sees complete, named segments — a crash
+//! mid-publish leaves at worst an ignored temp file.
+//!
+//! Layout:
+//!
+//! ```text
+//! file   := header entry*
+//! header := "NSG1" revision:u32le
+//! entry  := magic:u32le kind:u8 key:[u8;16] len:u32le crc:u32le payload
+//! ```
+//!
+//! `crc` is CRC-32 over `kind ‖ key ‖ payload`. Scanning walks entries in
+//! order; a CRC mismatch with an intact header skips just that entry, while
+//! anything that breaks the framing (bad magic, impossible length, torn
+//! tail) abandons the rest of the segment — after the framing is lost there
+//! is no trustworthy way to resynchronize, and treating the tail as corrupt
+//! only costs recomputation.
+
+use crate::crc::crc32_update;
+use crate::key::{StoreKey, STORE_REVISION};
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"NSG1";
+/// Per-entry magic (also a resync sentinel for fsck reporting).
+pub const ENTRY_MAGIC: u32 = 0xa11c_e147;
+const FILE_HEADER: usize = 8;
+const ENTRY_HEADER: usize = 4 + 1 + 16 + 4 + 4;
+/// Upper bound on a single payload; anything larger is framing corruption.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// The file name of segment `id`.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id}.nsg")
+}
+
+/// Parse a segment id back out of a file name.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".nsg")?
+        .parse()
+        .ok()
+}
+
+fn entry_crc(kind: u8, key: &StoreKey, payload: &[u8]) -> u32 {
+    let mut state = 0xffff_ffff;
+    state = crc32_update(state, &[kind]);
+    state = crc32_update(state, &key.0);
+    state = crc32_update(state, payload);
+    state ^ 0xffff_ffff
+}
+
+/// One well-framed entry found by [`scan_segment`] (its CRC verified).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentEntry {
+    /// Raw artifact-kind tag byte.
+    pub kind: u8,
+    /// Content address.
+    pub key: StoreKey,
+    /// Byte offset of the payload within the segment file.
+    pub payload_offset: u64,
+    /// Payload length.
+    pub len: u32,
+    /// CRC recorded in the entry header (already verified by the scan).
+    pub crc: u32,
+}
+
+/// Result of scanning one segment file.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentScan {
+    /// Entries whose framing and CRC both checked out, in file order.
+    pub entries: Vec<SegmentEntry>,
+    /// Entries (or unwalkable tails) rejected by CRC or framing checks.
+    pub corrupt: usize,
+    /// Total file size in bytes.
+    pub bytes: u64,
+}
+
+/// Atomically publish `batch` as segment `id` inside `dir`. Returns the
+/// final path and the file size.
+///
+/// # Errors
+/// Propagates I/O failures; on error the target name is never created.
+pub fn write_segment(
+    dir: &Path,
+    id: u64,
+    batch: &[(StoreKey, u8, Vec<u8>)],
+) -> io::Result<(PathBuf, u64)> {
+    let tmp = dir.join(format!(".tmp-{}", segment_file_name(id)));
+    let dst = dir.join(segment_file_name(id));
+    let mut buf = Vec::with_capacity(
+        FILE_HEADER
+            + batch
+                .iter()
+                .map(|(_, _, p)| ENTRY_HEADER + p.len())
+                .sum::<usize>(),
+    );
+    buf.extend_from_slice(&SEGMENT_MAGIC);
+    buf.extend_from_slice(&STORE_REVISION.to_le_bytes());
+    for (key, kind, payload) in batch {
+        buf.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
+        buf.push(*kind);
+        buf.extend_from_slice(&key.0);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&entry_crc(*kind, key, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+    }
+    let bytes = buf.len() as u64;
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    // Make the rename itself durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok((dst, bytes))
+}
+
+/// Scan a segment file: verify framing and every entry's CRC.
+///
+/// # Errors
+/// Only I/O failures are errors; corruption is *reported*, not raised.
+pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let data = fs::read(path)?;
+    let mut scan = SegmentScan {
+        bytes: data.len() as u64,
+        ..SegmentScan::default()
+    };
+    if data.len() < FILE_HEADER || data[..4] != SEGMENT_MAGIC {
+        scan.corrupt += 1;
+        return Ok(scan);
+    }
+    // A foreign revision is not corruption — just entries this build will
+    // never address (their keys bake in the revision). Skip the whole file.
+    let revision = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if revision != STORE_REVISION {
+        return Ok(scan);
+    }
+    let mut pos = FILE_HEADER;
+    while pos < data.len() {
+        if data.len() - pos < ENTRY_HEADER {
+            scan.corrupt += 1; // torn tail
+            break;
+        }
+        let magic = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+        let kind = data[pos + 4];
+        let key = StoreKey(data[pos + 5..pos + 21].try_into().expect("16 bytes"));
+        let len = u32::from_le_bytes(data[pos + 21..pos + 25].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(data[pos + 25..pos + 29].try_into().expect("4 bytes"));
+        let payload_offset = pos + ENTRY_HEADER;
+        if magic != ENTRY_MAGIC || len > MAX_PAYLOAD || data.len() - payload_offset < len as usize {
+            scan.corrupt += 1; // framing lost: no way to resync
+            break;
+        }
+        let payload = &data[payload_offset..payload_offset + len as usize];
+        if entry_crc(kind, &key, payload) == crc {
+            scan.entries.push(SegmentEntry {
+                kind,
+                key,
+                payload_offset: payload_offset as u64,
+                len,
+                crc,
+            });
+        } else {
+            scan.corrupt += 1; // bit flip inside one entry: skip just it
+        }
+        pos = payload_offset + len as usize;
+    }
+    Ok(scan)
+}
+
+/// Read one entry's payload back and re-verify its CRC (the file may have
+/// degraded since the open-time scan). Returns `Ok(None)` on a CRC
+/// mismatch — the caller treats it as a miss.
+///
+/// # Errors
+/// Propagates I/O failures (missing segment, short read).
+pub fn read_payload(path: &Path, entry: &SegmentEntry) -> io::Result<Option<Vec<u8>>> {
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(entry.payload_offset))?;
+    let mut payload = vec![0u8; entry.len as usize];
+    f.read_exact(&mut payload)?;
+    if entry_crc(entry.kind, &entry.key, &payload) == entry.crc {
+        Ok(Some(payload))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("noelle-store-seg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn key(b: u8) -> StoreKey {
+        StoreKey([b; 16])
+    }
+
+    #[test]
+    fn write_then_scan_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let batch = vec![
+            (key(1), 1u8, vec![10, 20, 30]),
+            (key(2), 2u8, Vec::new()),
+            (key(3), 3u8, vec![0; 1000]),
+        ];
+        let (path, bytes) = write_segment(&dir, 0, &batch).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), bytes);
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.corrupt, 0);
+        assert_eq!(scan.entries.len(), 3);
+        for (entry, (k, kind, payload)) in scan.entries.iter().zip(&batch) {
+            assert_eq!(entry.key, *k);
+            assert_eq!(entry.kind, *kind);
+            let got = read_payload(&path, entry).unwrap().unwrap();
+            assert_eq!(&got, payload);
+        }
+        // No temp file left behind.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_payload_skips_only_that_entry() {
+        let dir = tmp_dir("bitflip");
+        let batch = vec![
+            (key(1), 1u8, vec![1, 2, 3, 4]),
+            (key(2), 1u8, vec![5, 6, 7, 8]),
+        ];
+        let (path, _) = write_segment(&dir, 0, &batch).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        // Flip a bit in the first payload (last 4 bytes of entry 0 region).
+        let first_payload_at = 8 + 29;
+        data[first_payload_at] ^= 0x40;
+        fs::write(&path, &data).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.corrupt, 1);
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].key, key(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_abandons_tail_without_panicking() {
+        let dir = tmp_dir("trunc");
+        let batch = vec![
+            (key(1), 1u8, vec![1, 2, 3, 4]),
+            (key(2), 1u8, vec![5, 6, 7, 8]),
+        ];
+        let (path, bytes) = write_segment(&dir, 0, &batch).unwrap();
+        let data = fs::read(&path).unwrap();
+        for cut in 0..bytes as usize {
+            fs::write(&path, &data[..cut]).unwrap();
+            let scan = scan_segment(&path).unwrap();
+            assert!(scan.entries.len() <= 2);
+            if cut < bytes as usize {
+                // Something must have been flagged unless the cut landed
+                // exactly on an entry boundary.
+                let whole_first = 8 + 29 + 4;
+                if cut != 8 && cut != whole_first {
+                    assert!(scan.corrupt > 0, "cut {cut} silently accepted");
+                }
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_revision_is_ignored_not_corrupt() {
+        let dir = tmp_dir("revision");
+        let (path, _) = write_segment(&dir, 0, &[(key(1), 1, vec![9])]).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        data[4..8].copy_from_slice(&(STORE_REVISION + 1).to_le_bytes());
+        fs::write(&path, &data).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.corrupt, 0);
+        assert!(scan.entries.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(parse_segment_file_name(&segment_file_name(42)), Some(42));
+        assert_eq!(parse_segment_file_name("seg-x.nsg"), None);
+        assert_eq!(parse_segment_file_name(".tmp-seg-1.nsg"), None);
+    }
+}

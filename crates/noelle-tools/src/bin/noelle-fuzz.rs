@@ -28,7 +28,7 @@ fn usage() -> ! {
     die(&format!(
         "usage: noelle-fuzz [--seeds N] [--seed-start N] [--time-budget-ms MS] \
          [--tool all|{}] [--trace-deps] [--lint-races] [--no-incremental-check] \
-         [--corpus-dir DIR] [--no-persist] [--cores N]",
+         [--no-store-check] [--corpus-dir DIR] [--no-persist] [--cores N]",
         registry::usage()
     ));
 }
@@ -76,6 +76,7 @@ fn main() {
         trace_deps: args.flag("trace-deps").is_some(),
         lint_races: args.flag("lint-races").is_some(),
         check_incremental: args.flag("no-incremental-check").is_none(),
+        check_store: args.flag("no-store-check").is_none(),
         persist: corpus_dir.is_some() && args.flag("no-persist").is_none(),
         corpus_dir,
         ..FuzzConfig::default()

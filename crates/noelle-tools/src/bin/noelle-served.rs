@@ -7,9 +7,13 @@
 //! on stdin/stdout with newline-delimited JSON under `--stdio`.
 //!
 //! ```text
-//! noelle-served [--addr 127.0.0.1:7711] [--workers N] [--max-sessions N]
+//! noelle-served [--addr 127.0.0.1:7711] [--workers N] [--shards N]
+//!               [--queue-cap N] [--store-dir DIR] [--max-sessions N]
 //!               [--max-bytes N] [--deadline-ms N] [--stdio]
 //! ```
+//!
+//! With `--store-dir`, analysis artifacts persist in a content-addressed
+//! on-disk store and a restarted daemon warm-starts from it.
 
 use noelle_server::{Server, ServerConfig, ToolRunner};
 use noelle_tools::registry::ToolInvocation;
@@ -21,9 +25,15 @@ fn main() {
     let cfg = ServerConfig {
         addr: args.flag_or("addr", "127.0.0.1:7711").to_string(),
         workers: args.flag_usize("workers", 4),
+        shards: args.flag_usize("shards", 2),
+        queue_capacity: args.flag_usize("queue-cap", 64),
         max_sessions: args.flag_usize("max-sessions", 8),
         max_bytes: args.flag_usize("max-bytes", 256 << 20),
         default_deadline_ms: args.flag_usize("deadline-ms", 30_000) as u64,
+        store_dir: args
+            .flag("store-dir")
+            .filter(|d| !d.is_empty())
+            .map(str::to_string),
     };
     // The registry lives here, not in noelle-server, so the daemon crate
     // stays decoupled from the transforms; inject it. The server hands the

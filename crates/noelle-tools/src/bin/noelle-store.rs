@@ -1,0 +1,142 @@
+//! `noelle-store`: inspect and maintain a durable analysis-artifact store
+//! directory (the `--store-dir` of `noelle-served`).
+//!
+//! ```text
+//! noelle-store fsck    --dir DIR [--json]   # offline integrity walk
+//! noelle-store stats   --dir DIR [--json]   # occupancy summary
+//! noelle-store compact --dir DIR [--json]   # rewrite live entries, drop garbage
+//! ```
+//!
+//! `fsck` never opens the store for writing, so it is safe against a
+//! directory a daemon is actively publishing into. It exits non-zero when
+//! any entry is damaged (CRC/framing corruption, undecodable payloads,
+//! unknown kind tags); superseded duplicates and leftover temp files are
+//! reported but are garbage for `compact`, not damage.
+
+use noelle_core::json::Json;
+use noelle_store::{FsckReport, Store};
+use noelle_tools::{die, Args};
+use std::path::Path;
+
+fn report_json(r: &FsckReport) -> Json {
+    let segments = r
+        .segments
+        .iter()
+        .map(|s| {
+            Json::object([
+                ("file".to_string(), Json::Str(s.file.clone())),
+                ("entries".to_string(), Json::Int(s.entries as i64)),
+                ("corrupt".to_string(), Json::Int(s.corrupt as i64)),
+                ("bytes".to_string(), Json::Int(s.bytes as i64)),
+            ])
+        })
+        .collect();
+    let by_kind = r
+        .live_by_kind
+        .iter()
+        .map(|(k, n)| (k.name().to_string(), Json::Int(*n as i64)))
+        .collect::<Vec<_>>();
+    Json::object([
+        ("segments".to_string(), Json::Array(segments)),
+        ("live".to_string(), Json::Int(r.live as i64)),
+        ("live_by_kind".to_string(), Json::object(by_kind)),
+        ("superseded".to_string(), Json::Int(r.superseded as i64)),
+        ("unknown_kind".to_string(), Json::Int(r.unknown_kind as i64)),
+        ("undecodable".to_string(), Json::Int(r.undecodable as i64)),
+        ("temp_files".to_string(), Json::Int(r.temp_files as i64)),
+        ("corrupt".to_string(), Json::Int(r.corrupt() as i64)),
+        ("bytes_on_disk".to_string(), Json::Int(r.bytes() as i64)),
+        ("clean".to_string(), Json::Bool(r.clean())),
+    ])
+}
+
+/// Damage (as opposed to compactable garbage) found by the walk.
+fn damaged(r: &FsckReport) -> usize {
+    r.corrupt() + r.undecodable + r.unknown_kind
+}
+
+fn main() {
+    let args = Args::parse();
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| die("usage: noelle-store <fsck|stats|compact> --dir DIR [--json]"));
+    let dir = args
+        .flag("dir")
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| die("missing --dir DIR"));
+    if !Path::new(dir).is_dir() {
+        die(&format!("{dir}: not a directory"));
+    }
+    let json = args.flag("json").is_some();
+    let report = Store::fsck(Path::new(dir)).unwrap_or_else(|e| die(&format!("{dir}: {e}")));
+
+    match cmd {
+        "fsck" => {
+            if json {
+                println!("{}", report_json(&report).to_string_pretty());
+            } else {
+                for s in &report.segments {
+                    println!(
+                        "{}: {} entries, {} corrupt, {} bytes",
+                        s.file, s.entries, s.corrupt, s.bytes
+                    );
+                }
+                println!(
+                    "live {} (superseded {}, unknown-kind {}, undecodable {}, temp files {})",
+                    report.live,
+                    report.superseded,
+                    report.unknown_kind,
+                    report.undecodable,
+                    report.temp_files
+                );
+                println!(
+                    "{}",
+                    if damaged(&report) == 0 {
+                        "fsck: ok"
+                    } else {
+                        "fsck: DAMAGED"
+                    }
+                );
+            }
+            if damaged(&report) > 0 {
+                std::process::exit(1);
+            }
+        }
+        "stats" => {
+            if json {
+                println!("{}", report_json(&report).to_string_pretty());
+            } else {
+                println!(
+                    "{} live entries in {} segments, {} bytes on disk",
+                    report.live,
+                    report.segments.len(),
+                    report.bytes()
+                );
+                for (kind, n) in &report.live_by_kind {
+                    println!("  {}: {}", kind.name(), n);
+                }
+            }
+        }
+        "compact" => {
+            let store = Store::open(dir).unwrap_or_else(|e| die(&format!("{dir}: {e}")));
+            let (live, reclaimed) = store
+                .compact()
+                .unwrap_or_else(|e| die(&format!("compact: {e}")));
+            if json {
+                println!(
+                    "{}",
+                    Json::object([
+                        ("live".to_string(), Json::Int(live as i64)),
+                        ("reclaimed_bytes".to_string(), Json::Int(reclaimed as i64)),
+                    ])
+                    .to_string_pretty()
+                );
+            } else {
+                println!("compacted to {live} live entries, reclaimed {reclaimed} bytes");
+            }
+        }
+        other => die(&format!("unknown subcommand '{other}'")),
+    }
+}
