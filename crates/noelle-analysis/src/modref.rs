@@ -7,7 +7,7 @@
 use noelle_ir::inst::{Callee, Inst, InstId};
 use noelle_ir::intern::Symbol;
 use noelle_ir::module::{FuncId, Module};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{OnceLock, RwLock};
 
 /// Memory behaviour of a known external (declared) function.
@@ -199,6 +199,71 @@ impl ModRefSummaries {
             }
         }
         ModRefSummaries { reads, writes, io }
+    }
+
+    /// Recompute the summaries of `affected` functions in place, leaving
+    /// every other entry untouched.
+    ///
+    /// Sound exactly when `affected` is closed under "transitive direct
+    /// caller of an edited function": summaries flow callee -> caller, so a
+    /// function outside that closure cannot call into it (it would be a
+    /// transitive caller itself) and its summary is already at the global
+    /// fixed point. The restricted fixed point then converges to the same
+    /// solution [`ModRefSummaries::compute`] would produce from scratch —
+    /// including non-monotone edits (a deleted store clears bits), because
+    /// the affected entries are reset to their base before iterating.
+    pub fn recompute_scoped(&mut self, m: &Module, affected: &BTreeSet<FuncId>) {
+        for &fid in affected {
+            let f = m.func(fid);
+            if f.is_declaration() {
+                let e = external_effects_sym(f.name_sym());
+                self.reads.insert(fid, e.reads_memory);
+                self.writes.insert(fid, e.writes_memory);
+                self.io.insert(fid, e.io);
+            } else {
+                self.reads.insert(fid, false);
+                self.writes.insert(fid, false);
+                self.io.insert(fid, false);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &fid in affected {
+                let f = m.func(fid);
+                if f.is_declaration() {
+                    continue;
+                }
+                let mut r = self.reads[&fid];
+                let mut w = self.writes[&fid];
+                let mut o = self.io[&fid];
+                for id in f.inst_ids() {
+                    match f.inst(id) {
+                        Inst::Load { .. } => r = true,
+                        Inst::Store { .. } => w = true,
+                        Inst::Call { callee, .. } => match callee {
+                            Callee::Direct(cid) => {
+                                r |= self.reads.get(cid).copied().unwrap_or(true);
+                                w |= self.writes.get(cid).copied().unwrap_or(true);
+                                o |= self.io.get(cid).copied().unwrap_or(true);
+                            }
+                            Callee::Indirect(_) => {
+                                r = true;
+                                w = true;
+                                o = true;
+                            }
+                        },
+                        _ => {}
+                    }
+                }
+                if r != self.reads[&fid] || w != self.writes[&fid] || o != self.io[&fid] {
+                    self.reads.insert(fid, r);
+                    self.writes.insert(fid, w);
+                    self.io.insert(fid, o);
+                    changed = true;
+                }
+            }
+        }
     }
 
     /// True if function `fid` may read caller-visible memory.

@@ -1,0 +1,203 @@
+//! IDE repair latency: time from a one-function edit to refreshed
+//! diagnostics on the `workload:scale:1000` module, written as JSON to
+//! `results/BENCH_ide.json`.
+//!
+//! Drives an **embedded** daemon (no socket — the edit-to-diagnostics path
+//! itself is the unit under test) through the `ide/*` methods: open the
+//! 1000-function module once, then repeatedly splice one `fmeta` line
+//! inside a single function, alternating between two values so every edit
+//! changes that function's content fingerprint. Each `ide/change` reply
+//! carries the refreshed diagnostics, so the measured latency is the full
+//! keystroke loop: diff → snippet reparse → fingerprint gate →
+//! damage-scoped re-lint → serialized reply.
+//!
+//! The baseline is what an editor without the incremental path would pay
+//! per keystroke: `ide/close` + `ide/open` (full parse, full lint) on the
+//! same text. The report asserts the incremental p95 stays under one
+//! millisecond and beats the full reload by at least 10x — the margins the
+//! roadmap's IDE milestone promises.
+
+use noelle_core::json::Json;
+use noelle_server::protocol::Request;
+use noelle_server::server::{run_request_text, Server, ServerConfig};
+use std::time::Instant;
+
+const FUNCTIONS: usize = 1000;
+const EDITS: usize = 200;
+const RELOADS: usize = 10;
+
+fn request(id: i64, method: &str, params: Vec<(String, Json)>) -> Request {
+    Request {
+        id,
+        method: method.to_string(),
+        params: Json::object(params),
+        deadline_ms: None,
+        v: None,
+    }
+}
+
+fn ok_of(reply: &str) -> Json {
+    let v = Json::parse(reply).expect("reply is JSON");
+    assert!(v.get("error").is_none(), "request failed: {reply}");
+    v.get("ok").cloned().expect("ok reply")
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let state = Server::new(ServerConfig::default())
+        .embedded()
+        .expect("embedded daemon");
+
+    let text = noelle_ir::printer::print_module(&noelle_workloads::scale_module(FUNCTIONS, 42));
+    let target = format!("@k{}(", FUNCTIONS / 2);
+    // 1-based line of the target function's `define`; the fmeta edit line
+    // goes right below it.
+    let define_line = text
+        .lines()
+        .position(|l| l.contains("define") && l.contains(&target))
+        .expect("target function printed")
+        + 1;
+    let edit_line = define_line + 1;
+
+    // The text with the bench's fmeta line already present, as the measured
+    // edits leave it (for the close+reopen baseline).
+    let text_with_fmeta = |value: &str| -> String {
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines.insert(
+            edit_line - 1,
+            format!("  fmeta \"bench.tick\" = \"{value}\""),
+        );
+        lines.join("\n")
+    };
+    let open = |id: i64, doc_text: &str| -> (Json, f64) {
+        let req = request(
+            id,
+            "ide/open",
+            vec![
+                ("doc".to_string(), Json::Str("bench".to_string())),
+                ("text".to_string(), Json::Str(doc_text.to_string())),
+            ],
+        );
+        let t = Instant::now();
+        let reply = run_request_text(&state, &req);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        (ok_of(&reply), us)
+    };
+
+    let (opened, cold_open_us) = open(1, &text);
+    assert!(
+        opened.get("functions").and_then(Json::as_i64).unwrap_or(0) >= FUNCTIONS as i64,
+        "module opened whole"
+    );
+
+    // Insert the fmeta line once (unmeasured: this first change grows the
+    // function by a line; the measured edits then replace it in place).
+    let mut version = 2i64;
+    let splice = |id: i64, version: i64, start: usize, end: usize, value: &str| -> Request {
+        request(
+            id,
+            "ide/change",
+            vec![
+                ("doc".to_string(), Json::Str("bench".to_string())),
+                ("version".to_string(), Json::Int(version)),
+                ("start_line".to_string(), Json::Int(start as i64)),
+                ("end_line".to_string(), Json::Int(end as i64)),
+                (
+                    "lines".to_string(),
+                    Json::Array(vec![Json::Str(format!(
+                        "  fmeta \"bench.tick\" = \"{value}\""
+                    ))]),
+                ),
+            ],
+        )
+    };
+    let reply = run_request_text(&state, &splice(2, version, edit_line, edit_line, "warm"));
+    assert_eq!(
+        ok_of(&reply).get("incremental"),
+        Some(&Json::Bool(true)),
+        "one-function insert takes the diff-parse path"
+    );
+
+    // The measured loop: one-line replacement, alternating values so every
+    // edit is a real fingerprint change, never a no-op.
+    let mut lat_us: Vec<f64> = Vec::with_capacity(EDITS);
+    for i in 0..EDITS {
+        version += 1;
+        let req = splice(
+            version,
+            version,
+            edit_line,
+            edit_line + 1,
+            if i % 2 == 0 { "tick" } else { "tock" },
+        );
+        let t = Instant::now();
+        let reply = run_request_text(&state, &req);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        let ok = ok_of(&reply);
+        assert_eq!(ok.get("incremental"), Some(&Json::Bool(true)));
+        assert!(
+            ok.get("relinted").and_then(Json::as_i64).unwrap_or(0) >= 1,
+            "a fingerprint change re-lints its damage set"
+        );
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p50 = percentile(&lat_us, 0.50);
+    let p95 = percentile(&lat_us, 0.95);
+
+    // Baseline: the same edit served by close + reopen + full re-lint.
+    let mut reload_us: Vec<f64> = Vec::with_capacity(RELOADS);
+    for i in 0..RELOADS {
+        let id = 10_000 + 2 * i as i64;
+        let close = request(
+            id,
+            "ide/close",
+            vec![("doc".to_string(), Json::Str("bench".to_string()))],
+        );
+        let edited = text_with_fmeta(if i % 2 == 0 { "tick" } else { "tock" });
+        let t = Instant::now();
+        ok_of(&run_request_text(&state, &close));
+        let _ = open(id + 1, &edited);
+        reload_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    reload_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let reload_med = percentile(&reload_us, 0.50);
+    let speedup = reload_med / p95;
+
+    let stats = ok_of(&run_request_text(&state, &request(99_999, "stats", vec![])));
+    let ide_stats = stats.get("ide").cloned().unwrap_or(Json::Null);
+
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("ide_latency".into())),
+        (
+            "workload".to_string(),
+            Json::Str(format!("workload:scale:{FUNCTIONS}")),
+        ),
+        ("edits".to_string(), Json::Int(EDITS as i64)),
+        ("cold_open_us".to_string(), Json::Float(cold_open_us)),
+        ("repair_p50_us".to_string(), Json::Float(p50)),
+        ("repair_p95_us".to_string(), Json::Float(p95)),
+        ("full_reload_us".to_string(), Json::Float(reload_med)),
+        ("speedup_vs_full".to_string(), Json::Float(speedup)),
+        ("ide".to_string(), ide_stats),
+    ]);
+    let text_out = report.to_string_pretty();
+    println!("{text_out}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_ide.json", text_out + "\n").expect("write report");
+    eprintln!(
+        "repair p50 {p50:.0}us p95 {p95:.0}us, full reload {reload_med:.0}us ({speedup:.1}x) -> results/BENCH_ide.json"
+    );
+
+    assert!(
+        p95 < 1000.0,
+        "incremental repair p95 must be sub-millisecond, got {p95:.0}us"
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental repair must beat full reload by >=10x, got {speedup:.1}x"
+    );
+}

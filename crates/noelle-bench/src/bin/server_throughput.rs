@@ -13,7 +13,22 @@ use std::time::Instant;
 
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 100;
+const PIPELINED_REQUESTS: usize = 320;
+/// In-flight window, kept under the server's per-connection admission
+/// depth so nothing is shed.
+const PIPELINE_WINDOW: usize = 64;
 const WORKLOADS: [&str; 3] = ["blackscholes", "swaptions", "crc32"];
+
+/// The warm request mix used by every phase.
+fn send_mixed(c: &mut Client, i: usize) -> std::io::Result<i64> {
+    let w = WORKLOADS[i % WORKLOADS.len()];
+    let sess = Json::object([("session".to_string(), Json::Str(w.to_string()))]);
+    match i % 4 {
+        0 | 1 => c.send("pdg", sess),
+        2 => c.send("loops", sess),
+        _ => c.send("stats", Json::object([])),
+    }
+}
 
 fn main() {
     let server = Server::new(ServerConfig {
@@ -69,6 +84,37 @@ fn main() {
     let wall_s = t.elapsed().as_secs_f64();
     let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
 
+    // Single-connection phases: the same warm mix, first one request at a
+    // time, then pipelined — a window of requests in flight on one socket,
+    // replies read back strictly in request order.
+    let mut p = Client::connect(&addr).expect("connect");
+    let t = Instant::now();
+    for i in 0..PIPELINED_REQUESTS {
+        send_mixed(&mut p, i).expect("send");
+        p.recv_text().expect("sequential reply");
+    }
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut next = 0;
+    while next < PIPELINED_REQUESTS {
+        let batch = PIPELINE_WINDOW.min(PIPELINED_REQUESTS - next);
+        let mut ids = Vec::with_capacity(batch);
+        for i in next..next + batch {
+            ids.push(send_mixed(&mut p, i).expect("send"));
+        }
+        for id in ids {
+            let reply = p.recv_text().expect("pipelined reply");
+            assert!(
+                reply.starts_with(&format!("{{\"id\":{id},\"ok\":")),
+                "replies must come back in request order: {reply}"
+            );
+        }
+        next += batch;
+    }
+    let pipelined_s = t.elapsed().as_secs_f64();
+    let single = PIPELINED_REQUESTS as f64;
+
     let metrics = c.call("metrics", Json::object([])).expect("metrics");
     c.call("shutdown", Json::object([])).expect("shutdown");
     server.join();
@@ -84,6 +130,28 @@ fn main() {
         ("wall_s".to_string(), Json::Float(wall_s)),
         ("requests_per_sec".to_string(), Json::Float(total / wall_s)),
         (
+            "single_connection".to_string(),
+            Json::object([
+                ("requests".to_string(), Json::Int(PIPELINED_REQUESTS as i64)),
+                (
+                    "sequential_req_per_sec".to_string(),
+                    Json::Float(single / sequential_s),
+                ),
+                (
+                    "pipelined_req_per_sec".to_string(),
+                    Json::Float(single / pipelined_s),
+                ),
+                (
+                    "pipeline_window".to_string(),
+                    Json::Int(PIPELINE_WINDOW as i64),
+                ),
+                (
+                    "pipeline_speedup".to_string(),
+                    Json::Float(sequential_s / pipelined_s),
+                ),
+            ]),
+        ),
+        (
             "methods".to_string(),
             metrics.get("requests").cloned().unwrap_or(Json::Null),
         ),
@@ -93,9 +161,11 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_server.json", text + "\n").expect("write report");
     eprintln!(
-        "{} requests in {:.3}s = {:.0} req/s -> results/BENCH_server.json",
+        "{} requests in {:.3}s = {:.0} req/s; 1-conn pipelined {:.0} vs sequential {:.0} req/s -> results/BENCH_server.json",
         total,
         wall_s,
-        total / wall_s
+        total / wall_s,
+        single / pipelined_s,
+        single / sequential_s
     );
 }

@@ -176,6 +176,29 @@ impl Json {
             None
         }
     }
+
+    /// Parse one JSON value off the front of `text`, returning the value and
+    /// the number of bytes consumed (leading whitespace included, trailing
+    /// whitespace not).
+    ///
+    /// The incremental twin of [`Json::parse`] for concatenated or partial
+    /// NDJSON buffers: a transport can peel complete frames off an
+    /// accumulating read buffer without re-scanning or copying the rest, and
+    /// a `None` on a *prefix* of a valid document simply means "read more
+    /// bytes". Callers feeding newline-delimited streams should strip the
+    /// frame separator themselves (it is trailing, not leading, whitespace).
+    ///
+    /// Caveat: a bare number at the very end of the buffer is ambiguous
+    /// (`12` may be the prefix of `123`), and is parsed greedily as
+    /// complete. NDJSON framing resolves this in practice — a number is only
+    /// final once its newline separator has arrived, so split buffers end
+    /// either mid-token (syntax error → `None`) or at a separator.
+    pub fn parse_prefix(text: &str) -> Option<(Json, usize)> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        Some((v, pos))
+    }
 }
 
 impl fmt::Display for Json {
@@ -534,5 +557,48 @@ mod tests {
         // Floats that print without a dot keep their float-ness.
         let f = Json::Float(2.0);
         assert_eq!(Json::parse(&f.to_string_compact()), Some(f));
+    }
+
+    #[test]
+    fn parse_prefix_peels_concatenated_values() {
+        // Two NDJSON frames plus the start of a third in one buffer.
+        let buf = "{\"id\":1,\"ok\":true}\n{\"id\":2}\n{\"id\":";
+        let (v1, n1) = Json::parse_prefix(buf).expect("first frame complete");
+        assert_eq!(v1.as_object().unwrap().get("id"), Some(&Json::Int(1)));
+        assert_eq!(&buf[..n1], "{\"id\":1,\"ok\":true}");
+        let rest = &buf[n1..];
+        let (v2, n2) = Json::parse_prefix(rest).expect("second frame complete");
+        assert_eq!(v2, Json::object([("id".to_string(), Json::Int(2))]));
+        // Leading whitespace (the frame separator) is consumed.
+        assert_eq!(&rest[..n2], "\n{\"id\":2}");
+        // The trailing partial frame is not a value yet.
+        assert_eq!(Json::parse_prefix(&rest[n2..]), None);
+    }
+
+    #[test]
+    fn parse_prefix_rejects_split_mid_frame() {
+        let full = r#"{"method":"ide/change","params":{"lines":["a","b"]}}"#;
+        // Every strict prefix is incomplete (no bare top-level numbers in
+        // the protocol, so no ambiguity): parse_prefix must say "need more".
+        for cut in 1..full.len() {
+            assert_eq!(
+                Json::parse_prefix(&full[..cut]),
+                None,
+                "cut at {cut} must be incomplete"
+            );
+        }
+        let (v, n) = Json::parse_prefix(full).expect("whole frame parses");
+        assert_eq!(n, full.len());
+        assert_eq!(Json::parse(full), Some(v));
+    }
+
+    #[test]
+    fn parse_prefix_matches_parse_on_whole_documents() {
+        for doc in ["[1,2,3]", "\"x\"", "null", "  {\"a\":[true,false]} "] {
+            let whole = Json::parse(doc.trim());
+            let (v, n) = Json::parse_prefix(doc).expect("parses");
+            assert_eq!(Some(v), whole);
+            assert!(n <= doc.len());
+        }
     }
 }

@@ -232,6 +232,85 @@ impl EditTx<'_> {
 }
 
 /// The NOELLE compilation layer over one module.
+/// Direct call edges maintained *incrementally* across edit commits: a
+/// full-module scan builds the map once, after which each commit rescans
+/// only the touched functions' call sites. This is what keeps
+/// [`Noelle::edit`]'s damage computation off the whole module — both the
+/// reverse-caller closure that bounds the mod/ref repair and the
+/// "summary changed, damage direct callers" rule read these edges instead
+/// of rescanning every instruction.
+#[derive(Default)]
+struct CallEdges {
+    /// Caller -> deduped direct callees.
+    callees: HashMap<FuncId, BTreeSet<FuncId>>,
+    /// Callee -> direct callers (the reverse index).
+    callers: HashMap<FuncId, BTreeSet<FuncId>>,
+}
+
+impl CallEdges {
+    fn scan_function(m: &Module, fid: FuncId) -> BTreeSet<FuncId> {
+        let f = m.func(fid);
+        let mut out = BTreeSet::new();
+        for id in f.inst_ids() {
+            if let Inst::Call {
+                callee: Callee::Direct(cid),
+                ..
+            } = f.inst(id)
+            {
+                out.insert(*cid);
+            }
+        }
+        out
+    }
+
+    fn build(m: &Module) -> CallEdges {
+        let mut e = CallEdges::default();
+        for fid in m.func_ids() {
+            let callees = Self::scan_function(m, fid);
+            for &c in &callees {
+                e.callers.entry(c).or_default().insert(fid);
+            }
+            e.callees.insert(fid, callees);
+        }
+        e
+    }
+
+    /// Rescan the call sites of `touched` functions, repairing both maps.
+    fn update(&mut self, m: &Module, touched: &BTreeSet<FuncId>) {
+        for &f in touched {
+            let new = Self::scan_function(m, f);
+            let old = self.callees.insert(f, new.clone()).unwrap_or_default();
+            for c in old.difference(&new) {
+                if let Some(s) = self.callers.get_mut(c) {
+                    s.remove(&f);
+                }
+            }
+            for &c in new.difference(&old) {
+                self.callers.entry(c).or_default().insert(f);
+            }
+        }
+    }
+
+    fn callers_of(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callers.get(&f).into_iter().flatten().copied()
+    }
+
+    /// `seeds` plus every transitive direct caller of a seed — exactly the
+    /// set whose mod/ref summaries an edit of `seeds` can move.
+    fn caller_closure(&self, seeds: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+        let mut closed = seeds.clone();
+        let mut work: Vec<FuncId> = seeds.iter().copied().collect();
+        while let Some(f) = work.pop() {
+            for c in self.callers_of(f) {
+                if closed.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+        closed
+    }
+}
+
 pub struct Noelle {
     module: Module,
     tier: AliasTier,
@@ -240,6 +319,11 @@ pub struct Noelle {
     /// `Some` exactly when `andersen` is.
     andersen_inputs: Option<AndersenInputs>,
     modref: Option<Arc<ModRefSummaries>>,
+    /// Incrementally maintained direct call edges; `Some` whenever `modref`
+    /// is (commits repair both together, and both die together on
+    /// invalidation, since the scoped mod/ref repair is only sound with
+    /// edges that match the summaries' module).
+    call_edges: Option<CallEdges>,
     call_graph: Option<CallGraph>,
     structures: HashMap<FuncId, FuncStructures>,
     pdg: Option<Arc<ProgramPdg>>,
@@ -270,6 +354,7 @@ impl Noelle {
             andersen: None,
             andersen_inputs: None,
             modref: None,
+            call_edges: None,
             call_graph: None,
             structures: HashMap::new(),
             pdg: None,
@@ -341,6 +426,22 @@ impl Noelle {
     /// repairs the snapshot instead of rebuilding it. The repaired graph is
     /// edge-identical to a from-scratch build.
     pub fn edit<R>(&mut self, k: impl FnOnce(&mut EditTx<'_>) -> R) -> R {
+        self.edit_with_damage(k).0
+    }
+
+    /// [`Noelle::edit`], additionally reporting the **damage set**: every
+    /// function whose cached analysis results (and therefore any derived
+    /// diagnostics) may differ after the edit. Consumers that maintain
+    /// per-function derived state — the IDE's incremental linter — re-derive
+    /// exactly this set and keep everything else.
+    ///
+    /// The set is conservative: it always contains the touched functions,
+    /// and escalating edits (new globals, [`EditTx::touch_all`]) report
+    /// every function. A read-only transaction reports an empty set.
+    pub fn edit_with_damage<R>(
+        &mut self,
+        k: impl FnOnce(&mut EditTx<'_>) -> R,
+    ) -> (R, BTreeSet<FuncId>) {
         let baseline_funcs = self.module.functions().len();
         let baseline_globals = self.module.globals().len();
         let (r, mut touched, mut all) = {
@@ -360,18 +461,19 @@ impl Noelle {
         if self.module.globals().len() != baseline_globals {
             all = true;
         }
-        self.commit(touched, all);
-        r
+        let damage = self.commit(touched, all);
+        (r, damage)
     }
 
-    /// Apply the damage-propagation rule for a committed edit transaction.
-    fn commit(&mut self, touched: BTreeSet<FuncId>, all: bool) {
+    /// Apply the damage-propagation rule for a committed edit transaction,
+    /// returning the damage set.
+    fn commit(&mut self, touched: BTreeSet<FuncId>, all: bool) -> BTreeSet<FuncId> {
         if all {
             self.invalidate();
-            return;
+            return self.module.func_ids().collect();
         }
         if touched.is_empty() {
-            return; // read-only transaction
+            return BTreeSet::new(); // read-only transaction
         }
         for &fid in &touched {
             *self.revisions.entry(fid).or_insert(0) += 1;
@@ -390,15 +492,36 @@ impl Noelle {
             self.andersen = None;
             self.andersen_inputs = None;
             self.call_graph = None;
+            // The edge map is only repaired on the summary-bearing path;
+            // without that repair the touched functions' rows go stale.
+            self.call_edges = None;
             self.counters.invalidations += touched.len() as u64;
-            return;
+            // Without the old summaries the interprocedural blast radius
+            // cannot be bounded, so report every function as damaged.
+            return self.module.func_ids().collect();
         };
-        let new_modref = Arc::new(ModRefSummaries::compute(&self.module));
+        // Repair the direct-call-edge map for the touched functions (first
+        // commit builds it whole), then bound the mod/ref repair to the
+        // touched set plus its transitive callers — the only functions
+        // whose summaries an edit can move, since summaries flow
+        // callee -> caller. Everything here is proportional to the edit's
+        // blast radius, not the module.
+        let edges = match self.call_edges.take() {
+            Some(mut e) => {
+                e.update(&self.module, &touched);
+                e
+            }
+            None => CallEdges::build(&self.module),
+        };
+        let affected = edges.caller_closure(&touched);
+        let mut new_modref = (*old_modref).clone();
+        new_modref.recompute_scoped(&self.module, &affected);
+        let new_modref = Arc::new(new_modref);
         // A function's PDG reads the mod/ref summaries of its *direct*
         // callees (indirect calls are handled conservatively), so summary
         // changes damage direct callers.
         let mut changed: BTreeSet<FuncId> = touched.clone();
-        for fid in self.module.func_ids() {
+        for &fid in &affected {
             if old_modref.may_read(fid) != new_modref.may_read(fid)
                 || old_modref.may_write(fid) != new_modref.may_write(fid)
                 || old_modref.has_io(fid) != new_modref.has_io(fid)
@@ -407,32 +530,10 @@ impl Noelle {
             }
         }
         let mut damage = touched.clone();
-        match &self.call_graph {
-            // Untouched functions' call sites are unchanged, so the cached
-            // (pre-edit) call graph resolves their direct calls exactly;
-            // touched callers are already in the damage set.
-            Some(cg) => {
-                for &c in &changed {
-                    damage.extend(cg.callers_of(c).filter(|e| e.is_must).map(|e| e.caller));
-                }
-            }
-            None => {
-                for fid in self.module.func_ids() {
-                    let f = self.module.func(fid);
-                    for id in f.inst_ids() {
-                        if let Inst::Call {
-                            callee: Callee::Direct(cid),
-                            ..
-                        } = f.inst(id)
-                        {
-                            if changed.contains(cid) {
-                                damage.insert(fid);
-                            }
-                        }
-                    }
-                }
-            }
+        for &c in &changed {
+            damage.extend(edges.callers_of(c));
         }
+        self.call_edges = Some(edges);
         // Under the full tier the PDG also consults the points-to solution.
         // The solution is a pure function of the function bodies and the
         // globals, so if every touched function's content fingerprint (and
@@ -463,6 +564,7 @@ impl Noelle {
         }
         self.stale.extend(damage.iter().copied());
         self.counters.invalidations += damage.len() as u64;
+        damage
     }
 
     /// Consume the manager, returning the (possibly transformed) module.
@@ -485,6 +587,7 @@ impl Noelle {
         self.andersen = None;
         self.andersen_inputs = None;
         self.modref = None;
+        self.call_edges = None;
         self.call_graph = None;
         self.structures.clear();
         self.pdg = None;
@@ -1134,6 +1237,27 @@ mod tests {
         });
         let _ = n.pdg();
         assert_eq!(n.func_cache_counters().andersen_reuses, 1);
+    }
+
+    #[test]
+    fn edit_with_damage_reports_touched_and_escalations() {
+        let mut n = Noelle::new(two_func_module(), AliasTier::Full);
+        let leaf = n.module().func_id_by_name("leaf").unwrap();
+        let _ = n.pdg();
+        // Read-only: empty damage.
+        let ((), d) = n.edit_with_damage(|tx| {
+            let _ = tx.module().name.len();
+        });
+        assert!(d.is_empty());
+        // A metadata-only touch damages exactly the touched function (its
+        // mod/ref summary cannot change).
+        let ((), d) = n.edit_with_damage(|tx| {
+            tx.func_mut(leaf).metadata.insert("note".into(), "v".into());
+        });
+        assert!(d.contains(&leaf) && d.len() == 1, "damage = {d:?}");
+        // touch_all escalates to every function.
+        let ((), d) = n.edit_with_damage(|tx| tx.touch_all());
+        assert_eq!(d.len(), n.module().functions().len());
     }
 
     #[test]

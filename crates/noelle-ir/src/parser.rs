@@ -312,6 +312,14 @@ impl Lexer {
         }
     }
 
+    /// Line of the most recently consumed token (0 before any `next`).
+    fn last_line(&self) -> usize {
+        if self.pos == 0 {
+            return 0;
+        }
+        self.toks.get(self.pos - 1).map(|(_, l)| *l).unwrap_or(0)
+    }
+
     fn eat_punct(&mut self, c: char) -> bool {
         if self.peek() == Some(&Tok::Punct(c)) {
             self.pos += 1;
@@ -371,11 +379,37 @@ struct PBlock {
     insts: Vec<PInst>,
 }
 
+/// Source extent of one `define` in the module text: the 1-based line of
+/// the `define` keyword through the line of the closing `}` of the body,
+/// inclusive. The building block of the IDE diff-parser: a line edit that
+/// falls inside exactly one span can be re-parsed as a single function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// Function name (without the `@`).
+    pub name: String,
+    /// 1-based line of the `define` keyword.
+    pub start_line: usize,
+    /// 1-based line of the `}` closing the body.
+    pub end_line: usize,
+}
+
 /// Parse a whole module from text.
 ///
 /// # Errors
 /// Returns [`ParseError`] on malformed input or unresolved references.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    parse_module_spanned(src).map(|(m, _)| m)
+}
+
+/// Parse a whole module, also reporting the source span of every `define`.
+///
+/// Spans cover function *definitions* only (declarations and globals are
+/// single-line and never need incremental reparse). Span order matches
+/// definition order, i.e. `FuncId` order restricted to defined functions.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed input or unresolved references.
+pub fn parse_module_spanned(src: &str) -> Result<(Module, Vec<FuncSpan>), ParseError> {
     let toks = lex(src)?;
     let mut lx = Lexer { toks, pos: 0 };
     lx.expect_ident("module")?;
@@ -393,6 +427,7 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
         Vec<(String, String)>,
     );
     let mut pending: Vec<PendingFn> = Vec::new();
+    let mut spans: Vec<FuncSpan> = Vec::new();
 
     loop {
         match lx.peek() {
@@ -439,6 +474,7 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
                 module.add_function(Function::new(fname, params, ret));
             }
             Some(Tok::Ident(w)) if w == "define" => {
+                let start_line = lx.line();
                 lx.next();
                 let ret = parse_type(&mut lx)?;
                 let fname = match lx.next() {
@@ -459,6 +495,12 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
                     fmeta.push((k, v));
                 }
                 let blocks = parse_blocks(&mut lx)?;
+                // `parse_blocks` consumed the closing '}' as its last token.
+                spans.push(FuncSpan {
+                    name: fname.clone(),
+                    start_line,
+                    end_line: lx.last_line(),
+                });
                 // Reserve the function slot now so FuncIds match definition
                 // order; the body is materialized later.
                 module.add_function(Function::new(fname.clone(), params.clone(), ret.clone()));
@@ -475,7 +517,48 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
             .expect("reserved function slot");
         *module.func_mut(fid) = f;
     }
-    Ok(module)
+    Ok((module, spans))
+}
+
+/// Parse one `define ... { ... }` snippet against an existing module's
+/// symbol table.
+///
+/// The incremental half of the IDE diff-parser: when an edit is confined to
+/// one function's [`FuncSpan`], only that snippet is re-lexed and re-parsed;
+/// symbols (`@globals`, called functions) resolve against `module`, so any
+/// reference valid in the full text is valid here. The returned function is
+/// *not* installed; the caller swaps it in via its editing API.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed input, unresolved references, or
+/// trailing tokens after the closing `}`.
+pub fn parse_function_text(module: &Module, src: &str) -> Result<Function, ParseError> {
+    let toks = lex(src)?;
+    let mut lx = Lexer { toks, pos: 0 };
+    lx.expect_ident("define")?;
+    let ret = parse_type(&mut lx)?;
+    let fname = match lx.next() {
+        Some(Tok::Sym(s)) => s,
+        other => return Err(lx.err(format!("expected @name, found {other:?}"))),
+    };
+    let params = parse_params(&mut lx)?;
+    lx.expect_punct('{')?;
+    let mut fmeta = Vec::new();
+    while let Some(Tok::Ident(w)) = lx.peek() {
+        if w != "fmeta" {
+            break;
+        }
+        lx.next();
+        let k = lx.string()?;
+        lx.expect_punct('=')?;
+        let v = lx.string()?;
+        fmeta.push((k, v));
+    }
+    let blocks = parse_blocks(&mut lx)?;
+    if let Some(t) = lx.peek() {
+        return Err(lx.err(format!("trailing input after function body: {t:?}")));
+    }
+    materialize_function(module, &fname, params, ret, blocks, fmeta)
 }
 
 fn parse_params(lx: &mut Lexer) -> Result<Vec<(String, Type)>, ParseError> {
@@ -1244,6 +1327,44 @@ entry:
         let err = parse_module(src).unwrap_err();
         assert!(err.message.contains("unknown opcode"));
         assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn spans_cover_each_define() {
+        let (m, spans) = parse_module_spanned(LOOP_SRC).expect("parses");
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.name, "sum");
+        let lines: Vec<&str> = LOOP_SRC.split('\n').collect();
+        assert!(lines[s.start_line - 1].starts_with("define i64 @sum"));
+        assert_eq!(lines[s.end_line - 1].trim(), "}");
+        assert!(s.start_line < s.end_line);
+        // Re-parsing exactly the spanned lines yields the same function.
+        let snippet = lines[s.start_line - 1..s.end_line].join("\n");
+        let f = parse_function_text(&m, &snippet).expect("snippet parses");
+        let fid = m.func_id_by_name("sum").unwrap();
+        assert_eq!(
+            f.content_fingerprint(),
+            m.func(fid).content_fingerprint(),
+            "snippet reparse is content-identical"
+        );
+    }
+
+    #[test]
+    fn function_text_resolves_module_symbols_and_rejects_trailing() {
+        let m = parse_module(LOOP_SRC).unwrap();
+        // References @counter (a module global) from a fresh snippet.
+        let f = parse_function_text(
+            &m,
+            "define i64 @peek() {\nentry:\n  %v = load i64, @counter\n  ret %v\n}",
+        )
+        .expect("resolves global");
+        assert_eq!(f.name, "peek");
+        let err = parse_function_text(&m, "define void @f() {\nentry:\n  ret void\n}\ngarbage")
+            .unwrap_err();
+        assert!(err.message.contains("trailing input"));
+        let err = parse_function_text(&m, "define i64 @f() {\nentry:\n  ret %gone\n}").unwrap_err();
+        assert!(err.message.contains("unknown value"));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use crate::diag::{sort_findings, Finding};
 use noelle_core::noelle::Noelle;
+use noelle_ir::module::FuncId;
+use std::collections::BTreeSet;
 
 /// A single lint pass. Passes pull whatever abstractions they need (PDG, DFE,
 /// loop forest, ...) from the shared `Noelle` manager so repeated checks reuse
@@ -16,6 +18,26 @@ pub trait LintPass {
     /// One-line human description.
     fn description(&self) -> &'static str;
     fn run(&self, n: &mut Noelle) -> Vec<Finding>;
+
+    /// True when every finding of this pass is anchored in the function it
+    /// was derived from, and re-running over a function subset yields
+    /// exactly the full run's findings for that subset. Function-local
+    /// passes can be re-run incrementally over an edit's damage set; the
+    /// rest must run whole-module.
+    fn function_local(&self) -> bool {
+        false
+    }
+
+    /// Run the pass restricted to `funcs`. For a [function-local] pass this
+    /// returns exactly the full run's findings whose location lies in
+    /// `funcs`; the default falls back to a full run (sound for passes with
+    /// cross-function findings).
+    ///
+    /// [function-local]: LintPass::function_local
+    fn run_scoped(&self, n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> Vec<Finding> {
+        let _ = funcs;
+        self.run(n)
+    }
 }
 
 /// All registered passes, in the order they run under `--check all`.
@@ -56,4 +78,39 @@ pub fn run_checks(n: &mut Noelle, check: &str) -> Result<Vec<Finding>, String> {
     }
     sort_findings(&mut findings);
     Ok(findings)
+}
+
+/// Run every function-local pass restricted to `funcs`, in canonical order.
+///
+/// The incremental half of the IDE's re-lint split: after an edit, only the
+/// damage set's function-local findings are re-derived; untouched functions
+/// keep their cached findings. Together with [`run_global_checks`] this
+/// reproduces `run_checks(n, "all")` exactly — the two partitions are
+/// disjoint by [`LintPass::function_local`] and each is stable under
+/// partial re-runs.
+pub fn run_local_checks(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pass in passes() {
+        if pass.function_local() {
+            findings.extend(pass.run_scoped(n, funcs));
+        }
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Run every whole-module pass (races, env-slots), in canonical order.
+///
+/// These passes derive findings from cross-function structure (task
+/// dispatch groups), so they re-run in full after every edit; modules with
+/// no dispatch sites exit in O(functions) before touching any instruction.
+pub fn run_global_checks(n: &mut Noelle) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pass in passes() {
+        if !pass.function_local() {
+            findings.extend(pass.run(n));
+        }
+    }
+    sort_findings(&mut findings);
+    findings
 }

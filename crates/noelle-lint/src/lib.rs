@@ -23,5 +23,7 @@ pub mod passes;
 pub mod races;
 
 pub use diag::{has_errors, render_json, render_text, sort_findings, Finding, IrLoc, Severity};
-pub use framework::{check_usage, passes, run_checks, LintPass};
+pub use framework::{
+    check_usage, passes, run_checks, run_global_checks, run_local_checks, LintPass,
+};
 pub use races::detect_races;

@@ -65,8 +65,22 @@ impl LintPass for DeadStores {
     }
     fn run(&self, n: &mut Noelle) -> Vec<Finding> {
         let fids: Vec<FuncId> = n.module().func_ids().collect();
+        run_dead_stores(n, &fids)
+    }
+    fn function_local(&self) -> bool {
+        true
+    }
+    fn run_scoped(&self, n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> Vec<Finding> {
+        let fids: Vec<FuncId> = funcs.iter().copied().collect();
+        run_dead_stores(n, &fids)
+    }
+}
+
+/// The liveness walk behind [`DeadStores`], over an explicit function list.
+fn run_dead_stores(n: &mut Noelle, fids: &[FuncId]) -> Vec<Finding> {
+    {
         let mut findings = Vec::new();
-        for fid in fids {
+        for &fid in fids {
             // Gather the tracked allocas and the block gen/kill sets under an
             // immutable borrow, then hand the owned problem to the DFE.
             let (tracked, prob) = {
@@ -250,8 +264,25 @@ impl LintPass for HoistableCalls {
     }
     fn run(&self, n: &mut Noelle) -> Vec<Finding> {
         let fids: Vec<FuncId> = n.module().func_ids().collect();
+        run_hoistable_calls(n, &fids)
+    }
+    fn function_local(&self) -> bool {
+        true
+    }
+    fn run_scoped(&self, n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> Vec<Finding> {
+        let fids: Vec<FuncId> = funcs.iter().copied().collect();
+        run_hoistable_calls(n, &fids)
+    }
+}
+
+/// The loop walk behind [`HoistableCalls`], over an explicit function list.
+/// Findings anchor in the caller; callee purity comes from whole-module
+/// mod/ref summaries, so a summary change damages its direct callers (which
+/// the manager's edit damage rule already includes).
+fn run_hoistable_calls(n: &mut Noelle, fids: &[FuncId]) -> Vec<Finding> {
+    {
         let mut loops_by_fn = BTreeMap::new();
-        for fid in fids {
+        for &fid in fids {
             if n.module().func(fid).is_declaration() {
                 continue;
             }
@@ -338,9 +369,25 @@ impl LintPass for Hygiene {
         "IR hygiene: unreachable blocks and dead pure instructions"
     }
     fn run(&self, n: &mut Noelle) -> Vec<Finding> {
+        let fids: Vec<FuncId> = n.module().func_ids().collect();
+        run_hygiene(n, &fids)
+    }
+    fn function_local(&self) -> bool {
+        true
+    }
+    fn run_scoped(&self, n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> Vec<Finding> {
+        let fids: Vec<FuncId> = funcs.iter().copied().collect();
+        run_hygiene(n, &fids)
+    }
+}
+
+/// The reachability/use walk behind [`Hygiene`], over an explicit function
+/// list.
+fn run_hygiene(n: &mut Noelle, fids: &[FuncId]) -> Vec<Finding> {
+    {
         let m = n.module();
         let mut findings = Vec::new();
-        for fid in m.func_ids() {
+        for &fid in fids {
             let f = m.func(fid);
             if f.is_declaration() {
                 continue;

@@ -81,6 +81,13 @@ pub(crate) struct TaskGroup {
 
 /// Find every dispatch site in the module.
 pub(crate) fn task_groups(m: &Module) -> Vec<TaskGroup> {
+    // No dispatch intrinsic declared -> no dispatch site can exist. The
+    // O(functions) name probe keeps whole-module passes (races, env-slots)
+    // effectively free on modules without tasks — the common case for the
+    // IDE's per-keystroke re-lint.
+    if m.func_id_by_name(DISPATCH_INTRINSIC).is_none() {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     for fid in m.func_ids() {
         let f = m.func(fid);

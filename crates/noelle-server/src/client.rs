@@ -66,6 +66,55 @@ impl Client {
         })
     }
 
+    /// Write one request frame without reading the reply: the pipelined
+    /// half of [`Client::request`]. The daemon answers pipelined requests
+    /// strictly in send order, so `N` `send`s followed by `N`
+    /// [`Client::recv`]s pair up by position (the ids — returned here —
+    /// confirm it). Keeping many requests in flight on one connection
+    /// overlaps their server-side work and amortizes the per-frame
+    /// round-trip.
+    ///
+    /// # Errors
+    /// Propagates IO/framing failures.
+    pub fn send(&mut self, method: &str, params: Json) -> io::Result<i64> {
+        self.next_id += 1;
+        let req = Request {
+            id: self.next_id,
+            method: method.to_string(),
+            params,
+            deadline_ms: None,
+            v: Some(PROTOCOL_VERSION),
+        };
+        write_frame(&mut self.stream, &req.to_json())?;
+        Ok(self.next_id)
+    }
+
+    /// Read the next reply frame as raw text (pairs with [`Client::send`]).
+    ///
+    /// # Errors
+    /// IO/framing failures and premature close surface as `io::Error`.
+    pub fn recv_text(&mut self) -> io::Result<String> {
+        read_frame_text(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )
+        })
+    }
+
+    /// Read the next reply frame as a value (pairs with [`Client::send`]).
+    ///
+    /// # Errors
+    /// Same as [`Client::recv_text`], plus JSON parse failures.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )
+        })
+    }
+
     /// Send a request and return the raw reply frame text, verifying only
     /// that it is an `ok` reply. No `Json` tree is built — the choice of a
     /// throughput-sensitive caller that doesn't need the payload, where

@@ -32,9 +32,11 @@ use crate::session::{Session, SessionTable};
 use noelle_core::json::Json;
 use noelle_core::noelle::{Abstraction, AliasTier, Noelle};
 use noelle_core::wire;
+use noelle_ide::{Change, DocCounters, DocSession};
 use noelle_ir::module::{FuncId, Module};
 use noelle_store::Store;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -115,6 +117,89 @@ impl Shard {
     }
 }
 
+/// The IDE document table and its counters. Documents are *not* sessions:
+/// they hold text (possibly unparseable) plus a last-good analysis, live
+/// outside the shard tables, and their methods run inline on the
+/// connection thread — an edit's damage-scoped repair is the latency
+/// budget, not a queue hop.
+#[derive(Default)]
+pub struct IdeState {
+    docs: Mutex<BTreeMap<String, DocSession>>,
+    auto_name: AtomicU64,
+    opens: AtomicU64,
+    closes: AtomicU64,
+    /// Diagnostics payloads pushed to clients (every `ide/open` and
+    /// `ide/change` reply carries one; `ide/diagnostics` pulls count too).
+    diag_pushes: AtomicU64,
+    // Counters of already-closed documents, folded in at close so the
+    // daemon-wide stats survive the documents they describe.
+    retired: Mutex<DocCounters>,
+}
+
+impl IdeState {
+    /// Open documents right now.
+    pub fn open_docs(&self) -> usize {
+        self.docs.lock().expect("ide doc table lock").len()
+    }
+
+    /// Diagnostics payloads pushed so far.
+    pub fn diag_pushes(&self) -> u64 {
+        self.diag_pushes.load(Ordering::Relaxed)
+    }
+
+    /// Daemon-wide document counters: live documents plus everything
+    /// already closed.
+    fn totals(&self) -> DocCounters {
+        let mut t = *self.retired.lock().expect("ide retired lock");
+        for d in self.docs.lock().expect("ide doc table lock").values() {
+            let c = d.counters();
+            t.changes += c.changes;
+            t.incremental_reparses += c.incremental_reparses;
+            t.full_reparses += c.full_reparses;
+            t.parse_failures += c.parse_failures;
+            t.relinted_functions += c.relinted_functions;
+        }
+        t
+    }
+
+    /// The `"ide"` section of `stats`/`metrics`.
+    pub fn stats_json(&self) -> Json {
+        let t = self.totals();
+        Json::object([
+            ("open_docs".to_string(), Json::Int(self.open_docs() as i64)),
+            (
+                "opens".to_string(),
+                Json::Int(self.opens.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "closes".to_string(),
+                Json::Int(self.closes.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "diag_pushes".to_string(),
+                Json::Int(self.diag_pushes() as i64),
+            ),
+            ("changes".to_string(), Json::Int(t.changes as i64)),
+            (
+                "incremental_reparses".to_string(),
+                Json::Int(t.incremental_reparses as i64),
+            ),
+            (
+                "full_reparses".to_string(),
+                Json::Int(t.full_reparses as i64),
+            ),
+            (
+                "parse_failures".to_string(),
+                Json::Int(t.parse_failures as i64),
+            ),
+            (
+                "relinted_functions".to_string(),
+                Json::Int(t.relinted_functions as i64),
+            ),
+        ])
+    }
+}
+
 /// Shared daemon state.
 pub struct ServerState {
     cfg: ServerConfig,
@@ -123,6 +208,8 @@ pub struct ServerState {
     pub metrics: Metrics,
     /// The durable artifact store, when configured.
     pub store: Option<Arc<Store>>,
+    /// IDE document sessions (`ide/*` methods).
+    pub ide: IdeState,
     tool_runner: Option<ToolRunner>,
     shutdown: AtomicBool,
     auto_name: AtomicU64,
@@ -155,6 +242,7 @@ impl ServerState {
             shards,
             metrics: Metrics::new(),
             store,
+            ide: IdeState::default(),
             tool_runner,
             shutdown: AtomicBool::new(false),
             auto_name: AtomicU64::new(0),
@@ -285,6 +373,20 @@ impl Server {
             worker_handles,
             conn_handles,
         })
+    }
+
+    /// Build the daemon state without binding a socket or spawning
+    /// threads: an in-process daemon for embedders (the latency benches,
+    /// the `noelle-ide` tool's default mode) that drive it synchronously
+    /// through [`run_request_text`]. The shard queues exist but have no
+    /// workers; only the inline paths are meaningful.
+    ///
+    /// # Errors
+    /// Propagates store-open failures.
+    pub fn embedded(self) -> io::Result<Arc<ServerState>> {
+        let store = open_store(&self.cfg)?;
+        let (state, _receivers) = ServerState::new(self.cfg, self.tool_runner, store);
+        Ok(Arc::new(state))
     }
 
     /// Serve one connection over stdin/stdout using newline-delimited JSON
@@ -462,45 +564,131 @@ fn with_session(req: &Request, name: &str) -> Request {
 fn routed_shard(state: &ServerState, req: &Request) -> Option<usize> {
     match req.method.as_str() {
         "ping" | "stats" | "metrics" | "shutdown" => None,
+        // IDE methods run inline: a document's damage-scoped repair is the
+        // fast path by construction, and serializing it behind a shard's
+        // analysis builds would forfeit exactly the latency the diff-parser
+        // buys.
+        m if m.starts_with("ide/") => None,
         _ => param_str(req, "session").map(|name| state.shard_index(name)),
     }
 }
 
-fn connection_loop(mut stream: TcpStream, state: &Arc<ServerState>) {
+/// Most replies a connection may owe before its reader stops pulling new
+/// frames (backpressure on abusive pipelining; also bounds the reply
+/// buffer a slow-reading client can pin).
+const PIPELINE_DEPTH: usize = 128;
+
+/// One reply owed to a connection, in request order.
+enum PendingReply {
+    /// Already serialized: inline methods, warm cache hits, shed or
+    /// malformed requests.
+    Ready(String),
+    /// Owed by a shard worker; resolved under the request's deadline when
+    /// its turn to be written comes.
+    Waiting {
+        rx: Receiver<String>,
+        deadline: Instant,
+        budget: Duration,
+        id: i64,
+        method: String,
+    },
+}
+
+/// A connection is a reader/writer thread pair speaking a **pipelined**
+/// protocol: the client may write any number of frames before reading, and
+/// replies come back strictly in request order. The reader admits each
+/// frame as it arrives (inline methods run immediately, shard work is
+/// enqueued without waiting), so N pipelined analysis requests overlap on
+/// the workers instead of serializing on the connection; the writer
+/// resolves the FIFO of pending replies, applying each request's deadline
+/// where the old sequential loop did. The bounded hand-off channel is the
+/// pipelining depth.
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     // Reads go through a buffer (one syscall pulls a whole frame, header
-    // included); writes stay on the raw socket.
+    // included); writes stay on the raw socket, owned by the writer.
     let mut reader = match stream.try_clone() {
         Ok(s) => io::BufReader::new(s),
         Err(_) => return,
     };
+    let (tx, rx) = sync_channel::<PendingReply>(PIPELINE_DEPTH);
+    let writer_state = Arc::clone(state);
+    let writer = std::thread::Builder::new()
+        .name("noelle-conn-writer".to_string())
+        .spawn(move || reply_writer(stream, &writer_state, &rx))
+        .expect("spawn connection writer");
     while !state.is_shutting_down() {
         let Some(frame) = read_frame_polling(&mut reader, state) else {
-            return;
+            break;
         };
-        let req = match Request::from_json(&frame) {
-            Ok(r) => r,
+        let pending = match Request::from_json(&frame) {
             Err(e) => {
-                let reply = response_err(0, ErrorCode::BadRequest, &e).to_string_compact();
-                let _ = write_frame_text(&mut stream, &reply);
-                continue;
+                PendingReply::Ready(response_err(0, ErrorCode::BadRequest, &e).to_string_compact())
+            }
+            Ok(req) => {
+                let req = if req.method == "load" && param_str(&req, "session").is_none() {
+                    with_session(&req, &state.generate_name())
+                } else {
+                    req
+                };
+                match routed_shard(state, &req) {
+                    // Control-plane methods (and fast-failing session-less
+                    // requests) never queue behind analysis work.
+                    None => PendingReply::Ready(run_request_text(state, &req)),
+                    Some(shard_idx) => match fast_reply(state, shard_idx, &req) {
+                        Some(r) => PendingReply::Ready(r),
+                        None => submit(state, shard_idx, &req),
+                    },
+                }
             }
         };
-        let req = if req.method == "load" && param_str(&req, "session").is_none() {
-            with_session(&req, &state.generate_name())
-        } else {
-            req
-        };
-        let reply = match routed_shard(state, &req) {
-            // Control-plane methods (and fast-failing session-less
-            // requests) never queue behind analysis work.
-            None => run_request_text(state, &req),
-            Some(shard_idx) => {
-                fast_reply(state, shard_idx, &req).unwrap_or_else(|| admit(state, shard_idx, &req))
+        // A failed send means the writer died on a broken socket.
+        if tx.send(pending).is_err() {
+            break;
+        }
+    }
+    drop(tx); // writer drains the owed replies, then exits
+    let _ = writer.join();
+}
+
+/// The writer half of a connection: resolve owed replies in FIFO order and
+/// frame them out. A request that misses its deadline gets a `timeout`
+/// error here (the still-running build finishes in the background and
+/// warms the cache), exactly as the sequential loop did.
+fn reply_writer(mut stream: TcpStream, state: &Arc<ServerState>, rx: &Receiver<PendingReply>) {
+    while let Ok(pending) = rx.recv() {
+        let reply = match pending {
+            PendingReply::Ready(r) => r,
+            PendingReply::Waiting {
+                rx,
+                deadline,
+                budget,
+                id,
+                method,
+            } => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(left) {
+                    Ok(r) => r,
+                    Err(RecvTimeoutError::Timeout) => {
+                        state.metrics.observe(&method, budget, Outcome::Timeout);
+                        response_err(
+                            id,
+                            ErrorCode::Timeout,
+                            &format!("deadline of {}ms exceeded", budget.as_millis()),
+                        )
+                        .to_string_compact()
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        response_err(id, ErrorCode::Shutdown, "daemon is shutting down")
+                            .to_string_compact()
+                    }
+                }
             }
         };
         if write_frame_text(&mut stream, &reply).is_err() {
+            // Dropping the receiver makes the reader's next send fail, so
+            // both halves wind down together.
             return;
         }
     }
@@ -525,11 +713,12 @@ fn fast_reply(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> Opti
     Some(response_ok_text(req.id, &text))
 }
 
-/// Enqueue `req` on shard `shard_idx` and wait for its reply under the
-/// request deadline. A full queue sheds immediately with `overloaded`.
-fn admit(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> String {
+/// Enqueue `req` on shard `shard_idx` without waiting for the reply (the
+/// writer resolves it in order under the deadline). A full queue sheds
+/// immediately with `overloaded`.
+fn submit(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> PendingReply {
     let shard = &state.shards[shard_idx];
-    let deadline = Duration::from_millis(req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms));
+    let budget = Duration::from_millis(req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms));
     let (reply_tx, reply_rx) = channel();
     let job = Job {
         req: req.clone(),
@@ -539,44 +728,37 @@ fn admit(state: &Arc<ServerState>, shard_idx: usize, req: &Request) -> String {
     // cannot underflow the gauge; undo on shed.
     shard.depth.fetch_add(1, Ordering::Relaxed);
     match shard.queue.try_send(job) {
-        Ok(()) => {}
+        Ok(()) => PendingReply::Waiting {
+            rx: reply_rx,
+            deadline: Instant::now() + budget,
+            budget,
+            id: req.id,
+            method: req.method.clone(),
+        },
         Err(TrySendError::Full(_)) => {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
             shard.shed.fetch_add(1, Ordering::Relaxed);
             state
                 .metrics
                 .observe(&req.method, Duration::ZERO, Outcome::Shed);
-            return response_err(
-                req.id,
-                ErrorCode::Overloaded,
-                &format!(
-                    "shard {shard_idx} queue is full ({} pending); retry after backoff",
-                    state.cfg.queue_capacity.max(1)
-                ),
+            PendingReply::Ready(
+                response_err(
+                    req.id,
+                    ErrorCode::Overloaded,
+                    &format!(
+                        "shard {shard_idx} queue is full ({} pending); retry after backoff",
+                        state.cfg.queue_capacity.max(1)
+                    ),
+                )
+                .to_string_compact(),
             )
-            .to_string_compact();
         }
         Err(TrySendError::Disconnected(_)) => {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
-            return response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down")
-                .to_string_compact();
-        }
-    }
-    match reply_rx.recv_timeout(deadline) {
-        Ok(r) => r,
-        Err(RecvTimeoutError::Timeout) => {
-            state
-                .metrics
-                .observe(&req.method, deadline, Outcome::Timeout);
-            response_err(
-                req.id,
-                ErrorCode::Timeout,
-                &format!("deadline of {}ms exceeded", deadline.as_millis()),
+            PendingReply::Ready(
+                response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down")
+                    .to_string_compact(),
             )
-            .to_string_compact()
-        }
-        Err(RecvTimeoutError::Disconnected) => {
-            response_err(req.id, ErrorCode::Shutdown, "daemon is shutting down").to_string_compact()
         }
     }
 }
@@ -643,6 +825,63 @@ fn load_module(path: &str) -> Result<Module, String> {
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     noelle_ir::parser::parse_module(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolve the *text* a document opens with: inline `text`, or a `path`
+/// (file, `workload:NAME`, `workload:scale:N`) printed to `.nir` source so
+/// the IDE session always edits real text.
+fn load_document_text(req: &Request) -> Result<String, String> {
+    if let Some(text) = param_str(req, "text") {
+        return Ok(text.to_string());
+    }
+    let path = param_str(req, "path").ok_or("need 'text' or 'path'")?;
+    if path.starts_with("workload:") {
+        return Ok(noelle_ir::printer::print_module(&load_module(path)?));
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The tier an IDE document analyzes under. Unlike `load`, the default is
+/// `basic`: the Full tier re-solves whole-module Andersen on edits, which
+/// is the wrong trade for keystroke-latency diagnostics.
+fn ide_tier(req: &Request) -> Result<AliasTier, (ErrorCode, String)> {
+    match param_str(req, "tier").unwrap_or("basic") {
+        "basic" => Ok(AliasTier::Basic),
+        "full" => Ok(AliasTier::Full),
+        other => Err(bad(format!("unknown tier '{other}'"))),
+    }
+}
+
+/// Decode the `ide/change` payload: full `text`, or a line-range splice
+/// `start_line`/`end_line`/`lines`.
+fn ide_change_of(req: &Request) -> Result<Change, (ErrorCode, String)> {
+    if let Some(text) = param_str(req, "text") {
+        return Ok(Change::Full(text.to_string()));
+    }
+    let start_line = req.params.get("start_line").and_then(Json::as_u64);
+    let end_line = req.params.get("end_line").and_then(Json::as_u64);
+    let (Some(start_line), Some(end_line)) = (start_line, end_line) else {
+        return Err(bad(
+            "need 'text' or a splice ('start_line', 'end_line', 'lines')",
+        ));
+    };
+    let lines = match req.params.get("lines") {
+        None => Vec::new(),
+        Some(Json::Array(xs)) => xs
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("'lines' must be an array of strings"))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(bad("'lines' must be an array of strings")),
+    };
+    Ok(Change::Splice {
+        start_line: start_line as usize,
+        end_line: end_line as usize,
+        lines,
+    })
 }
 
 fn session_of(state: &ServerState, req: &Request) -> Result<Arc<Session>, (ErrorCode, String)> {
@@ -911,6 +1150,112 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 noelle_lint::run_checks(&mut n, check).map_err(|e| (ErrorCode::BadRequest, e))?;
             Ok(Body::Value(noelle_lint::render_json(&findings)))
         }
+        "ide/open" => {
+            let tier = ide_tier(req)?;
+            let text = load_document_text(req).map_err(|e| (ErrorCode::Internal, e))?;
+            let name = match param_str(req, "doc") {
+                Some(d) => d.to_string(),
+                None => format!(
+                    "d{}",
+                    state.ide.auto_name.fetch_add(1, Ordering::Relaxed) + 1
+                ),
+            };
+            let doc = DocSession::open(name.clone(), &text, tier);
+            let functions = doc.noelle().map_or(0, |n| n.module().functions().len());
+            let diagnostics = doc.diagnostics_json();
+            state
+                .ide
+                .docs
+                .lock()
+                .expect("ide doc table lock")
+                .insert(name.clone(), doc);
+            state.ide.opens.fetch_add(1, Ordering::Relaxed);
+            state.ide.diag_pushes.fetch_add(1, Ordering::Relaxed);
+            Ok(Body::Value(Json::object([
+                ("doc".to_string(), Json::Str(name)),
+                ("version".to_string(), Json::Int(1)),
+                ("functions".to_string(), Json::Int(functions as i64)),
+                ("diagnostics".to_string(), diagnostics),
+            ])))
+        }
+        "ide/change" => {
+            let name = param_str(req, "doc").ok_or_else(|| bad("missing 'doc' param"))?;
+            let version = req
+                .params
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing integer 'version' param"))?;
+            let change = ide_change_of(req)?;
+            let mut docs = state.ide.docs.lock().expect("ide doc table lock");
+            let doc = docs
+                .get_mut(name)
+                .ok_or_else(|| (ErrorCode::NoSession, format!("no open document '{name}'")))?;
+            let outcome = doc.change(version, change).map_err(bad)?;
+            let diagnostics = doc.diagnostics_json();
+            drop(docs);
+            state.ide.diag_pushes.fetch_add(1, Ordering::Relaxed);
+            Ok(Body::Value(Json::object([
+                ("doc".to_string(), Json::Str(name.to_string())),
+                ("version".to_string(), Json::Int(outcome.version as i64)),
+                ("incremental".to_string(), Json::Bool(outcome.incremental)),
+                (
+                    "changed_functions".to_string(),
+                    Json::Array(
+                        outcome
+                            .changed_functions
+                            .iter()
+                            .map(|f| Json::Str(f.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("relinted".to_string(), Json::Int(outcome.relinted as i64)),
+                ("diagnostics".to_string(), diagnostics),
+            ])))
+        }
+        "ide/diagnostics" => {
+            let name = param_str(req, "doc").ok_or_else(|| bad("missing 'doc' param"))?;
+            let docs = state.ide.docs.lock().expect("ide doc table lock");
+            let doc = docs
+                .get(name)
+                .ok_or_else(|| (ErrorCode::NoSession, format!("no open document '{name}'")))?;
+            let diagnostics = doc.diagnostics_json();
+            drop(docs);
+            state.ide.diag_pushes.fetch_add(1, Ordering::Relaxed);
+            Ok(Body::Value(diagnostics))
+        }
+        "ide/close" => {
+            let name = param_str(req, "doc").ok_or_else(|| bad("missing 'doc' param"))?;
+            let doc = state
+                .ide
+                .docs
+                .lock()
+                .expect("ide doc table lock")
+                .remove(name)
+                .ok_or_else(|| (ErrorCode::NoSession, format!("no open document '{name}'")))?;
+            let c = doc.counters();
+            {
+                let mut retired = state.ide.retired.lock().expect("ide retired lock");
+                retired.changes += c.changes;
+                retired.incremental_reparses += c.incremental_reparses;
+                retired.full_reparses += c.full_reparses;
+                retired.parse_failures += c.parse_failures;
+                retired.relinted_functions += c.relinted_functions;
+            }
+            state.ide.closes.fetch_add(1, Ordering::Relaxed);
+            Ok(Body::Value(Json::object([
+                ("doc".to_string(), Json::Str(name.to_string())),
+                ("closed".to_string(), Json::Bool(true)),
+                ("changes".to_string(), Json::Int(c.changes as i64)),
+                (
+                    "incremental_reparses".to_string(),
+                    Json::Int(c.incremental_reparses as i64),
+                ),
+                (
+                    "full_reparses".to_string(),
+                    Json::Int(c.full_reparses as i64),
+                ),
+            ])))
+        }
         "stats" => Ok(Body::Value(Json::object([
             (
                 "uptime_ms".to_string(),
@@ -920,6 +1265,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             ("table".to_string(), table_json(state)),
             ("shards".to_string(), shards_json(state)),
             ("store".to_string(), store_json(state)),
+            ("ide".to_string(), state.ide.stats_json()),
         ]))),
         "metrics" => {
             let mut managers: Vec<(String, Json)> = Vec::new();
@@ -940,6 +1286,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 ("evictions".to_string(), Json::Int(state.evictions() as i64)),
                 ("shards".to_string(), shards_json(state)),
                 ("store".to_string(), store_json(state)),
+                ("ide".to_string(), state.ide.stats_json()),
             ])))
         }
         "shutdown" => {

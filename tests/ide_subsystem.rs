@@ -1,0 +1,201 @@
+//! Property tests for the `noelle-ide` diff-parser over the workload
+//! registry: random single-function text edits must (a) change exactly the
+//! functions whose content fingerprint changed, and (b) leave diagnostics
+//! byte-identical to a cold parse+lint of the final text. Parse errors must
+//! degrade to last-good diagnostics instead of dropping the session.
+
+use noelle::core::noelle::{AliasTier, Noelle};
+use noelle::ir::parser::parse_module;
+use noelle::ir::printer::print_module;
+use noelle::ir::Module;
+use noelle::workloads;
+use noelle_ide::{Change, DocSession};
+use noelle_lint::{render_json, run_checks};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic xorshift64* generator (same family as the workload
+/// registry's own).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The registry the property quantifies over: the 41-benchmark corpus plus
+/// the PDG stress workload — 42 programs.
+fn registry() -> Vec<workloads::Workload> {
+    let mut ws = workloads::all();
+    ws.push(workloads::pdg_stress());
+    ws
+}
+
+fn fingerprints(m: &Module) -> BTreeMap<String, u64> {
+    m.functions()
+        .iter()
+        .filter(|f| !f.is_declaration())
+        .map(|f| (f.name.clone(), f.content_fingerprint()))
+        .collect()
+}
+
+/// Names whose fingerprint in `after` differs from (or is missing in)
+/// `before`.
+fn diff(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> BTreeSet<String> {
+    after
+        .iter()
+        .filter(|(name, fp)| before.get(*name) != Some(fp))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// Cold reference: parse the final text from scratch and run every lint
+/// check, rendered to the same wire format the session serves.
+fn cold_report(text: &str) -> String {
+    let m = parse_module(text).expect("final text parses");
+    let mut n = Noelle::new(m, AliasTier::Basic);
+    render_json(&run_checks(&mut n, "all").expect("'all' is a known check")).to_string_compact()
+}
+
+fn session_report(s: &DocSession) -> String {
+    render_json(&s.findings()).to_string_compact()
+}
+
+#[test]
+fn random_single_function_edits_match_cold_lint() {
+    let ws = registry();
+    assert_eq!(ws.len(), 42, "the property quantifies over 42 workloads");
+    for (wi, w) in ws.iter().enumerate() {
+        let text = print_module(&w.build());
+        let mut s = DocSession::open(w.name, &text, AliasTier::Basic);
+        assert!(
+            s.syntax_error().is_none(),
+            "{}: printed module parses",
+            w.name
+        );
+        assert_eq!(
+            session_report(&s),
+            cold_report(&s.text()),
+            "{}: open",
+            w.name
+        );
+
+        let mut rng = Rng::new(0x1DE0 + wi as u64);
+        for step in 0..3u64 {
+            let before = fingerprints(s.noelle().expect("good state").module());
+            let spans: Vec<(String, usize)> = s
+                .spans()
+                .iter()
+                .map(|sp| (sp.name.clone(), sp.start_line))
+                .collect();
+            let (target, define_line) = spans[rng.below(spans.len())].clone();
+            // Three of four edits attach fresh function metadata (a
+            // semantic change to exactly one function); the fourth inserts
+            // a comment (a text change with no semantic effect).
+            let semantic = rng.below(4) != 0;
+            let inserted = if semantic {
+                format!("  fmeta \"prop.edit{step}\" = \"{}\"", rng.next())
+            } else {
+                format!("  ; sweep {step}")
+            };
+            let out = s
+                .change(
+                    s.version() + 1,
+                    Change::Splice {
+                        start_line: define_line + 1,
+                        end_line: define_line + 1,
+                        lines: vec![inserted],
+                    },
+                )
+                .expect("in-range splice");
+            assert!(
+                out.incremental,
+                "{}: single-function edit reparses a snippet",
+                w.name
+            );
+            assert!(out.syntax_error.is_none());
+
+            // (a) The functions the diff-parser actually updated in the
+            // live module == the functions whose fingerprint changed in a
+            // cold parse of the final text == the edited function (or
+            // nothing, for the comment edit).
+            let after = fingerprints(s.noelle().expect("still good").module());
+            let cold = parse_module(&s.text()).expect("final text parses");
+            let truth = diff(&before, &fingerprints(&cold));
+            assert_eq!(
+                diff(&before, &after),
+                truth,
+                "{}: diffed function set == fingerprint-diff set",
+                w.name
+            );
+            let expected: BTreeSet<String> = if semantic {
+                std::iter::once(target.clone()).collect()
+            } else {
+                BTreeSet::new()
+            };
+            assert_eq!(truth, expected, "{}: edit touched @{target} only", w.name);
+            let damage: BTreeSet<String> = out.changed_functions.iter().cloned().collect();
+            assert!(
+                truth.is_subset(&damage),
+                "{}: re-linted set covers every changed function",
+                w.name
+            );
+
+            // (b) Diagnostics are byte-identical to a cold parse+lint.
+            assert_eq!(
+                session_report(&s),
+                cold_report(&s.text()),
+                "{}: edit-then-diagnose == cold parse+lint",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parse_errors_degrade_to_last_good_diagnostics() {
+    for w in registry().iter().step_by(5) {
+        let text = print_module(&w.build());
+        let mut s = DocSession::open(w.name, &text, AliasTier::Basic);
+        let good = session_report(&s);
+
+        let define_line = s.spans()[0].start_line;
+        let out = s
+            .change(
+                2,
+                Change::Splice {
+                    start_line: define_line + 1,
+                    end_line: define_line + 1,
+                    lines: vec!["  utterly not nir".to_string()],
+                },
+            )
+            .expect("broken text is accepted, not rejected");
+        assert!(out.syntax_error.is_some(), "{}: syntax diagnostic", w.name);
+        assert!(s.syntax_error().is_some());
+        assert_eq!(
+            session_report(&s),
+            good,
+            "{}: last-good diagnostics survive a parse error",
+            w.name
+        );
+
+        // A full-text restore recovers the session in place.
+        let out = s.change(3, Change::Full(text)).expect("restore");
+        assert!(out.syntax_error.is_none(), "{}: recovered", w.name);
+        assert!(s.syntax_error().is_none());
+        assert_eq!(session_report(&s), good, "{}: diagnostics restored", w.name);
+    }
+}
