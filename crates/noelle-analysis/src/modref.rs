@@ -305,6 +305,21 @@ impl ModRefSummaries {
         }
     }
 
+    /// May the call instruction `id` of function `fid` perform I/O (or
+    /// other non-memory effects)? Distinguishes externally-visible effects
+    /// from plain memory writes: a write-only callee can be privatized,
+    /// an I/O callee cannot.
+    pub fn call_has_io(&self, m: &Module, fid: FuncId, id: InstId) -> bool {
+        match m.func(fid).inst(id) {
+            Inst::Call {
+                callee: Callee::Direct(cid),
+                ..
+            } => self.has_io(*cid),
+            Inst::Call { .. } => true,
+            _ => false,
+        }
+    }
+
     /// Does the call instruction have any effect that pins it in place
     /// (memory writes or I/O)?
     pub fn call_has_side_effects(&self, m: &Module, fid: FuncId, id: InstId) -> bool {

@@ -1,0 +1,85 @@
+//! Parallelism-auditor throughput: a cold full-module audit of the
+//! `workload:scale:1000` module (1000 functions, one loop each), written as
+//! JSON to `results/BENCH_audit.json`.
+//!
+//! The auditor's verdicts come from the transforms' own precheck gates, not
+//! from cloning the module and running each transform — that design choice
+//! is what this bench holds to account: a whole-module audit (every loop ×
+//! DOALL/HELIX/DSWP, with interprocedural blocker attribution) must fit in
+//! a sub-second budget, cold, including the Andersen solve it leans on.
+//! The warm number shows what an already-analyzed session (daemon, IDE)
+//! pays for a re-audit.
+
+use noelle_core::json::Json;
+use noelle_core::noelle::{AliasTier, Noelle};
+use std::time::Instant;
+
+const FUNCTIONS: usize = 1000;
+const WARM_RUNS: usize = 5;
+
+fn main() {
+    let m = noelle_workloads::scale_module(FUNCTIONS, 42);
+
+    // Cold: manager construction + every analysis the audit demands.
+    let t = Instant::now();
+    let mut n = Noelle::new(m, AliasTier::Full);
+    let audit = noelle_lint::run_audit(&mut n);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let loops = audit.loops.len();
+    let parallelizable = audit.parallelizable();
+    let blockers = audit.num_blockers();
+    // Kernels carry the loops; group callers and main are straight-line.
+    assert!(
+        loops >= FUNCTIONS / 2,
+        "the scale module audits a loop for most kernels, got {loops}"
+    );
+
+    // Warm: the analyses are cached; re-audit pays classification only.
+    let mut warm_ms = f64::MAX;
+    for _ in 0..WARM_RUNS {
+        let t = Instant::now();
+        let again = noelle_lint::run_audit(&mut n);
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            again.to_json().to_string_pretty(),
+            audit.to_json().to_string_pretty(),
+            "re-audit is deterministic"
+        );
+    }
+
+    // The NL01xx lowering rides the same budget.
+    let t = Instant::now();
+    let findings = noelle_lint::audit_findings(n.module(), &audit);
+    let findings_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("audit_scale".into())),
+        (
+            "workload".to_string(),
+            Json::Str(format!("workload:scale:{FUNCTIONS}")),
+        ),
+        ("loops".to_string(), Json::Int(loops as i64)),
+        (
+            "parallelizable".to_string(),
+            Json::Int(parallelizable as i64),
+        ),
+        ("blockers".to_string(), Json::Int(blockers as i64)),
+        ("findings".to_string(), Json::Int(findings.len() as i64)),
+        ("cold_audit_ms".to_string(), Json::Float(cold_ms)),
+        ("warm_audit_ms".to_string(), Json::Float(warm_ms)),
+        ("findings_ms".to_string(), Json::Float(findings_ms)),
+    ]);
+    let text = report.to_string_pretty();
+    println!("{text}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_audit.json", text + "\n").expect("write report");
+    eprintln!(
+        "cold audit {cold_ms:.0}ms, warm {warm_ms:.1}ms over {loops} loops -> results/BENCH_audit.json"
+    );
+
+    assert!(
+        cold_ms < 1000.0,
+        "full-module audit must stay sub-second, got {cold_ms:.0}ms"
+    );
+}

@@ -9,7 +9,10 @@
 //! changes that function's content fingerprint. Each `ide/change` reply
 //! carries the refreshed diagnostics, so the measured latency is the full
 //! keystroke loop: diff → snippet reparse → fingerprint gate →
-//! damage-scoped re-lint → serialized reply.
+//! damage-scoped re-lint → damage-closure re-audit → serialized reply.
+//! Audit hints ride every reply (the `audit` diagnostics section), so the
+//! sub-millisecond budget below is asserted *with* the parallelism auditor
+//! in the loop, not against a lint-only path.
 //!
 //! The baseline is what an editor without the incremental path would pay
 //! per keystroke: `ide/close` + `ide/open` (full parse, full lint) on the
@@ -24,6 +27,7 @@ use std::time::Instant;
 
 const FUNCTIONS: usize = 1000;
 const EDITS: usize = 200;
+const BODY_EDITS: usize = 20;
 const RELOADS: usize = 10;
 
 fn request(id: i64, method: &str, params: Vec<(String, Json)>) -> Request {
@@ -97,7 +101,7 @@ fn main() {
     // Insert the fmeta line once (unmeasured: this first change grows the
     // function by a line; the measured edits then replace it in place).
     let mut version = 2i64;
-    let splice = |id: i64, version: i64, start: usize, end: usize, value: &str| -> Request {
+    let splice_line = |id: i64, version: i64, start: usize, end: usize, line: &str| -> Request {
         request(
             id,
             "ide/change",
@@ -108,11 +112,18 @@ fn main() {
                 ("end_line".to_string(), Json::Int(end as i64)),
                 (
                     "lines".to_string(),
-                    Json::Array(vec![Json::Str(format!(
-                        "  fmeta \"bench.tick\" = \"{value}\""
-                    ))]),
+                    Json::Array(vec![Json::Str(line.to_string())]),
                 ),
             ],
+        )
+    };
+    let splice = |id: i64, version: i64, start: usize, end: usize, value: &str| -> Request {
+        splice_line(
+            id,
+            version,
+            start,
+            end,
+            &format!("  fmeta \"bench.tick\" = \"{value}\""),
         )
     };
     let reply = run_request_text(&state, &splice(2, version, edit_line, edit_line, "warm"));
@@ -143,10 +154,79 @@ fn main() {
             ok.get("relinted").and_then(Json::as_i64).unwrap_or(0) >= 1,
             "a fingerprint change re-lints its damage set"
         );
+        assert!(
+            ok.get("diagnostics").and_then(|d| d.get("audit")).is_some(),
+            "audit hints ride every keystroke reply"
+        );
     }
     lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let p50 = percentile(&lat_us, 0.50);
     let p95 = percentile(&lat_us, 0.95);
+
+    // A metadata-only edit provably cannot move an audit verdict (the
+    // auditor reads function bodies, never metadata), so the measured loop
+    // above must have skipped every re-audit — that skip is what keeps the
+    // keystroke sub-millisecond with the auditor riding the reply.
+    let stats = ok_of(&run_request_text(&state, &request(90_000, "stats", vec![])));
+    let reaudited_meta = stats
+        .get("ide")
+        .and_then(|i| i.get("reaudited_functions"))
+        .and_then(Json::as_i64)
+        .unwrap_or(-1);
+    assert_eq!(
+        reaudited_meta, 0,
+        "metadata-only edits skip the re-audit entirely"
+    );
+
+    // Body edits move fingerprints the auditor reads: each one re-audits
+    // the damage set plus its one-hop call closure — proportional to the
+    // edit, never the module. Splice a dead instruction right after the
+    // target function's `entry:` label, alternating constants.
+    let body_line = edit_line + 2; // define, fmeta, entry:, <here>
+    let mut body_us: Vec<f64> = Vec::with_capacity(BODY_EDITS);
+    for i in 0..BODY_EDITS {
+        version += 1;
+        let (start, end) = if i == 0 {
+            (body_line, body_line) // first splice inserts the line
+        } else {
+            (body_line, body_line + 1)
+        };
+        let c = if i % 2 == 0 { 1 } else { 2 };
+        let req = splice_line(
+            version,
+            version,
+            start,
+            end,
+            &format!("  %bt = add i64 i64 {c}, i64 {c}"),
+        );
+        let t = Instant::now();
+        let reply = run_request_text(&state, &req);
+        body_us.push(t.elapsed().as_secs_f64() * 1e6);
+        let ok = ok_of(&reply);
+        assert_eq!(ok.get("incremental"), Some(&Json::Bool(true)));
+        assert!(
+            ok.get("diagnostics").and_then(|d| d.get("audit")).is_some(),
+            "audit hints ride body-edit replies too"
+        );
+    }
+    body_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let body_p50 = percentile(&body_us, 0.50);
+    let body_p95 = percentile(&body_us, 0.95);
+    let stats = ok_of(&run_request_text(&state, &request(90_001, "stats", vec![])));
+    let reaudited_body = stats
+        .get("ide")
+        .and_then(|i| i.get("reaudited_functions"))
+        .and_then(Json::as_i64)
+        .unwrap_or(-1);
+    assert!(
+        reaudited_body >= BODY_EDITS as i64,
+        "every body edit re-audits at least its own function, got {reaudited_body}"
+    );
+    assert!(
+        reaudited_body <= (BODY_EDITS * 64) as i64,
+        "re-audit stays proportional to the edit's call closure, not the \
+         {FUNCTIONS}-function module, got {reaudited_body}"
+    );
 
     // Baseline: the same edit served by close + reopen + full re-lint.
     let mut reload_us: Vec<f64> = Vec::with_capacity(RELOADS);
@@ -180,6 +260,9 @@ fn main() {
         ("cold_open_us".to_string(), Json::Float(cold_open_us)),
         ("repair_p50_us".to_string(), Json::Float(p50)),
         ("repair_p95_us".to_string(), Json::Float(p95)),
+        ("body_repair_p50_us".to_string(), Json::Float(body_p50)),
+        ("body_repair_p95_us".to_string(), Json::Float(body_p95)),
+        ("reaudited_functions".to_string(), Json::Int(reaudited_body)),
         ("full_reload_us".to_string(), Json::Float(reload_med)),
         ("speedup_vs_full".to_string(), Json::Float(speedup)),
         ("ide".to_string(), ide_stats),
@@ -199,5 +282,10 @@ fn main() {
     assert!(
         speedup >= 10.0,
         "incremental repair must beat full reload by >=10x, got {speedup:.1}x"
+    );
+    assert!(
+        body_p95 * 2.0 < reload_med,
+        "a body edit (re-audit riding) must still beat the full reload by \
+         >=2x, got {body_p95:.0}us vs {reload_med:.0}us"
     );
 }

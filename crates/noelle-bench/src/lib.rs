@@ -220,6 +220,7 @@ fn measure_technique(w: &Workload, technique: &str, cores: usize, arch: &Archite
                         n_tasks: cores,
                         min_hotness,
                         max_sequential_fraction: 0.7,
+                        only: None,
                     },
                 )
                 .count(),
@@ -228,6 +229,7 @@ fn measure_technique(w: &Workload, technique: &str, cores: usize, arch: &Archite
                     &tools::dswp::DswpOptions {
                         n_stages: 2,
                         min_hotness,
+                        only: None,
                     },
                 )
                 .count(),

@@ -26,6 +26,7 @@
 //! | Architecture (AR) | [`architecture`] |
 
 pub mod architecture;
+pub mod audit;
 pub mod env;
 pub mod forest;
 pub mod induction;

@@ -62,6 +62,7 @@ pub enum Abstraction {
     Rd,
     Ar,
     Ls,
+    Audit,
 }
 
 impl Abstraction {
@@ -86,6 +87,7 @@ impl Abstraction {
             Abstraction::Rd => "RD",
             Abstraction::Ar => "AR",
             Abstraction::Ls => "LS",
+            Abstraction::Audit => "AUDIT",
         }
     }
 }
@@ -157,10 +159,11 @@ pub struct FuncCacheCounters {
 }
 
 /// Fingerprints of the inputs the cached points-to solution was computed
-/// from: one per function plus the globals. An edit whose touched functions
-/// all hash the same (e.g. a `touch` that turned out not to change the
-/// function) provably cannot move any points-to row, so commit skips the
-/// whole-module re-solve.
+/// from: one *body* fingerprint per function plus the globals. Bodies, not
+/// full content: alias analysis never reads metadata, so an edit whose
+/// touched functions all hash the same body (a `touch` that changed
+/// nothing, or a metadata-only annotation) provably cannot move any
+/// points-to row, and commit skips the whole-module re-solve.
 struct AndersenInputs {
     globals: u64,
     funcs: HashMap<FuncId, u64>,
@@ -536,7 +539,7 @@ impl Noelle {
         self.call_edges = Some(edges);
         // Under the full tier the PDG also consults the points-to solution.
         // The solution is a pure function of the function bodies and the
-        // globals, so if every touched function's content fingerprint (and
+        // globals, so if every touched function's body fingerprint (and
         // the globals') is unchanged, the cached solution is still exact and
         // the whole-module re-solve is skipped. Otherwise re-solve and
         // damage every function whose rows moved.
@@ -647,7 +650,7 @@ impl Noelle {
         let funcs = self
             .module
             .func_ids()
-            .map(|fid| (fid, self.module.func(fid).content_fingerprint()))
+            .map(|fid| (fid, self.module.func(fid).body_fingerprint()))
             .collect();
         self.andersen_inputs = Some(AndersenInputs {
             globals: self.module.globals_fingerprint(),
@@ -671,7 +674,7 @@ impl Noelle {
             inputs
                 .funcs
                 .get(fid)
-                .is_some_and(|&fp| self.module.func(*fid).content_fingerprint() == fp)
+                .is_some_and(|&fp| self.module.func(*fid).body_fingerprint() == fp)
         })
     }
 
@@ -1020,6 +1023,28 @@ impl Noelle {
         self.call_graph.as_ref()
     }
 
+    /// The Andersen points-to solution, building it on first use. The
+    /// auditor reads the raw rows to attribute failed alias queries to the
+    /// abstract objects behind them.
+    pub fn points_to(&mut self) -> &AndersenAlias {
+        self.ensure_andersen();
+        self.andersen.as_ref().expect("just ensured")
+    }
+
+    /// The points-to solution if it has already been built (no build is
+    /// triggered) — the `&self` companion of [`Noelle::points_to`], for
+    /// callers that need it alongside other shared borrows of the manager.
+    pub fn cached_points_to(&self) -> Option<&AndersenAlias> {
+        self.andersen.as_ref()
+    }
+
+    /// Whole-program mod/ref summaries, shared. The auditor classifies
+    /// side-effecting calls (privatizable write-only callee vs pinned I/O)
+    /// against these.
+    pub fn modref_summaries(&mut self) -> Arc<ModRefSummaries> {
+        self.ensure_modref()
+    }
+
     /// Profiles embedded in the module, or empty profiles when absent (PRO).
     pub fn profiles(&mut self) -> Profiles {
         self.note(Abstraction::Pro);
@@ -1229,14 +1254,21 @@ mod tests {
         n.edit(|tx| tx.touch(leaf));
         let _ = n.pdg();
         assert_eq!(n.func_cache_counters().andersen_reuses, 1);
-        // An edit that really changes the function must re-solve.
+        // Metadata is invisible to alias analysis: the gate hashes bodies,
+        // so a metadata-only edit also reuses the solution.
         n.edit(|tx| {
             tx.func_mut(leaf)
                 .metadata
                 .insert("note".into(), "edited".into());
         });
         let _ = n.pdg();
-        assert_eq!(n.func_cache_counters().andersen_reuses, 1);
+        assert_eq!(n.func_cache_counters().andersen_reuses, 2);
+        // An edit that really changes the body must re-solve.
+        n.edit(|tx| {
+            tx.func_mut(leaf).params.push(("extra".into(), Type::I64));
+        });
+        let _ = n.pdg();
+        assert_eq!(n.func_cache_counters().andersen_reuses, 2);
     }
 
     #[test]

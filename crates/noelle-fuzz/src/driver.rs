@@ -56,6 +56,10 @@ pub struct FuzzConfig {
     /// Round-trip analysis artifacts through the `noelle-store` byte
     /// codecs and require byte-identical re-encoding.
     pub check_store: bool,
+    /// Validate the parallelism auditor's per-loop verdicts by actually
+    /// running the transforms (clean ⇒ applies + differential oracle
+    /// passes; blocked ⇒ concrete attribution).
+    pub check_audit: bool,
     /// Directory of persisted repros to replay (and to write new ones).
     pub corpus_dir: Option<PathBuf>,
     /// Write failing seeds + minimized repros into `corpus_dir`.
@@ -78,6 +82,7 @@ impl Default for FuzzConfig {
             lint_races: false,
             check_incremental: true,
             check_store: true,
+            check_audit: false,
             corpus_dir: None,
             persist: false,
             gen: GenConfig::default(),
@@ -185,6 +190,7 @@ fn oracle_cfg(cfg: &FuzzConfig) -> OracleConfig {
         lint_races: cfg.lint_races,
         check_incremental: cfg.check_incremental,
         check_store: cfg.check_store,
+        check_audit: cfg.check_audit,
         max_steps: cfg.max_steps,
         ..OracleConfig::default()
     }

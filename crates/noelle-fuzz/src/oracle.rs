@@ -54,6 +54,12 @@ pub struct OracleConfig {
     /// module's analyses: encode, decode, re-encode must be byte-identical
     /// (the invariant a warm restart from `noelle-store` rests on).
     pub check_store: bool,
+    /// Validate the parallelism auditor's verdicts: every *clean* verdict
+    /// must survive actually running that transform on the audited loop
+    /// (transform applies + the differential oracle passes), and every
+    /// *blocked* verdict must name at least one concrete instruction-level
+    /// blocker carrying a resolution hint.
+    pub check_audit: bool,
     /// Interpreter step budget per run.
     pub max_steps: u64,
     /// Entry function name.
@@ -67,6 +73,7 @@ impl Default for OracleConfig {
             lint_races: false,
             check_incremental: true,
             check_store: true,
+            check_audit: false,
             max_steps: 20_000_000,
             entry: "main".into(),
         }
@@ -104,6 +111,11 @@ pub enum FailureKind {
     /// A durable-store artifact codec failed the encode/decode/re-encode
     /// byte-identity round trip (a `noelle-store` codec bug).
     StoreRoundTrip,
+    /// The parallelism auditor's verdict disagreed with reality: a clean
+    /// verdict whose transform refused or miscompiled the loop (a false
+    /// "clean" — the unforgivable direction), or a blocked verdict that
+    /// names no concrete blocker.
+    AuditMismatch,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -122,6 +134,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::RaceFinding => "race-finding",
             FailureKind::IncrementalMismatch => "incremental-mismatch",
             FailureKind::StoreRoundTrip => "store-round-trip",
+            FailureKind::AuditMismatch => "audit-mismatch",
         };
         f.write_str(s)
     }
@@ -279,6 +292,124 @@ fn store_round_trip_failures(m: &Module) -> Vec<Failure> {
     failures
 }
 
+/// Validate the parallelism auditor's verdicts against reality. For every
+/// loop × technique: a *clean* verdict must survive running that transform
+/// restricted to exactly the audited loop — the transform must report the
+/// loop parallelized, the result must verify, and the differential oracle
+/// (return value, output trace, globals digest) must match the baseline. A
+/// *blocked* verdict must name at least one instruction-level blocker, each
+/// carrying a resolution hint. Any disagreement is an `AuditMismatch`.
+fn audit_failures(m: &Module, base: &RunResult, run_cfg: &RunConfig, entry: &str) -> Vec<Failure> {
+    use noelle_core::audit::Technique;
+    use noelle_transforms::{doall, dswp, helix};
+    let fail = |technique: &str, what: String| Failure {
+        tool: Some(format!("audit:{technique}")),
+        kind: FailureKind::AuditMismatch,
+        detail: what,
+    };
+    let mut failures = Vec::new();
+    let mut n = Noelle::new(m.clone(), AliasTier::Full);
+    let audit = noelle_lint::run_audit(&mut n);
+    for la in &audit.loops {
+        let loop_name = format!("@{}:{}", la.function, la.header_name);
+        for v in &la.verdicts {
+            let tname = v.technique.as_str();
+            if !v.clean {
+                // Blocked ⇒ concrete attribution. (Hints are statically
+                // total on `Blocker`; the check documents the contract.)
+                if v.blockers.is_empty() {
+                    failures.push(fail(
+                        tname,
+                        format!("blocked verdict on {loop_name} names no blocker"),
+                    ));
+                }
+                continue;
+            }
+            // Clean ⇒ the transform must accept exactly this loop...
+            let only = Some((la.function.clone(), la.header));
+            let mut tn = Noelle::new(m.clone(), AliasTier::Full);
+            let report = match v.technique {
+                Technique::Doall => doall::run(
+                    &mut tn,
+                    &doall::DoallOptions {
+                        min_hotness: 0.0,
+                        only,
+                        ..doall::DoallOptions::default()
+                    },
+                ),
+                Technique::Helix => helix::run(
+                    &mut tn,
+                    &helix::HelixOptions {
+                        min_hotness: 0.0,
+                        only,
+                        ..helix::HelixOptions::default()
+                    },
+                ),
+                Technique::Dswp => dswp::run(
+                    &mut tn,
+                    &dswp::DswpOptions {
+                        min_hotness: 0.0,
+                        only,
+                        ..dswp::DswpOptions::default()
+                    },
+                ),
+            };
+            if !report
+                .parallelized
+                .iter()
+                .any(|(f, h)| *f == la.function && *h == la.header)
+            {
+                let why = report
+                    .skipped
+                    .iter()
+                    .find(|(f, h, _)| *f == la.function && *h == la.header)
+                    .map(|(_, _, r)| r.clone())
+                    .unwrap_or_else(|| "loop not attempted".to_string());
+                failures.push(fail(
+                    tname,
+                    format!("clean verdict on {loop_name}, but the transform refused: {why}"),
+                ));
+                continue;
+            }
+            // ...and the parallelized module must still behave.
+            let tm = tn.into_module();
+            if let Err(e) = verify_module(&tm) {
+                failures.push(fail(
+                    tname,
+                    format!("clean verdict on {loop_name}, transformed module rejects: {e:?}"),
+                ));
+                continue;
+            }
+            match run_caught(&tm, run_cfg, entry) {
+                Err(p) => failures.push(fail(
+                    tname,
+                    format!("clean verdict on {loop_name}, transformed run panicked: {p}"),
+                )),
+                Ok(Err(e)) => failures.push(fail(
+                    tname,
+                    format!("clean verdict on {loop_name}, transformed run errored: {e}"),
+                )),
+                Ok(Ok(after)) => {
+                    if ret_bits(base) != ret_bits(&after)
+                        || base.output != after.output
+                        || base.globals_digest != after.globals_digest
+                    {
+                        failures.push(fail(
+                            tname,
+                            format!(
+                                "clean verdict on {loop_name}, but behavior diverged \
+                                 (ret {:?} vs {:?})",
+                                base.ret, after.ret
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
 /// Run the full oracle over `m`: baseline, optional PDG-soundness pass, then
 /// one differential round per tool.
 pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outcome {
@@ -344,6 +475,9 @@ pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outco
         max_steps: cfg.max_steps,
         ..RunConfig::default()
     };
+    if cfg.check_audit {
+        failures.extend(audit_failures(m, &base, &run_cfg, &cfg.entry));
+    }
     for tool in tools {
         let mut n = Noelle::new(m.clone(), AliasTier::Full);
         match catch_unwind(AssertUnwindSafe(|| tool.run(&mut n))) {
@@ -664,6 +798,32 @@ entry:
                         .any(|f| f.kind == FailureKind::IncrementalMismatch)
                 ),
                 "seed {seed}: incremental mismatch: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_verdicts_survive_generated_modules() {
+        // No false "clean" verdicts: on generated modules, every clean
+        // verdict must hold up when the transform actually runs, and every
+        // blocked verdict must carry instruction-level attribution.
+        let cfg = OracleConfig {
+            check_audit: true,
+            check_store: false,
+            check_incremental: false,
+            ..OracleConfig::default()
+        };
+        for seed in 0..10 {
+            let m = generate(seed, &GenConfig::default());
+            let out = check_module(&m, &[], &cfg);
+            assert!(
+                !matches!(
+                    &out,
+                    Outcome::Fail { failures } if failures
+                        .iter()
+                        .any(|f| f.kind == FailureKind::AuditMismatch)
+                ),
+                "seed {seed}: audit mismatch: {out:?}"
             );
         }
     }

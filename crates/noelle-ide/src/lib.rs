@@ -41,7 +41,10 @@ use noelle_core::json::Json;
 use noelle_core::noelle::{AliasTier, Noelle};
 use noelle_ir::module::{FuncId, Module};
 use noelle_ir::parser::{parse_function_text, parse_module_spanned, FuncSpan, ParseError};
-use noelle_lint::{render_json, run_global_checks, run_local_checks, sort_findings, Finding};
+use noelle_lint::{
+    audit_findings, render_json, run_audit_scoped, run_global_checks, run_local_checks,
+    sort_findings, Finding,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One edit to a document, as carried by `ide/change`.
@@ -72,6 +75,10 @@ pub struct DocCounters {
     pub parse_failures: u64,
     /// Function-local re-lints performed (damage set sizes, summed).
     pub relinted_functions: u64,
+    /// Functions whose parallelism audit was re-derived (damage set sizes,
+    /// summed — equals `relinted_functions` since audit rides the same
+    /// damage path).
+    pub reaudited_functions: u64,
 }
 
 /// What one accepted change did.
@@ -100,6 +107,22 @@ struct GoodState {
     local: BTreeMap<String, Vec<Finding>>,
     /// Whole-module findings (races, env-slots), recomputed per edit.
     global: Vec<Finding>,
+    /// Parallelism-audit findings (NL01xx), bucketed by the loop-owning
+    /// function. Re-derived for exactly the damage set of an edit — the
+    /// incremental engine's damage already includes the interprocedural
+    /// dependents whose loop verdicts an edit can flip.
+    audit_local: BTreeMap<String, Vec<Finding>>,
+    /// Body fingerprints from the last audit. The audit reads nothing but
+    /// function bodies (loop structure, dependences, points-to rows,
+    /// callee summaries), so a damage set whose bodies all hash unchanged
+    /// — a metadata-only edit — provably cannot move any audit verdict,
+    /// and `relint` skips the re-audit outright.
+    body_fps: BTreeMap<FuncId, u64>,
+    /// The audit buckets the *last* relint re-derived (empty when the edit
+    /// was metadata-only). `ide/change` replies push exactly this delta —
+    /// serializing the whole module's hints on every keystroke would make
+    /// the reply O(module); pulls (`ide/diagnostics`) still get everything.
+    audit_fresh: BTreeMap<String, Vec<Finding>>,
 }
 
 impl GoodState {
@@ -110,23 +133,86 @@ impl GoodState {
         let all: BTreeSet<FuncId> = noelle.module().func_ids().collect();
         let local = bucket_local(&mut noelle, &all);
         let global = run_global_checks(&mut noelle);
+        let audit_local = bucket_audit(&mut noelle, &all);
+        let body_fps = all
+            .iter()
+            .map(|&fid| (fid, noelle.module().func(fid).body_fingerprint()))
+            .collect();
+        let audit_fresh = audit_local.clone();
         GoodState {
             noelle,
             spans,
             local,
             global,
+            audit_local,
+            body_fps,
+            audit_fresh,
         }
     }
 
     /// Re-derive the buckets of `damage` and the whole-module findings.
-    fn relint(&mut self, damage: &BTreeSet<FuncId>) {
+    /// Returns how many functions were re-audited.
+    fn relint(&mut self, damage: &BTreeSet<FuncId>) -> usize {
         let fresh = bucket_local(&mut self.noelle, damage);
         // A bucket keyed by a name no longer in the module (replaced
         // function sets keep their names here, but shape changes go through
         // `cold`) would leak; damage buckets overwrite by name.
         self.local.extend(fresh);
         self.global = run_global_checks(&mut self.noelle);
+        // The audit reads only function bodies; if every damaged body
+        // hashes unchanged (a metadata-only edit), no verdict can move and
+        // the cached hints stand as-is.
+        let mut body_changed = false;
+        for &fid in damage {
+            let fp = self.noelle.module().func(fid).body_fingerprint();
+            if self.body_fps.insert(fid, fp) != Some(fp) {
+                body_changed = true;
+            }
+        }
+        if !body_changed {
+            self.audit_fresh.clear();
+            return 0;
+        }
+        // Audit attribution reaches one call-graph hop beyond a function's
+        // body (call sites of its direct callers, store sites of its direct
+        // callees), so the audit re-derives the damage set plus that one-hop
+        // closure — still proportional to the edit, never the module.
+        let audit_damage = audit_closure(self.noelle.module(), damage);
+        let fresh_audit = bucket_audit(&mut self.noelle, &audit_damage);
+        self.audit_fresh = fresh_audit.clone();
+        self.audit_local.extend(fresh_audit);
+        audit_damage.len()
     }
+}
+
+/// `damage` plus its direct callees and direct callers: every function whose
+/// audit attribution an edit inside `damage` can move.
+fn audit_closure(m: &Module, damage: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+    use noelle_ir::inst::{Callee, Inst};
+    let mut out = damage.clone();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for &b in f.block_order() {
+            for &i in &f.block(b).insts {
+                if let Inst::Call {
+                    callee: Callee::Direct(cid),
+                    ..
+                } = f.inst(i)
+                {
+                    // Caller damaged: its callees' cross lists move.
+                    if damage.contains(&fid) {
+                        out.insert(*cid);
+                    }
+                    // Callee damaged: its callers' impure-call evidence
+                    // moves.
+                    if damage.contains(cid) {
+                        out.insert(fid);
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Run the function-local passes over `funcs` and bucket the findings by
@@ -142,6 +228,25 @@ fn bucket_local(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> BTreeMap<String, Ve
         buckets
             .get_mut(&f.loc.function)
             .expect("scoped finding anchors in its scope")
+            .push(f);
+    }
+    buckets
+}
+
+/// Run the parallelism auditor over `funcs` only and bucket the NL01xx
+/// findings by loop-owning function, with explicit empty buckets so a loop
+/// whose blockers were just resolved drops its stale hints.
+fn bucket_audit(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> BTreeMap<String, Vec<Finding>> {
+    let audit = run_audit_scoped(n, Some(funcs));
+    let findings = audit_findings(n.module(), &audit);
+    let mut buckets: BTreeMap<String, Vec<Finding>> = funcs
+        .iter()
+        .map(|&fid| (n.module().func(fid).name.clone(), Vec::new()))
+        .collect();
+    for f in findings {
+        buckets
+            .get_mut(&f.loc.function)
+            .expect("audit finding anchors in an audited function")
             .push(f);
     }
     buckets
@@ -258,8 +363,26 @@ impl DocSession {
         out
     }
 
-    /// The `ide/diagnostics` payload: version, syntax status, and the full
-    /// lint report of the last-good analysis.
+    /// The parallelism-audit findings (NL01xx hint-severity diagnostics) of
+    /// the last-good analysis, in canonical order. Kept separate from
+    /// [`DocSession::findings`] so the lint report stays byte-identical to a
+    /// cold `run_checks`.
+    pub fn audit_findings(&self) -> Vec<Finding> {
+        let Some(g) = &self.good else {
+            return Vec::new();
+        };
+        let mut out: Vec<Finding> = g
+            .audit_local
+            .values()
+            .flat_map(|b| b.iter().cloned())
+            .collect();
+        sort_findings(&mut out);
+        out
+    }
+
+    /// The `ide/diagnostics` payload: version, syntax status, the full lint
+    /// report of the last-good analysis, and the live parallelism-audit
+    /// hints.
     pub fn diagnostics_json(&self) -> Json {
         let syntax = match &self.syntax_error {
             None => Json::Null,
@@ -272,6 +395,36 @@ impl DocSession {
             ("version".to_string(), Json::Int(self.version as i64)),
             ("syntax".to_string(), syntax),
             ("report".to_string(), render_json(&self.findings())),
+            ("audit".to_string(), render_json(&self.audit_findings())),
+        ])
+    }
+
+    /// The push-style diagnostics carried by an `ide/change` reply: like
+    /// [`DocSession::diagnostics_json`], but the audit section holds only
+    /// the hints the *last* change re-derived (its audit closure; empty for
+    /// a metadata-only edit). The editor already holds everything older, so
+    /// pushing the whole module's hints per keystroke would make the reply
+    /// O(module); [`DocSession::diagnostics_json`] remains the full pull.
+    pub fn push_diagnostics_json(&self) -> Json {
+        let syntax = match &self.syntax_error {
+            None => Json::Null,
+            Some(e) => Json::object([
+                ("line".to_string(), Json::Int(e.line as i64)),
+                ("message".to_string(), Json::Str(e.message.clone())),
+            ]),
+        };
+        let mut fresh: Vec<Finding> = self.good.as_ref().map_or_else(Vec::new, |g| {
+            g.audit_fresh
+                .values()
+                .flat_map(|b| b.iter().cloned())
+                .collect()
+        });
+        sort_findings(&mut fresh);
+        Json::object([
+            ("version".to_string(), Json::Int(self.version as i64)),
+            ("syntax".to_string(), syntax),
+            ("report".to_string(), render_json(&self.findings())),
+            ("audit".to_string(), render_json(&fresh)),
         ])
     }
 
@@ -430,8 +583,9 @@ impl DocSession {
         let ((), damage) = g.noelle.edit_with_damage(|tx| {
             *tx.func_mut(fid) = f;
         });
-        g.relint(&damage);
+        let reaudited = g.relint(&damage);
         self.counters.relinted_functions += damage.len() as u64;
+        self.counters.reaudited_functions += reaudited as u64;
         let changed_functions = damage
             .iter()
             .map(|&d| g.noelle.module().func(d).name.clone())
@@ -495,8 +649,9 @@ impl DocSession {
                             std::mem::swap(tx.func_mut(fid), m.func_mut(fid));
                         }
                     });
-                    g.relint(&damage);
+                    let reaudited = g.relint(&damage);
                     self.counters.relinted_functions += damage.len() as u64;
+                    self.counters.reaudited_functions += reaudited as u64;
                     let changed_functions = damage
                         .iter()
                         .map(|&d| g.noelle.module().func(d).name.clone())
@@ -513,6 +668,7 @@ impl DocSession {
                     let relinted = m.functions().len();
                     self.good = Some(GoodState::cold(m, spans, self.tier));
                     self.counters.relinted_functions += relinted as u64;
+                    self.counters.reaudited_functions += relinted as u64;
                     ChangeOutcome {
                         version,
                         incremental: false,
@@ -724,6 +880,95 @@ entry:\n\
         let out = s.change(2, Change::Full(SRC.into())).expect("accepted");
         assert!(out.syntax_error.is_none());
         assert_matches_cold(&s);
+    }
+
+    const LOOP_SRC: &str = "module \"aud\" {\n\
+define i64 @kernel(i64* %a, i64 %n) {\n\
+entry:\n\
+  br header\n\
+header:\n\
+  %i = phi i64 [entry: i64 0] [body: %i2]\n\
+  %s = phi i64 [entry: i64 0] [body: %s2]\n\
+  %c = icmp slt i64 %i, %n\n\
+  condbr %c, body, exit\n\
+body:\n\
+  %p = gep i64, %a, %i\n\
+  %v = load i64, %p\n\
+  %s2 = add i64 %s, %v\n\
+  %i2 = add i64 %i, i64 1\n\
+  br header\n\
+exit:\n\
+  ret %s\n\
+}\n\
+define i64 @main() {\n\
+entry:\n\
+  %buf = alloca i64, i64 8\n\
+  %r = call i64 @kernel(%buf, i64 8)\n\
+  ret %r\n\
+}\n\
+}";
+
+    fn assert_audit_matches_cold(s: &DocSession) {
+        let m = parse_module(&s.text()).expect("final text parses");
+        let mut n = Noelle::new(m, s.tier());
+        let audit = noelle_lint::run_audit(&mut n);
+        let cold =
+            render_json(&noelle_lint::audit_findings(n.module(), &audit)).to_string_compact();
+        let live = render_json(&s.audit_findings()).to_string_compact();
+        assert_eq!(live, cold, "live audit == cold audit of current text");
+    }
+
+    #[test]
+    fn audit_hints_flow_incrementally() {
+        let mut s = DocSession::open("d", LOOP_SRC, AliasTier::Full);
+        assert!(s.syntax_error().is_none());
+        assert_audit_matches_cold(&s);
+        // Introduce a loop-carried memory recurrence through %a: the edit
+        // is confined to @kernel, and the audit hints must move with it.
+        let out = s
+            .change(
+                2,
+                Change::Splice {
+                    start_line: 13,
+                    end_line: 13,
+                    lines: vec!["  store i64 %s2, %p".into()],
+                },
+            )
+            .expect("valid change");
+        assert!(out.incremental, "confined edit takes the snippet path");
+        assert!(s.counters().reaudited_functions > 0);
+        assert_audit_matches_cold(&s);
+        let hints = s.audit_findings();
+        assert!(
+            hints.iter().any(|f| f.code.starts_with("NL01")),
+            "the recurrence surfaces as a live NL01xx hint: {hints:?}"
+        );
+        assert!(
+            hints
+                .iter()
+                .all(|f| f.severity == noelle_lint::Severity::Hint),
+            "audit diagnostics are hint-severity"
+        );
+        // Revert: the hint disappears again, still incrementally.
+        let out = s
+            .change(
+                3,
+                Change::Splice {
+                    start_line: 13,
+                    end_line: 14,
+                    lines: vec![],
+                },
+            )
+            .expect("valid change");
+        assert!(out.incremental);
+        assert_audit_matches_cold(&s);
+    }
+
+    #[test]
+    fn diagnostics_payload_carries_audit_section() {
+        let s = DocSession::open("d", LOOP_SRC, AliasTier::Full);
+        let doc = s.diagnostics_json().to_string_compact();
+        assert!(doc.contains("\"audit\""), "{doc}");
     }
 
     #[test]

@@ -415,6 +415,23 @@ impl Function {
         h.finish()
     }
 
+    /// Like [`Function::content_fingerprint`], but covering only what code
+    /// analyses can observe: name, signature, block structure and layout,
+    /// and every instruction — no metadata. A metadata-only edit leaves it
+    /// unchanged, so whole-program results that read nothing but bodies
+    /// (e.g. a points-to solution) may keep their cache across such edits.
+    pub fn body_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.params.hash(&mut h);
+        self.ret_ty.hash(&mut h);
+        self.layout.hash(&mut h);
+        self.blocks.hash(&mut h);
+        self.insts.hash(&mut h);
+        h.finish()
+    }
+
     /// The type of `v` in the context of this function and `module`.
     pub fn value_type(&self, module: &Module, v: Value) -> Type {
         match v {

@@ -110,11 +110,21 @@ impl Finding {
 }
 
 /// Sort findings into the canonical order and drop exact duplicates.
+///
+/// The comparator is a *total* order over every field: two findings equal in
+/// (key, message) but differing in severity or related locations must still
+/// land in a fixed relative order, or the final byte stream would depend on
+/// the arrival order — which, under parallel PDG partition repair, is
+/// whatever the thread pool produced first. Totality also makes `dedup`
+/// reliable: equal findings are always adjacent.
 pub fn sort_findings(findings: &mut Vec<Finding>) {
     findings.sort_by(|a, b| {
         a.key()
             .cmp(&b.key())
             .then_with(|| a.message.cmp(&b.message))
+            .then_with(|| a.severity.cmp(&b.severity))
+            .then_with(|| a.related.cmp(&b.related))
+            .then_with(|| a.loc.cmp(&b.loc))
     });
     findings.dedup();
 }
@@ -190,4 +200,71 @@ pub fn render_json(findings: &[Finding]) -> Json {
 /// True if any finding should make a checking tool exit nonzero.
 pub fn has_errors(findings: &[Finding]) -> bool {
     findings.iter().any(|f| f.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(inst: u32) -> IrLoc {
+        IrLoc {
+            function: "f".to_string(),
+            block_index: 1,
+            block: "body".to_string(),
+            inst,
+        }
+    }
+
+    /// Parallel PDG partition repair delivers findings in thread-completion
+    /// order; two findings that tie on (key, message) but differ in related
+    /// locations or severity must still render byte-identically regardless
+    /// of arrival order.
+    #[test]
+    fn sort_is_total_under_arrival_order() {
+        let a = Finding {
+            code: "NL0001",
+            severity: Severity::Warning,
+            loc: loc(4),
+            message: "unmediated access".to_string(),
+            related: vec![loc(9)],
+        };
+        let b = Finding {
+            code: "NL0001",
+            severity: Severity::Warning,
+            loc: loc(4),
+            message: "unmediated access".to_string(),
+            related: vec![loc(7)],
+        };
+        let c = Finding {
+            code: "NL0001",
+            severity: Severity::Error,
+            loc: loc(4),
+            message: "unmediated access".to_string(),
+            related: vec![],
+        };
+        let mut fwd = vec![a.clone(), b.clone(), c.clone()];
+        let mut rev = vec![c, b, a];
+        sort_findings(&mut fwd);
+        sort_findings(&mut rev);
+        assert_eq!(fwd, rev);
+        assert_eq!(
+            render_json(&fwd).to_string_pretty(),
+            render_json(&rev).to_string_pretty()
+        );
+        assert_eq!(render_text(&fwd), render_text(&rev));
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped() {
+        let a = Finding {
+            code: "NL0002",
+            severity: Severity::Hint,
+            loc: loc(2),
+            message: "dup".to_string(),
+            related: vec![],
+        };
+        let mut v = vec![a.clone(), a.clone(), a];
+        sort_findings(&mut v);
+        assert_eq!(v.len(), 1);
+    }
 }

@@ -158,6 +158,7 @@ impl IdeState {
             t.full_reparses += c.full_reparses;
             t.parse_failures += c.parse_failures;
             t.relinted_functions += c.relinted_functions;
+            t.reaudited_functions += c.reaudited_functions;
         }
         t
     }
@@ -196,6 +197,10 @@ impl IdeState {
                 "relinted_functions".to_string(),
                 Json::Int(t.relinted_functions as i64),
             ),
+            (
+                "reaudited_functions".to_string(),
+                Json::Int(t.reaudited_functions as i64),
+            ),
         ])
     }
 }
@@ -210,10 +215,59 @@ pub struct ServerState {
     pub store: Option<Arc<Store>>,
     /// IDE document sessions (`ide/*` methods).
     pub ide: IdeState,
+    /// Parallelism-auditor counters (`audit` method).
+    pub audit: AuditCounters,
     tool_runner: Option<ToolRunner>,
     shutdown: AtomicBool,
     auto_name: AtomicU64,
     started: Instant,
+}
+
+/// Daemon-wide counters for the parallelism auditor, surfaced under the
+/// `audit` key of both `stats` and `metrics`.
+#[derive(Default)]
+pub struct AuditCounters {
+    /// `audit` requests served.
+    pub runs: AtomicU64,
+    /// Loops audited across all runs.
+    pub loops: AtomicU64,
+    /// Loops with at least one clean technique verdict.
+    pub parallelizable: AtomicU64,
+    /// Blockers attributed across all runs.
+    pub blockers: AtomicU64,
+}
+
+impl AuditCounters {
+    fn record(&self, audit: &noelle_core::audit::ModuleAudit) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.loops
+            .fetch_add(audit.loops.len() as u64, Ordering::Relaxed);
+        self.parallelizable
+            .fetch_add(audit.parallelizable() as u64, Ordering::Relaxed);
+        self.blockers
+            .fetch_add(audit.num_blockers() as u64, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "runs".to_string(),
+                Json::Int(self.runs.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "loops".to_string(),
+                Json::Int(self.loops.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "parallelizable".to_string(),
+                Json::Int(self.parallelizable.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "blockers".to_string(),
+                Json::Int(self.blockers.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
 }
 
 impl ServerState {
@@ -243,6 +297,7 @@ impl ServerState {
             metrics: Metrics::new(),
             store,
             ide: IdeState::default(),
+            audit: AuditCounters::default(),
             tool_runner,
             shutdown: AtomicBool::new(false),
             auto_name: AtomicU64::new(0),
@@ -1150,6 +1205,21 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 noelle_lint::run_checks(&mut n, check).map_err(|e| (ErrorCode::BadRequest, e))?;
             Ok(Body::Value(noelle_lint::render_json(&findings)))
         }
+        "audit" => {
+            let s = session_of(state, req)?;
+            let mut n = s.noelle.lock().expect("session build lock");
+            n.reset_requests();
+            let audit = noelle_lint::run_audit(&mut n);
+            state.audit.record(&audit);
+            let findings = noelle_lint::audit_findings(n.module(), &audit);
+            Ok(Body::Value(Json::object([
+                ("audit".to_string(), audit.to_json()),
+                (
+                    "diagnostics".to_string(),
+                    noelle_lint::render_json(&findings),
+                ),
+            ])))
+        }
         "ide/open" => {
             let tier = ide_tier(req)?;
             let text = load_document_text(req).map_err(|e| (ErrorCode::Internal, e))?;
@@ -1191,7 +1261,9 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 .get_mut(name)
                 .ok_or_else(|| (ErrorCode::NoSession, format!("no open document '{name}'")))?;
             let outcome = doc.change(version, change).map_err(bad)?;
-            let diagnostics = doc.diagnostics_json();
+            // Push semantics: the reply carries only the audit hints this
+            // change re-derived; `ide/diagnostics` pulls the full set.
+            let diagnostics = doc.push_diagnostics_json();
             drop(docs);
             state.ide.diag_pushes.fetch_add(1, Ordering::Relaxed);
             Ok(Body::Value(Json::object([
@@ -1240,6 +1312,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 retired.full_reparses += c.full_reparses;
                 retired.parse_failures += c.parse_failures;
                 retired.relinted_functions += c.relinted_functions;
+                retired.reaudited_functions += c.reaudited_functions;
             }
             state.ide.closes.fetch_add(1, Ordering::Relaxed);
             Ok(Body::Value(Json::object([
@@ -1266,6 +1339,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             ("shards".to_string(), shards_json(state)),
             ("store".to_string(), store_json(state)),
             ("ide".to_string(), state.ide.stats_json()),
+            ("audit".to_string(), state.audit.to_json()),
         ]))),
         "metrics" => {
             let mut managers: Vec<(String, Json)> = Vec::new();
@@ -1287,6 +1361,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 ("shards".to_string(), shards_json(state)),
                 ("store".to_string(), store_json(state)),
                 ("ide".to_string(), state.ide.stats_json()),
+                ("audit".to_string(), state.audit.to_json()),
             ])))
         }
         "shutdown" => {

@@ -116,6 +116,7 @@ fn run_helix(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
                 n_tasks: o.cores,
                 min_hotness: 0.0,
                 max_sequential_fraction: 0.7,
+                only: None,
             },
         )
     ))
@@ -129,6 +130,7 @@ fn run_dswp(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
             &tools::dswp::DswpOptions {
                 n_stages: o.cores.clamp(2, 4),
                 min_hotness: 0.0,
+                only: None,
             },
         )
     ))

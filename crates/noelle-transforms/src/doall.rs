@@ -124,6 +124,69 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
     report
 }
 
+/// Decide, without mutating anything, whether DOALL would apply to this
+/// loop: the exact gate sequence of [`run`] + [`parallelize_with`] +
+/// [`distribute_cyclically`], evaluated structurally against the original
+/// loop (the task clone is isomorphic, so recurrence shapes transfer).
+/// The parallelism auditor issues its "clean" verdicts from this check and
+/// the fuzz oracle holds them against the real transform's outcome.
+pub fn precheck(
+    m: &Module,
+    fid: FuncId,
+    la: &noelle_core::loop_abs::LoopAbstraction,
+) -> Result<(), ParallelizeError> {
+    // run(): dependence gate.
+    if !la.is_doall() {
+        return Err(ParallelizeError::CarriedDependences);
+    }
+    // parallelize_with(): live-out gate.
+    if !crate::common::liveouts_supported(la) {
+        return Err(ParallelizeError::UnsupportedLiveOut);
+    }
+    let l = &la.structure;
+    // outline_loop_as_task() + emit_dispatcher(): single exit block.
+    if l.exit_blocks().len() != 1 {
+        return Err(ParallelizeError::Shape(
+            "loop has multiple exit blocks".into(),
+        ));
+    }
+    let f = m.func(fid);
+    // emit_dispatcher(): a pre-header must exist or be creatable.
+    if l.preheader.is_none()
+        && !f
+            .block_order()
+            .iter()
+            .any(|&b| !l.contains(b) && f.successors(b).contains(&l.header))
+    {
+        return Err(ParallelizeError::Shape(
+            "header has no out-of-loop predecessor".into(),
+        ));
+    }
+    // distribute_cyclically(): every affine recurrence must be steppable.
+    let recs = noelle_analysis::scev::affine_recurrences(f, l);
+    if recs.is_empty() {
+        return Err(ParallelizeError::NoGoverningIv);
+    }
+    for rec in &recs {
+        let phi_ok = matches!(f.inst(rec.phi), noelle_ir::inst::Inst::Phi { .. });
+        let update_ok = matches!(
+            f.inst(rec.update),
+            noelle_ir::inst::Inst::Bin {
+                op: noelle_ir::inst::BinOp::Add | noelle_ir::inst::BinOp::Sub,
+                lhs,
+                rhs,
+                ..
+            } if *lhs == Value::Inst(rec.phi) || *rhs == Value::Inst(rec.phi)
+        );
+        if !phi_ok || !update_ok {
+            return Err(ParallelizeError::Shape(
+                "induction update has unexpected shape".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Rewrite the task's governing IV for cyclic distribution: start at
 /// `start + task_id*step`, stride by `n_tasks*step` — pure IVS usage.
 pub fn distribute_cyclically(m: &mut Module, task: &TaskFunction) -> Result<(), ParallelizeError> {

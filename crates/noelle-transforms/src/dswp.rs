@@ -34,6 +34,9 @@ pub struct DswpOptions {
     pub n_stages: usize,
     /// Minimum profile hotness for a loop to be considered.
     pub min_hotness: f64,
+    /// Restrict the tool to a single loop, named by `(function, header)` —
+    /// same testing hook as DOALL's.
+    pub only: Option<(String, BlockId)>,
 }
 
 impl Default for DswpOptions {
@@ -41,6 +44,7 @@ impl Default for DswpOptions {
         DswpOptions {
             n_stages: 2,
             min_hotness: 0.05,
+            only: None,
         }
     }
 }
@@ -89,6 +93,11 @@ pub fn run(noelle: &mut Noelle, opts: &DswpOptions) -> ParallelReport {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
+        if let Some((only_f, only_h)) = &opts.only {
+            if *only_f != fname || *only_h != l.header {
+                continue;
+            }
+        }
         if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
             report.skipped.push((fname, l.header, "cold loop".into()));
             continue;
@@ -115,13 +124,16 @@ struct StagePlan {
     n_stages: usize,
 }
 
-/// Pipeline one loop.
-pub fn pipeline_loop(
-    m: &mut Module,
+/// The read-only gate phase of [`pipeline_loop`]: everything DSWP decides
+/// before mutating the module. Shared verbatim with [`precheck`] so the
+/// parallelism auditor's verdicts and the transform's behavior cannot
+/// drift apart.
+fn gate(
+    m: &Module,
     fid: FuncId,
     la: &LoopAbstraction,
     want_stages: usize,
-) -> Result<(), ParallelizeError> {
+) -> Result<(StagePlan, Vec<(InstId, usize)>), ParallelizeError> {
     let l = &la.structure;
     if la.ivs.governing().is_none() {
         return Err(ParallelizeError::NoGoverningIv);
@@ -215,6 +227,67 @@ pub fn pipeline_loop(
             ));
         }
     }
+    Ok((plan, value_queues))
+}
+
+/// Decide, without mutating anything, whether DSWP would apply to this
+/// loop: the shared [`gate`] phase plus structural mirrors of the failure
+/// points the transform only reaches mid-rewrite (outlining needs a single
+/// exit block, the token chain needs an unambiguous body block, the
+/// dispatcher needs a creatable pre-header).
+pub fn precheck(
+    m: &Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    want_stages: usize,
+) -> Result<(), ParallelizeError> {
+    gate(m, fid, la, want_stages)?;
+    let l = &la.structure;
+    let f = m.func(fid);
+    if l.exit_blocks().len() != 1 {
+        return Err(ParallelizeError::Shape(
+            "loop has multiple exit blocks".into(),
+        ));
+    }
+    // prune_stage(): the token pop lands in the header's unique in-loop
+    // successor (gate() already guarantees a single latch).
+    let latch = l.single_latch().expect("gate checked");
+    if l.header != latch {
+        let in_loop = f
+            .successors(l.header)
+            .into_iter()
+            .filter(|b| l.contains(*b))
+            .count();
+        if in_loop != 1 {
+            return Err(ParallelizeError::Shape(
+                "header with multiple in-loop successors".into(),
+            ));
+        }
+    }
+    // emit_dispatcher_with_queues(): pre-header must exist or be creatable.
+    if l.preheader.is_none()
+        && !f
+            .block_order()
+            .iter()
+            .any(|&b| !l.contains(b) && f.successors(b).contains(&l.header))
+    {
+        return Err(ParallelizeError::Shape(
+            "header has no out-of-loop predecessor".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Pipeline one loop.
+pub fn pipeline_loop(
+    m: &mut Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    want_stages: usize,
+) -> Result<(), ParallelizeError> {
+    let l = &la.structure;
+    let (plan, value_queues) = gate(m, fid, la, want_stages)?;
+    let n_stages = plan.n_stages;
     let n_token_queues = n_stages - 1;
     let n_queues = value_queues.len() + n_token_queues;
     let queue_index: HashMap<(InstId, usize), usize> = value_queues
@@ -803,6 +876,7 @@ done:
             &DswpOptions {
                 n_stages: 2,
                 min_hotness: 0.0,
+                only: None,
             },
         );
         assert!(
@@ -845,6 +919,7 @@ exit:
             &DswpOptions {
                 n_stages: 2,
                 min_hotness: 0.0,
+                only: None,
             },
         );
         assert_eq!(report.count(), 0, "{report:?}");

@@ -39,6 +39,9 @@ pub struct HelixOptions {
     /// Skip loops whose sequential segments cover more than this fraction of
     /// the loop body (they would serialize everything).
     pub max_sequential_fraction: f64,
+    /// Restrict the tool to a single loop, named by `(function, header)` —
+    /// same testing hook as DOALL's.
+    pub only: Option<(String, noelle_ir::module::BlockId)>,
 }
 
 impl Default for HelixOptions {
@@ -47,6 +50,7 @@ impl Default for HelixOptions {
             n_tasks: 4,
             min_hotness: 0.05,
             max_sequential_fraction: 0.7,
+            only: None,
         }
     }
 }
@@ -116,6 +120,56 @@ pub fn sequential_segments(
     Some(segments)
 }
 
+/// Decide, without mutating anything, whether HELIX would apply to this
+/// loop: the exact gate sequence of [`run`], then the shared DOALL
+/// mechanics gates (live-outs, outlining, IV stepping, dispatcher).
+/// `latency` is the architecture's cross-core signal latency, as fed to the
+/// profitability gate by [`run`].
+pub fn precheck(
+    m: &Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    latency: u64,
+    max_sequential_fraction: f64,
+) -> Result<(), ParallelizeError> {
+    if la.ivs.governing().is_none() {
+        return Err(ParallelizeError::NoGoverningIv);
+    }
+    let Some(segments) = sequential_segments(m, fid, la) else {
+        return Err(ParallelizeError::Shape("unbracketably sequential".into()));
+    };
+    let seg_insts: usize = segments.iter().map(BTreeSet::len).sum();
+    let total = la.pdg.num_internal().max(1);
+    if seg_insts as f64 / total as f64 > max_sequential_fraction {
+        return Err(ParallelizeError::Shape("mostly sequential".into()));
+    }
+    if !segments.is_empty() {
+        let f = m.func(fid);
+        let body_cost: u64 = la
+            .pdg
+            .internal_nodes()
+            .map(|i| approx_cost(f.inst(i)))
+            .sum();
+        let seg_cost: u64 = segments
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&i| approx_cost(f.inst(i)))
+            .sum();
+        if body_cost < (seg_cost + latency) * 13 / 10 {
+            return Err(ParallelizeError::Shape(
+                "sequential segment dominates".into(),
+            ));
+        }
+    }
+    // Shared mechanics: live-outs, single exit, steppable IVs, pre-header.
+    // HELIX rides on the same outline + cyclic distribution + dispatcher as
+    // DOALL, minus the dependence gate (that is the point of the brackets).
+    match crate::doall::precheck(m, fid, la) {
+        Err(ParallelizeError::CarriedDependences) | Ok(()) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
 /// Apply HELIX to every eligible loop of the module.
 pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
     for a in [
@@ -162,6 +216,11 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
+        if let Some((only_f, only_h)) = &opts.only {
+            if *only_f != fname || *only_h != l.header {
+                continue;
+            }
+        }
         if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
             report.skipped.push((fname, l.header, "cold loop".into()));
             continue;
@@ -441,6 +500,7 @@ done:
                 n_tasks: 4,
                 min_hotness: 0.0,
                 max_sequential_fraction: 0.7,
+                only: None,
             },
         );
         assert!(
@@ -491,6 +551,7 @@ exit:
                 n_tasks: 4,
                 min_hotness: 0.0,
                 max_sequential_fraction: 0.3,
+                only: None,
             },
         );
         assert_eq!(report.count(), 0, "{report:?}");

@@ -56,6 +56,7 @@ fn main() {
                             n_tasks: cores,
                             min_hotness: 0.02,
                             max_sequential_fraction: 0.7,
+                            only: None,
                         },
                     )
                     .count(),
@@ -64,6 +65,7 @@ fn main() {
                         &tools::dswp::DswpOptions {
                             n_stages: 2,
                             min_hotness: 0.02,
+                            only: None,
                         },
                     )
                     .count(),

@@ -103,6 +103,7 @@ fn dswp_repairs_match_fresh_build() {
             &tools::dswp::DswpOptions {
                 n_stages: 2,
                 min_hotness: 0.0,
+                only: None,
             },
         );
     });
@@ -117,6 +118,7 @@ fn helix_repairs_match_fresh_build() {
                 n_tasks: 4,
                 min_hotness: 0.0,
                 max_sequential_fraction: 0.7,
+                only: None,
             },
         );
     });

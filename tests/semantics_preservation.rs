@@ -112,6 +112,7 @@ fn helix_preserves_semantics() {
                 n_tasks: 4,
                 min_hotness: 0.0,
                 max_sequential_fraction: 0.7,
+                only: None,
             },
         );
     });
@@ -125,6 +126,7 @@ fn dswp_preserves_semantics() {
             &tools::dswp::DswpOptions {
                 n_stages: 2,
                 min_hotness: 0.0,
+                only: None,
             },
         );
     });
