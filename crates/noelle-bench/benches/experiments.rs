@@ -100,9 +100,11 @@ fn bench_fig5_one_benchmark() {
             noelle_transforms::doall::run(
                 &mut noelle,
                 &noelle_transforms::doall::DoallOptions {
-                    n_tasks: 4,
-                    min_hotness: 0.02,
-                    only: None,
+                    target: noelle_transforms::common::LoopTargetOpts {
+                        min_hotness: 0.02,
+                        only: None,
+                        workers: 4,
+                    },
                 },
             );
             let m2 = noelle.into_module();

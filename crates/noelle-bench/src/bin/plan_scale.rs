@@ -1,0 +1,108 @@
+//! Parallelization-planner throughput and prediction quality, written as
+//! JSON to `results/BENCH_plan.json`.
+//!
+//! Two claims are held to account. **Scale**: a cold full-module plan of
+//! the `workload:scale:1000` module (audit + cost model over every loop ×
+//! DOALL/HELIX/DSWP) must fit in a small multiple of the audit budget,
+//! and re-planning must be byte-identical (the determinism the golden
+//! reports and `--check-plan` rest on). **Quality**: across the 42-workload
+//! suite, the cost model's predicted program speedups must rank-correlate
+//! (Spearman) with what the simulated machine actually measures after
+//! `apply_plan` — ordering workloads correctly is the planner's whole job.
+
+use noelle_core::json::Json;
+use noelle_core::noelle::{AliasTier, Noelle};
+use noelle_plan::{apply_plan, plan_module, spearman, PlanOptions};
+use noelle_runtime::{run_module, RunConfig};
+use std::time::Instant;
+
+const FUNCTIONS: usize = 1000;
+const WARM_RUNS: usize = 3;
+
+fn main() {
+    let m = noelle_workloads::scale_module(FUNCTIONS, 42);
+    let opts = PlanOptions::default();
+
+    // Cold: manager construction + audit + cost model over every loop.
+    let t = Instant::now();
+    let mut n = Noelle::new(m, AliasTier::Full);
+    let plan = plan_module(&mut n, &opts);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let loops = plan.loops.len();
+    let planned = plan.planned();
+    assert!(
+        loops >= FUNCTIONS / 2,
+        "the scale module plans a loop for most kernels, got {loops}"
+    );
+    let first = plan.to_json().to_string_pretty();
+
+    // Warm: analyses cached; re-planning pays classification + arithmetic,
+    // and must reproduce the report byte-for-byte.
+    let mut warm_ms = f64::MAX;
+    for _ in 0..WARM_RUNS {
+        let t = Instant::now();
+        let again = plan_module(&mut n, &opts);
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            again.to_json().to_string_pretty(),
+            first,
+            "re-plan is deterministic"
+        );
+    }
+
+    // Prediction quality over the whole workload suite: predicted program
+    // speedup vs the simulated machine's measured speedup after apply_plan.
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    for w in noelle_workloads::all()
+        .into_iter()
+        .chain(std::iter::once(noelle_workloads::pdg_stress()))
+    {
+        let m = w.build();
+        let seq = run_module(&m, "main", &[], &RunConfig::default()).expect("workload runs");
+        let mut n = Noelle::new(m, AliasTier::Full);
+        let plan = plan_module(&mut n, &opts);
+        apply_plan(&mut n, &plan);
+        let par = run_module(&n.into_module(), "main", &[], &RunConfig::default())
+            .expect("planned module runs");
+        assert_eq!(par.ret_i64(), seq.ret_i64(), "{}: semantics", w.name);
+        predicted.push(plan.predicted_program_speedup());
+        measured.push(seq.cycles as f64 / par.cycles as f64);
+    }
+    let rho = spearman(&predicted, &measured);
+
+    let report = Json::object([
+        ("bench".to_string(), Json::Str("plan_scale".into())),
+        (
+            "workload".to_string(),
+            Json::Str(format!("workload:scale:{FUNCTIONS}")),
+        ),
+        ("loops".to_string(), Json::Int(loops as i64)),
+        ("planned".to_string(), Json::Int(planned as i64)),
+        ("cold_plan_ms".to_string(), Json::Float(cold_ms)),
+        ("warm_plan_ms".to_string(), Json::Float(warm_ms)),
+        (
+            "suite_workloads".to_string(),
+            Json::Int(predicted.len() as i64),
+        ),
+        ("rank_correlation".to_string(), Json::Float(rho)),
+    ]);
+    let text = report.to_string_pretty();
+    println!("{text}");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_plan.json", text + "\n").expect("write report");
+    eprintln!(
+        "cold plan {cold_ms:.0}ms, warm {warm_ms:.1}ms over {loops} loops, \
+         rank correlation {rho:.3} -> results/BENCH_plan.json"
+    );
+
+    assert!(
+        cold_ms < 2000.0,
+        "full-module plan must stay under 2s, got {cold_ms:.0}ms"
+    );
+    assert!(
+        rho >= 0.7,
+        "prediction rank correlation must stay >= 0.7, got {rho:.3}"
+    );
+}

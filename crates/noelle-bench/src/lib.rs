@@ -208,28 +208,34 @@ fn measure_technique(w: &Workload, technique: &str, cores: usize, arch: &Archite
                 "doall" => tools::doall::run(
                     &mut noelle,
                     &tools::doall::DoallOptions {
-                        n_tasks: cores,
-                        min_hotness,
-                        only: None,
+                        target: tools::common::LoopTargetOpts {
+                            min_hotness,
+                            only: None,
+                            workers: cores,
+                        },
                     },
                 )
                 .count(),
                 "helix" => tools::helix::run(
                     &mut noelle,
                     &tools::helix::HelixOptions {
-                        n_tasks: cores,
-                        min_hotness,
+                        target: tools::common::LoopTargetOpts {
+                            min_hotness,
+                            only: None,
+                            workers: cores,
+                        },
                         max_sequential_fraction: 0.7,
-                        only: None,
                     },
                 )
                 .count(),
                 "dswp" => tools::dswp::run(
                     &mut noelle,
                     &tools::dswp::DswpOptions {
-                        n_stages: 2,
-                        min_hotness,
-                        only: None,
+                        target: tools::common::LoopTargetOpts {
+                            min_hotness,
+                            only: None,
+                            workers: 2,
+                        },
                     },
                 )
                 .count(),
@@ -680,9 +686,11 @@ pub fn ablation_alias_tier(cores: usize) -> (usize, usize) {
             let report = tools::doall::run(
                 &mut noelle,
                 &tools::doall::DoallOptions {
-                    n_tasks: cores,
-                    min_hotness: 0.0,
-                    only: None,
+                    target: tools::common::LoopTargetOpts {
+                        min_hotness: 0.0,
+                        only: None,
+                        workers: cores,
+                    },
                 },
             );
             *total += report.count();

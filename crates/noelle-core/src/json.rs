@@ -28,6 +28,27 @@ pub enum Json {
     Object(BTreeMap<String, Json>),
 }
 
+/// Version of the reply envelope shared by the CLI JSON outputs, the
+/// daemon's `lint`/`audit`/`plan` methods, and the IDE's diagnostic pushes.
+/// Bumped together with the daemon protocol when an envelope's shape moves.
+pub const ENVELOPE_VERSION: i64 = 2;
+
+/// Wrap a reply body in the unified envelope `{"v", "kind", ...fields}`.
+/// The body's fields are spliced in at top level, so consumers keep
+/// addressing `findings`, `audit`, or `plan` directly; `v` and `kind` let
+/// them dispatch without knowing which entry point produced the document.
+///
+/// # Panics
+/// `body` must be an object (every envelope payload is).
+pub fn envelope(kind: &str, body: Json) -> Json {
+    let Json::Object(mut fields) = body else {
+        panic!("envelope body must be a JSON object");
+    };
+    fields.insert("v".to_string(), Json::Int(ENVELOPE_VERSION));
+    fields.insert("kind".to_string(), Json::Str(kind.to_string()));
+    Json::Object(fields)
+}
+
 impl Json {
     /// Build an object from key/value pairs.
     pub fn object(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {

@@ -60,6 +60,9 @@ pub struct FuzzConfig {
     /// running the transforms (clean ⇒ applies + differential oracle
     /// passes; blocked ⇒ concrete attribution).
     pub check_audit: bool,
+    /// Validate the parallelization planner (byte-identical plans across
+    /// fresh managers; applied plans pass the differential oracle).
+    pub check_plan: bool,
     /// Directory of persisted repros to replay (and to write new ones).
     pub corpus_dir: Option<PathBuf>,
     /// Write failing seeds + minimized repros into `corpus_dir`.
@@ -83,6 +86,7 @@ impl Default for FuzzConfig {
             check_incremental: true,
             check_store: true,
             check_audit: false,
+            check_plan: false,
             corpus_dir: None,
             persist: false,
             gen: GenConfig::default(),
@@ -191,6 +195,7 @@ fn oracle_cfg(cfg: &FuzzConfig) -> OracleConfig {
         check_incremental: cfg.check_incremental,
         check_store: cfg.check_store,
         check_audit: cfg.check_audit,
+        check_plan: cfg.check_plan,
         max_steps: cfg.max_steps,
         ..OracleConfig::default()
     }

@@ -60,6 +60,11 @@ pub struct OracleConfig {
     /// *blocked* verdict must name at least one concrete instruction-level
     /// blocker carrying a resolution hint.
     pub check_audit: bool,
+    /// Validate the parallelization planner: planning the module twice from
+    /// fresh managers must produce byte-identical JSON (determinism — the
+    /// property the golden-report gate rests on), and applying the chosen
+    /// plan must preserve observable behavior under the differential oracle.
+    pub check_plan: bool,
     /// Interpreter step budget per run.
     pub max_steps: u64,
     /// Entry function name.
@@ -74,6 +79,7 @@ impl Default for OracleConfig {
             check_incremental: true,
             check_store: true,
             check_audit: false,
+            check_plan: false,
             max_steps: 20_000_000,
             entry: "main".into(),
         }
@@ -116,6 +122,10 @@ pub enum FailureKind {
     /// "clean" — the unforgivable direction), or a blocked verdict that
     /// names no concrete blocker.
     AuditMismatch,
+    /// The parallelization planner misbehaved: two fresh plans of the same
+    /// module differed (nondeterminism), or applying the chosen plan
+    /// changed observable behavior.
+    PlanMismatch,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -135,6 +145,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::IncrementalMismatch => "incremental-mismatch",
             FailureKind::StoreRoundTrip => "store-round-trip",
             FailureKind::AuditMismatch => "audit-mismatch",
+            FailureKind::PlanMismatch => "plan-mismatch",
         };
         f.write_str(s)
     }
@@ -301,6 +312,7 @@ fn store_round_trip_failures(m: &Module) -> Vec<Failure> {
 /// carrying a resolution hint. Any disagreement is an `AuditMismatch`.
 fn audit_failures(m: &Module, base: &RunResult, run_cfg: &RunConfig, entry: &str) -> Vec<Failure> {
     use noelle_core::audit::Technique;
+    use noelle_transforms::common::LoopTargetOpts;
     use noelle_transforms::{doall, dswp, helix};
     let fail = |technique: &str, what: String| Failure {
         tool: Some(format!("audit:{technique}")),
@@ -326,31 +338,21 @@ fn audit_failures(m: &Module, base: &RunResult, run_cfg: &RunConfig, entry: &str
                 continue;
             }
             // Clean ⇒ the transform must accept exactly this loop...
-            let only = Some((la.function.clone(), la.header));
+            let target = LoopTargetOpts::pinned(&la.function, la.header);
             let mut tn = Noelle::new(m.clone(), AliasTier::Full);
             let report = match v.technique {
-                Technique::Doall => doall::run(
-                    &mut tn,
-                    &doall::DoallOptions {
-                        min_hotness: 0.0,
-                        only,
-                        ..doall::DoallOptions::default()
-                    },
-                ),
+                Technique::Doall => doall::run(&mut tn, &doall::DoallOptions { target }),
                 Technique::Helix => helix::run(
                     &mut tn,
                     &helix::HelixOptions {
-                        min_hotness: 0.0,
-                        only,
+                        target,
                         ..helix::HelixOptions::default()
                     },
                 ),
                 Technique::Dswp => dswp::run(
                     &mut tn,
                     &dswp::DswpOptions {
-                        min_hotness: 0.0,
-                        only,
-                        ..dswp::DswpOptions::default()
+                        target: target.with_workers(2),
                     },
                 ),
             };
@@ -404,6 +406,62 @@ fn audit_failures(m: &Module, base: &RunResult, run_cfg: &RunConfig, entry: &str
                         ));
                     }
                 }
+            }
+        }
+    }
+    failures
+}
+
+/// Validate the parallelization planner over `m`. Two properties:
+///
+/// 1. **Determinism.** Planning the module twice from fresh managers must
+///    yield byte-identical JSON reports — the invariant the checked-in
+///    golden plans (and any cache keyed on plan content) rest on.
+/// 2. **Soundness of application.** Executing the chosen plan through
+///    `apply_plan` must produce a module that verifies, runs, and matches
+///    the baseline on return value, output trace, and globals digest.
+fn plan_failures(m: &Module, base: &RunResult, run_cfg: &RunConfig, entry: &str) -> Vec<Failure> {
+    use noelle_plan::{apply_plan, plan_module, PlanOptions};
+    let fail = |what: String| Failure {
+        tool: Some("plan".to_string()),
+        kind: FailureKind::PlanMismatch,
+        detail: what,
+    };
+    let mut failures = Vec::new();
+    let opts = PlanOptions::default();
+    let first = {
+        let mut n = Noelle::new(m.clone(), AliasTier::Full);
+        plan_module(&mut n, &opts).to_json().to_string_compact()
+    };
+    let mut n = Noelle::new(m.clone(), AliasTier::Full);
+    let plan = plan_module(&mut n, &opts);
+    let second = plan.to_json().to_string_compact();
+    if first != second {
+        failures.push(fail(format!(
+            "two fresh plans differ ({} vs {} bytes)",
+            first.len(),
+            second.len()
+        )));
+        return failures;
+    }
+    apply_plan(&mut n, &plan);
+    let tm = n.into_module();
+    if let Err(e) = verify_module(&tm) {
+        failures.push(fail(format!("planned module rejects: {e:?}")));
+        return failures;
+    }
+    match run_caught(&tm, run_cfg, entry) {
+        Err(p) => failures.push(fail(format!("planned run panicked: {p}"))),
+        Ok(Err(e)) => failures.push(fail(format!("planned run errored: {e}"))),
+        Ok(Ok(after)) => {
+            if ret_bits(base) != ret_bits(&after)
+                || base.output != after.output
+                || base.globals_digest != after.globals_digest
+            {
+                failures.push(fail(format!(
+                    "planned module diverged from baseline (ret {:?} vs {:?})",
+                    base.ret, after.ret
+                )));
             }
         }
     }
@@ -477,6 +535,9 @@ pub fn check_module(m: &Module, tools: &[FuzzTool], cfg: &OracleConfig) -> Outco
     };
     if cfg.check_audit {
         failures.extend(audit_failures(m, &base, &run_cfg, &cfg.entry));
+    }
+    if cfg.check_plan {
+        failures.extend(plan_failures(m, &base, &run_cfg, &cfg.entry));
     }
     for tool in tools {
         let mut n = Noelle::new(m.clone(), AliasTier::Full);
@@ -824,6 +885,31 @@ entry:
                         .any(|f| f.kind == FailureKind::AuditMismatch)
                 ),
                 "seed {seed}: audit mismatch: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_sound_on_generated_modules() {
+        // The plan oracle: byte-identical plans across two fresh managers,
+        // and the applied plan preserves observable behavior.
+        let cfg = OracleConfig {
+            check_plan: true,
+            check_store: false,
+            check_incremental: false,
+            ..OracleConfig::default()
+        };
+        for seed in 0..10 {
+            let m = generate(seed, &GenConfig::default());
+            let out = check_module(&m, &[], &cfg);
+            assert!(
+                !matches!(
+                    &out,
+                    Outcome::Fail { failures } if failures
+                        .iter()
+                        .any(|f| f.kind == FailureKind::PlanMismatch)
+                ),
+                "seed {seed}: plan mismatch: {out:?}"
             );
         }
     }

@@ -37,7 +37,7 @@
 //! parse + lint of the current document text — the property the test suite
 //! checks across the whole workload corpus.
 
-use noelle_core::json::Json;
+use noelle_core::json::{envelope, Json};
 use noelle_core::noelle::{AliasTier, Noelle};
 use noelle_ir::module::{FuncId, Module};
 use noelle_ir::parser::{parse_function_text, parse_module_spanned, FuncSpan, ParseError};
@@ -45,6 +45,7 @@ use noelle_lint::{
     audit_findings, render_json, run_audit_scoped, run_global_checks, run_local_checks,
     sort_findings, Finding,
 };
+use noelle_plan::{plan_from_audit, PlanOptions};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One edit to a document, as carried by `ide/change`.
@@ -123,6 +124,15 @@ struct GoodState {
     /// serializing the whole module's hints on every keystroke would make
     /// the reply O(module); pulls (`ide/diagnostics`) still get everything.
     audit_fresh: BTreeMap<String, Vec<Finding>>,
+    /// Planner hints, bucketed by loop-owning function: for every loop the
+    /// audit marks clean for at least one technique, the per-candidate
+    /// predicted-speedup table ([`noelle_plan::LoopPlan::to_json`]). Derived
+    /// from the same scoped audit `audit_local` comes from, so the planner
+    /// rides the damage path for free (no second audit).
+    plan_hints: BTreeMap<String, Json>,
+    /// The plan buckets the *last* relint re-derived (the push delta,
+    /// mirroring `audit_fresh`).
+    plan_fresh: BTreeMap<String, Json>,
 }
 
 impl GoodState {
@@ -133,12 +143,13 @@ impl GoodState {
         let all: BTreeSet<FuncId> = noelle.module().func_ids().collect();
         let local = bucket_local(&mut noelle, &all);
         let global = run_global_checks(&mut noelle);
-        let audit_local = bucket_audit(&mut noelle, &all);
+        let (audit_local, plan_hints) = bucket_audit(&mut noelle, &all);
         let body_fps = all
             .iter()
             .map(|&fid| (fid, noelle.module().func(fid).body_fingerprint()))
             .collect();
         let audit_fresh = audit_local.clone();
+        let plan_fresh = plan_hints.clone();
         GoodState {
             noelle,
             spans,
@@ -147,6 +158,8 @@ impl GoodState {
             audit_local,
             body_fps,
             audit_fresh,
+            plan_hints,
+            plan_fresh,
         }
     }
 
@@ -171,6 +184,7 @@ impl GoodState {
         }
         if !body_changed {
             self.audit_fresh.clear();
+            self.plan_fresh.clear();
             return 0;
         }
         // Audit attribution reaches one call-graph hop beyond a function's
@@ -178,9 +192,11 @@ impl GoodState {
         // callees), so the audit re-derives the damage set plus that one-hop
         // closure — still proportional to the edit, never the module.
         let audit_damage = audit_closure(self.noelle.module(), damage);
-        let fresh_audit = bucket_audit(&mut self.noelle, &audit_damage);
+        let (fresh_audit, fresh_plan) = bucket_audit(&mut self.noelle, &audit_damage);
         self.audit_fresh = fresh_audit.clone();
         self.audit_local.extend(fresh_audit);
+        self.plan_fresh = fresh_plan.clone();
+        self.plan_hints.extend(fresh_plan);
         audit_damage.len()
     }
 }
@@ -235,8 +251,15 @@ fn bucket_local(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> BTreeMap<String, Ve
 
 /// Run the parallelism auditor over `funcs` only and bucket the NL01xx
 /// findings by loop-owning function, with explicit empty buckets so a loop
-/// whose blockers were just resolved drops its stale hints.
-fn bucket_audit(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> BTreeMap<String, Vec<Finding>> {
+/// whose blockers were just resolved drops its stale hints. The same scoped
+/// audit also feeds the planner: the second map holds, per function, the
+/// per-candidate predicted-speedup rows of every loop with at least one
+/// clean technique (again with explicit empty buckets, so a loop that just
+/// lost its last clean verdict drops its stale plan hint).
+fn bucket_audit(
+    n: &mut Noelle,
+    funcs: &BTreeSet<FuncId>,
+) -> (BTreeMap<String, Vec<Finding>>, BTreeMap<String, Json>) {
     let audit = run_audit_scoped(n, Some(funcs));
     let findings = audit_findings(n.module(), &audit);
     let mut buckets: BTreeMap<String, Vec<Finding>> = funcs
@@ -249,7 +272,22 @@ fn bucket_audit(n: &mut Noelle, funcs: &BTreeSet<FuncId>) -> BTreeMap<String, Ve
             .expect("audit finding anchors in an audited function")
             .push(f);
     }
-    buckets
+    let plan = plan_from_audit(n, &audit, &PlanOptions::default());
+    let mut plan_rows: BTreeMap<String, Vec<Json>> = funcs
+        .iter()
+        .map(|&fid| (n.module().func(fid).name.clone(), Vec::new()))
+        .collect();
+    for l in plan.loops.iter().filter(|l| l.any_clean()) {
+        plan_rows
+            .get_mut(&l.function)
+            .expect("planned loop anchors in an audited function")
+            .push(l.to_json());
+    }
+    let plan_buckets = plan_rows
+        .into_iter()
+        .map(|(name, rows)| (name, Json::Array(rows)))
+        .collect();
+    (buckets, plan_buckets)
 }
 
 /// True when `new` has the same *shape* as `old`: same module name and
@@ -380,9 +418,19 @@ impl DocSession {
         out
     }
 
+    /// Planner hints of the last-good analysis: `{function: [loop rows]}`,
+    /// one row per loop with at least one clean technique (the per-candidate
+    /// predicted-speedup table and the chosen winner).
+    pub fn plan_hints(&self) -> Json {
+        let Some(g) = &self.good else {
+            return Json::object([]);
+        };
+        Json::object(g.plan_hints.iter().map(|(k, v)| (k.clone(), v.clone())))
+    }
+
     /// The `ide/diagnostics` payload: version, syntax status, the full lint
-    /// report of the last-good analysis, and the live parallelism-audit
-    /// hints.
+    /// report of the last-good analysis, the live parallelism-audit hints,
+    /// and the planner hints — in the versioned reply envelope.
     pub fn diagnostics_json(&self) -> Json {
         let syntax = match &self.syntax_error {
             None => Json::Null,
@@ -391,12 +439,16 @@ impl DocSession {
                 ("message".to_string(), Json::Str(e.message.clone())),
             ]),
         };
-        Json::object([
-            ("version".to_string(), Json::Int(self.version as i64)),
-            ("syntax".to_string(), syntax),
-            ("report".to_string(), render_json(&self.findings())),
-            ("audit".to_string(), render_json(&self.audit_findings())),
-        ])
+        envelope(
+            "diagnostics",
+            Json::object([
+                ("version".to_string(), Json::Int(self.version as i64)),
+                ("syntax".to_string(), syntax),
+                ("report".to_string(), render_json(&self.findings())),
+                ("audit".to_string(), render_json(&self.audit_findings())),
+                ("plan".to_string(), self.plan_hints()),
+            ]),
+        )
     }
 
     /// The push-style diagnostics carried by an `ide/change` reply: like
@@ -420,12 +472,20 @@ impl DocSession {
                 .collect()
         });
         sort_findings(&mut fresh);
-        Json::object([
-            ("version".to_string(), Json::Int(self.version as i64)),
-            ("syntax".to_string(), syntax),
-            ("report".to_string(), render_json(&self.findings())),
-            ("audit".to_string(), render_json(&fresh)),
-        ])
+        let fresh_plan = self.good.as_ref().map_or_else(
+            || Json::object([]),
+            |g| Json::object(g.plan_fresh.iter().map(|(k, v)| (k.clone(), v.clone()))),
+        );
+        envelope(
+            "diagnostics",
+            Json::object([
+                ("version".to_string(), Json::Int(self.version as i64)),
+                ("syntax".to_string(), syntax),
+                ("report".to_string(), render_json(&self.findings())),
+                ("audit".to_string(), render_json(&fresh)),
+                ("plan".to_string(), fresh_plan),
+            ]),
+        )
     }
 
     /// Apply one versioned change. `version` must be strictly greater than
@@ -969,6 +1029,39 @@ entry:\n\
         let s = DocSession::open("d", LOOP_SRC, AliasTier::Full);
         let doc = s.diagnostics_json().to_string_compact();
         assert!(doc.contains("\"audit\""), "{doc}");
+        assert!(doc.contains("\"kind\":\"diagnostics\""), "{doc}");
+    }
+
+    #[test]
+    fn plan_hints_track_edits() {
+        let mut s = DocSession::open("d", LOOP_SRC, AliasTier::Full);
+        // The reduction loop in @kernel is clean for DOALL, so the cold
+        // open already carries a plan hint with a predicted speedup.
+        let doc = s.diagnostics_json().to_string_compact();
+        assert!(doc.contains("\"plan\""), "{doc}");
+        let hints = s.plan_hints();
+        let kernel = hints.get("kernel").expect("kernel bucket");
+        assert!(
+            kernel.to_string_compact().contains("predicted_speedup"),
+            "{hints:?}"
+        );
+        // Introduce a loop-carried memory recurrence: the loop loses its
+        // clean verdicts and the hint disappears from the same bucket.
+        s.change(
+            2,
+            Change::Splice {
+                start_line: 13,
+                end_line: 13,
+                lines: vec!["  store i64 %s2, %p".into()],
+            },
+        )
+        .expect("valid change");
+        let kernel = s.plan_hints().get("kernel").cloned().expect("bucket kept");
+        assert_eq!(
+            kernel.to_string_compact(),
+            "[]",
+            "blocked loop drops its plan hint"
+        );
     }
 
     #[test]

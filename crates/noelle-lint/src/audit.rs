@@ -110,7 +110,9 @@ pub fn run_audit_scoped(n: &mut Noelle, only: Option<&BTreeSet<FuncId>>) -> Modu
                         latency,
                         HelixOptions::default().max_sequential_fraction,
                     ),
-                    Technique::Dswp => dswp::precheck(m, fid, la, DswpOptions::default().n_stages),
+                    Technique::Dswp => {
+                        dswp::precheck(m, fid, la, DswpOptions::default().target.workers)
+                    }
                 };
                 match res {
                     Ok(()) => TechniqueAudit {

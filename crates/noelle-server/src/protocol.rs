@@ -186,6 +186,11 @@ pub enum ErrorCode {
     /// The target shard's request queue is full; the request was shed
     /// before any work ran. Retrying after a backoff is safe.
     Overloaded,
+    /// The method name is not part of the protocol. Distinct from
+    /// [`ErrorCode::BadRequest`] so clients can feature-probe: a newer
+    /// client talking to an older daemon sees `unknown_method` and can
+    /// degrade gracefully instead of treating the request as malformed.
+    UnknownMethod,
 }
 
 impl ErrorCode {
@@ -199,6 +204,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::VersionMismatch => "version_mismatch",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::UnknownMethod => "unknown_method",
         }
     }
 }

@@ -29,7 +29,7 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionTable};
-use noelle_core::json::Json;
+use noelle_core::json::{envelope, Json};
 use noelle_core::noelle::{Abstraction, AliasTier, Noelle};
 use noelle_core::wire;
 use noelle_ide::{Change, DocCounters, DocSession};
@@ -217,6 +217,8 @@ pub struct ServerState {
     pub ide: IdeState,
     /// Parallelism-auditor counters (`audit` method).
     pub audit: AuditCounters,
+    /// Parallelization-planner counters (`plan` method).
+    pub plan: PlanCounters,
     tool_runner: Option<ToolRunner>,
     shutdown: AtomicBool,
     auto_name: AtomicU64,
@@ -270,6 +272,45 @@ impl AuditCounters {
     }
 }
 
+/// Daemon-wide counters for the parallelization planner, surfaced under
+/// the `plan` key of both `stats` and `metrics`.
+#[derive(Default)]
+pub struct PlanCounters {
+    /// `plan` requests served.
+    pub runs: AtomicU64,
+    /// Loops considered across all runs.
+    pub loops: AtomicU64,
+    /// Loops with a chosen technique across all runs.
+    pub planned: AtomicU64,
+}
+
+impl PlanCounters {
+    fn record(&self, plan: &noelle_plan::ModulePlan) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.loops
+            .fetch_add(plan.loops.len() as u64, Ordering::Relaxed);
+        self.planned
+            .fetch_add(plan.planned() as u64, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "runs".to_string(),
+                Json::Int(self.runs.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "loops".to_string(),
+                Json::Int(self.loops.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "planned".to_string(),
+                Json::Int(self.planned.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
 impl ServerState {
     fn new(
         cfg: ServerConfig,
@@ -298,6 +339,7 @@ impl ServerState {
             store,
             ide: IdeState::default(),
             audit: AuditCounters::default(),
+            plan: PlanCounters::default(),
             tool_runner,
             shutdown: AtomicBool::new(false),
             auto_name: AtomicU64::new(0),
@@ -1203,7 +1245,10 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             n.reset_requests();
             let findings =
                 noelle_lint::run_checks(&mut n, check).map_err(|e| (ErrorCode::BadRequest, e))?;
-            Ok(Body::Value(noelle_lint::render_json(&findings)))
+            Ok(Body::Value(envelope(
+                "lint",
+                noelle_lint::render_json(&findings),
+            )))
         }
         "audit" => {
             let s = session_of(state, req)?;
@@ -1212,13 +1257,39 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             let audit = noelle_lint::run_audit(&mut n);
             state.audit.record(&audit);
             let findings = noelle_lint::audit_findings(n.module(), &audit);
-            Ok(Body::Value(Json::object([
-                ("audit".to_string(), audit.to_json()),
-                (
-                    "diagnostics".to_string(),
-                    noelle_lint::render_json(&findings),
-                ),
-            ])))
+            Ok(Body::Value(envelope(
+                "audit",
+                Json::object([
+                    ("audit".to_string(), audit.to_json()),
+                    (
+                        "diagnostics".to_string(),
+                        noelle_lint::render_json(&findings),
+                    ),
+                ]),
+            )))
+        }
+        "plan" => {
+            let s = session_of(state, req)?;
+            let workers = req
+                .params
+                .get("workers")
+                .and_then(Json::as_u64)
+                .map(|w| w as usize)
+                .unwrap_or(noelle_plan::PlanOptions::default().workers);
+            let mut n = s.noelle.lock().expect("session build lock");
+            n.reset_requests();
+            let plan = noelle_plan::plan_module(
+                &mut n,
+                &noelle_plan::PlanOptions {
+                    workers,
+                    ..noelle_plan::PlanOptions::default()
+                },
+            );
+            state.plan.record(&plan);
+            Ok(Body::Value(envelope(
+                "plan",
+                Json::object([("plan".to_string(), plan.to_json())]),
+            )))
         }
         "ide/open" => {
             let tier = ide_tier(req)?;
@@ -1340,6 +1411,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
             ("store".to_string(), store_json(state)),
             ("ide".to_string(), state.ide.stats_json()),
             ("audit".to_string(), state.audit.to_json()),
+            ("plan".to_string(), state.plan.to_json()),
         ]))),
         "metrics" => {
             let mut managers: Vec<(String, Json)> = Vec::new();
@@ -1362,6 +1434,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 ("store".to_string(), store_json(state)),
                 ("ide".to_string(), state.ide.stats_json()),
                 ("audit".to_string(), state.audit.to_json()),
+                ("plan".to_string(), state.plan.to_json()),
             ])))
         }
         "shutdown" => {
@@ -1371,6 +1444,9 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> MethodResult {
                 Json::Bool(true),
             )])))
         }
-        other => Err(bad(format!("unknown method '{other}'"))),
+        other => Err((
+            ErrorCode::UnknownMethod,
+            format!("unknown method '{other}'"),
+        )),
     }
 }

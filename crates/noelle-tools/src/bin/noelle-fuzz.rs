@@ -28,7 +28,8 @@ fn usage() -> ! {
     die(&format!(
         "usage: noelle-fuzz [--seeds N] [--seed-start N] [--time-budget-ms MS] \
          [--tool all|{}] [--trace-deps] [--lint-races] [--no-incremental-check] \
-         [--no-store-check] [--check-audit] [--corpus-dir DIR] [--no-persist] [--cores N]",
+         [--no-store-check] [--check-audit] [--check-plan] [--corpus-dir DIR] [--no-persist] \
+         [--cores N]",
         registry::usage()
     ));
 }
@@ -78,6 +79,7 @@ fn main() {
         check_incremental: args.flag("no-incremental-check").is_none(),
         check_store: args.flag("no-store-check").is_none(),
         check_audit: args.flag("check-audit").is_some(),
+        check_plan: args.flag("check-plan").is_some(),
         persist: corpus_dir.is_some() && args.flag("no-persist").is_none(),
         corpus_dir,
         ..FuzzConfig::default()

@@ -14,7 +14,7 @@
 //! whole built-in workload suite into one JSON document — the form CI diffs
 //! against the checked-in golden.
 
-use noelle_core::json::Json;
+use noelle_core::json::{envelope, Json};
 use noelle_core::noelle::{AliasTier, Noelle};
 use noelle_lint::{audit_findings, has_errors, render_json, render_text, run_audit, run_checks};
 use noelle_tools::{die, read_module, Args};
@@ -38,7 +38,10 @@ fn main() {
     let findings = run_checks(&mut noelle, &check).unwrap_or_else(|e| die(&e));
     match format.as_str() {
         "text" => print!("{}", render_text(&findings)),
-        "json" => println!("{}", render_json(&findings).to_string_pretty()),
+        "json" => println!(
+            "{}",
+            envelope("lint", render_json(&findings)).to_string_pretty()
+        ),
         other => die(&format!("unknown format '{other}' (expected text|json)")),
     }
     if has_errors(&findings) {
@@ -58,7 +61,13 @@ fn run_audit_mode(input: &str, format: &str) {
             })
             .collect();
         match format {
-            "json" => println!("{}", Json::object(audits).to_string_pretty()),
+            "json" => {
+                let doc = envelope(
+                    "audit",
+                    Json::object([("audits".to_string(), Json::object(audits))]),
+                );
+                println!("{}", doc.to_string_pretty());
+            }
             "text" => {
                 for (name, _) in &audits {
                     println!("# workload {name}");
@@ -78,10 +87,13 @@ fn run_audit_mode(input: &str, format: &str) {
             // The audit JSON plus the NL01xx findings it lowers to, so one
             // invocation serves both report consumers and diagnostics UIs.
             let findings = audit_findings(noelle.module(), &audit);
-            let doc = Json::object(vec![
-                ("audit".to_string(), audit.to_json()),
-                ("diagnostics".to_string(), render_json(&findings)),
-            ]);
+            let doc = envelope(
+                "audit",
+                Json::object(vec![
+                    ("audit".to_string(), audit.to_json()),
+                    ("diagnostics".to_string(), render_json(&findings)),
+                ]),
+            );
             println!("{}", doc.to_string_pretty());
         }
         other => die(&format!("unknown format '{other}' (expected text|json)")),

@@ -99,9 +99,11 @@ fn run_doall(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
         tools::doall::run(
             n,
             &tools::doall::DoallOptions {
-                n_tasks: o.cores,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::common::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: o.cores,
+                },
             },
         )
     ))
@@ -113,10 +115,12 @@ fn run_helix(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
         tools::helix::run(
             n,
             &tools::helix::HelixOptions {
-                n_tasks: o.cores,
-                min_hotness: 0.0,
+                target: tools::common::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: o.cores,
+                },
                 max_sequential_fraction: 0.7,
-                only: None,
             },
         )
     ))
@@ -128,9 +132,11 @@ fn run_dswp(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
         tools::dswp::run(
             n,
             &tools::dswp::DswpOptions {
-                n_stages: o.cores.clamp(2, 4),
-                min_hotness: 0.0,
-                only: None,
+                target: tools::common::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: o.cores.clamp(2, 4),
+                },
             },
         )
     ))
@@ -170,6 +176,23 @@ fn run_perspective(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
             n,
             &tools::perspective::PerspectiveOptions { n_tasks: o.cores },
         )
+    ))
+}
+
+fn run_plan(n: &mut Noelle, o: &ToolOptions) -> Result<String, String> {
+    let plan = noelle_plan::plan_module(
+        n,
+        &noelle_plan::PlanOptions {
+            workers: o.cores,
+            ..noelle_plan::PlanOptions::default()
+        },
+    );
+    let report = noelle_plan::apply_plan(n, &plan);
+    Ok(format!(
+        "planned {} of {} loop(s), predicted {:.2}x; applied: {report:?}",
+        plan.planned(),
+        plan.loops.len(),
+        plan.predicted_program_speedup()
     ))
 }
 
@@ -224,6 +247,10 @@ pub fn tools() -> &'static [ToolEntry] {
         ToolEntry {
             name: "perspective",
             run: run_perspective,
+        },
+        ToolEntry {
+            name: "plan",
+            run: run_plan,
         },
         ToolEntry {
             name: "autopar",

@@ -83,6 +83,78 @@ impl ParallelReport {
     }
 }
 
+/// Loop selection shared by every parallelizing technique: which loops a run
+/// may touch and how many workers to deploy on each. DOALL/HELIX/DSWP each
+/// embed one of these instead of re-declaring `min_hotness`/`only`/worker
+/// fields, so the planner, auditor, and fuzzer drive all three through a
+/// single surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopTargetOpts {
+    /// Skip loops whose profiled hotness is below this fraction of total
+    /// execution (ignored when the module carries no profiles).
+    pub min_hotness: f64,
+    /// Restrict the run to exactly one loop, `(function name, header block)`.
+    pub only: Option<(String, BlockId)>,
+    /// Worker count: tasks for DOALL/HELIX, pipeline stages for DSWP.
+    pub workers: usize,
+}
+
+impl Default for LoopTargetOpts {
+    fn default() -> Self {
+        LoopTargetOpts {
+            min_hotness: 0.05,
+            only: None,
+            workers: 4,
+        }
+    }
+}
+
+impl LoopTargetOpts {
+    /// Target exactly one loop, bypassing the hotness gate — the caller
+    /// (planner, auditor, fuzz oracle) has already decided this loop is
+    /// worth transforming.
+    pub fn pinned(function: &str, header: BlockId) -> Self {
+        LoopTargetOpts {
+            min_hotness: 0.0,
+            only: Some((function.to_string(), header)),
+            ..LoopTargetOpts::default()
+        }
+    }
+
+    /// Same selection with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Does this selection admit the loop at `(fname, header)`?
+    pub fn admits(&self, fname: &str, header: BlockId) -> bool {
+        match &self.only {
+            Some((f, h)) => f == fname && *h == header,
+            None => true,
+        }
+    }
+}
+
+/// Static per-instruction cost estimate used by the technique profitability
+/// gates and the planner's speedup predictions. Mirrors the relative weights
+/// of the simulated machine's cost model (computation < memory < div/call)
+/// without depending on the runtime crate.
+pub fn approx_inst_cost(inst: &Inst) -> u64 {
+    use noelle_ir::inst::BinOp;
+    match inst {
+        Inst::Bin { op, .. } => match op {
+            BinOp::Div | BinOp::Rem => 20,
+            BinOp::FDiv => 18,
+            BinOp::Mul | BinOp::FMul => 3,
+            _ => 1,
+        },
+        Inst::Load { .. } | Inst::Store { .. } => 4,
+        Inst::Call { .. } => 20,
+        _ => 1,
+    }
+}
+
 /// The signature of task functions: `void (i64* env, i64 task_id, i64
 /// n_tasks)`.
 pub fn task_fn_ptr_type() -> Type {

@@ -7,36 +7,23 @@
 //! distribution (cyclic: task `t` starts at `start + t*step` and strides by
 //! `n_tasks*step`); RD parallelizes reductions by accumulator cloning.
 
-use crate::common::{parallelize_with, task_loop, ParallelReport, ParallelizeError};
+use crate::common::{
+    parallelize_with, task_loop, LoopTargetOpts, ParallelReport, ParallelizeError,
+};
 use noelle_core::ivstepper::{offset_start, scale_step};
 use noelle_core::noelle::{Abstraction, Noelle};
 use noelle_core::task::TaskFunction;
 use noelle_ir::module::{FuncId, Module};
 use noelle_ir::value::Value;
 
-/// Options controlling loop selection.
-#[derive(Clone, Debug)]
+/// Options controlling loop selection. `target.workers` is the number of
+/// tasks (cores) iterations are distributed over; pinning a single loop is
+/// the paper's testing hook: "a user can force a parallelizing custom tool
+/// to parallelize only a given loop".
+#[derive(Clone, Debug, Default)]
 pub struct DoallOptions {
-    /// Number of tasks (cores) to distribute over.
-    pub n_tasks: usize,
-    /// Minimum profile hotness (fraction of dynamic instructions) a loop
-    /// must have to be considered; loops below are not worth the dispatch
-    /// overhead. Ignored when no profiles are embedded.
-    pub min_hotness: f64,
-    /// Restrict the tool to a single loop, named by `(function, header)` —
-    /// the paper's testing hook: "a user can force a parallelizing custom
-    /// tool to parallelize only a given loop".
-    pub only: Option<(String, noelle_ir::module::BlockId)>,
-}
-
-impl Default for DoallOptions {
-    fn default() -> DoallOptions {
-        DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.05,
-            only: None,
-        }
-    }
+    /// Shared loop selection: hotness gate, pinning, worker count.
+    pub target: LoopTargetOpts,
 }
 
 /// Apply DOALL to every eligible loop of the module.
@@ -85,12 +72,12 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
-        if let Some((only_f, only_h)) = &opts.only {
-            if *only_f != fname || *only_h != l.header {
-                continue;
-            }
+        if !opts.target.admits(&fname, l.header) {
+            continue;
         }
-        if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
+        if have_profiles
+            && profiles.loop_hotness(noelle.module(), fid, &l) < opts.target.min_hotness
+        {
             report
                 .skipped
                 .push((fname, l.header, "cold loop".to_string()));
@@ -109,7 +96,7 @@ pub fn run(noelle: &mut Noelle, opts: &DoallOptions) -> ParallelReport {
                 tx.module_touching([fid]),
                 fid,
                 &la,
-                opts.n_tasks,
+                opts.target.workers,
                 &task_name,
                 distribute_cyclically,
             )
@@ -262,9 +249,10 @@ done:
         let report = run(
             &mut noelle,
             &DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    ..LoopTargetOpts::default()
+                },
             },
         );
         // Both the kernel loop and the fill loop in main are DOALL-able...
@@ -318,9 +306,10 @@ exit:
         let report = run(
             &mut noelle,
             &DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    ..LoopTargetOpts::default()
+                },
             },
         );
         assert_eq!(report.count(), 0, "{report:?}");
@@ -349,9 +338,10 @@ exit:
         let report = run(
             &mut noelle,
             &DoallOptions {
-                n_tasks: 4,
-                min_hotness: 2.0, // impossible
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 2.0, // impossible
+                    ..LoopTargetOpts::default()
+                },
             },
         );
         assert_eq!(report.count(), 0);

@@ -12,8 +12,9 @@
 //! cross-stage memory accesses.
 
 use crate::common::{
-    emit_dispatcher_with_queues, liveouts_supported, reset_reduction_initials, task_fn_ptr_type,
-    task_loop, ParallelReport, ParallelizeError, QUEUE_POP_INTRINSIC, QUEUE_PUSH_INTRINSIC,
+    approx_inst_cost, emit_dispatcher_with_queues, liveouts_supported, reset_reduction_initials,
+    task_fn_ptr_type, task_loop, LoopTargetOpts, ParallelReport, ParallelizeError,
+    QUEUE_POP_INTRINSIC, QUEUE_PUSH_INTRINSIC,
 };
 use noelle_core::loop_abs::LoopAbstraction;
 use noelle_core::noelle::{Abstraction, Noelle};
@@ -27,24 +28,19 @@ use noelle_ir::types::Type;
 use noelle_ir::value::Value;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Options controlling DSWP.
+/// Options controlling DSWP. `target.workers` is the number of pipeline
+/// stages (= cores used); the default is two, the canonical produce/consume
+/// split.
 #[derive(Clone, Debug)]
 pub struct DswpOptions {
-    /// Number of pipeline stages (= cores used).
-    pub n_stages: usize,
-    /// Minimum profile hotness for a loop to be considered.
-    pub min_hotness: f64,
-    /// Restrict the tool to a single loop, named by `(function, header)` —
-    /// same testing hook as DOALL's.
-    pub only: Option<(String, BlockId)>,
+    /// Shared loop selection: hotness gate, pinning, worker (stage) count.
+    pub target: LoopTargetOpts,
 }
 
 impl Default for DswpOptions {
     fn default() -> DswpOptions {
         DswpOptions {
-            n_stages: 2,
-            min_hotness: 0.05,
-            only: None,
+            target: LoopTargetOpts::default().with_workers(2),
         }
     }
 }
@@ -93,17 +89,19 @@ pub fn run(noelle: &mut Noelle, opts: &DswpOptions) -> ParallelReport {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
-        if let Some((only_f, only_h)) = &opts.only {
-            if *only_f != fname || *only_h != l.header {
-                continue;
-            }
+        if !opts.target.admits(&fname, l.header) {
+            continue;
         }
-        if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
+        if have_profiles
+            && profiles.loop_hotness(noelle.module(), fid, &l) < opts.target.min_hotness
+        {
             report.skipped.push((fname, l.header, "cold loop".into()));
             continue;
         }
         let la = noelle.loop_abstraction(fid, l.clone());
-        match noelle.edit(|tx| pipeline_loop(tx.module_touching([fid]), fid, &la, opts.n_stages)) {
+        match noelle
+            .edit(|tx| pipeline_loop(tx.module_touching([fid]), fid, &la, opts.target.workers))
+        {
             Ok(()) => {
                 report.parallelized.push((fname, l.header));
                 done.push((fid, l.header));
@@ -170,7 +168,7 @@ fn gate(
         let body_cost: u64 = la
             .pdg
             .internal_nodes()
-            .map(|i| approx_cost(f.inst(i)))
+            .map(|i| approx_inst_cost(f.inst(i)))
             .sum();
         // Each stage pays ~2 queue operations (30 cycles each) plus, in the
         // balanced steady state, one inter-core latency (60 cycles) per
@@ -332,20 +330,72 @@ pub fn pipeline_loop(
     Ok(())
 }
 
-/// Rough per-instruction cycle estimate used by the profitability gate
-/// (mirrors the simulator's cost model without depending on it).
-fn approx_cost(inst: &Inst) -> u64 {
-    match inst {
-        Inst::Bin { op, .. } => match op {
-            noelle_ir::inst::BinOp::Div | noelle_ir::inst::BinOp::Rem => 20,
-            noelle_ir::inst::BinOp::FDiv => 18,
-            noelle_ir::inst::BinOp::Mul | noelle_ir::inst::BinOp::FMul => 3,
-            _ => 1,
-        },
-        Inst::Load { .. } | Inst::Store { .. } => 4,
-        Inst::Call { .. } => 20,
-        _ => 1,
+/// Pipeline shape summary for the planner's cost model: per-stage compute
+/// costs, cross-stage queue traffic, and the replicated overhead each stage
+/// carries — derived from the same [`gate`] the transform itself uses, so
+/// predictions and behavior cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Number of pipeline stages the plan actually uses.
+    pub n_stages: usize,
+    /// Estimated per-iteration cost of each stage (owned SCC instructions
+    /// plus the replicated IV/control set every stage re-executes).
+    pub stage_costs: Vec<u64>,
+    /// Number of cross-stage value queues.
+    pub value_queues: usize,
+    /// Queue operations (value + token pushes and pops) each stage performs
+    /// per iteration.
+    pub queue_ops: Vec<u64>,
+}
+
+/// Summarize the pipeline DSWP would build for this loop without mutating
+/// anything. Errors exactly when [`precheck`]'s gate phase would refuse.
+pub fn stage_summary(
+    m: &Module,
+    fid: FuncId,
+    la: &LoopAbstraction,
+    want_stages: usize,
+) -> Result<StageSummary, ParallelizeError> {
+    let (plan, value_queues) = gate(m, fid, la, want_stages)?;
+    let f = m.func(fid);
+    let replicated_cost: u64 = plan
+        .replicated
+        .iter()
+        .map(|&i| approx_inst_cost(f.inst(i)))
+        .sum();
+    let mut stage_costs = vec![replicated_cost; plan.n_stages];
+    for (&scc, &s) in &plan.stage_of_scc {
+        for &i in &la.sccdag.nodes()[scc].insts {
+            if !plan.replicated.contains(&i) {
+                stage_costs[s] += approx_inst_cost(f.inst(i));
+            }
+        }
     }
+    let mut queue_ops = vec![0u64; plan.n_stages];
+    for &(d, consumer) in &value_queues {
+        if let Some(s) = la
+            .sccdag
+            .scc_of(d)
+            .and_then(|s| plan.stage_of_scc.get(&s).copied())
+        {
+            queue_ops[s] += 1; // push in the producer stage
+        }
+        queue_ops[consumer] += 1; // pop in the consumer stage
+    }
+    for (s, ops) in queue_ops.iter_mut().enumerate() {
+        if s > 0 {
+            *ops += 1; // token pop from the previous stage
+        }
+        if s + 1 < plan.n_stages {
+            *ops += 1; // token push to the next stage
+        }
+    }
+    Ok(StageSummary {
+        n_stages: plan.n_stages,
+        stage_costs,
+        value_queues: value_queues.len(),
+        queue_ops,
+    })
 }
 
 /// Plan the pipeline stages: the replicated set (IVs, control chains,
@@ -874,9 +924,11 @@ done:
         let report = run(
             &mut noelle,
             &DswpOptions {
-                n_stages: 2,
-                min_hotness: 0.0,
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    workers: 2,
+                    only: None,
+                },
             },
         );
         assert!(
@@ -917,9 +969,11 @@ exit:
         let report = run(
             &mut noelle,
             &DswpOptions {
-                n_stages: 2,
-                min_hotness: 0.0,
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    workers: 2,
+                    only: None,
+                },
             },
         );
         assert_eq!(report.count(), 0, "{report:?}");

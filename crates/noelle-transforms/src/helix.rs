@@ -13,8 +13,8 @@
 //! core-to-core signal latency charged from the AR abstraction.
 
 use crate::common::{
-    parallelize_with, task_loop, ParallelReport, ParallelizeError, SS_SIGNAL_INTRINSIC,
-    SS_WAIT_INTRINSIC,
+    approx_inst_cost, parallelize_with, task_loop, LoopTargetOpts, ParallelReport,
+    ParallelizeError, SS_SIGNAL_INTRINSIC, SS_WAIT_INTRINSIC,
 };
 use crate::doall::distribute_cyclically;
 use noelle_core::loop_abs::LoopAbstraction;
@@ -29,28 +29,22 @@ use noelle_ir::value::Value;
 use noelle_pdg::islands::islands_of;
 use std::collections::BTreeSet;
 
-/// Options controlling HELIX.
+/// Options controlling HELIX. `target.workers` is the number of cores
+/// iterations are distributed over.
 #[derive(Clone, Debug)]
 pub struct HelixOptions {
-    /// Number of cores to distribute iterations over.
-    pub n_tasks: usize,
-    /// Minimum profile hotness for a loop to be considered.
-    pub min_hotness: f64,
+    /// Shared loop selection: hotness gate, pinning, worker count.
+    pub target: LoopTargetOpts,
     /// Skip loops whose sequential segments cover more than this fraction of
     /// the loop body (they would serialize everything).
     pub max_sequential_fraction: f64,
-    /// Restrict the tool to a single loop, named by `(function, header)` —
-    /// same testing hook as DOALL's.
-    pub only: Option<(String, noelle_ir::module::BlockId)>,
 }
 
 impl Default for HelixOptions {
     fn default() -> HelixOptions {
         HelixOptions {
-            n_tasks: 4,
-            min_hotness: 0.05,
+            target: LoopTargetOpts::default(),
             max_sequential_fraction: 0.7,
-            only: None,
         }
     }
 }
@@ -148,12 +142,12 @@ pub fn precheck(
         let body_cost: u64 = la
             .pdg
             .internal_nodes()
-            .map(|i| approx_cost(f.inst(i)))
+            .map(|i| approx_inst_cost(f.inst(i)))
             .sum();
         let seg_cost: u64 = segments
             .iter()
             .flat_map(|s| s.iter())
-            .map(|&i| approx_cost(f.inst(i)))
+            .map(|&i| approx_inst_cost(f.inst(i)))
             .sum();
         if body_cost < (seg_cost + latency) * 13 / 10 {
             return Err(ParallelizeError::Shape(
@@ -216,12 +210,12 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
             continue;
         }
         let fname = noelle.module().func(fid).name.clone();
-        if let Some((only_f, only_h)) = &opts.only {
-            if *only_f != fname || *only_h != l.header {
-                continue;
-            }
+        if !opts.target.admits(&fname, l.header) {
+            continue;
         }
-        if have_profiles && profiles.loop_hotness(noelle.module(), fid, &l) < opts.min_hotness {
+        if have_profiles
+            && profiles.loop_hotness(noelle.module(), fid, &l) < opts.target.min_hotness
+        {
             report.skipped.push((fname, l.header, "cold loop".into()));
             continue;
         }
@@ -255,12 +249,12 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
             let body_cost: u64 = la
                 .pdg
                 .internal_nodes()
-                .map(|i| approx_cost(f.inst(i)))
+                .map(|i| approx_inst_cost(f.inst(i)))
                 .sum();
             let seg_cost: u64 = segments
                 .iter()
                 .flat_map(|s| s.iter())
-                .map(|&i| approx_cost(f.inst(i)))
+                .map(|&i| approx_inst_cost(f.inst(i)))
                 .sum();
             let latency = noelle.architecture().max_latency();
             if body_cost < (seg_cost + latency) * 13 / 10 {
@@ -279,7 +273,7 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
                 tx.module_touching([fid]),
                 fid,
                 &la,
-                opts.n_tasks,
+                opts.target.workers,
                 &task_name,
                 |m, task| {
                     distribute_cyclically(m, task)?;
@@ -297,21 +291,6 @@ pub fn run(noelle: &mut Noelle, opts: &HelixOptions) -> ParallelReport {
     // Metadata-only edit: no function bodies change.
     noelle.edit(|tx| set_segment_base(tx.module_touching([]), seg_counter));
     report
-}
-
-/// Rough per-instruction cycle estimate for the profitability gate.
-fn approx_cost(inst: &Inst) -> u64 {
-    match inst {
-        Inst::Bin { op, .. } => match op {
-            noelle_ir::inst::BinOp::Div | noelle_ir::inst::BinOp::Rem => 20,
-            noelle_ir::inst::BinOp::FDiv => 18,
-            noelle_ir::inst::BinOp::Mul | noelle_ir::inst::BinOp::FMul => 3,
-            _ => 1,
-        },
-        Inst::Load { .. } | Inst::Store { .. } => 4,
-        Inst::Call { .. } => 20,
-        _ => 1,
-    }
 }
 
 fn next_segment_base(m: &Module) -> i64 {
@@ -497,10 +476,11 @@ done:
         let report = run(
             &mut noelle,
             &HelixOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    ..LoopTargetOpts::default()
+                },
                 max_sequential_fraction: 0.7,
-                only: None,
             },
         );
         assert!(
@@ -548,10 +528,11 @@ exit:
         let report = run(
             &mut noelle,
             &HelixOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    ..LoopTargetOpts::default()
+                },
                 max_sequential_fraction: 0.3,
-                only: None,
             },
         );
         assert_eq!(report.count(), 0, "{report:?}");

@@ -44,28 +44,34 @@ fn main() {
                     "doall" => tools::doall::run(
                         &mut n,
                         &tools::doall::DoallOptions {
-                            n_tasks: cores,
-                            min_hotness: 0.02,
-                            only: None,
+                            target: tools::LoopTargetOpts {
+                                min_hotness: 0.02,
+                                only: None,
+                                workers: cores,
+                            },
                         },
                     )
                     .count(),
                     "helix" => tools::helix::run(
                         &mut n,
                         &tools::helix::HelixOptions {
-                            n_tasks: cores,
-                            min_hotness: 0.02,
+                            target: tools::LoopTargetOpts {
+                                min_hotness: 0.02,
+                                only: None,
+                                workers: cores,
+                            },
                             max_sequential_fraction: 0.7,
-                            only: None,
                         },
                     )
                     .count(),
                     _ => tools::dswp::run(
                         &mut n,
                         &tools::dswp::DswpOptions {
-                            n_stages: 2,
-                            min_hotness: 0.02,
-                            only: None,
+                            target: tools::LoopTargetOpts {
+                                min_hotness: 0.02,
+                                only: None,
+                                workers: 2,
+                            },
                         },
                     )
                     .count(),

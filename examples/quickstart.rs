@@ -80,9 +80,11 @@ fn main() {
     let report = noelle::transforms::doall::run(
         &mut noelle,
         &noelle::transforms::doall::DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.0,
-            only: None,
+            target: noelle::transforms::LoopTargetOpts {
+                min_hotness: 0.0,
+                only: None,
+                workers: 4,
+            },
         },
     );
     println!("DOALL parallelized {} loop(s)", report.count());

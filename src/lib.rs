@@ -30,7 +30,9 @@
 //! let mut noelle = Noelle::new(module, AliasTier::Full);
 //! noelle::transforms::doall::run(
 //!     &mut noelle,
-//!     &noelle::transforms::doall::DoallOptions { n_tasks: 4, min_hotness: 0.0, only: None },
+//!     &noelle::transforms::doall::DoallOptions {
+//!         target: noelle::transforms::LoopTargetOpts { min_hotness: 0.0, only: None, workers: 4 },
+//!     },
 //! );
 //! let par = run_module(&noelle.into_module(), "main", &[], &RunConfig::default())
 //!     .expect("parallel version runs");

@@ -15,7 +15,7 @@ use noelle::core::json::Json;
 use noelle::core::noelle::{AliasTier, Noelle};
 use noelle::ir::parser::parse_module;
 use noelle::ir::verifier::verify_module;
-use noelle::transforms::{doall, dswp, helix};
+use noelle::transforms::{doall, dswp, helix, LoopTargetOpts};
 use noelle_lint::{audit_code, audit_findings, run_audit};
 use noelle_server::{Client, Server, ServerConfig};
 
@@ -213,7 +213,11 @@ fn workload_audit_matches_checked_in_golden() {
         })
         .collect();
     assert_eq!(audits.len(), 42, "the full suite plus pdg_stress");
-    let fresh = Json::object(audits).to_string_pretty();
+    let fresh = noelle::core::json::envelope(
+        "audit",
+        Json::object([("audits".to_string(), Json::object(audits))]),
+    )
+    .to_string_pretty();
     let golden = std::fs::read_to_string(corpus_path("golden_workloads.json"))
         .expect("golden audit JSON is checked in");
     assert_eq!(
@@ -264,31 +268,21 @@ fn no_false_clean_verdicts_across_all_workloads() {
                     continue;
                 }
                 clean_checked += 1;
-                let only = Some((la.function.clone(), la.header));
+                let target = LoopTargetOpts::pinned(&la.function, la.header);
                 let mut tn = Noelle::new(m.clone(), AliasTier::Full);
                 let report = match v.technique {
-                    Technique::Doall => doall::run(
-                        &mut tn,
-                        &doall::DoallOptions {
-                            min_hotness: 0.0,
-                            only,
-                            ..doall::DoallOptions::default()
-                        },
-                    ),
+                    Technique::Doall => doall::run(&mut tn, &doall::DoallOptions { target }),
                     Technique::Helix => helix::run(
                         &mut tn,
                         &helix::HelixOptions {
-                            min_hotness: 0.0,
-                            only,
+                            target,
                             ..helix::HelixOptions::default()
                         },
                     ),
                     Technique::Dswp => dswp::run(
                         &mut tn,
                         &dswp::DswpOptions {
-                            min_hotness: 0.0,
-                            only,
-                            ..dswp::DswpOptions::default()
+                            target: target.with_workers(2),
                         },
                     ),
                 };

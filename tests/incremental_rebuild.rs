@@ -87,9 +87,11 @@ fn doall_repairs_match_fresh_build() {
         tools::doall::run(
             n,
             &tools::doall::DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
             },
         );
     });
@@ -101,9 +103,11 @@ fn dswp_repairs_match_fresh_build() {
         tools::dswp::run(
             n,
             &tools::dswp::DswpOptions {
-                n_stages: 2,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 2,
+                },
             },
         );
     });
@@ -115,10 +119,12 @@ fn helix_repairs_match_fresh_build() {
         tools::helix::run(
             n,
             &tools::helix::HelixOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
                 max_sequential_fraction: 0.7,
-                only: None,
             },
         );
     });

@@ -7,6 +7,7 @@ use noelle::core::noelle::{AliasTier, Noelle};
 use noelle::ir::module::BlockId;
 use noelle::runtime::{run_module, RunConfig};
 use noelle::transforms::doall::{self, DoallOptions};
+use noelle::transforms::LoopTargetOpts;
 
 fn run_src(src: &str) -> noelle::runtime::RunResult {
     let m = noelle::ir::parser::parse_module(src).expect("parses");
@@ -20,9 +21,11 @@ fn doall_all(src: &str) -> (noelle::ir::Module, usize) {
     let report = doall::run(
         &mut n,
         &DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.0,
-            only: None,
+            target: LoopTargetOpts {
+                min_hotness: 0.0,
+                only: None,
+                workers: 4,
+            },
         },
     );
     (n.into_module(), report.count())
@@ -156,9 +159,11 @@ fn forcing_a_specific_loop_parallelizes_only_it() {
     let report = doall::run(
         &mut n,
         &DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.0,
-            only: Some(("kernel0".to_string(), BlockId(1))),
+            target: LoopTargetOpts {
+                min_hotness: 0.0,
+                only: Some(("kernel0".to_string(), BlockId(1))),
+                workers: 4,
+            },
         },
     );
     assert_eq!(report.count(), 1, "{report:?}");
@@ -304,9 +309,11 @@ go:
     let report = doall::run(
         &mut n,
         &DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.0,
-            only: Some(("find".to_string(), BlockId(1))),
+            target: LoopTargetOpts {
+                min_hotness: 0.0,
+                only: Some(("find".to_string(), BlockId(1))),
+                workers: 4,
+            },
         },
     );
     assert_eq!(report.count(), 0, "{report:?}");
@@ -363,9 +370,11 @@ fn float_kernels_preserve_bitwise_results_under_doall() {
         let r = doall::run(
             &mut n,
             &DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
             },
         );
         (n.into_module(), r.count())

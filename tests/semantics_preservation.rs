@@ -95,9 +95,11 @@ fn doall_preserves_semantics() {
         tools::doall::run(
             n,
             &tools::doall::DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
             },
         );
     });
@@ -109,10 +111,12 @@ fn helix_preserves_semantics() {
         tools::helix::run(
             n,
             &tools::helix::HelixOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
                 max_sequential_fraction: 0.7,
-                only: None,
             },
         );
     });
@@ -124,9 +128,11 @@ fn dswp_preserves_semantics() {
         tools::dswp::run(
             n,
             &tools::dswp::DswpOptions {
-                n_stages: 2,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 2,
+                },
             },
         );
     });
@@ -152,9 +158,11 @@ fn stacked_tools_compose() {
         tools::doall::run(
             &mut n,
             &tools::doall::DoallOptions {
-                n_tasks: 4,
-                min_hotness: 0.0,
-                only: None,
+                target: tools::LoopTargetOpts {
+                    min_hotness: 0.0,
+                    only: None,
+                    workers: 4,
+                },
             },
         );
         tools::dead::run(&mut n, "main");

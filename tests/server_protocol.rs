@@ -249,7 +249,7 @@ fn sessions_are_isolated_and_queries_cover_every_method() {
         err.get("error")
             .and_then(|e| e.get("code"))
             .and_then(Json::as_str),
-        Some("bad_request")
+        Some("unknown_method")
     );
     let err = c.request("pdg", sess("ghost")).expect("reply");
     assert_eq!(

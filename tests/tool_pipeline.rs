@@ -94,9 +94,11 @@ fn figure1_flow_end_to_end() {
     let report = noelle::transforms::doall::run(
         &mut noelle,
         &noelle::transforms::doall::DoallOptions {
-            n_tasks: 4,
-            min_hotness: 0.05,
-            only: None,
+            target: noelle::transforms::LoopTargetOpts {
+                min_hotness: 0.05,
+                only: None,
+                workers: 4,
+            },
         },
     );
     assert!(
